@@ -1,0 +1,223 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment at a reduced scope/scale (the
+// CLI's `cachepart exp -id <fig>` runs the full version) and reports
+// the experiment's key aggregate as a custom metric, so `go test
+// -bench=.` doubles as a regression harness for the reproduced shapes.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchScale keeps each iteration affordable; aggregates at this scale
+// are noisier than the EXPERIMENTS.md runs but preserve orderings.
+const benchScale = 5e-4
+
+func quickCtx() *experiments.Context {
+	return experiments.NewQuickContext(benchScale)
+}
+
+func BenchmarkFig1ThreadScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		t := ctx.Fig1ThreadScalability()
+		if len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable1Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		_, classes := ctx.Table1Scalability()
+		if classes["429.mcf"] != experiments.ScalLow {
+			b.Fatal("mcf not classified sequential/low")
+		}
+	}
+}
+
+func BenchmarkFig2LLCSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		if len(ctx.Fig2LLCSensitivity().Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkTable2LLCUtility(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		res := ctx.Table2LLCUtility()
+		frac = res.FracUnder3MB
+	}
+	b.ReportMetric(frac*100, "%apps<=3MB")
+}
+
+func BenchmarkFig3Prefetchers(b *testing.B) {
+	var gems float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		gems = ctx.PrefetchSensitivity(workload.MustByName("459.GemsFDTD"))
+	}
+	b.ReportMetric(gems, "GemsFDTD-on/off")
+}
+
+func BenchmarkFig4Bandwidth(b *testing.B) {
+	var gems float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		gems = ctx.BandwidthSensitivity(workload.MustByName("459.GemsFDTD"))
+	}
+	b.ReportMetric(gems, "GemsFDTD-vs-hog")
+}
+
+func BenchmarkFig5Clustering(b *testing.B) {
+	var clusters float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		clusters = float64(len(ctx.Fig5Clustering().Groups))
+	}
+	b.ReportMetric(clusters, "clusters")
+}
+
+func BenchmarkTable3Representatives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		res := ctx.Fig5Clustering()
+		if len(res.Reps) == 0 {
+			b.Fatal("no representatives")
+		}
+	}
+}
+
+func BenchmarkFig6AllocationSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:2]
+		pts := ctx.AllocationSpace(ctx.Reps[0], ctx.ThreadPoints, ctx.WayPoints)
+		if len(pts) == 0 {
+			b.Fatal("no allocation points")
+		}
+	}
+}
+
+func BenchmarkFig7YieldableCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:2]
+		if len(ctx.Fig7YieldableCapacity().Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig8Heatmap(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		res := ctx.Fig8Heatmap(ctx.Reps, ctx.Reps)
+		avg = res.AvgSlowdown
+	}
+	b.ReportMetric((avg-1)*100, "avg-slowdown-%")
+}
+
+func BenchmarkFig9Policies(b *testing.B) {
+	var shared, biased float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:3]
+		res := ctx.Fig9StaticPolicies()
+		shared = res.Avg[partition.Shared]
+		biased = res.Avg[partition.Biased]
+	}
+	b.ReportMetric((shared-1)*100, "shared-avg-%")
+	b.ReportMetric((biased-1)*100, "biased-avg-%")
+}
+
+func BenchmarkFig10Energy(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:3]
+		_, _, outcomes := ctx.Fig10and11Consolidation()
+		var xs []float64
+		for _, o := range outcomes {
+			if o.Policy == partition.Biased {
+				xs = append(xs, o.RelSocketEnergy)
+			}
+		}
+		rel = stats.Mean(xs)
+	}
+	b.ReportMetric((1-rel)*100, "energy-saving-%")
+}
+
+func BenchmarkFig11WeightedSpeedup(b *testing.B) {
+	var ws float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:3]
+		_, _, outcomes := ctx.Fig10and11Consolidation()
+		var xs []float64
+		for _, o := range outcomes {
+			if o.Policy == partition.Biased {
+				xs = append(xs, o.WeightedSpeedup)
+			}
+		}
+		ws = stats.Mean(xs)
+	}
+	b.ReportMetric(ws, "weighted-speedup")
+}
+
+func BenchmarkFig12Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		if len(ctx.Fig12Phases().Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig13Dynamic(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:2]
+		res := ctx.Fig13DynamicThroughput()
+		gain = stats.Mean(res.DynamicGain)
+	}
+	b.ReportMetric((gain-1)*100, "dyn-bg-gain-%")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		ctx := quickCtx()
+		ctx.Reps = ctx.Reps[:3]
+		res := ctx.Headline()
+		saving = res.EnergySavingBiased
+	}
+	b.ReportMetric(saving*100, "biased-energy-saving-%")
+}
+
+// BenchmarkSimulatorThroughput measures raw engine speed: simulated
+// instructions per host second for a representative mixed workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	r := sched.New(sched.Options{Scale: 2e-3, DisableCache: true})
+	app := workload.MustByName("canneal")
+	instr := app.Instructions * 2e-3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunSingle(sched.SingleSpec{App: app, Threads: 4})
+	}
+	b.ReportMetric(instr*float64(b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}

@@ -1,0 +1,243 @@
+// Command cachepart drives the cache-partitioning study: it lists the
+// workload catalog, runs individual applications or consolidated pairs
+// on the simulated way-partitionable platform, and regenerates every
+// table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	cachepart list
+//	cachepart run  -app 429.mcf [-threads 4] [-ways 0] [-scale 0.002]
+//	cachepart pair -fg 429.mcf -bg ferret [-policy dynamic] [-scale 0.002]
+//	cachepart exp  -id fig9 [-scale 0.002] [-quick]
+//	cachepart exp  -id all  [-quick]
+//
+// Experiment ids: fig1..fig13, table1, table2, table3, headline, the
+// abl-* ablation studies, and all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "pair":
+		err = cmdPair(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachepart:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cachepart list
+  cachepart run  -app NAME [-threads N] [-ways W] [-scale S]
+  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S]
+  cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick]`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-18s %-7s %-8s %-9s %-6s %s\n",
+		"name", "suite", "threads", "maxWS", "APKI", "phases")
+	for _, suite := range workload.Suites() {
+		for _, p := range workload.BySuite(suite) {
+			fmt.Printf("%-18s %-7s %-8d %-9s %-6.0f %d\n",
+				p.Name, p.Suite, p.MaxThreads,
+				fmt.Sprintf("%.1fMB", float64(p.MaxWorkingSet())/(1<<20)),
+				p.MeanAPKI(), len(p.Phases))
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	app := fs.String("app", "", "application name (see 'cachepart list')")
+	threads := fs.Int("threads", 4, "software threads (capped by the app)")
+	ways := fs.Int("ways", core.AllWays, "LLC ways allocated (0 = all 12)")
+	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("run: -app is required")
+	}
+	sys := core.NewSystem(core.Options{Scale: *scale})
+	t0 := time.Now()
+	rep, err := sys.RunAlone(*app, *threads, *ways)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app=%s threads=%d ways=%d\n", rep.App, rep.Threads, rep.Ways)
+	fmt.Printf("  time       %.4f s (simulated)\n", rep.Seconds)
+	fmt.Printf("  IPC        %.2f (aggregate)\n", rep.IPC)
+	fmt.Printf("  LLC MPKI   %.2f   LLC APKI %.2f\n", rep.LLCMPKI, rep.LLCAPKI)
+	fmt.Printf("  energy     %.2f J socket, %.2f J wall\n", rep.SocketJoules, rep.WallJoules)
+	fmt.Printf("  (host time %.2fs)\n", time.Since(t0).Seconds())
+	return nil
+}
+
+func cmdPair(args []string) error {
+	fs := flag.NewFlagSet("pair", flag.ExitOnError)
+	fg := fs.String("fg", "", "foreground application")
+	bg := fs.String("bg", "", "background application")
+	policy := fs.String("policy", "dynamic", "shared|fair|biased|dynamic")
+	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fg == "" || *bg == "" {
+		return fmt.Errorf("pair: -fg and -bg are required")
+	}
+	sys := core.NewSystem(core.Options{Scale: *scale})
+	t0 := time.Now()
+	rep, err := sys.Consolidate(*fg, *bg, core.Policy(*policy))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fg=%s bg=%s policy=%s\n", rep.Fg, rep.Bg, rep.Policy)
+	if rep.FgWays > 0 {
+		fmt.Printf("  LLC split     fg %d ways / bg %d ways\n", rep.FgWays, rep.BgWays)
+	} else {
+		fmt.Printf("  LLC split     fully shared\n")
+	}
+	fmt.Printf("  fg time       %.4f s (slowdown %+.1f%% vs alone)\n",
+		rep.FgSeconds, (rep.FgSlowdown-1)*100)
+	fmt.Printf("  bg throughput %.2f iterations during the fg run\n", rep.BgThroughput)
+	fmt.Printf("  energy        %.2f J socket, %.2f J wall\n", rep.SocketJoules, rep.WallJoules)
+	if rep.Policy == core.PolicyDynamic {
+		fmt.Printf("  reallocations %d\n", rep.Reallocations)
+	}
+	fmt.Printf("  (host time %.2fs)\n", time.Since(t0).Seconds())
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	id := fs.String("id", "", "experiment id (fig1..fig13, table1..3, headline, all)")
+	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	quick := fs.Bool("quick", false, "representatives-only scope (fast)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("exp: -id is required")
+	}
+	var ctx *experiments.Context
+	if *quick {
+		ctx = experiments.NewQuickContext(*scale)
+	} else {
+		ctx = experiments.NewContext(*scale)
+	}
+	runOne := func(name string) error {
+		t0 := time.Now()
+		out, err := runExperiment(ctx, name)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Printf("(host time %.1fs)\n\n", time.Since(t0).Seconds())
+		return nil
+	}
+	if *id == "all" {
+		for _, name := range experimentIDs {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*id)
+}
+
+var experimentIDs = []string{
+	"fig1", "table1", "fig2", "table2", "fig3", "fig4",
+	"fig5", "table3", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "headline",
+	"abl-small-llc", "abl-bwqos", "abl-indexing", "abl-replacement",
+	"abl-inclusion", "abl-prefetchers", "abl-multibg",
+}
+
+func runExperiment(ctx *experiments.Context, id string) (string, error) {
+	switch id {
+	case "fig1":
+		return ctx.Fig1ThreadScalability().String(), nil
+	case "table1":
+		t, _ := ctx.Table1Scalability()
+		return t.String(), nil
+	case "fig2":
+		return ctx.Fig2LLCSensitivity().String(), nil
+	case "table2":
+		return ctx.Table2LLCUtility().Table.String(), nil
+	case "fig3":
+		return ctx.Fig3Prefetchers().String(), nil
+	case "fig4":
+		return ctx.Fig4Bandwidth().String(), nil
+	case "fig5":
+		res := ctx.Fig5Clustering()
+		return res.Table.String() + "\ndendrogram:\n" + res.Dendrogram, nil
+	case "table3":
+		return ctx.Fig5Clustering().Table.String(), nil
+	case "fig6":
+		return ctx.Fig6AllocationSpace().String(), nil
+	case "fig7":
+		return ctx.Fig7YieldableCapacity().String(), nil
+	case "fig8":
+		return ctx.Fig8Heatmap(nil, nil).Table.String(), nil
+	case "fig9":
+		return ctx.Fig9StaticPolicies().Table.String(), nil
+	case "fig10":
+		e, _, _ := ctx.Fig10and11Consolidation()
+		return e.String(), nil
+	case "fig11":
+		_, w, _ := ctx.Fig10and11Consolidation()
+		return w.String(), nil
+	case "fig12":
+		return ctx.Fig12Phases().String(), nil
+	case "fig13":
+		return ctx.Fig13DynamicThroughput().Table.String(), nil
+	case "headline":
+		return ctx.Headline().Table.String(), nil
+	case "abl-small-llc":
+		return ctx.AblationSmallLLC().String(), nil
+	case "abl-bwqos":
+		return ctx.AblationBandwidthQoS().String(), nil
+	case "abl-indexing":
+		return ctx.AblationIndexing().String(), nil
+	case "abl-replacement":
+		return ctx.AblationReplacement().String(), nil
+	case "abl-inclusion":
+		return ctx.AblationInclusion().String(), nil
+	case "abl-prefetchers":
+		return ctx.AblationPrefetchers().String(), nil
+	case "abl-multibg":
+		return ctx.AblationMultiBackground().String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro reproduces "A Hardware Evaluation of Cache Partitioning
+// to Improve Utilization and Energy-Efficiency while Preserving
+// Responsiveness" (Cook et al., ISCA 2013) as a pure-Go simulation
+// study. See README.md for the tour, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The root package holds only the benchmark harness (bench_test.go),
+// one benchmark per paper table and figure; the library lives under
+// internal/ and the public entry point is internal/core.
+package repro

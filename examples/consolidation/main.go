@@ -1,0 +1,46 @@
+// Consolidation: the paper's central scenario. A latency-sensitive
+// foreground application (429.mcf, cluster C1) shares the machine with
+// a continuously-running background job (ferret, cluster C3) under each
+// LLC management policy. The output reproduces the §5 story: sharing is
+// efficient but risky, fair partitioning wastes capacity, biased
+// partitioning protects the foreground, and the dynamic controller gets
+// the best of both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{})
+
+	const fg, bg = "429.mcf", "ferret"
+	alone, err := sys.RunAlone(fg, 4, core.AllWays)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("foreground %s alone (2 cores / 4 HTs): %.4f s\n\n", fg, alone.Seconds)
+
+	fmt.Printf("co-scheduling %s (cores 0-1) with %s (cores 2-3):\n\n", fg, bg)
+	fmt.Printf("%-8s  %-11s  %-12s  %-14s  %-10s\n",
+		"policy", "LLC split", "fg slowdown", "bg iterations", "socket (J)")
+	for _, pol := range core.Policies() {
+		rep, err := sys.Consolidate(fg, bg, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		split := "12 shared"
+		if rep.FgWays > 0 {
+			split = fmt.Sprintf("%d / %d", rep.FgWays, rep.BgWays)
+		}
+		fmt.Printf("%-8s  %-11s  %+10.1f%%  %14.2f  %10.2f\n",
+			rep.Policy, split, (rep.FgSlowdown-1)*100, rep.BgThroughput, rep.SocketJoules)
+	}
+
+	fmt.Println("\nThe biased split minimizes foreground degradation; the dynamic")
+	fmt.Println("controller tracks mcf's phase changes and hands the reclaimed ways")
+	fmt.Println("to the background (§6).")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one application alone on the simulated way-
+// partitionable Sandy Bridge platform and print its performance and
+// energy, then squeeze its LLC allocation and watch the cost — the
+// smallest possible tour of the library's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys := core.NewSystem(core.Options{})
+
+	// 471.omnetpp is the paper's exemplar of a high-LLC-utility
+	// application (§3.2): every extra way helps it.
+	const app = "471.omnetpp"
+
+	fmt.Printf("running %s alone with every LLC allocation:\n\n", app)
+	fmt.Printf("%6s  %10s  %8s  %10s\n", "ways", "time (s)", "MPKI", "socket (J)")
+
+	var full core.RunReport
+	for _, ways := range []int{12, 8, 4, 2, 1} {
+		rep, err := sys.RunAlone(app, 1, ways)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ways == 12 {
+			full = rep
+		}
+		fmt.Printf("%6d  %10.4f  %8.2f  %10.2f   (%+.1f%% vs full cache)\n",
+			ways, rep.Seconds, rep.LLCMPKI, rep.SocketJoules,
+			(rep.Seconds/full.Seconds-1)*100)
+	}
+
+	fmt.Println("\nAs on the paper's prototype: performance degrades smoothly with")
+	fmt.Println("capacity (no sharp knees), and the 0.5 MB direct-mapped case is")
+	fmt.Println("pathological (§3.2).")
+}

@@ -1,0 +1,408 @@
+// Package cache implements the simulated memory hierarchy of the paper's
+// Sandy Bridge prototype: write-back set-associative caches with bit-PLRU
+// replacement, hashed last-level-cache indexing, way-based partitioning
+// masks that restrict replacement only, and an inclusive LLC that
+// back-invalidates private caches on eviction.
+package cache
+
+import "fmt"
+
+// Replacement selects the victim-choice policy of a cache array.
+type Replacement int
+
+// Replacement policies. The platform uses bit-PLRU; TrueLRU and Random
+// exist for the ablation study on how replacement shapes the smooth
+// miss curves the paper observes (§3.2).
+const (
+	ReplacePLRU   Replacement = iota // bit-PLRU (default; matches the prototype)
+	ReplaceLRU                       // true least-recently-used
+	ReplaceRandom                    // uniform random among masked ways
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case ReplacePLRU:
+		return "plru"
+	case ReplaceLRU:
+		return "lru"
+	case ReplaceRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes a single cache array.
+type Config struct {
+	Name        string // for error messages and dumps
+	SizeBytes   int    // total capacity
+	Assoc       int    // ways per set
+	LineBytes   int    // line size (power of two)
+	HashIndex   bool   // hash the set index (models the randomized LLC index)
+	Replacement Replacement
+}
+
+// Stats counts events observed by one cache array. Demand and prefetch
+// traffic are accounted separately so prefetcher efficacy is measurable.
+type Stats struct {
+	Accesses     uint64 // demand lookups
+	Hits         uint64 // demand hits
+	Misses       uint64 // demand misses
+	Evictions    uint64 // valid lines displaced (demand + prefetch fills)
+	Writebacks   uint64 // dirty lines displaced
+	PrefetchIns  uint64 // lines inserted by prefetch
+	PrefetchHits uint64 // demand hits on lines inserted by prefetch
+	Invalidates  uint64 // lines removed by back-invalidation
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	LineAddr uint64
+	Dirty    bool
+	Valid    bool
+}
+
+// Result reports the outcome of a demand access or a fill.
+type Result struct {
+	Hit bool
+	// WasPrefetched reports a demand hit on a line a prefetcher brought
+	// in (its first demand use).
+	WasPrefetched bool
+	Evicted       Eviction // Valid=false when the fill used an empty way
+}
+
+type line struct {
+	addr       uint64 // full line address (addr >> lineShift); valid only if valid
+	valid      bool
+	dirty      bool
+	mru        bool   // bit-PLRU reference bit
+	stamp      uint64 // last-touch counter (true-LRU policy)
+	prefetched bool   // inserted by a prefetcher and not yet demand-hit
+}
+
+// Cache is one cache array. It is not safe for concurrent use; the
+// simulator is single-threaded by design (determinism).
+type Cache struct {
+	cfg       Config
+	numSets   int
+	setMask   uint64
+	lineShift uint
+	lines     []line // numSets * assoc, set-major
+	stats     Stats
+	clock     uint64 // touch counter for true LRU
+	rndState  uint64 // splitmix state for random replacement
+}
+
+// New builds a cache from the configuration. It panics on a geometry that
+// does not divide evenly (catching config typos early).
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+	}
+	if cfg.Assoc <= 0 || cfg.Assoc > 32 {
+		panic(fmt.Sprintf("cache %s: associativity %d out of range", cfg.Name, cfg.Assoc))
+	}
+	linesTotal := cfg.SizeBytes / cfg.LineBytes
+	if linesTotal*cfg.LineBytes != cfg.SizeBytes || linesTotal%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible into %d-byte lines × %d ways",
+			cfg.Name, cfg.SizeBytes, cfg.LineBytes, cfg.Assoc))
+	}
+	numSets := linesTotal / cfg.Assoc
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a power of two", cfg.Name, numSets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		numSets:   numSets,
+		setMask:   uint64(numSets - 1),
+		lineShift: shift,
+		lines:     make([]line, linesTotal),
+		rndState:  hashName(cfg.Name),
+	}
+}
+
+// hashName seeds the random-replacement stream deterministically.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h | 1
+}
+
+// nextRand is a private splitmix64 step for random replacement.
+func (c *Cache) nextRand() uint64 {
+	c.rndState += 0x9e3779b97f4a7c15
+	z := c.rndState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// LineShift returns log2(line size).
+func (c *Cache) LineShift() uint { return c.lineShift }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex maps a line address to a set. When HashIndex is set we use a
+// multiplicative hash, modeling the randomized LLC-indexing function the
+// paper credits with smoothing out working-set knees.
+func (c *Cache) setIndex(lineAddr uint64) int {
+	if c.cfg.HashIndex {
+		return int(((lineAddr * 0x9e3779b97f4a7c15) >> 21) & c.setMask)
+	}
+	return int(lineAddr & c.setMask)
+}
+
+func (c *Cache) set(idx int) []line {
+	base := idx * c.cfg.Assoc
+	return c.lines[base : base+c.cfg.Assoc]
+}
+
+// touch updates replacement state after a reference to way w.
+func (c *Cache) touch(set []line, w int) {
+	c.clock++
+	set[w].stamp = c.clock
+	set[w].mru = true
+	for i := range set {
+		if !set[i].mru {
+			return
+		}
+	}
+	// All reference bits set: clear everyone but the most recent toucher.
+	for i := range set {
+		set[i].mru = i == w
+	}
+}
+
+// lookup returns the way holding lineAddr, or -1.
+func (c *Cache) lookup(set []line, lineAddr uint64) int {
+	for w := range set {
+		if set[w].valid && set[w].addr == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks a fill victim within mask under the configured
+// replacement policy, always preferring an invalid masked way. It
+// panics on an empty mask (a policy bug).
+func (c *Cache) victim(set []line, mask WayMask) int {
+	if mask == 0 {
+		panic(fmt.Sprintf("cache %s: fill with empty way mask", c.cfg.Name))
+	}
+	first := -1
+	for w := range set {
+		if !mask.Has(w) {
+			continue
+		}
+		if first < 0 {
+			first = w
+		}
+		if !set[w].valid {
+			return w
+		}
+	}
+	if first < 0 {
+		panic(fmt.Sprintf("cache %s: mask %s selects no way of %d", c.cfg.Name, mask, len(set)))
+	}
+	switch c.cfg.Replacement {
+	case ReplaceLRU:
+		best := first
+		for w := range set {
+			if mask.Has(w) && set[w].stamp < set[best].stamp {
+				best = w
+			}
+		}
+		return best
+	case ReplaceRandom:
+		n := mask.Count()
+		pick := int(c.nextRand() % uint64(n))
+		for w := range set {
+			if mask.Has(w) {
+				if pick == 0 {
+					return w
+				}
+				pick--
+			}
+		}
+		return first
+	default: // bit-PLRU: first masked way with a clear reference bit.
+		for w := range set {
+			if mask.Has(w) && !set[w].mru {
+				return w
+			}
+		}
+		return first
+	}
+}
+
+// Access performs a demand lookup for lineAddr, allocating on miss using
+// the given way mask. write marks the line dirty on hit or fill
+// (write-back, write-allocate). The returned Result carries the displaced
+// line, if any, so the caller can cascade writebacks and inclusion
+// invalidations.
+func (c *Cache) Access(lineAddr uint64, write bool, mask WayMask) Result {
+	c.stats.Accesses++
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		c.stats.Hits++
+		wasPrefetched := set[w].prefetched
+		if wasPrefetched {
+			c.stats.PrefetchHits++
+			set[w].prefetched = false
+		}
+		if write {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true, WasPrefetched: wasPrefetched}
+	}
+	c.stats.Misses++
+	ev := c.fill(set, lineAddr, mask, write, false)
+	return Result{Hit: false, Evicted: ev}
+}
+
+// Lookup performs a demand lookup WITHOUT allocating on a miss: a hit
+// refreshes replacement state (and dirtiness for writes) exactly like
+// Access; a miss only counts. The hierarchy uses Lookup for the private
+// levels so that every allocation flows through Fill, whose returned
+// victim the caller must handle — an allocate-on-miss Access would
+// silently drop the victim's writeback.
+func (c *Cache) Lookup(lineAddr uint64, write bool) Result {
+	c.stats.Accesses++
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		c.stats.Hits++
+		wasPrefetched := set[w].prefetched
+		if wasPrefetched {
+			c.stats.PrefetchHits++
+			set[w].prefetched = false
+		}
+		if write {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true, WasPrefetched: wasPrefetched}
+	}
+	c.stats.Misses++
+	return Result{Hit: false}
+}
+
+// Probe reports whether lineAddr is present, without disturbing
+// replacement state or statistics.
+func (c *Cache) Probe(lineAddr uint64) bool {
+	set := c.set(c.setIndex(lineAddr))
+	return c.lookup(set, lineAddr) >= 0
+}
+
+// Fill inserts lineAddr (e.g. on behalf of a prefetcher or an upper-level
+// fill path) without counting a demand access. prefetch tags the line for
+// prefetch-hit accounting.
+func (c *Cache) Fill(lineAddr uint64, mask WayMask, dirty, prefetch bool) Result {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		// Already present (races with demand path); just refresh.
+		if dirty {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true}
+	}
+	ev := c.fill(set, lineAddr, mask, dirty, prefetch)
+	return Result{Hit: false, Evicted: ev}
+}
+
+func (c *Cache) fill(set []line, lineAddr uint64, mask WayMask, dirty, prefetch bool) Eviction {
+	w := c.victim(set, mask)
+	var ev Eviction
+	if set[w].valid {
+		ev = Eviction{LineAddr: set[w].addr, Dirty: set[w].dirty, Valid: true}
+		c.stats.Evictions++
+		if set[w].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[w] = line{addr: lineAddr, valid: true, dirty: dirty, prefetched: prefetch}
+	if prefetch {
+		c.stats.PrefetchIns++
+	}
+	c.touch(set, w)
+	return ev
+}
+
+// MarkDirty sets the dirty bit of lineAddr if present, returning whether
+// it was found. Used to sink writebacks from an upper level.
+func (c *Cache) MarkDirty(lineAddr uint64) bool {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		set[w].dirty = true
+		return true
+	}
+	return false
+}
+
+// Invalidate removes lineAddr if present, reporting presence and
+// dirtiness. Used for inclusive-LLC back-invalidation.
+func (c *Cache) Invalidate(lineAddr uint64) (found, dirty bool) {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		dirty = set[w].dirty
+		set[w] = line{}
+		c.stats.Invalidates++
+		return true, dirty
+	}
+	return false, false
+}
+
+// OccupancyByWay returns, for each way index, the number of valid lines
+// currently resident in that way across all sets. Experiments use this to
+// visualize partition occupancy.
+func (c *Cache) OccupancyByWay() []int {
+	occ := make([]int, c.cfg.Assoc)
+	for s := 0; s < c.numSets; s++ {
+		set := c.set(s)
+		for w := range set {
+			if set[w].valid {
+				occ[w]++
+			}
+		}
+	}
+	return occ
+}
+
+// ValidLines returns the total number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll invalidates every line (used between independent experiment
+// runs; the partitioning mechanism itself never flushes).
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}

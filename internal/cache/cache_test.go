@@ -1,0 +1,272 @@
+package cache
+
+import "testing"
+
+func smallCache(t *testing.T) *Cache {
+	t.Helper()
+	// 4 sets × 4 ways × 64 B lines.
+	return New(Config{Name: "test", SizeBytes: 4 * 4 * 64, Assoc: 4, LineBytes: 64})
+}
+
+func TestNewGeometry(t *testing.T) {
+	c := smallCache(t)
+	if c.NumSets() != 4 {
+		t.Fatalf("sets = %d, want 4", c.NumSets())
+	}
+	if c.LineShift() != 6 {
+		t.Fatalf("line shift = %d, want 6", c.LineShift())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	cases := []Config{
+		{Name: "badline", SizeBytes: 1024, Assoc: 4, LineBytes: 48},
+		{Name: "badassoc", SizeBytes: 1024, Assoc: 0, LineBytes: 64},
+		{Name: "badsets", SizeBytes: 3 * 64 * 4, Assoc: 4, LineBytes: 64}, // 3 sets
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	if r := c.Access(100, false, full); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(100, false, full); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteMakesDirtyAndWriteback(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	// Addresses mapping to set 0: line addresses ≡ 0 mod 4.
+	c.Access(0, true, full) // dirty
+	for i := uint64(1); i <= 4; i++ {
+		r := c.Access(i*4, false, full)
+		if r.Evicted.Valid && r.Evicted.LineAddr == 0 {
+			if !r.Evicted.Dirty {
+				t.Fatal("evicted dirty line not flagged dirty")
+			}
+			return
+		}
+	}
+	t.Fatal("line 0 was never evicted from a 4-way set after 4 conflicting fills")
+}
+
+func TestPLRUVictimPrefersInvalid(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	c.Access(0, false, full)
+	c.Access(4, false, full) // same set (sets=4, stride 4)
+	r := c.Access(8, false, full)
+	if r.Evicted.Valid {
+		t.Fatal("fill evicted a line while invalid ways remained")
+	}
+}
+
+func TestPLRUProtectsMostRecentlyUsed(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	// Fill set 0 with 4 lines.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*4, false, full)
+	}
+	// Touch line 0 repeatedly, then cause one eviction.
+	c.Access(0, false, full)
+	r := c.Access(16, false, full)
+	if !r.Evicted.Valid {
+		t.Fatal("expected an eviction from a full set")
+	}
+	if r.Evicted.LineAddr == 0 {
+		t.Fatal("bit-PLRU evicted the most recently touched line")
+	}
+	if !c.Probe(0) {
+		t.Fatal("MRU line was displaced")
+	}
+}
+
+func TestWayMaskRestrictsVictims(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	// Fill set 0 completely with owner lines.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*4, false, full)
+	}
+	// An intruder restricted to way 0 may only displace whatever sits in
+	// way 0, no matter how many fills it performs.
+	intruder := MaskFirstN(1)
+	evictions := map[uint64]bool{}
+	for i := uint64(10); i < 30; i++ {
+		r := c.Access(i*4, false, intruder)
+		if r.Evicted.Valid {
+			evictions[r.Evicted.LineAddr] = true
+		}
+	}
+	// Of the four original lines, at most one (the way-0 resident) may
+	// have been displaced.
+	lost := 0
+	for i := uint64(0); i < 4; i++ {
+		if !c.Probe(i * 4) {
+			lost++
+		}
+	}
+	if lost > 1 {
+		t.Fatalf("mask-restricted intruder displaced %d resident lines", lost)
+	}
+}
+
+func TestHitsIgnoreMask(t *testing.T) {
+	c := smallCache(t)
+	// Fill via way 3 only.
+	c.Access(0, false, MaskRange(3, 4))
+	// A requester with a disjoint mask still hits.
+	if r := c.Access(0, false, MaskFirstN(1)); !r.Hit {
+		t.Fatal("lookup should hit in any way regardless of mask")
+	}
+}
+
+func TestAccessEmptyMaskPanics(t *testing.T) {
+	c := smallCache(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fill with empty mask did not panic")
+		}
+	}()
+	c.Access(0, false, 0)
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	c.Access(0, true, full)
+	found, dirty := c.Invalidate(0)
+	if !found || !dirty {
+		t.Fatalf("Invalidate = (%v, %v), want (true, true)", found, dirty)
+	}
+	if c.Probe(0) {
+		t.Fatal("line survived invalidation")
+	}
+	if found, _ := c.Invalidate(0); found {
+		t.Fatal("double invalidation found the line")
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	c.Access(0, false, full)
+	if !c.MarkDirty(0) {
+		t.Fatal("MarkDirty missed a present line")
+	}
+	if c.MarkDirty(999) {
+		t.Fatal("MarkDirty hit an absent line")
+	}
+	if _, dirty := c.Invalidate(0); !dirty {
+		t.Fatal("MarkDirty did not stick")
+	}
+}
+
+func TestPrefetchAccounting(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	c.Fill(0, full, false, true)
+	st := c.Stats()
+	if st.PrefetchIns != 1 {
+		t.Fatalf("PrefetchIns = %d", st.PrefetchIns)
+	}
+	r := c.Access(0, false, full)
+	if !r.Hit || !r.WasPrefetched {
+		t.Fatalf("first demand use of prefetched line: %+v", r)
+	}
+	r = c.Access(0, false, full)
+	if r.WasPrefetched {
+		t.Fatal("second demand use still flagged prefetched")
+	}
+	if c.Stats().PrefetchHits != 1 {
+		t.Fatalf("PrefetchHits = %d", c.Stats().PrefetchHits)
+	}
+}
+
+func TestFillOnPresentLineRefreshes(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	c.Access(0, false, full)
+	r := c.Fill(0, full, true, false)
+	if !r.Hit {
+		t.Fatal("fill of resident line should report hit")
+	}
+	if _, dirty := c.Invalidate(0); !dirty {
+		t.Fatal("dirty fill on present line did not mark dirty")
+	}
+}
+
+func TestOccupancyAndFlush(t *testing.T) {
+	c := smallCache(t)
+	full := FullMask(4)
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i, false, full)
+	}
+	if got := c.ValidLines(); got != 8 {
+		t.Fatalf("ValidLines = %d, want 8", got)
+	}
+	occ := c.OccupancyByWay()
+	total := 0
+	for _, n := range occ {
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("occupancy sums to %d", total)
+	}
+	c.FlushAll()
+	if c.ValidLines() != 0 {
+		t.Fatal("FlushAll left valid lines")
+	}
+}
+
+func TestHashIndexSpreadsStrides(t *testing.T) {
+	// With plain indexing, a stride of numSets maps everything to one
+	// set; hashed indexing should spread such a stride.
+	plain := New(Config{Name: "p", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64})
+	hashed := New(Config{Name: "h", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64, HashIndex: true})
+	sets := plain.NumSets()
+	seenPlain := map[int]bool{}
+	seenHashed := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		la := uint64(i * sets) // pathological stride
+		seenPlain[plain.setIndex(la)] = true
+		seenHashed[hashed.setIndex(la)] = true
+	}
+	if len(seenPlain) != 1 {
+		t.Fatalf("plain index spread a numSets stride over %d sets", len(seenPlain))
+	}
+	if len(seenHashed) < sets/4 {
+		t.Fatalf("hashed index only reached %d of %d sets", len(seenHashed), sets)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := smallCache(t)
+	c.Access(0, false, FullMask(4))
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Probe(0) {
+		t.Fatal("ResetStats disturbed contents")
+	}
+}

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func nonInclusiveHierarchy() *Hierarchy {
+	cfg := HierarchyConfig{
+		Cores:           2,
+		LineBytes:       64,
+		L1I:             Config{Name: "L1I", SizeBytes: 1 << 10, Assoc: 2, LineBytes: 64},
+		L1D:             Config{Name: "L1D", SizeBytes: 1 << 10, Assoc: 2, LineBytes: 64},
+		L2:              Config{Name: "L2", SizeBytes: 2 << 10, Assoc: 4, LineBytes: 64},
+		LLC:             Config{Name: "LLC", SizeBytes: 8 << 10, Assoc: 4, LineBytes: 64, HashIndex: true},
+		NonInclusiveLLC: true,
+	}
+	return NewHierarchy(cfg)
+}
+
+func TestNonInclusiveSkipsBackInvalidation(t *testing.T) {
+	h := nonInclusiveHierarchy()
+	h.Access(0, 42, false, false)
+	r := rng.New(5)
+	for i := 0; i < 5000 && h.LLC().Probe(42); i++ {
+		h.Access(1, 1000+r.Uint64n(4096), false, false)
+	}
+	if h.LLC().Probe(42) {
+		t.Skip("victim never displaced from the LLC")
+	}
+	// Private copies must survive the LLC eviction.
+	if !h.L1D(0).Probe(42) && !h.L2(0).Probe(42) {
+		t.Fatal("non-inclusive LLC still back-invalidated private copies")
+	}
+	if h.CoreStats(0).BackInvalidations != 0 {
+		t.Fatal("back-invalidations counted in non-inclusive mode")
+	}
+}
+
+func TestNonInclusiveCheckInclusionIsNoop(t *testing.T) {
+	h := nonInclusiveHierarchy()
+	r := rng.New(6)
+	for i := 0; i < 10000; i++ {
+		h.Access(r.Intn(2), r.Uint64n(4096), r.Bool(0.3), false)
+	}
+	if err := h.CheckInclusion(); err != nil {
+		t.Fatalf("CheckInclusion must be a no-op when non-inclusive: %v", err)
+	}
+}
+
+func TestNonInclusiveDirtyLLCVictimStillWrittenBack(t *testing.T) {
+	h := nonInclusiveHierarchy()
+	// Dirty a line all the way down to the LLC: write, then force the
+	// L1/L2 copies out so the writeback lands in the LLC.
+	h.Access(0, 42, true, false) // the only dirty line in the run
+	r := rng.New(8)
+	for i := 0; i < 3000; i++ {
+		h.Access(0, 5000+r.Uint64n(64), false, false) // churn core 0's L1/L2
+	}
+	for i := 0; i < 8000 && h.LLC().Probe(42); i++ {
+		h.Access(1, 100000+r.Uint64n(8192), false, false)
+	}
+	// All other traffic is clean reads, so the only possible DRAM write
+	// is line 42's writeback. The dirty data must either have reached
+	// DRAM or still be resident somewhere on chip.
+	writes := h.CoreStats(0).DRAMWriteBytes + h.CoreStats(1).DRAMWriteBytes
+	resident := h.L1D(0).Probe(42) || h.L2(0).Probe(42) || h.LLC().Probe(42)
+	if writes == 0 && !resident {
+		t.Fatal("dirty line vanished without reaching DRAM")
+	}
+}

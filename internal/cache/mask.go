@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// WayMask selects a subset of the ways of a set-associative cache. Bit i
+// set means way i may be used as a replacement victim by the holder of
+// the mask. Masks restrict *replacement only*: lookups hit in any way,
+// exactly like the way-partitioning prototype the paper evaluates.
+type WayMask uint32
+
+// FullMask returns a mask covering ways [0, assoc).
+func FullMask(assoc int) WayMask {
+	if assoc <= 0 || assoc > 32 {
+		panic(fmt.Sprintf("cache: invalid associativity %d", assoc))
+	}
+	return WayMask(1<<uint(assoc)) - 1
+}
+
+// MaskRange returns a mask covering ways [lo, hi). It panics if the range
+// is empty or out of [0, 32].
+func MaskRange(lo, hi int) WayMask {
+	if lo < 0 || hi > 32 || lo >= hi {
+		panic(fmt.Sprintf("cache: invalid way range [%d,%d)", lo, hi))
+	}
+	return (WayMask(1<<uint(hi)) - 1) &^ (WayMask(1<<uint(lo)) - 1)
+}
+
+// MaskFirstN returns a mask covering ways [0, n).
+func MaskFirstN(n int) WayMask { return MaskRange(0, n) }
+
+// Count returns the number of ways selected by the mask.
+func (m WayMask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Has reports whether way w is selected.
+func (m WayMask) Has(w int) bool { return m&(1<<uint(w)) != 0 }
+
+// Overlaps reports whether the two masks share any way.
+func (m WayMask) Overlaps(o WayMask) bool { return m&o != 0 }
+
+// String renders the mask as a bit string, way 0 rightmost.
+func (m WayMask) String() string {
+	var sb strings.Builder
+	for w := 31; w >= 0; w-- {
+		if m.Has(w) {
+			sb.WriteByte('1')
+		} else if sb.Len() > 0 {
+			sb.WriteByte('0')
+		}
+	}
+	if sb.Len() == 0 {
+		return "0"
+	}
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	if m := FullMask(12); m.Count() != 12 {
+		t.Fatalf("FullMask(12).Count() = %d", m.Count())
+	}
+	if m := FullMask(1); m != 1 {
+		t.Fatalf("FullMask(1) = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FullMask(0) did not panic")
+		}
+	}()
+	FullMask(0)
+}
+
+func TestMaskRange(t *testing.T) {
+	m := MaskRange(4, 8)
+	if m.Count() != 4 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	for w := 0; w < 12; w++ {
+		want := w >= 4 && w < 8
+		if m.Has(w) != want {
+			t.Fatalf("Has(%d) = %v", w, m.Has(w))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty range did not panic")
+		}
+	}()
+	MaskRange(5, 5)
+}
+
+func TestMaskOverlaps(t *testing.T) {
+	a := MaskFirstN(6)
+	b := MaskRange(6, 12)
+	if a.Overlaps(b) {
+		t.Fatal("disjoint masks report overlap")
+	}
+	if !a.Overlaps(MaskRange(5, 7)) {
+		t.Fatal("overlapping masks report disjoint")
+	}
+}
+
+func TestMaskPartitionProperty(t *testing.T) {
+	// For any split point, the low and high masks are disjoint and
+	// cover the full mask exactly — the invariant the biased policy
+	// relies on.
+	if err := quick.Check(func(raw uint8) bool {
+		assoc := 12
+		w := int(raw)%(assoc-1) + 1 // 1..11
+		lo := MaskFirstN(w)
+		hi := MaskRange(w, assoc)
+		return !lo.Overlaps(hi) &&
+			lo.Count()+hi.Count() == assoc &&
+			(lo|hi) == FullMask(assoc)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	if s := MaskFirstN(2).String(); s != "11" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := MaskRange(2, 3).String(); s != "100" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := WayMask(0).String(); s != "0" {
+		t.Fatalf("zero mask String = %q", s)
+	}
+}

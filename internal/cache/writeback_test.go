@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Regression test for a dropped-writeback bug: the demand path once
+// used allocate-on-miss Access for L1/L2, whose evicted dirty victim
+// was silently discarded. Dirty data must always either stay resident
+// or generate DRAM write traffic.
+func TestNoDirtyDataLost(t *testing.T) {
+	h := testHierarchy()
+	r := rng.New(99)
+	// Write a small set of lines, then churn with clean reads until the
+	// dirty lines have been displaced through every level.
+	dirty := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, la := range dirty {
+		h.Access(0, la, true, false)
+	}
+	for i := 0; i < 30000; i++ {
+		h.Access(0, 1000+r.Uint64n(4096), false, false)
+	}
+	var writes uint64
+	for c := 0; c < 2; c++ {
+		writes += h.CoreStats(c).DRAMWriteBytes
+	}
+	resident := 0
+	for _, la := range dirty {
+		if h.L1D(0).Probe(la) || h.L2(0).Probe(la) || h.llc.Probe(la) {
+			resident++
+		}
+	}
+	if writes == 0 && resident < len(dirty) {
+		t.Fatalf("dirty lines lost: %d resident, %d DRAM write bytes", resident, writes)
+	}
+	// With 30k displacing accesses, at least some dirty data must have
+	// been forced all the way out.
+	if writes == 0 {
+		t.Fatal("no writeback traffic after heavy displacement of dirty lines")
+	}
+}
+
+// The L1 demand-hit path must also preserve dirtiness across the
+// L1→L2 writeback cascade when the dirty line is displaced by a fill.
+func TestL1VictimWritebackReachesL2(t *testing.T) {
+	h := testHierarchy()
+	h.Access(0, 100, true, false) // dirty in L1 (1KB, 2-way, 8 sets)
+	// Displace line 100 from L1 with same-set fills (stride = numSets).
+	sets := uint64(h.L1D(0).NumSets())
+	for i := uint64(1); i <= 4; i++ {
+		h.Access(0, 100+i*sets, false, false)
+	}
+	if h.L1D(0).Probe(100) {
+		t.Skip("victim not displaced (associativity too generous)")
+	}
+	// The dirty bit must now live in L2 (or deeper): invalidating the
+	// line from L2 should report dirty, or the LLC holds it dirty.
+	if found, d := h.L2(0).Invalidate(100); found {
+		if !d {
+			t.Fatal("L1 dirty victim arrived clean in L2")
+		}
+		return
+	}
+	if found, d := h.llc.Invalidate(100); found && !d {
+		t.Fatal("L1 dirty victim arrived clean in LLC")
+	}
+}
+
+// Demand accesses that miss at L1/L2 must not double-allocate: the
+// eviction counters should reflect single fills per level.
+func TestNoDoubleAllocation(t *testing.T) {
+	h := testHierarchy()
+	// Touch N distinct lines once; each should fill each level once.
+	const n = 8
+	for i := uint64(0); i < n; i++ {
+		h.Access(0, i, false, false)
+	}
+	l1 := h.L1D(0).Stats()
+	if l1.Accesses != n || l1.Misses != n {
+		t.Fatalf("L1 stats after %d cold accesses: %+v", n, l1)
+	}
+	if got := h.L1D(0).ValidLines(); got != n {
+		t.Fatalf("%d lines resident in L1, want %d", got, n)
+	}
+	if got := h.L2(0).ValidLines(); got != n {
+		t.Fatalf("%d lines resident in L2, want %d", got, n)
+	}
+}

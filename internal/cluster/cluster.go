@@ -1,0 +1,214 @@
+// Package cluster implements hierarchical agglomerative clustering with
+// the single-linkage criterion, the method the paper uses (§3.5, via
+// scipy-cluster) to reduce 45 applications to six representative
+// behaviors. Items are feature vectors; features are normalized to
+// [0,1] per dimension; clusters are formed by cutting the dendrogram at
+// a linkage distance of 0.9.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Item is one object to cluster.
+type Item struct {
+	Name string
+	Vec  []float64
+}
+
+// Merge records one agglomeration step in scipy linkage convention:
+// leaves are clusters 0..n-1; step k creates cluster n+k by merging A
+// and B at the given distance.
+type Merge struct {
+	A, B int
+	Dist float64
+	Size int // leaves under the new cluster
+}
+
+// NormalizeFeatures rescales each feature column of the items to [0,1]
+// in place (the paper's preprocessing). Items must have equal-length
+// vectors; it panics otherwise.
+func NormalizeFeatures(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	dims := len(items[0].Vec)
+	for _, it := range items {
+		if len(it.Vec) != dims {
+			panic(fmt.Sprintf("cluster: item %s has %d features, want %d",
+				it.Name, len(it.Vec), dims))
+		}
+	}
+	col := make([]float64, len(items))
+	for d := 0; d < dims; d++ {
+		for i, it := range items {
+			col[i] = it.Vec[d]
+		}
+		stats.Normalize01(col)
+		for i := range items {
+			items[i].Vec[d] = col[i]
+		}
+	}
+}
+
+// SingleLinkage computes the full agglomeration sequence (n-1 merges)
+// using Euclidean distance and the single-linkage (minimum pairwise
+// distance) criterion.
+func SingleLinkage(items []Item) []Merge {
+	n := len(items)
+	if n < 2 {
+		return nil
+	}
+	// dist between current clusters; active tracks live cluster ids.
+	// Cluster ids: 0..n-1 leaves, then n..2n-2 merged.
+	type clusterState struct {
+		leaves []int
+		active bool
+	}
+	states := make([]clusterState, n, 2*n-1)
+	for i := range states {
+		states[i] = clusterState{leaves: []int{i}, active: true}
+	}
+	// Pairwise leaf distances.
+	leafDist := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		leafDist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				leafDist[i][j] = stats.Euclidean(items[i].Vec, items[j].Vec)
+			}
+		}
+	}
+	clusterDist := func(a, b clusterState) float64 {
+		best := math.Inf(1)
+		for _, la := range a.leaves {
+			for _, lb := range b.leaves {
+				if d := leafDist[la][lb]; d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+
+	var merges []Merge
+	for len(merges) < n-1 {
+		bestA, bestB := -1, -1
+		best := math.Inf(1)
+		for a := 0; a < len(states); a++ {
+			if !states[a].active {
+				continue
+			}
+			for b := a + 1; b < len(states); b++ {
+				if !states[b].active {
+					continue
+				}
+				if d := clusterDist(states[a], states[b]); d < best {
+					best, bestA, bestB = d, a, b
+				}
+			}
+		}
+		merged := clusterState{
+			leaves: append(append([]int{}, states[bestA].leaves...), states[bestB].leaves...),
+			active: true,
+		}
+		states[bestA].active = false
+		states[bestB].active = false
+		states = append(states, merged)
+		merges = append(merges, Merge{A: bestA, B: bestB, Dist: best, Size: len(merged.leaves)})
+	}
+	return merges
+}
+
+// CutAtDistance returns cluster memberships (as sorted leaf-index
+// groups) after applying every merge with distance < cut. Groups are
+// ordered by their smallest member.
+func CutAtDistance(merges []Merge, n int, cut float64) [][]int {
+	parent := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for k, m := range merges {
+		if m.Dist >= cut {
+			continue
+		}
+		id := n + k
+		parent[find(m.A)] = id
+		parent[find(m.B)] = id
+	}
+	groups := map[int][]int{}
+	for leaf := 0; leaf < n; leaf++ {
+		root := find(leaf)
+		groups[root] = append(groups[root], leaf)
+	}
+	var out [][]int
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Representative returns the index (into items) of the member of group
+// closest to the group centroid — the paper's bold Table 3 entries.
+func Representative(items []Item, group []int) int {
+	if len(group) == 1 {
+		return group[0]
+	}
+	dims := len(items[group[0]].Vec)
+	centroid := make([]float64, dims)
+	for _, g := range group {
+		for d, v := range items[g].Vec {
+			centroid[d] += v
+		}
+	}
+	for d := range centroid {
+		centroid[d] /= float64(len(group))
+	}
+	best, bestD := group[0], math.Inf(1)
+	for _, g := range group {
+		if d := stats.Euclidean(items[g].Vec, centroid); d < bestD {
+			best, bestD = g, d
+		}
+	}
+	return best
+}
+
+// Dendrogram renders the merge sequence as indented ASCII text, leaves
+// labeled with item names — a textual stand-in for Figure 5.
+func Dendrogram(items []Item, merges []Merge) string {
+	n := len(items)
+	var render func(id int, depth int, sb *strings.Builder)
+	render = func(id, depth int, sb *strings.Builder) {
+		indent := strings.Repeat("  ", depth)
+		if id < n {
+			fmt.Fprintf(sb, "%s- %s\n", indent, items[id].Name)
+			return
+		}
+		m := merges[id-n]
+		fmt.Fprintf(sb, "%s+ d=%.3f\n", indent, m.Dist)
+		render(m.A, depth+1, sb)
+		render(m.B, depth+1, sb)
+	}
+	var sb strings.Builder
+	if len(merges) > 0 {
+		render(n+len(merges)-1, 0, &sb)
+	} else if n == 1 {
+		fmt.Fprintf(&sb, "- %s\n", items[0].Name)
+	}
+	return sb.String()
+}

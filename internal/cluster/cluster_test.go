@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func twoBlobs() []Item {
+	// Two tight groups far apart.
+	return []Item{
+		{Name: "a1", Vec: []float64{0, 0}},
+		{Name: "a2", Vec: []float64{0.1, 0}},
+		{Name: "a3", Vec: []float64{0, 0.1}},
+		{Name: "b1", Vec: []float64{10, 10}},
+		{Name: "b2", Vec: []float64{10.1, 10}},
+	}
+}
+
+func TestSingleLinkageMergeCount(t *testing.T) {
+	items := twoBlobs()
+	merges := SingleLinkage(items)
+	if len(merges) != len(items)-1 {
+		t.Fatalf("%d merges for %d items", len(merges), len(items))
+	}
+}
+
+func TestSingleLinkageDistancesNondecreasing(t *testing.T) {
+	// A defining property of single linkage with a metric distance.
+	merges := SingleLinkage(twoBlobs())
+	for i := 1; i < len(merges); i++ {
+		if merges[i].Dist < merges[i-1].Dist {
+			t.Fatalf("merge distances decreased: %v after %v",
+				merges[i].Dist, merges[i-1].Dist)
+		}
+	}
+}
+
+func TestCutSeparatesBlobs(t *testing.T) {
+	items := twoBlobs()
+	merges := SingleLinkage(items)
+	groups := CutAtDistance(merges, len(items), 5)
+	if len(groups) != 2 {
+		t.Fatalf("cut found %d groups, want 2: %v", len(groups), groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Fatalf("group sizes: %v", groups)
+	}
+	// Low cut: everything separate. High cut: one group.
+	if got := CutAtDistance(merges, len(items), 1e-9); len(got) != len(items) {
+		t.Fatalf("zero cut produced %d groups", len(got))
+	}
+	if got := CutAtDistance(merges, len(items), 1e9); len(got) != 1 {
+		t.Fatalf("infinite cut produced %d groups", len(got))
+	}
+}
+
+func TestRepresentativeNearCentroid(t *testing.T) {
+	items := []Item{
+		{Name: "left", Vec: []float64{0}},
+		{Name: "mid", Vec: []float64{1}},
+		{Name: "right", Vec: []float64{2}},
+	}
+	if got := Representative(items, []int{0, 1, 2}); got != 1 {
+		t.Fatalf("representative = %d, want the middle item", got)
+	}
+	if got := Representative(items, []int{2}); got != 2 {
+		t.Fatal("singleton group representative")
+	}
+}
+
+func TestNormalizeFeatures(t *testing.T) {
+	items := []Item{
+		{Name: "a", Vec: []float64{0, 100}},
+		{Name: "b", Vec: []float64{10, 300}},
+	}
+	NormalizeFeatures(items)
+	if items[0].Vec[0] != 0 || items[1].Vec[0] != 1 {
+		t.Fatalf("col 0: %v %v", items[0].Vec[0], items[1].Vec[0])
+	}
+	if items[0].Vec[1] != 0 || items[1].Vec[1] != 1 {
+		t.Fatalf("col 1: %v %v", items[0].Vec[1], items[1].Vec[1])
+	}
+}
+
+func TestNormalizeFeaturesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched vectors accepted")
+		}
+	}()
+	NormalizeFeatures([]Item{
+		{Name: "a", Vec: []float64{1}},
+		{Name: "b", Vec: []float64{1, 2}},
+	})
+}
+
+func TestDendrogramMentionsAllLeaves(t *testing.T) {
+	items := twoBlobs()
+	d := Dendrogram(items, SingleLinkage(items))
+	for _, it := range items {
+		if !strings.Contains(d, it.Name) {
+			t.Fatalf("dendrogram missing leaf %s:\n%s", it.Name, d)
+		}
+	}
+	if !strings.Contains(d, "d=") {
+		t.Fatal("dendrogram missing distances")
+	}
+}
+
+func TestClusterQuickProperties(t *testing.T) {
+	r := rng.NewNamed("cluster-test")
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw)%12 + 2
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Name: string(rune('a' + i)),
+				Vec:  []float64{r.Float64(), r.Float64(), r.Float64()},
+			}
+		}
+		merges := SingleLinkage(items)
+		if len(merges) != n-1 {
+			return false
+		}
+		// Every cut is a partition: groups disjoint, covering all leaves.
+		for _, cut := range []float64{0.1, 0.5, 1.0, 2.0} {
+			groups := CutAtDistance(merges, n, cut)
+			seen := map[int]bool{}
+			for _, g := range groups {
+				for _, leaf := range g {
+					if seen[leaf] {
+						return false
+					}
+					seen[leaf] = true
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleItemEdgeCases(t *testing.T) {
+	if m := SingleLinkage([]Item{{Name: "solo", Vec: []float64{1}}}); m != nil {
+		t.Fatal("single item should produce no merges")
+	}
+	d := Dendrogram([]Item{{Name: "solo", Vec: []float64{1}}}, nil)
+	if !strings.Contains(d, "solo") {
+		t.Fatal("singleton dendrogram")
+	}
+}

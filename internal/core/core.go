@@ -1,0 +1,192 @@
+// Package core is the library's high-level API: it wraps the simulated
+// way-partitionable platform, the workload catalog, and the paper's
+// partitioning policies behind a small surface suitable for building
+// consolidation studies.
+//
+// The paper's central question — can a latency-sensitive foreground
+// application share a machine with background work without losing
+// responsiveness? — maps onto three calls:
+//
+//	sys := core.NewSystem(core.Options{})
+//	alone, _ := sys.RunAlone("429.mcf", 4, core.AllWays)
+//	together, _ := sys.Consolidate("429.mcf", "ferret", core.PolicyDynamic)
+//	fmt.Println(together.FgSlowdown, together.BgThroughput)
+//
+// Everything deeper (cache geometry, prefetchers, energy coefficients,
+// experiment drivers for each paper figure) lives in the sibling
+// internal packages.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// AllWays requests the full 12-way LLC.
+const AllWays = 0
+
+// Policy selects how the LLC is managed for a consolidated pair.
+type Policy string
+
+// The four §5-§6 policies.
+const (
+	PolicyShared  Policy = "shared"
+	PolicyFair    Policy = "fair"
+	PolicyBiased  Policy = "biased"
+	PolicyDynamic Policy = "dynamic"
+)
+
+// Policies lists all policies in presentation order.
+func Policies() []Policy {
+	return []Policy{PolicyShared, PolicyFair, PolicyBiased, PolicyDynamic}
+}
+
+// Options configure a System.
+type Options struct {
+	// Scale multiplies the catalog's nominal instruction counts
+	// (0 = sched.DefaultScale). Larger values cost proportionally more
+	// simulation time and give cleaner steady-state numbers.
+	Scale float64
+}
+
+// System is a simulated platform plus a memoized run cache. It is safe
+// for use from a single goroutine.
+type System struct {
+	r *sched.Runner
+}
+
+// NewSystem builds a system with the paper's platform: 4-core/8-thread
+// Sandy Bridge client, 6 MB 12-way inclusive LLC with way partitioning,
+// four hardware prefetchers, ring interconnect, dual-channel DDR3.
+func NewSystem(opt Options) *System {
+	return &System{r: sched.New(sched.Options{Scale: opt.Scale})}
+}
+
+// Runner exposes the underlying scheduler for advanced scenarios
+// (experiment drivers, custom placements).
+func (s *System) Runner() *sched.Runner { return s.r }
+
+// Workloads lists the 45 applications of the catalog in suite order.
+func Workloads() []string { return workload.Names() }
+
+// Representatives lists the six Table 3 cluster representatives.
+func Representatives() []string { return workload.RepresentativeNames() }
+
+// RunReport summarizes a standalone run.
+type RunReport struct {
+	App          string
+	Threads      int
+	Ways         int
+	Seconds      float64
+	IPC          float64
+	LLCMPKI      float64
+	LLCAPKI      float64
+	SocketJoules float64
+	WallJoules   float64
+}
+
+// RunAlone executes one application alone on the machine with the given
+// software thread count and LLC way allocation (AllWays = no
+// restriction). Threads beyond the application's parallelism are capped.
+func (s *System) RunAlone(app string, threads, ways int) (RunReport, error) {
+	p, err := workload.ByName(app)
+	if err != nil {
+		return RunReport{}, err
+	}
+	if ways < 0 || ways > 12 {
+		return RunReport{}, fmt.Errorf("core: ways %d out of [0,12]", ways)
+	}
+	res := s.r.RunSingle(sched.SingleSpec{App: p, Threads: threads, Ways: ways})
+	j := res.JobByName(p.Name)
+	return RunReport{
+		App: p.Name, Threads: j.Threads, Ways: ways,
+		Seconds: j.Seconds, IPC: j.IPC,
+		LLCMPKI: j.LLCMPKI, LLCAPKI: j.LLCAPKI,
+		SocketJoules: res.Energy.SocketJoules,
+		WallJoules:   res.Energy.WallJoules,
+	}, nil
+}
+
+// ConsolidationReport summarizes a foreground/background co-schedule.
+type ConsolidationReport struct {
+	Fg, Bg string
+	Policy Policy
+
+	// FgWays/BgWays are the static split used (0/0 for shared; for the
+	// dynamic policy they are the controller's final allocation).
+	FgWays, BgWays int
+
+	// FgSeconds is the foreground completion time; FgSlowdown is
+	// relative to the foreground alone on two cores with the full LLC.
+	FgSeconds  float64
+	FgSlowdown float64
+
+	// BgThroughput counts background iterations completed during the
+	// foreground run.
+	BgThroughput float64
+
+	SocketJoules float64
+	WallJoules   float64
+
+	// Reallocations counts dynamic mask changes (dynamic policy only).
+	Reallocations int
+}
+
+// Consolidate co-schedules fg (cores 0-1, 4 hyperthreads) with a
+// continuously-running bg (cores 2-3) under the given policy. The
+// biased policy performs the paper's exhaustive search; the dynamic
+// policy attaches the §6 controller.
+func (s *System) Consolidate(fg, bg string, policy Policy) (ConsolidationReport, error) {
+	fp, err := workload.ByName(fg)
+	if err != nil {
+		return ConsolidationReport{}, err
+	}
+	bp, err := workload.ByName(bg)
+	if err != nil {
+		return ConsolidationReport{}, err
+	}
+	alone := s.r.AloneHalf(fp).JobByName(fp.Name).Seconds
+
+	rep := ConsolidationReport{Fg: fp.Name, Bg: bp.Name, Policy: policy}
+	var res *machine.Result
+	switch policy {
+	case PolicyShared:
+		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp, Mode: sched.BackgroundLoop})
+	case PolicyFair:
+		rep.FgWays, rep.BgWays = 6, 6
+		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp, FgWays: 6, BgWays: 6,
+			Mode: sched.BackgroundLoop})
+	case PolicyBiased:
+		ch := partition.BestBiased(s.r, fp, bp)
+		rep.FgWays, rep.BgWays = ch.FgWays, ch.BgWays
+		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp,
+			FgWays: ch.FgWays, BgWays: ch.BgWays, Mode: sched.BackgroundLoop})
+	case PolicyDynamic:
+		var ctl *partition.Controller
+		res = s.r.RunPair(sched.PairSpec{
+			Fg: fp, Bg: bp, Mode: sched.BackgroundLoop,
+			Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
+				cfg := partition.DefaultControllerConfig()
+				cfg.IntervalSeconds = fp.Instructions * s.r.Scale() * 1.5 / 3.4e9 / 500
+				ctl = partition.Attach(m, fgJob, bgJob, cfg)
+			},
+		})
+		rep.FgWays = ctl.FgWays()
+		rep.BgWays = 12 - ctl.FgWays()
+		rep.Reallocations = ctl.Reallocations()
+	default:
+		return ConsolidationReport{}, fmt.Errorf("core: unknown policy %q", policy)
+	}
+
+	fgJ := res.JobByName(fp.Name)
+	rep.FgSeconds = fgJ.Seconds
+	rep.FgSlowdown = fgJ.Seconds / alone
+	rep.BgThroughput = res.JobByName(bp.Name).Iterations
+	rep.SocketJoules = res.Energy.SocketJoules
+	rep.WallJoules = res.Energy.WallJoules
+	return rep, nil
+}

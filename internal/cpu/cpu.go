@@ -1,0 +1,82 @@
+// Package cpu provides the core timing model: a quad-issue out-of-order
+// core with two SMT hardware threads, following the paper's platform
+// (§2.1). Timing is interval-based: an epoch of committed instructions
+// costs a base CPI component (inflated when the sibling hyperthread is
+// active) plus memory stall cycles discounted by the workload's
+// memory-level parallelism.
+package cpu
+
+// Timing holds the platform timing parameters.
+type Timing struct {
+	FreqHz float64 // core clock
+
+	// BaseCPI is the no-stall cycles-per-instruction of one hardware
+	// thread running alone on a core.
+	BaseCPI float64
+
+	// SMTPenalty multiplies per-thread base CPI when both hyperthreads
+	// of a core are active. Two active threads then deliver
+	// 2/SMTPenalty times the single-thread throughput (≈1.4x on SNB).
+	SMTPenalty float64
+
+	// L2HitCycles and LLC/DRAM latencies are the *additional* cycles an
+	// access pays beyond the L1 (whose latency is folded into BaseCPI).
+	L2HitCycles float64
+}
+
+// DefaultTiming returns parameters for the 3.4 GHz Sandy Bridge client
+// part.
+func DefaultTiming() Timing {
+	return Timing{
+		FreqHz:      3.4e9,
+		BaseCPI:     0.55,
+		SMTPenalty:  1.42,
+		L2HitCycles: 8,
+	}
+}
+
+// EpochCost describes one epoch's memory behavior, to be priced by Cycles.
+type EpochCost struct {
+	Instructions float64
+	L2Hits       float64 // demand accesses satisfied in L2
+	LLCHits      float64 // demand accesses satisfied in LLC
+	MemAccesses  float64 // demand accesses satisfied in DRAM
+	// PrefetchedHits counts demand hits on prefetched lines (their first
+	// use). Each is charged LateFrac×MemLatency: a prefetch in flight
+	// hides most — but not all — of the memory latency, and hides less
+	// as the memory system saturates.
+	PrefetchedHits float64
+	LateFrac       float64 // fraction of MemLatency a prefetched hit pays
+	LLCLatency     float64 // effective LLC hit latency (ring-inflated)
+	MemLatency     float64 // effective DRAM latency (contention-inflated)
+	MLP            float64 // workload memory-level parallelism (>= 1)
+	SMTActive      bool    // sibling hyperthread busy during this epoch
+	CPIScale       float64 // workload base-CPI multiplier (1.0 default)
+}
+
+// Cycles prices an epoch under the timing model.
+func (t Timing) Cycles(c EpochCost) float64 {
+	mlp := c.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	cpi := t.BaseCPI
+	if c.CPIScale > 0 {
+		cpi *= c.CPIScale
+	}
+	if c.SMTActive {
+		cpi *= t.SMTPenalty
+	}
+	compute := c.Instructions * cpi
+	stall := (c.L2Hits*t.L2HitCycles +
+		c.LLCHits*c.LLCLatency +
+		c.MemAccesses*c.MemLatency +
+		c.PrefetchedHits*c.LateFrac*c.MemLatency) / mlp
+	return compute + stall
+}
+
+// Seconds converts cycles to wall-clock seconds.
+func (t Timing) Seconds(cycles float64) float64 { return cycles / t.FreqHz }
+
+// Cycles64 converts seconds to cycles.
+func (t Timing) CyclesFromSeconds(s float64) float64 { return s * t.FreqHz }

@@ -1,0 +1,105 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeOnlyEpoch(t *testing.T) {
+	tm := DefaultTiming()
+	c := EpochCost{Instructions: 1000, MLP: 1, CPIScale: 1}
+	if got, want := tm.Cycles(c), 1000*tm.BaseCPI; got != want {
+		t.Fatalf("compute-only cycles = %v, want %v", got, want)
+	}
+}
+
+func TestSMTPenaltyApplied(t *testing.T) {
+	tm := DefaultTiming()
+	solo := tm.Cycles(EpochCost{Instructions: 1000, MLP: 1, CPIScale: 1})
+	smt := tm.Cycles(EpochCost{Instructions: 1000, MLP: 1, CPIScale: 1, SMTActive: true})
+	if smt <= solo {
+		t.Fatal("SMT-active epoch not slower")
+	}
+	ratio := smt / solo
+	if ratio < tm.SMTPenalty-1e-9 || ratio > tm.SMTPenalty+1e-9 {
+		t.Fatalf("SMT ratio = %v, want %v", ratio, tm.SMTPenalty)
+	}
+	// Two SMT threads together must still beat one thread alone:
+	// 2/SMTPenalty > 1.
+	if 2/tm.SMTPenalty <= 1 {
+		t.Fatal("SMT penalty makes a second hyperthread useless")
+	}
+}
+
+func TestMLPDiscountsStalls(t *testing.T) {
+	tm := DefaultTiming()
+	base := EpochCost{Instructions: 1000, MemAccesses: 50, MemLatency: 200, CPIScale: 1}
+	lowMLP := base
+	lowMLP.MLP = 1
+	highMLP := base
+	highMLP.MLP = 5
+	lo := tm.Cycles(lowMLP)
+	hi := tm.Cycles(highMLP)
+	if hi >= lo {
+		t.Fatal("higher MLP did not reduce stall cycles")
+	}
+	// The stall component should shrink by exactly 5x.
+	compute := 1000 * tm.BaseCPI
+	if got, want := (lo-compute)/(hi-compute), 5.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("MLP stall ratio = %v", got)
+	}
+}
+
+func TestLatePrefetchCharged(t *testing.T) {
+	tm := DefaultTiming()
+	none := tm.Cycles(EpochCost{Instructions: 1000, MLP: 1, CPIScale: 1})
+	late := tm.Cycles(EpochCost{
+		Instructions: 1000, MLP: 1, CPIScale: 1,
+		PrefetchedHits: 10, LateFrac: 0.5, MemLatency: 200,
+	})
+	if got, want := late-none, 10*0.5*200.0; got != want {
+		t.Fatalf("late-prefetch charge = %v, want %v", got, want)
+	}
+}
+
+func TestMLPFloor(t *testing.T) {
+	tm := DefaultTiming()
+	c := EpochCost{Instructions: 100, MemAccesses: 10, MemLatency: 100, MLP: 0, CPIScale: 1}
+	if tm.Cycles(c) != 100*tm.BaseCPI+10*100 {
+		t.Fatal("MLP floor of 1 not applied")
+	}
+}
+
+func TestCPIScaleZeroMeansDefault(t *testing.T) {
+	tm := DefaultTiming()
+	a := tm.Cycles(EpochCost{Instructions: 100, MLP: 1})
+	b := tm.Cycles(EpochCost{Instructions: 100, MLP: 1, CPIScale: 1})
+	if a != b {
+		t.Fatal("zero CPIScale should mean 1.0")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	tm := DefaultTiming()
+	if err := quick.Check(func(raw uint32) bool {
+		cycles := float64(raw)
+		return tm.CyclesFromSeconds(tm.Seconds(cycles)) > cycles*0.999999 &&
+			tm.CyclesFromSeconds(tm.Seconds(cycles)) < cycles*1.000001+1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesMonotoneInTraffic(t *testing.T) {
+	tm := DefaultTiming()
+	if err := quick.Check(func(l2, llc, mem uint16) bool {
+		a := EpochCost{Instructions: 1000, MLP: 2, CPIScale: 1,
+			L2Hits: float64(l2), LLCHits: float64(llc), MemAccesses: float64(mem),
+			LLCLatency: 30, MemLatency: 200}
+		b := a
+		b.MemAccesses++
+		return tm.Cycles(b) > tm.Cycles(a)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package energy models the two power measurement channels of the paper
+// (§2.2): the RAPL socket counters (cores + private caches + LLC) and a
+// wall-socket meter with a constant platform overhead. The model is a
+// static-plus-dynamic decomposition:
+//
+//	P_socket = P_uncore_static + Σ_cores P_active(+SMT) + E_events/t
+//
+// Race-to-halt (§4) is emergent: static and system power dominate, so
+// any allocation that shortens runtime saves energy, and LLC capacity
+// affects energy only through misses and runtime — matching the paper's
+// observation that socket power does not change with cache allocation
+// because the hardware cannot power-gate LLC ways.
+package energy
+
+// Params are the platform power/energy coefficients.
+type Params struct {
+	// Socket static power: uncore, ring, LLC arrays (not gateable).
+	UncoreStaticWatts float64
+	// Per-core power when at least one hyperthread is active.
+	CoreActiveWatts float64
+	// Additional power when the second hyperthread is also active.
+	SMTExtraWatts float64
+	// Per-core power when idle (clock-gated but not power-gated).
+	CoreIdleWatts float64
+
+	// Event energies (joules per event).
+	L2AccessJ   float64
+	LLCAccessJ  float64
+	DRAMLineJ   float64 // per 64-byte DRAM transfer, socket side (I/O)
+	DRAMDeviceJ float64 // per 64-byte DRAM transfer, DIMM side (wall only)
+
+	// Wall channel: P_wall = P_socket*VRMOverhead + SystemBaseWatts.
+	VRMOverhead     float64
+	SystemBaseWatts float64
+}
+
+// DefaultParams returns coefficients calibrated to the paper's platform
+// class: ~15 W idle socket, ~45-65 W loaded socket, ~35 W of
+// non-socket system power at the wall.
+func DefaultParams() Params {
+	return Params{
+		UncoreStaticWatts: 9.0,
+		CoreActiveWatts:   4.8,
+		SMTExtraWatts:     1.1,
+		CoreIdleWatts:     0.6,
+		L2AccessJ:         0.4e-9,
+		LLCAccessJ:        1.2e-9,
+		DRAMLineJ:         8e-9,
+		DRAMDeviceJ:       20e-9,
+		VRMOverhead:       1.10,
+		SystemBaseWatts:   34.0,
+	}
+}
+
+// Usage aggregates a run's activity for pricing. Core-seconds are
+// integrated over the run: CoreActiveSec counts (core, second) pairs
+// with ≥1 active thread, SMTActiveSec counts those with both threads
+// active (these overlap: a dual-active core contributes to both).
+type Usage struct {
+	WallSeconds   float64 // duration of the measured window
+	Cores         int     // cores in the socket
+	CoreActiveSec float64 // Σ over cores of seconds with ≥1 active HT
+	SMTActiveSec  float64 // Σ over cores of seconds with both HTs active
+	L2Accesses    uint64
+	LLCAccesses   uint64
+	DRAMLines     uint64 // 64-byte transfers, reads + writebacks
+}
+
+// Add accumulates another usage window (for multi-segment runs).
+func (u *Usage) Add(o Usage) {
+	u.WallSeconds += o.WallSeconds
+	if o.Cores > u.Cores {
+		u.Cores = o.Cores
+	}
+	u.CoreActiveSec += o.CoreActiveSec
+	u.SMTActiveSec += o.SMTActiveSec
+	u.L2Accesses += o.L2Accesses
+	u.LLCAccesses += o.LLCAccesses
+	u.DRAMLines += o.DRAMLines
+}
+
+// Report holds the priced energy of a run, split the way the paper
+// reports it.
+type Report struct {
+	SocketJoules float64 // RAPL package domain
+	WallJoules   float64 // external meter
+}
+
+// Price computes socket and wall energy for a usage window.
+func (p Params) Price(u Usage) Report {
+	idleCoreSec := float64(u.Cores)*u.WallSeconds - u.CoreActiveSec
+	if idleCoreSec < 0 {
+		idleCoreSec = 0
+	}
+	socket := p.UncoreStaticWatts*u.WallSeconds +
+		p.CoreActiveWatts*u.CoreActiveSec +
+		p.SMTExtraWatts*u.SMTActiveSec +
+		p.CoreIdleWatts*idleCoreSec +
+		p.L2AccessJ*float64(u.L2Accesses) +
+		p.LLCAccessJ*float64(u.LLCAccesses) +
+		p.DRAMLineJ*float64(u.DRAMLines)
+	wall := socket*p.VRMOverhead +
+		p.SystemBaseWatts*u.WallSeconds +
+		p.DRAMDeviceJ*float64(u.DRAMLines)
+	return Report{SocketJoules: socket, WallJoules: wall}
+}
+
+// IdlePowerSocket returns socket power with all cores idle — the cost of
+// holding the machine up between sequential runs (Figs 10-11 baseline).
+func (p Params) IdlePowerSocket(cores int) float64 {
+	return p.UncoreStaticWatts + p.CoreIdleWatts*float64(cores)
+}
+
+// IdlePowerWall returns wall power of the idle-but-awake machine.
+func (p Params) IdlePowerWall(cores int) float64 {
+	return p.IdlePowerSocket(cores)*p.VRMOverhead + p.SystemBaseWatts
+}

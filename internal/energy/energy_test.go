@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdleMachineEnergy(t *testing.T) {
+	p := DefaultParams()
+	u := Usage{WallSeconds: 10, Cores: 4}
+	r := p.Price(u)
+	wantSocket := (p.UncoreStaticWatts + 4*p.CoreIdleWatts) * 10
+	if diff := r.SocketJoules - wantSocket; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("idle socket = %v, want %v", r.SocketJoules, wantSocket)
+	}
+	if r.WallJoules <= r.SocketJoules {
+		t.Fatal("wall energy must exceed socket energy")
+	}
+}
+
+func TestActiveCoresCostMore(t *testing.T) {
+	p := DefaultParams()
+	idle := p.Price(Usage{WallSeconds: 10, Cores: 4})
+	busy := p.Price(Usage{WallSeconds: 10, Cores: 4, CoreActiveSec: 40, SMTActiveSec: 40})
+	if busy.SocketJoules <= idle.SocketJoules {
+		t.Fatal("fully active machine no more expensive than idle")
+	}
+}
+
+func TestRaceToHalt(t *testing.T) {
+	// The defining tradeoff of §4: a run that uses twice the cores but
+	// finishes in half the time must consume less total energy, because
+	// static and system power dominate.
+	p := DefaultParams()
+	slow := p.Price(Usage{WallSeconds: 100, Cores: 4, CoreActiveSec: 100, SMTActiveSec: 100})
+	fast := p.Price(Usage{WallSeconds: 50, Cores: 4, CoreActiveSec: 100, SMTActiveSec: 100})
+	if fast.SocketJoules >= slow.SocketJoules {
+		t.Fatalf("race-to-halt violated on socket: fast=%v slow=%v",
+			fast.SocketJoules, slow.SocketJoules)
+	}
+	if fast.WallJoules >= slow.WallJoules {
+		t.Fatal("race-to-halt violated on wall")
+	}
+}
+
+func TestEventEnergyCounted(t *testing.T) {
+	p := DefaultParams()
+	base := Usage{WallSeconds: 1, Cores: 4}
+	withEvents := base
+	withEvents.DRAMLines = 1_000_000
+	d := p.Price(withEvents).SocketJoules - p.Price(base).SocketJoules
+	want := p.DRAMLineJ * 1e6
+	if diff := d - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("DRAM event energy = %v, want %v", d, want)
+	}
+}
+
+func TestCacheAllocationDoesNotChangeSocketPower(t *testing.T) {
+	// The paper: "Socket power does not change as a function of the
+	// cache allocated" — energy differs only through events and time.
+	p := DefaultParams()
+	a := p.Price(Usage{WallSeconds: 10, Cores: 4, CoreActiveSec: 20})
+	b := p.Price(Usage{WallSeconds: 10, Cores: 4, CoreActiveSec: 20})
+	if a != b {
+		t.Fatal("identical usage priced differently")
+	}
+}
+
+func TestUsageAdd(t *testing.T) {
+	a := Usage{WallSeconds: 1, Cores: 4, CoreActiveSec: 2, L2Accesses: 10, DRAMLines: 5}
+	b := Usage{WallSeconds: 2, Cores: 4, SMTActiveSec: 1, LLCAccesses: 7, DRAMLines: 3}
+	a.Add(b)
+	if a.WallSeconds != 3 || a.CoreActiveSec != 2 || a.SMTActiveSec != 1 ||
+		a.L2Accesses != 10 || a.LLCAccesses != 7 || a.DRAMLines != 8 {
+		t.Fatalf("Add result: %+v", a)
+	}
+}
+
+func TestIdlePowerHelpers(t *testing.T) {
+	p := DefaultParams()
+	if p.IdlePowerSocket(4) <= 0 {
+		t.Fatal("idle socket power must be positive")
+	}
+	if p.IdlePowerWall(4) <= p.IdlePowerSocket(4) {
+		t.Fatal("idle wall power must exceed socket power")
+	}
+}
+
+func TestEnergyNonNegativeQuick(t *testing.T) {
+	p := DefaultParams()
+	if err := quick.Check(func(wall, act, smt uint16, l2, llc, dram uint32) bool {
+		u := Usage{
+			WallSeconds:   float64(wall),
+			Cores:         4,
+			CoreActiveSec: float64(act),
+			SMTActiveSec:  float64(smt),
+			L2Accesses:    uint64(l2),
+			LLCAccesses:   uint64(llc),
+			DRAMLines:     uint64(dram),
+		}
+		r := p.Price(u)
+		return r.SocketJoules >= 0 && r.WallJoules >= r.SocketJoules
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

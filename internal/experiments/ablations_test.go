@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSmallLLCShowsBiggerGains(t *testing.T) {
+	c := quick()
+	c.Reps = c.Reps[:3]
+	tab := c.AblationSmallLLC()
+	if len(tab.Rows) != 6 { // ordered pairs without self-pairs
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "2MB") {
+		t.Fatal("missing small-LLC column")
+	}
+}
+
+func TestAblationBandwidthQoSReducesWorstCase(t *testing.T) {
+	c := quick()
+	tab := c.AblationBandwidthQoS()
+	// Parse the no-QoS and QoS columns: QoS must not make any victim
+	// slower, and must help the worst victim.
+	worstNo, worstQ := 0.0, 0.0
+	for _, row := range tab.Rows {
+		noQ := parseF(t, row[1])
+		q := parseF(t, row[2])
+		if noQ > worstNo {
+			worstNo = noQ
+		}
+		if q > worstQ {
+			worstQ = q
+		}
+	}
+	if worstQ >= worstNo {
+		t.Fatalf("bandwidth QoS did not reduce the worst slowdown: %v vs %v", worstQ, worstNo)
+	}
+}
+
+func TestAblationIndexingRenders(t *testing.T) {
+	c := quick()
+	tab := c.AblationIndexing()
+	if len(tab.Rows) != len(c.WayPoints) {
+		t.Fatalf("%d rows for %d way points", len(tab.Rows), len(c.WayPoints))
+	}
+}
+
+func TestAblationReplacementOrdering(t *testing.T) {
+	c := quick()
+	c.Reps = c.Reps[:3]
+	tab := c.AblationReplacement()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Sanity: all ratios near 1 (replacement policy is a second-order
+	// effect, not a 2x swing).
+	for _, row := range tab.Rows {
+		for _, cell := range row[4:] {
+			v := parseF(t, cell)
+			if v < 0.5 || v > 2 {
+				t.Fatalf("implausible replacement ratio %v in %v", v, row)
+			}
+		}
+	}
+}
+
+func TestAblationInclusionRenders(t *testing.T) {
+	c := quick()
+	tab := c.AblationInclusion()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestAblationPrefetchersShowsStreamerValue(t *testing.T) {
+	c := quick()
+	tab := c.AblationPrefetchers()
+	// libquantum row: the all-on configuration must be faster than
+	// all-off (ratio < 1).
+	for _, row := range tab.Rows {
+		if row[0] != "462.libquantum" {
+			continue
+		}
+		allOn := parseF(t, row[len(row)-1])
+		if allOn >= 1 {
+			t.Fatalf("all-on not faster than all-off for libquantum: %v", allOn)
+		}
+		return
+	}
+	t.Fatal("libquantum row missing")
+}
+
+func TestAblationMultiBackground(t *testing.T) {
+	c := quick()
+	tab := c.AblationMultiBackground()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("cell %q not a number: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// AllocationPoint is one of the 96 resource allocations of Figure 6.
+type AllocationPoint struct {
+	Threads, Ways int
+	Seconds       float64
+	MPKI          float64
+	SocketJoules  float64
+	WallJoules    float64
+}
+
+// AllocationSpace sweeps every thread × way allocation for one
+// application (Figure 6's scatter data).
+func (c *Context) AllocationSpace(app *workload.Profile, threadPoints, wayPoints []int) []AllocationPoint {
+	var out []AllocationPoint
+	for _, th := range threadPoints {
+		if th > app.MaxThreads && th != 1 {
+			continue
+		}
+		for _, w := range wayPoints {
+			res := c.R.RunSingle(sched.SingleSpec{App: app, Threads: th, Ways: w})
+			j := res.JobByName(app.Name)
+			out = append(out, AllocationPoint{
+				Threads: th, Ways: w,
+				Seconds:      j.Seconds,
+				MPKI:         j.LLCMPKI,
+				SocketJoules: res.Energy.SocketJoules,
+				WallJoules:   res.Energy.WallJoules,
+			})
+		}
+	}
+	return out
+}
+
+// Fig6AllocationSpace reproduces Figure 6: runtime, MPKI, socket and
+// wall energy for the full allocation grid of each representative.
+func (c *Context) Fig6AllocationSpace() *Table {
+	t := &Table{Title: "Figure 6: allocation space of the cluster representatives",
+		Columns: []string{"app", "threads", "ways", "time(s)", "MPKI", "socket(J)", "wall(J)"}}
+	for _, app := range c.Reps {
+		pts := c.AllocationSpace(app, c.ThreadPoints, c.WayPoints)
+		for _, p := range pts {
+			t.Add(app.Name, fmt.Sprintf("%d", p.Threads), fmt.Sprintf("%d", p.Ways),
+				fmt.Sprintf("%.4f", p.Seconds), f(p.MPKI),
+				fmt.Sprintf("%.2f", p.SocketJoules), fmt.Sprintf("%.2f", p.WallJoules))
+		}
+	}
+	t.Note("paper: race-to-halt is the optimal energy strategy; many allocations are near-optimal, leaving spare resources")
+	return t
+}
+
+// Fig7YieldableCapacity reproduces the takeaway of Figure 7's contour
+// plots: for each representative, the energy-optimal allocation and how
+// much LLC it can yield without leaving the near-optimal region.
+func (c *Context) Fig7YieldableCapacity() *Table {
+	t := &Table{Title: "Figure 7: wall-energy-optimal allocations and yieldable LLC",
+		Columns: []string{"app", "best threads", "best ways", "best wall(J)",
+			"min ways within 2.5%", "yieldable MB"}}
+	for _, app := range c.Reps {
+		pts := c.AllocationSpace(app, c.ThreadPoints, c.WayPoints)
+		best := pts[0]
+		for _, p := range pts[1:] {
+			if p.WallJoules < best.WallJoules {
+				best = p
+			}
+		}
+		// Smallest way count (at the best thread count) staying within
+		// 2.5% of the optimal wall energy.
+		minWays := best.Ways
+		for _, p := range pts {
+			if p.Threads != best.Threads || p.Ways == 1 {
+				continue
+			}
+			if p.WallJoules <= best.WallJoules*1.025 && p.Ways < minWays {
+				minWays = p.Ways
+			}
+		}
+		yieldMB := float64(12-minWays) * 0.5
+		t.Add(app.Name, fmt.Sprintf("%d", best.Threads), fmt.Sprintf("%d", best.Ways),
+			fmt.Sprintf("%.2f", best.WallJoules), fmt.Sprintf("%d", minWays),
+			fmt.Sprintf("%.1f", yieldMB))
+	}
+	t.Note("paper: every representative can yield 0.5MB (429.mcf) to 4MB (batik, ferret) of LLC without leaving the energy-optimal region")
+	return t
+}

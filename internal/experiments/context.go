@@ -1,0 +1,83 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver runs the required simulations through
+// a shared sched.Runner (memoized, so drivers reuse each other's runs)
+// and renders a text table with the same rows/series the paper reports.
+// EXPERIMENTS.md records paper-vs-measured for each driver.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Context carries the shared runner and experiment scope.
+type Context struct {
+	R *sched.Runner
+
+	// Apps is the application set under study (default: full catalog).
+	Apps []*workload.Profile
+
+	// Reps are the consolidation-study applications (default: the six
+	// Table 3 representatives).
+	Reps []*workload.Profile
+
+	// ThreadPoints are the thread counts swept in Figure 1.
+	ThreadPoints []int
+
+	// WayPoints are the LLC allocations swept in Figure 2/Table 2.
+	WayPoints []int
+}
+
+// NewContext builds a context at the given instruction scale
+// (0 = sched.DefaultScale).
+func NewContext(scale float64) *Context {
+	return &Context{
+		R:            sched.New(sched.Options{Scale: scale}),
+		Apps:         workload.All(),
+		Reps:         workload.Representatives(),
+		ThreadPoints: []int{1, 2, 3, 4, 5, 6, 7, 8},
+		WayPoints:    []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	}
+}
+
+// NewQuickContext builds a reduced-scope context for tests and benches:
+// representative apps only, coarser sweeps.
+func NewQuickContext(scale float64) *Context {
+	c := NewContext(scale)
+	c.Apps = c.Reps
+	c.ThreadPoints = []int{1, 2, 4, 8}
+	c.WayPoints = []int{1, 2, 4, 6, 8, 10, 12}
+	return c
+}
+
+// aloneHalfSeconds returns the §5.1 foreground baseline time.
+func (c *Context) aloneHalfSeconds(app *workload.Profile) float64 {
+	return c.R.AloneHalf(app).JobByName(app.Name).Seconds
+}
+
+// singleSeconds runs app alone and returns its completion time.
+func (c *Context) singleSeconds(app *workload.Profile, threads, ways int) float64 {
+	res := c.R.RunSingle(sched.SingleSpec{App: app, Threads: threads, Ways: ways})
+	return res.JobByName(app.Name).Seconds
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// pct formats a ratio as a signed percentage ("+12.3%").
+func pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

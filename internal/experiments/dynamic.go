@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/perfmon"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// controllerInterval sizes the sampling period the way the paper's
+// 100 ms relates to its multi-minute runs: a fixed number of decision
+// intervals per foreground execution.
+func (c *Context) controllerInterval(fg *workload.Profile) float64 {
+	const intervalsPerRun = 500
+	estSeconds := fg.Instructions * c.R.Scale() * 1.5 / 3.4e9
+	return estSeconds / intervalsPerRun
+}
+
+// RunDynamic co-schedules fg and bg with the §6 controller attached and
+// returns the run result plus the controller (for its MPKI/ways trace).
+func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Controller) {
+	var ctl *partition.Controller
+	res := c.R.RunPair(sched.PairSpec{
+		Fg: fg, Bg: bg, Mode: sched.BackgroundLoop,
+		Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
+			cfg := partition.DefaultControllerConfig()
+			cfg.IntervalSeconds = c.controllerInterval(fg)
+			ctl = partition.Attach(m, fgJob, bgJob, cfg)
+		},
+	})
+	return res, ctl
+}
+
+// Fig12Phases reproduces Figure 12: 429.mcf's MPKI over time under each
+// static allocation and under the dynamic controller. For static
+// allocations mcf runs against a ferret background confined to the
+// complementary ways; the dynamic trace uses the controller.
+func (c *Context) Fig12Phases() *Table {
+	mcf := workload.MustByName("429.mcf")
+	bg := workload.MustByName("ferret")
+	interval := c.controllerInterval(mcf)
+
+	t := &Table{Title: "Figure 12: 429.mcf MPKI by phase and LLC allocation",
+		Columns: []string{"allocation", "phase-min MPKI", "phase-max MPKI", "mean MPKI", "fg time(s)"}}
+
+	summarize := func(samples []perfmon.Sample) (lo, hi, mean float64) {
+		if len(samples) == 0 {
+			return 0, 0, 0
+		}
+		var xs []float64
+		for _, s := range samples {
+			xs = append(xs, s.MPKI)
+		}
+		return stats.Min(xs), stats.Max(xs), stats.Mean(xs)
+	}
+
+	for _, ways := range []int{2, 3, 5, 7, 9, 11} {
+		var sampler *perfmon.Sampler
+		w := ways
+		res := c.R.RunPair(sched.PairSpec{
+			Fg: mcf, Bg: bg, Mode: sched.BackgroundLoop,
+			Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
+				// Static split applied through the same mask mechanism.
+				m.Hierarchy().SetWayMask(fgJob.Cores()[0], maskFirst(w))
+				for _, core := range bgJob.Cores() {
+					m.Hierarchy().SetWayMask(core, maskRange(w, 12))
+				}
+				sampler = perfmon.NewSampler(m, fgJob, interval, func() int { return w })
+			},
+		})
+		lo, hi, mean := summarize(sampler.Samples())
+		t.Add(fmt.Sprintf("%d ways", ways), f(lo), f(hi), f(mean),
+			fmt.Sprintf("%.4f", res.JobByName(mcf.Name).Seconds))
+	}
+
+	res, ctl := c.RunDynamic(mcf, bg)
+	lo, hi, mean := summarize(ctl.Samples())
+	t.Add("dynamic", f(lo), f(hi), f(mean), fmt.Sprintf("%.4f", res.JobByName(mcf.Name).Seconds))
+	minW, maxW := 12, 0
+	for _, s := range ctl.Samples() {
+		if s.Ways < minW {
+			minW = s.Ways
+		}
+		if s.Ways > maxW {
+			maxW = s.Ways
+		}
+	}
+	t.Note("dynamic allocation ranged %d-%d ways over %d reallocations (paper: 3-9 ways across 5 phase transitions)",
+		minW, maxW, ctl.Reallocations())
+	return t
+}
+
+// Fig13Result carries the dynamic-vs-static background throughput study.
+type Fig13Result struct {
+	Table *Table
+	// Per ordered pair: bg throughput (iterations) under best-static,
+	// dynamic, and shared, plus the fg cost of dynamic vs best-static.
+	DynamicGain  []float64 // dynamic/static bg throughput ratios
+	SharedGain   []float64 // shared/static bg throughput ratios
+	FgCostVsBest []float64 // dynamic fg time / best-static fg time
+}
+
+// Fig13DynamicThroughput reproduces Figure 13: background throughput of
+// the dynamic controller relative to each pair's best static
+// allocation, with shared caching as the no-isolation reference.
+func (c *Context) Fig13DynamicThroughput() *Fig13Result {
+	res := &Fig13Result{}
+	t := &Table{Title: "Figure 13: background throughput vs best static allocation",
+		Columns: []string{"pair", "static iters", "dynamic iters", "dyn/static",
+			"shared/static", "dyn fg cost"}}
+	for i, fg := range c.Reps {
+		for j, bg := range c.Reps {
+			// The Figure 13 baseline is the allocation best *for the
+			// foreground* (ties broken toward the protective split).
+			best := partition.BestForForeground(c.R, fg, bg)
+			static := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg,
+				FgWays: best.FgWays, BgWays: best.BgWays, Mode: sched.BackgroundLoop})
+			shared := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+			dyn, _ := c.RunDynamic(fg, bg)
+
+			sIter := static.JobByName(bg.Name).Iterations
+			dIter := dyn.JobByName(bg.Name).Iterations
+			shIter := shared.JobByName(bg.Name).Iterations
+			// Throughput is iterations per unit time; normalize by the
+			// window (fg completion) of each run.
+			sRate := sIter / static.WindowSeconds
+			dRate := dIter / dyn.WindowSeconds
+			shRate := shIter / shared.WindowSeconds
+
+			dynGain := dRate / sRate
+			shGain := shRate / sRate
+			fgCost := dyn.JobByName(fg.Name).Seconds / static.JobByName(fg.Name).Seconds
+			res.DynamicGain = append(res.DynamicGain, dynGain)
+			res.SharedGain = append(res.SharedGain, shGain)
+			res.FgCostVsBest = append(res.FgCostVsBest, fgCost)
+
+			t.Add(fmt.Sprintf("C%d+C%d", i+1, j+1),
+				fmt.Sprintf("%.2f", sIter), fmt.Sprintf("%.2f", dIter),
+				fmt.Sprintf("%.2f", dynGain), fmt.Sprintf("%.2f", shGain),
+				fmt.Sprintf("%.3f", fgCost))
+		}
+	}
+	t.Note("avg dynamic bg gain %.2fx, max %.2fx (paper: 1.19x avg, up to 2.5x)",
+		stats.Mean(res.DynamicGain), stats.Max(res.DynamicGain))
+	t.Note("avg shared bg gain %.2fx (paper: 1.53x, but without isolation)",
+		stats.Mean(res.SharedGain))
+	t.Note("avg dynamic fg cost vs best static %s (paper: within 2%%)",
+		pct(stats.Mean(res.FgCostVsBest)))
+	res.Table = t
+	return res
+}

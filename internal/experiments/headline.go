@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// HeadlineResult aggregates the numbers from the paper's abstract and
+// conclusion: consolidation benefits and foreground protection under
+// each policy, plus the dynamic controller's contribution.
+type HeadlineResult struct {
+	Table *Table
+
+	// Consolidation vs sequential execution (Figures 10-11).
+	EnergySavingShared, EnergySavingBiased     float64 // 1 - relative energy
+	ThroughputGainShared, ThroughputGainBiased float64 // weighted speedup - 1
+
+	// Foreground protection (Figures 8-9 representatives).
+	AvgSlowdownShared, WorstSlowdownShared float64
+	AvgSlowdownBiased, WorstSlowdownBiased float64
+
+	// Dynamic controller (Figure 13).
+	DynamicBgGain float64
+	DynamicFgCost float64
+}
+
+// Headline runs the consolidation studies over the representative set
+// and assembles the abstract's numbers.
+func (c *Context) Headline() *HeadlineResult {
+	r := &HeadlineResult{}
+
+	fig9 := c.Fig9StaticPolicies()
+	r.AvgSlowdownShared = fig9.Avg[partition.Shared] - 1
+	r.WorstSlowdownShared = fig9.Worst[partition.Shared] - 1
+	r.AvgSlowdownBiased = fig9.Avg[partition.Biased] - 1
+	r.WorstSlowdownBiased = fig9.Worst[partition.Biased] - 1
+
+	_, _, outcomes := c.Fig10and11Consolidation()
+	var eShared, eBiased, wShared, wBiased []float64
+	for _, o := range outcomes {
+		switch o.Policy {
+		case partition.Shared:
+			eShared = append(eShared, o.RelSocketEnergy)
+			wShared = append(wShared, o.WeightedSpeedup)
+		case partition.Biased:
+			eBiased = append(eBiased, o.RelSocketEnergy)
+			wBiased = append(wBiased, o.WeightedSpeedup)
+		}
+	}
+	r.EnergySavingShared = 1 - stats.Mean(eShared)
+	r.EnergySavingBiased = 1 - stats.Mean(eBiased)
+	r.ThroughputGainShared = stats.Mean(wShared) - 1
+	r.ThroughputGainBiased = stats.Mean(wBiased) - 1
+
+	fig13 := c.Fig13DynamicThroughput()
+	r.DynamicBgGain = stats.Mean(fig13.DynamicGain) - 1
+	r.DynamicFgCost = stats.Mean(fig13.FgCostVsBest) - 1
+
+	t := &Table{Title: "Headline numbers (abstract / §8)",
+		Columns: []string{"metric", "measured", "paper"}}
+	t.Add("energy saving, shared", pctf(r.EnergySavingShared), "10%")
+	t.Add("energy saving, biased", pctf(r.EnergySavingBiased), "12%")
+	t.Add("throughput gain, shared", pctf(r.ThroughputGainShared), "54%")
+	t.Add("throughput gain, biased", pctf(r.ThroughputGainBiased), "60%")
+	t.Add("avg fg slowdown, shared", pctf(r.AvgSlowdownShared), "6%")
+	t.Add("worst fg slowdown, shared", pctf(r.WorstSlowdownShared), "34.5%")
+	t.Add("avg fg slowdown, biased", pctf(r.AvgSlowdownBiased), "2.3%")
+	t.Add("worst fg slowdown, biased", pctf(r.WorstSlowdownBiased), "7.4%")
+	t.Add("dynamic bg throughput gain", pctf(r.DynamicBgGain), "19%")
+	t.Add("dynamic fg cost vs best static", pctf(r.DynamicFgCost), "<2%")
+	r.Table = t
+	return r
+}
+
+func pctf(x float64) string {
+	return pct(1 + x)
+}

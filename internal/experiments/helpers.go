@@ -1,0 +1,6 @@
+package experiments
+
+import "repro/internal/cache"
+
+func maskFirst(n int) cache.WayMask      { return cache.MaskFirstN(n) }
+func maskRange(lo, hi int) cache.WayMask { return cache.MaskRange(lo, hi) }

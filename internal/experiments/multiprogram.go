@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig8Result carries the co-scheduling heat map and its aggregates.
+type Fig8Result struct {
+	Table *Table
+	// Slowdown[fg][bg] is the foreground's relative execution time.
+	Slowdown map[string]map[string]float64
+	// Aggregates over all pairs:
+	AvgSlowdown, WorstSlowdown float64
+	FracUnder2_5pct            float64 // fraction of fg apps with avg slowdown < 2.5%
+	Sensitive, Aggressors      []string
+}
+
+// Fig8Heatmap reproduces Figure 8: normalized execution time of every
+// foreground application against every background application with a
+// fully shared LLC. fgApps/bgApps default to the context's app set.
+func (c *Context) Fig8Heatmap(fgApps, bgApps []*workload.Profile) *Fig8Result {
+	if fgApps == nil {
+		fgApps = c.Apps
+	}
+	if bgApps == nil {
+		bgApps = c.Apps
+	}
+	res := &Fig8Result{Slowdown: map[string]map[string]float64{}}
+	var all []float64
+	colSum := map[string]float64{} // per-fg average (sensitivity)
+	rowSum := map[string]float64{} // per-bg average (aggressiveness)
+
+	for _, fg := range fgApps {
+		res.Slowdown[fg.Name] = map[string]float64{}
+		alone := c.aloneHalfSeconds(fg)
+		for _, bg := range bgApps {
+			pair := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+			sd := pair.JobByName(fg.Name).Seconds / alone
+			res.Slowdown[fg.Name][bg.Name] = sd
+			all = append(all, sd)
+			colSum[fg.Name] += sd
+			rowSum[bg.Name] += sd
+		}
+	}
+
+	res.AvgSlowdown = stats.Mean(all)
+	res.WorstSlowdown = stats.Max(all)
+	under := 0
+	for _, fg := range fgApps {
+		avg := colSum[fg.Name] / float64(len(bgApps))
+		if avg < 1.025 {
+			under++
+		}
+		if avg > 1.10 {
+			res.Sensitive = append(res.Sensitive, fg.Name)
+		}
+	}
+	res.FracUnder2_5pct = float64(under) / float64(len(fgApps))
+	for _, bg := range bgApps {
+		if rowSum[bg.Name]/float64(len(fgApps)) > 1.10 {
+			res.Aggressors = append(res.Aggressors, bg.Name)
+		}
+	}
+
+	t := &Table{Title: "Figure 8: fg slowdown with shared LLC (fg rows, bg columns)"}
+	t.Columns = append([]string{"fg\\bg"}, names(bgApps)...)
+	for _, fg := range fgApps {
+		row := []string{fg.Name}
+		for _, bg := range bgApps {
+			row = append(row, fmt.Sprintf("%.2f", res.Slowdown[fg.Name][bg.Name]))
+		}
+		t.Add(row...)
+	}
+	t.Note("avg slowdown %s, worst %s; %.0f%% of fg apps under 2.5%% avg (paper: ~6%% avg, 34.5%% worst, ~49%% under 2.5%%)",
+		pct(res.AvgSlowdown), pct(res.WorstSlowdown), res.FracUnder2_5pct*100)
+	t.Note("sensitive (col avg >10%%): %v", res.Sensitive)
+	t.Note("aggressors (row avg >10%%): %v", res.Aggressors)
+	res.Table = t
+	return res
+}
+
+func names(apps []*workload.Profile) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// PolicyOutcome is one (pair, policy) measurement.
+type PolicyOutcome struct {
+	Fg, Bg       string
+	Policy       partition.Policy
+	FgSlowdown   float64 // vs fg alone on 2 cores
+	BgIterations float64 // background progress during the fg run
+	FgWays       int     // static allocation used (0 = shared)
+}
+
+// biasedCache memoizes the exhaustive biased search per pair.
+type biasedKey struct{ fg, bg string }
+
+var _ = biasedKey{}
+
+// Fig9Result carries the static-policy comparison.
+type Fig9Result struct {
+	Table    *Table
+	Outcomes []PolicyOutcome
+	// Avg and worst fg slowdown per policy.
+	Avg, Worst map[partition.Policy]float64
+	Biased     map[biasedKey]partition.BiasedChoice
+}
+
+// Fig9StaticPolicies reproduces Figure 9: foreground degradation under
+// shared, fair, and best-biased partitioning for every ordered pair of
+// representatives.
+func (c *Context) Fig9StaticPolicies() *Fig9Result {
+	res := &Fig9Result{
+		Avg:    map[partition.Policy]float64{},
+		Worst:  map[partition.Policy]float64{},
+		Biased: map[biasedKey]partition.BiasedChoice{},
+	}
+	sums := map[partition.Policy][]float64{}
+
+	t := &Table{Title: "Figure 9: fg slowdown by policy (pairs Ci+Cj of Table 3 representatives)",
+		Columns: []string{"pair", "shared", "fair", "biased", "biased ways"}}
+	assoc := 12
+	for i, fg := range c.Reps {
+		alone := c.aloneHalfSeconds(fg)
+		for j, bg := range c.Reps {
+			label := fmt.Sprintf("C%d+C%d", i+1, j+1)
+			row := []string{label}
+			var biasedWays int
+			for _, pol := range partition.StaticPolicies() {
+				var fgW, bgW int
+				var choice partition.BiasedChoice
+				if pol == partition.Biased {
+					choice = partition.BestBiased(c.R, fg, bg)
+					res.Biased[biasedKey{fg.Name, bg.Name}] = choice
+					fgW, bgW = choice.FgWays, choice.BgWays
+					biasedWays = fgW
+				} else {
+					fgW, bgW = partition.StaticWays(pol, assoc, nil)
+				}
+				pair := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg,
+					FgWays: fgW, BgWays: bgW, Mode: sched.BackgroundLoop})
+				sd := pair.JobByName(fg.Name).Seconds / alone
+				res.Outcomes = append(res.Outcomes, PolicyOutcome{
+					Fg: fg.Name, Bg: bg.Name, Policy: pol,
+					FgSlowdown:   sd,
+					BgIterations: pair.JobByName(bg.Name).Iterations,
+					FgWays:       fgW,
+				})
+				sums[pol] = append(sums[pol], sd)
+				row = append(row, fmt.Sprintf("%.3f", sd))
+			}
+			row = append(row, fmt.Sprintf("%d", biasedWays))
+			t.Add(row...)
+		}
+	}
+	for pol, xs := range sums {
+		res.Avg[pol] = stats.Mean(xs)
+		res.Worst[pol] = stats.Max(xs)
+	}
+	t.Note("avg slowdown: shared %s, fair %s, biased %s (paper: +5.9%%, +6.1%%, +2.3%%)",
+		pct(res.Avg[partition.Shared]), pct(res.Avg[partition.Fair]), pct(res.Avg[partition.Biased]))
+	t.Note("worst: shared %s, fair %s, biased %s (paper: +34.5%%, +16.3%%, +7.4%%)",
+		pct(res.Worst[partition.Shared]), pct(res.Worst[partition.Fair]), pct(res.Worst[partition.Biased]))
+	res.Table = t
+	return res
+}
+
+// ConsolidationOutcome is one unordered pair's energy/throughput result
+// for Figures 10 and 11.
+type ConsolidationOutcome struct {
+	A, B            string
+	Policy          partition.Policy
+	RelSocketEnergy float64 // consolidated / sequential
+	WeightedSpeedup float64 // sum of per-app alone(8thr)/together speedups
+}
+
+// Fig10and11Consolidation reproduces Figures 10 and 11: socket energy
+// and weighted speedup of concurrent execution versus running each
+// application sequentially on the whole machine.
+func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutcome) {
+	e := &Table{Title: "Figure 10: socket energy vs sequential execution",
+		Columns: []string{"pair", "shared", "fair", "biased"}}
+	w := &Table{Title: "Figure 11: weighted speedup vs sequential execution",
+		Columns: []string{"pair", "shared", "fair", "biased"}}
+	var outcomes []ConsolidationOutcome
+	sumsE := map[partition.Policy][]float64{}
+	sumsW := map[partition.Policy][]float64{}
+	assoc := 12
+
+	for i, a := range c.Reps {
+		for j := i; j < len(c.Reps); j++ {
+			b := c.Reps[j]
+			resA := c.R.AloneWhole(a)
+			resB := c.R.AloneWhole(b)
+			seqEnergy := resA.Energy.SocketJoules + resB.Energy.SocketJoules
+			aAlone := resA.JobByName(a.Name).Seconds
+			bAlone := resB.JobByName(b.Name).Seconds
+
+			rowE := []string{fmt.Sprintf("C%d+C%d", i+1, j+1)}
+			rowW := []string{rowE[0]}
+			for _, pol := range partition.StaticPolicies() {
+				var fgW, bgW int
+				if pol == partition.Biased {
+					ch := partition.BestBiased(c.R, a, b)
+					fgW, bgW = ch.FgWays, ch.BgWays
+				} else {
+					fgW, bgW = partition.StaticWays(pol, assoc, nil)
+				}
+				pair := c.R.RunPair(sched.PairSpec{Fg: a, Bg: b,
+					FgWays: fgW, BgWays: bgW, Mode: sched.BothOnce})
+				relE := pair.Energy.SocketJoules / seqEnergy
+				ws := aAlone/pair.JobByName(a.Name).Seconds +
+					bAlone/pair.JobByName(b.Name).Seconds
+				outcomes = append(outcomes, ConsolidationOutcome{
+					A: a.Name, B: b.Name, Policy: pol,
+					RelSocketEnergy: relE, WeightedSpeedup: ws,
+				})
+				sumsE[pol] = append(sumsE[pol], relE)
+				sumsW[pol] = append(sumsW[pol], ws)
+				rowE = append(rowE, fmt.Sprintf("%.3f", relE))
+				rowW = append(rowW, fmt.Sprintf("%.3f", ws))
+			}
+			e.Add(rowE...)
+			w.Add(rowW...)
+		}
+	}
+	e.Note("avg relative energy: shared %.3f, fair %.3f, biased %.3f (paper biased: 0.88, i.e. 12%% saving, max 37%%)",
+		stats.Mean(sumsE[partition.Shared]), stats.Mean(sumsE[partition.Fair]), stats.Mean(sumsE[partition.Biased]))
+	w.Note("avg weighted speedup: shared %.2f, fair %.2f, biased %.2f (paper biased: 1.60, i.e. +60%%)",
+		stats.Mean(sumsW[partition.Shared]), stats.Mean(sumsW[partition.Fair]), stats.Mean(sumsW[partition.Biased]))
+	return e, w, outcomes
+}

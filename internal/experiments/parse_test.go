@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan for the test helpers.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,74 @@
+// Package interconnect models the Sandy Bridge ring that connects cores
+// to the distributed LLC slices. It contributes a hop-count-dependent
+// base latency for LLC hits and a shared-bandwidth term: all LLC and
+// DRAM traffic crosses the ring, so a bandwidth hog inflates even LLC
+// hit latency — one of the residual interference channels the paper
+// identifies (§5.2).
+package interconnect
+
+import "repro/internal/memory"
+
+// RingConfig describes the ring interconnect.
+type RingConfig struct {
+	Stops            int     // one per core/LLC-slice pair
+	HopCycles        float64 // per-hop traversal cost
+	SliceAccessCycle float64 // LLC slice access (bank) latency
+	Bus              memory.BusConfig
+}
+
+// DefaultRing returns parameters for the 4-core client ring: ~26-31
+// cycle LLC hit latency depending on hop distance, ~100 GB/s ring
+// bandwidth (≈ 30 bytes/cycle at 3.4 GHz).
+func DefaultRing(stops int) RingConfig {
+	return RingConfig{
+		Stops:            stops,
+		HopCycles:        1.5,
+		SliceAccessCycle: 24,
+		Bus: memory.BusConfig{
+			Name:              "ring",
+			PeakBytesPerCycle: 30,
+			Knee:              0.65,
+			MaxQueueFactor:    3.0,
+		},
+	}
+}
+
+// Ring is the interconnect model.
+type Ring struct {
+	cfg RingConfig
+	bus *memory.Bus
+}
+
+// NewRing builds the ring with a demand register per hardware thread.
+func NewRing(cfg RingConfig, nThreads int) *Ring {
+	return &Ring{cfg: cfg, bus: memory.NewBus(cfg.Bus, nThreads)}
+}
+
+// Bus returns the shared ring bandwidth tracker.
+func (r *Ring) Bus() *memory.Bus { return r.bus }
+
+// LLCLatency returns the effective LLC hit latency for a request from
+// core c: slice access plus the average hop distance to the address-
+// hashed slices, inflated by ring contention.
+func (r *Ring) LLCLatency(c int) float64 {
+	// Addresses hash across slices, so the expected hop count is the mean
+	// distance from the core's stop to all stops on a bidirectional ring.
+	stops := r.cfg.Stops
+	if stops <= 1 {
+		return r.cfg.SliceAccessCycle * r.bus.QueueFactor()
+	}
+	total := 0.0
+	for s := 0; s < stops; s++ {
+		d := c - s
+		if d < 0 {
+			d = -d
+		}
+		if wrap := stops - d; wrap < d {
+			d = wrap
+		}
+		total += float64(d)
+	}
+	avgHops := total / float64(stops)
+	lat := r.cfg.SliceAccessCycle + 2*avgHops*r.cfg.HopCycles // request + response
+	return lat * r.bus.QueueFactor()
+}

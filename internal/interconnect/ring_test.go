@@ -1,0 +1,47 @@
+package interconnect
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func TestLLCLatencyPerCoreSymmetry(t *testing.T) {
+	r := NewRing(DefaultRing(4), 8)
+	// On a 4-stop symmetric ring, all cores see the same mean hop count.
+	l0 := r.LLCLatency(0)
+	for c := 1; c < 4; c++ {
+		if r.LLCLatency(c) != l0 {
+			t.Fatalf("core %d latency %v != core 0 latency %v", c, r.LLCLatency(c), l0)
+		}
+	}
+	if l0 <= DefaultRing(4).SliceAccessCycle {
+		t.Fatal("latency must include hop cost")
+	}
+}
+
+func TestLLCLatencyGrowsWithContention(t *testing.T) {
+	r := NewRing(DefaultRing(4), 8)
+	base := r.LLCLatency(0)
+	r.Bus().SetRate(0, 1e6)
+	if r.LLCLatency(0) <= base {
+		t.Fatal("saturated ring not slower")
+	}
+}
+
+func TestSingleStopRing(t *testing.T) {
+	cfg := DefaultRing(1)
+	r := NewRing(cfg, 2)
+	if got := r.LLCLatency(0); got != cfg.SliceAccessCycle {
+		t.Fatalf("1-stop latency = %v, want %v", got, cfg.SliceAccessCycle)
+	}
+}
+
+func TestRingBusShared(t *testing.T) {
+	r := NewRing(DefaultRing(4), 4)
+	var _ *memory.Bus = r.Bus()
+	r.Bus().SetRate(2, 5)
+	if r.Bus().Utilization() == 0 {
+		t.Fatal("bus not shared with latency model")
+	}
+}

@@ -1,0 +1,10 @@
+package machine
+
+import (
+	"repro/internal/cache"
+	"repro/internal/rng"
+)
+
+func fullToN(n int) cache.WayMask { return cache.MaskFirstN(n) }
+
+func newTestStream() *rng.Stream { return rng.NewNamed("machine-test") }

@@ -1,0 +1,603 @@
+// Package machine assembles the simulated platform — cores, cache
+// hierarchy, prefetchers, ring, DRAM, energy model — and executes jobs
+// on it. Execution is epoch-based: each hardware thread advances in
+// epochs of a few tens of thousands of instructions, generating memory
+// references that walk the shared hierarchy; the thread with the
+// smallest local time always runs next, so co-scheduled applications
+// interleave in simulated-time order and contend for the LLC, the ring,
+// and DRAM bandwidth exactly where the paper's applications did.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/interconnect"
+	"repro/internal/memory"
+	"repro/internal/prefetch"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes the platform.
+type Config struct {
+	Cores          int
+	ThreadsPerCore int
+	Hier           cache.HierarchyConfig
+	Timing         cpu.Timing
+	DRAM           memory.DRAMConfig
+	Ring           interconnect.RingConfig
+	Prefetch       prefetch.Config
+	Energy         energy.Params
+
+	// EpochInstructions is the scheduling quantum per hardware thread.
+	EpochInstructions float64
+	// MaxPrefetchIssue caps prefetch fills triggered per demand access.
+	MaxPrefetchIssue int
+	// BandwidthQoS enables per-job DRAM bandwidth reservations
+	// proportional to each job's core count — the hardware addition the
+	// paper's conclusion calls for (§8). The prototype did not have it;
+	// the ablation experiments quantify what it would have bought.
+	BandwidthQoS bool
+	// WarmupFrac excludes the first fraction of each foreground
+	// thread's instructions from *reported* timing (simulation of
+	// caches, buses, and energy runs normally throughout). The paper
+	// measures full multi-minute executions where cold caches are
+	// negligible; at our reduced scale the cold-start transient would
+	// otherwise bias cache-friendly applications, so reported rates are
+	// steady-state rates.
+	WarmupFrac float64
+}
+
+// Default returns the paper's platform: 4-core, 8-thread Sandy Bridge
+// client with the 6 MB way-partitionable LLC and all prefetchers on.
+func Default() Config {
+	cores := 4
+	return Config{
+		Cores:             cores,
+		ThreadsPerCore:    2,
+		Hier:              cache.SandyBridgeHierarchy(cores),
+		Timing:            cpu.DefaultTiming(),
+		DRAM:              memory.DefaultDRAM(),
+		Ring:              interconnect.DefaultRing(cores),
+		Prefetch:          prefetch.AllOn(),
+		Energy:            energy.DefaultParams(),
+		EpochInstructions: 20000,
+		MaxPrefetchIssue:  2,
+		WarmupFrac:        0.12,
+	}
+}
+
+// JobSpec describes one application instance to run.
+type JobSpec struct {
+	Profile *workload.Profile
+	// Threads requests a software thread count; it is capped by the
+	// profile's MaxThreads.
+	Threads int
+	// Slots lists the hardware-thread slots (core*ThreadsPerCore+ht) the
+	// job is pinned to, in assignment order. Must cover Threads entries.
+	Slots []int
+	// Background marks a continuously-running job: it restarts when it
+	// completes and never terminates the run.
+	Background bool
+	// Scale multiplies the profile's nominal instruction count.
+	Scale float64
+	// Seed differentiates otherwise-identical job instances.
+	Seed string
+}
+
+// Job is a scheduled application instance.
+type Job struct {
+	Spec    JobSpec
+	ID      int
+	threads []*thread
+	cores   []int // distinct cores actually running threads
+	// reservedCores are the distinct cores of the full pinned slot set
+	// (taskset region); bandwidth QoS reservations follow the pinned
+	// region, not the thread count, just as a core reservation would.
+	reservedCores []int
+
+	perIterInstr float64 // Σ thread goals: one iteration's instructions
+	retired      float64
+	streamLines  uint64 // non-temporal DRAM transfers (bypass hierarchy)
+	endCycles    float64
+	done         bool
+}
+
+// Name returns the profile name.
+func (j *Job) Name() string { return j.Spec.Profile.Name }
+
+// Cores returns the distinct cores the job runs on.
+func (j *Job) Cores() []int { return j.cores }
+
+type thread struct {
+	slot   int
+	core   int
+	job    *Job
+	tidx   int
+	goal   float64 // instructions per iteration
+	instr  float64 // retired this iteration
+	total  float64
+	cycles float64
+	active bool
+
+	// warmCycles records local time when the thread crossed the warmup
+	// fraction of its first iteration; <0 until then.
+	warmCycles float64
+	warmDone   bool
+
+	phaseIdx int
+	gen      *trace.Generator
+	codeGen  *trace.CodeGenerator
+	rnd      *rng.Stream
+}
+
+type ticker struct {
+	intervalCycles float64
+	nextCycles     float64
+	fn             func(nowSeconds float64)
+}
+
+// Machine is one simulated platform instance. Build a fresh Machine per
+// experiment run; construction is cheap relative to a run.
+type Machine struct {
+	cfg     Config
+	hier    *cache.Hierarchy
+	dram    *memory.DRAM
+	ring    *interconnect.Ring
+	pf      []*prefetch.Unit
+	jobs    []*Job
+	slots   []*thread
+	tickers []*ticker
+
+	epochs uint64
+}
+
+// New builds the machine.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
+		panic("machine: invalid core/thread configuration")
+	}
+	nThreads := cfg.Cores * cfg.ThreadsPerCore
+	m := &Machine{
+		cfg:   cfg,
+		hier:  cache.NewHierarchy(cfg.Hier),
+		dram:  memory.NewDRAM(cfg.DRAM, nThreads),
+		ring:  interconnect.NewRing(cfg.Ring, nThreads),
+		slots: make([]*thread, nThreads),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		m.pf = append(m.pf, prefetch.NewUnit(cfg.Prefetch))
+	}
+	return m
+}
+
+// Hierarchy exposes the cache system (partition policies set way masks
+// through it; experiments read its statistics).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Config returns the platform configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SlotsForCores returns the hardware-thread slots of the given cores in
+// the paper's assignment order: both hyperthreads of a core before the
+// next core.
+func (m *Machine) SlotsForCores(cores ...int) []int {
+	var out []int
+	for _, c := range cores {
+		for ht := 0; ht < m.cfg.ThreadsPerCore; ht++ {
+			out = append(out, c*m.cfg.ThreadsPerCore+ht)
+		}
+	}
+	return out
+}
+
+// AddJob schedules a job. It panics on slot conflicts or malformed
+// specs — these are experiment-construction bugs.
+func (m *Machine) AddJob(spec JobSpec) *Job {
+	if spec.Profile == nil {
+		panic("machine: job without profile")
+	}
+	if spec.Scale <= 0 {
+		panic("machine: job scale must be positive")
+	}
+	threads := spec.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	if mt := spec.Profile.MaxThreads; threads > mt {
+		threads = mt
+	}
+	if len(spec.Slots) < threads {
+		panic(fmt.Sprintf("machine: job %s needs %d slots, got %d",
+			spec.Profile.Name, threads, len(spec.Slots)))
+	}
+	job := &Job{Spec: spec, ID: len(m.jobs)}
+	seenReserved := map[int]bool{}
+	for _, slot := range spec.Slots {
+		core := slot / m.cfg.ThreadsPerCore
+		if !seenReserved[core] {
+			seenReserved[core] = true
+			job.reservedCores = append(job.reservedCores, core)
+		}
+	}
+	prof := spec.Profile
+	totalInstr := prof.Instructions * spec.Scale
+
+	// Amdahl split: thread 0 executes the serial fraction; the parallel
+	// remainder is divided evenly and inflated by synchronization
+	// overhead, modeling barriers/locks/GC bottlenecks.
+	par := totalInstr * (1 - prof.SerialFrac) / float64(threads)
+	par *= 1 + prof.SyncOverhead*float64(threads-1)
+	seenCore := map[int]bool{}
+	for t := 0; t < threads; t++ {
+		slot := spec.Slots[t]
+		if slot < 0 || slot >= len(m.slots) {
+			panic(fmt.Sprintf("machine: slot %d out of range", slot))
+		}
+		if m.slots[slot] != nil {
+			panic(fmt.Sprintf("machine: slot %d already occupied by %s",
+				slot, m.slots[slot].job.Name()))
+		}
+		goal := par
+		if t == 0 {
+			goal += totalInstr * prof.SerialFrac
+		}
+		core := slot / m.cfg.ThreadsPerCore
+		th := &thread{
+			slot:     slot,
+			core:     core,
+			job:      job,
+			tidx:     t,
+			goal:     goal,
+			active:   true,
+			phaseIdx: -1,
+			rnd:      rng.NewNamed(prof.Name + "/" + spec.Seed + "/t" + itoa(t)),
+		}
+		m.slots[slot] = th
+		job.threads = append(job.threads, th)
+		job.perIterInstr += goal
+		if !seenCore[core] {
+			seenCore[core] = true
+			job.cores = append(job.cores, core)
+		}
+	}
+	m.jobs = append(m.jobs, job)
+	return job
+}
+
+// RegisterTicker invokes fn at every interval of simulated time. Tickers
+// drive the dynamic partitioning controller and time-series sampling.
+func (m *Machine) RegisterTicker(intervalSeconds float64, fn func(nowSeconds float64)) {
+	if intervalSeconds <= 0 {
+		panic("machine: ticker interval must be positive")
+	}
+	ic := m.cfg.Timing.CyclesFromSeconds(intervalSeconds)
+	m.tickers = append(m.tickers, &ticker{intervalCycles: ic, nextCycles: ic, fn: fn})
+}
+
+// addressing layout: each job owns a disjoint 1 TB region.
+const (
+	jobRegion  = uint64(1) << 40
+	codeOffset = uint64(0)
+	sharOffset = uint64(1) << 30
+	privOffset = uint64(2) << 30
+	privStride = uint64(1) << 28
+)
+
+// reconfigure rebuilds a thread's generators for the phase covering its
+// current progress.
+func (t *thread) reconfigure(ph workload.Phase, idx int) {
+	prof := t.job.Spec.Profile
+	base := uint64(t.job.ID+1) * jobRegion
+	threads := len(t.job.threads)
+
+	sharedFrac := prof.SharedFrac
+	if threads == 1 {
+		sharedFrac = 0
+	}
+	ws := float64(ph.WorkingSetBytes)
+	privBytes := int(ws * (1 - sharedFrac) / float64(threads))
+	if privBytes < 8*1024 {
+		privBytes = 8 * 1024
+	}
+	sharedBytes := int(ws * sharedFrac)
+
+	cfg := trace.Config{
+		DataBase:     base + privOffset + uint64(t.tidx)*privStride,
+		PrivateBytes: privBytes,
+		SharedBase:   base + sharOffset,
+		SharedBytes:  sharedBytes,
+		SharedFrac:   sharedFrac,
+		Mix:          ph.Mix,
+		StrideLines:  ph.StrideLines,
+		WriteFrac:    prof.WriteFrac,
+		StreamFrac:   ph.StreamFrac,
+		HotFrac:      ph.HotFrac,
+		HotPortion:   ph.HotPortion,
+		RepeatFrac:   ph.RepeatFrac,
+		HotStride:    ph.HotStride,
+	}
+	t.gen = trace.NewGenerator(cfg, t.rnd.Derive("gen/"+itoa(idx)))
+	if t.codeGen == nil {
+		t.codeGen = trace.NewCodeGenerator(base+codeOffset, prof.CodeFootprintBytes, 64,
+			t.rnd.Derive("code"))
+	}
+	t.phaseIdx = idx
+}
+
+// runEpoch advances thread t by one scheduling quantum.
+func (m *Machine) runEpoch(t *thread) {
+	prof := t.job.Spec.Profile
+	n := m.cfg.EpochInstructions
+	if rem := t.goal - t.instr; rem < n {
+		n = rem
+	}
+	if n <= 0 {
+		n = 1
+	}
+
+	ph, phIdx := prof.PhaseAt(t.instr / t.goal)
+	if phIdx != t.phaseIdx || t.gen == nil {
+		t.reconfigure(ph, phIdx)
+	}
+
+	sibActive := false
+	sibSlot := t.slot ^ 1
+	if m.cfg.ThreadsPerCore == 2 && sibSlot < len(m.slots) {
+		if sib := m.slots[sibSlot]; sib != nil && sib.active && sib != t {
+			sibActive = true
+		}
+	}
+
+	var l2Hits, llcHits, memAcc, streamAcc, pfHits float64
+	var dramBytes, llcBytes float64
+
+	nData := probRound(n*ph.APKI/1000, t.rnd)
+	for i := 0; i < nData; i++ {
+		ref := t.gen.Next()
+		if ref.Streaming {
+			streamAcc++
+			dramBytes += 64
+			t.job.streamLines++
+			continue
+		}
+		out := m.hier.Access(t.core, ref.LineAddr, ref.Write, false)
+		switch out.Level {
+		case cache.LevelL2:
+			l2Hits++
+		case cache.LevelLLC:
+			llcHits++
+			llcBytes += 64
+		case cache.LevelMem:
+			memAcc++
+			llcBytes += 64
+		}
+		if out.HitPrefetched {
+			pfHits++
+		}
+		dramBytes += float64(out.DRAMReadBytes + out.DRAMWriteBytes)
+		m.feedPrefetchers(t, ref, out, &dramBytes, &llcBytes)
+	}
+
+	nCode := probRound(n*prof.CodeRefPKI/1000, t.rnd)
+	for i := 0; i < nCode; i++ {
+		ref := t.codeGen.Next()
+		out := m.hier.Access(t.core, ref.LineAddr, false, true)
+		switch out.Level {
+		case cache.LevelL2:
+			l2Hits++
+		case cache.LevelLLC:
+			llcHits++
+			llcBytes += 64
+		case cache.LevelMem:
+			memAcc++
+			llcBytes += 64
+		}
+		dramBytes += float64(out.DRAMReadBytes + out.DRAMWriteBytes)
+	}
+
+	memLat := m.dram.LatencyFor(t.slot)
+	cost := cpu.EpochCost{
+		Instructions:   n,
+		L2Hits:         l2Hits,
+		LLCHits:        llcHits,
+		MemAccesses:    memAcc + streamAcc,
+		PrefetchedHits: pfHits,
+		LateFrac:       lateFrac(m.dram.Bus().UtilizationFor(t.slot)),
+		LLCLatency:     m.ring.LLCLatency(t.core),
+		MemLatency:     memLat,
+		MLP:            prof.MLP,
+		SMTActive:      sibActive,
+		CPIScale:       prof.CPIScale,
+	}
+	cycles := m.cfg.Timing.Cycles(cost)
+	t.cycles += cycles
+	t.instr += n
+	t.total += n
+	t.job.retired += n
+	if !t.warmDone && t.total >= m.cfg.WarmupFrac*t.goal {
+		t.warmCycles = t.cycles
+		t.warmDone = true
+	}
+
+	// Publish this thread's demand rates for the contention model.
+	m.dram.Bus().SetRate(t.slot, dramBytes/cycles)
+	m.ring.Bus().SetRate(t.slot, (llcBytes+dramBytes)/cycles)
+
+	if t.instr >= t.goal-0.5 {
+		if t.job.Spec.Background {
+			t.instr = 0
+			t.phaseIdx = -1 // restart phases next epoch
+		} else {
+			t.active = false
+			m.dram.Bus().ClearRate(t.slot)
+			m.ring.Bus().ClearRate(t.slot)
+			m.checkJobDone(t.job)
+		}
+	}
+}
+
+// feedPrefetchers trains the per-core prefetch engines on a demand
+// access and issues the resulting fills.
+func (m *Machine) feedPrefetchers(t *thread, ref trace.Ref, out cache.AccessOutcome, dramBytes, llcBytes *float64) {
+	pf := m.pf[t.core]
+	issued := 0
+	for _, req := range pf.ObserveL1D(ref.PC, ref.LineAddr) {
+		if issued >= m.cfg.MaxPrefetchIssue {
+			break
+		}
+		po := m.hier.PrefetchFill(t.core, req.LineAddr, req.IntoL1)
+		*dramBytes += float64(po.DRAMReadBytes + po.DRAMWriteBytes)
+		if po.DRAMReadBytes > 0 {
+			*llcBytes += 64
+		}
+		issued++
+	}
+	if out.Level >= cache.LevelL2 {
+		for _, req := range pf.ObserveL2(ref.LineAddr) {
+			if issued >= m.cfg.MaxPrefetchIssue {
+				break
+			}
+			po := m.hier.PrefetchFill(t.core, req.LineAddr, req.IntoL1)
+			*dramBytes += float64(po.DRAMReadBytes + po.DRAMWriteBytes)
+			if po.DRAMReadBytes > 0 {
+				*llcBytes += 64
+			}
+			issued++
+		}
+	}
+}
+
+func (m *Machine) checkJobDone(j *Job) {
+	for _, th := range j.threads {
+		if th.active {
+			return
+		}
+	}
+	j.done = true
+	for _, th := range j.threads {
+		if th.cycles > j.endCycles {
+			j.endCycles = th.cycles
+		}
+	}
+}
+
+// lateFrac returns the fraction of full memory latency a demand hit on
+// a prefetched line still pays. Unloaded, a timely prefetch hides ~85%
+// of the latency; as DRAM saturates, prefetches issue later and later
+// behind queued demand traffic and hide progressively less. This is why
+// prefetch-reliant streaming applications remain bandwidth-sensitive
+// (Fig 4) even though their demand miss counters look clean.
+func lateFrac(dramUtil float64) float64 {
+	f := 0.15
+	if dramUtil > 0.4 {
+		f += 0.5 * (dramUtil - 0.4) / 0.6
+	}
+	if f > 0.62 {
+		f = 0.62
+	}
+	return f
+}
+
+// probRound rounds x to an integer, stochastically in proportion to the
+// fractional part, preserving expected rates at epoch granularity.
+func probRound(x float64, r *rng.Stream) int {
+	f := math.Floor(x)
+	n := int(f)
+	if r.Float64() < x-f {
+		n++
+	}
+	return n
+}
+
+const maxEpochs = 400_000_000 // runaway-experiment backstop
+
+// Run executes until every foreground job completes, then prices energy
+// over the window and returns per-job results. It panics if no
+// foreground job is scheduled (the run would never terminate).
+func (m *Machine) Run() *Result {
+	fg := 0
+	for _, j := range m.jobs {
+		if !j.Spec.Background {
+			fg++
+		}
+	}
+	if fg == 0 {
+		panic("machine: Run with no foreground job")
+	}
+	if m.cfg.BandwidthQoS {
+		m.configureBandwidthQoS()
+	}
+	for {
+		t := m.pickNext()
+		if t == nil {
+			break
+		}
+		m.fireTickers(t.cycles)
+		m.runEpoch(t)
+		m.epochs++
+		if m.epochs > maxEpochs {
+			panic("machine: epoch limit exceeded (runaway experiment)")
+		}
+	}
+	return m.collect()
+}
+
+// configureBandwidthQoS gives each job a DRAM bandwidth reservation
+// proportional to the cores it occupies.
+func (m *Machine) configureBandwidthQoS() {
+	groupOf := make([]int, len(m.slots))
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	var shares []float64
+	totalCores := float64(m.cfg.Cores)
+	for g, j := range m.jobs {
+		for _, th := range j.threads {
+			groupOf[th.slot] = g
+		}
+		shares = append(shares, float64(len(j.reservedCores))/totalCores)
+	}
+	m.dram.Bus().ConfigureQoS(groupOf, shares)
+}
+
+// pickNext returns the active thread with the smallest local time, or
+// nil when all foreground jobs are done.
+func (m *Machine) pickNext() *thread {
+	allFgDone := true
+	for _, j := range m.jobs {
+		if !j.Spec.Background && !j.done {
+			allFgDone = false
+			break
+		}
+	}
+	if allFgDone {
+		return nil
+	}
+	var best *thread
+	for _, t := range m.slots {
+		if t == nil || !t.active {
+			continue
+		}
+		if best == nil || t.cycles < best.cycles {
+			best = t
+		}
+	}
+	return best
+}
+
+func (m *Machine) fireTickers(nowCycles float64) {
+	for _, tk := range m.tickers {
+		for tk.nextCycles <= nowCycles {
+			tk.fn(m.cfg.Timing.Seconds(tk.nextCycles))
+			tk.nextCycles += tk.intervalCycles
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

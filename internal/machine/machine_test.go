@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const testScale = 5e-4
+
+func runAlone(t *testing.T, name string, threads int) *Result {
+	t.Helper()
+	m := New(Default())
+	app := workload.MustByName(name)
+	slots := make([]int, threads)
+	for i := range slots {
+		slots[i] = i
+	}
+	m.AddJob(JobSpec{Profile: app, Threads: threads, Slots: slots, Scale: testScale})
+	return m.Run()
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	res := runAlone(t, "swaptions", 4)
+	j := res.JobByName("swaptions")
+	if j.Seconds <= 0 || j.Instructions <= 0 {
+		t.Fatalf("degenerate result: %+v", j)
+	}
+	if j.Iterations != 1 {
+		t.Fatalf("foreground iterations = %v", j.Iterations)
+	}
+	if res.Energy.SocketJoules <= 0 || res.Energy.WallJoules <= res.Energy.SocketJoules {
+		t.Fatalf("energy: %+v", res.Energy)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runAlone(t, "ferret", 4)
+	b := runAlone(t, "ferret", 4)
+	if a.JobByName("ferret").Seconds != b.JobByName("ferret").Seconds {
+		t.Fatal("identical runs differ")
+	}
+	if a.Usage.DRAMLines != b.Usage.DRAMLines {
+		t.Fatal("identical runs moved different DRAM traffic")
+	}
+}
+
+func TestAmdahlScaling(t *testing.T) {
+	t1 := runAlone(t, "swaptions", 1).JobByName("swaptions").Seconds
+	t8 := runAlone(t, "swaptions", 8).JobByName("swaptions").Seconds
+	sp := t1 / t8
+	if sp < 3.5 {
+		t.Fatalf("highly parallel app speedup(8) = %v, want > 3.5", sp)
+	}
+	// h2 is lock-serialized: must scale poorly.
+	h1 := runAlone(t, "h2", 1).JobByName("h2").Seconds
+	h8 := runAlone(t, "h2", 8).JobByName("h2").Seconds
+	if h1/h8 > 2.5 {
+		t.Fatalf("low-scalability app speedup(8) = %v, want < 2.5", h1/h8)
+	}
+}
+
+func TestSMTSharingSlowerThanTwoCores(t *testing.T) {
+	// 2 threads on one core (slots 0,1) vs 2 threads on two cores
+	// (slots 0,2): SMT sharing must be slower.
+	app := workload.MustByName("swaptions")
+	mSMT := New(Default())
+	mSMT.AddJob(JobSpec{Profile: app, Threads: 2, Slots: []int{0, 1}, Scale: testScale})
+	smt := mSMT.Run().JobByName("swaptions").Seconds
+
+	mSplit := New(Default())
+	mSplit.AddJob(JobSpec{Profile: app, Threads: 2, Slots: []int{0, 2}, Scale: testScale})
+	split := mSplit.Run().JobByName("swaptions").Seconds
+
+	if smt <= split {
+		t.Fatalf("SMT sharing (%v) not slower than separate cores (%v)", smt, split)
+	}
+}
+
+func TestSingleThreadedAppIgnoresExtraThreads(t *testing.T) {
+	res := runAlone(t, "429.mcf", 4)
+	if got := res.JobByName("429.mcf").Threads; got != 1 {
+		t.Fatalf("mcf ran with %d threads", got)
+	}
+}
+
+func TestBackgroundJobLoops(t *testing.T) {
+	m := New(Default())
+	fg := workload.MustByName("429.mcf") // long
+	bg := workload.MustByName("fop")     // short: must loop several times
+	m.AddJob(JobSpec{Profile: fg, Threads: 4, Slots: m.SlotsForCores(0, 1), Scale: testScale})
+	m.AddJob(JobSpec{Profile: bg, Threads: 4, Slots: m.SlotsForCores(2, 3), Background: true, Scale: testScale})
+	res := m.Run()
+	if it := res.JobByName("fop").Iterations; it < 1.5 {
+		t.Fatalf("short background app iterated only %v times", it)
+	}
+	if !res.JobByName("fop").Background {
+		t.Fatal("background flag lost")
+	}
+}
+
+func TestRunWithoutForegroundPanics(t *testing.T) {
+	m := New(Default())
+	m.AddJob(JobSpec{Profile: workload.MustByName("fop"), Threads: 4,
+		Slots: m.SlotsForCores(0, 1), Background: true, Scale: testScale})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("background-only run did not panic")
+		}
+	}()
+	m.Run()
+}
+
+func TestSlotConflictPanics(t *testing.T) {
+	m := New(Default())
+	app := workload.MustByName("fop")
+	m.AddJob(JobSpec{Profile: app, Threads: 2, Slots: []int{0, 1}, Scale: testScale})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping slots accepted")
+		}
+	}()
+	m.AddJob(JobSpec{Profile: app, Threads: 2, Slots: []int{1, 2}, Scale: testScale, Seed: "other"})
+}
+
+func TestTickerFires(t *testing.T) {
+	m := New(Default())
+	m.AddJob(JobSpec{Profile: workload.MustByName("ferret"), Threads: 4,
+		Slots: m.SlotsForCores(0, 1), Scale: testScale})
+	fired := 0
+	var last float64
+	m.RegisterTicker(1e-5, func(now float64) {
+		fired++
+		if now <= last {
+			t.Fatalf("ticker time went backwards: %v after %v", now, last)
+		}
+		last = now
+	})
+	res := m.Run()
+	if fired == 0 {
+		t.Fatal("ticker never fired")
+	}
+	if last > res.WindowSeconds+1e-5 {
+		t.Fatalf("ticker fired past the window: %v > %v", last, res.WindowSeconds)
+	}
+}
+
+func TestReadCountersMonotone(t *testing.T) {
+	m := New(Default())
+	job := m.AddJob(JobSpec{Profile: workload.MustByName("canneal"), Threads: 4,
+		Slots: m.SlotsForCores(0, 1), Scale: testScale})
+	var prev JobCounters
+	m.RegisterTicker(1e-5, func(now float64) {
+		cur := m.ReadCounters(job)
+		if cur.Instructions < prev.Instructions || cur.LLCMisses < prev.LLCMisses {
+			t.Fatal("counters decreased")
+		}
+		prev = cur
+	})
+	m.Run()
+	if prev.Instructions == 0 {
+		t.Fatal("no counter reads happened")
+	}
+	if prev.MPKI() < 0 || prev.APKI() < prev.MPKI() {
+		t.Fatalf("APKI (%v) must be at least MPKI (%v)", prev.APKI(), prev.MPKI())
+	}
+}
+
+func TestWayRestrictionSlowsCacheSensitiveApp(t *testing.T) {
+	app := workload.MustByName("471.omnetpp")
+	run := func(ways int) float64 {
+		m := New(Default())
+		job := m.AddJob(JobSpec{Profile: app, Threads: 1, Slots: []int{0}, Scale: testScale})
+		if ways > 0 {
+			mask := fullToN(ways)
+			for _, c := range job.Cores() {
+				m.Hierarchy().SetWayMask(c, mask)
+			}
+		}
+		return m.Run().JobByName(app.Name).Seconds
+	}
+	if small, big := run(2), run(0); small <= big {
+		t.Fatalf("omnetpp no slower with 2 ways (%v) than 12 (%v)", small, big)
+	}
+}
+
+func TestStreamingJobBypassesLLC(t *testing.T) {
+	res := runAlone(t, "stream_uncached", 1)
+	j := res.JobByName("stream_uncached")
+	if j.LLCAPKI > 1 {
+		t.Fatalf("uncached stream generated LLC traffic: APKI %v", j.LLCAPKI)
+	}
+	if j.DRAMBytes == 0 {
+		t.Fatal("uncached stream moved no DRAM bytes")
+	}
+}
+
+func TestEnergyWindowConsistency(t *testing.T) {
+	res := runAlone(t, "dedup", 4)
+	u := res.Usage
+	if u.WallSeconds <= 0 || u.Cores != 4 {
+		t.Fatalf("usage: %+v", u)
+	}
+	if u.CoreActiveSec > float64(u.Cores)*u.WallSeconds+1e-9 {
+		t.Fatal("more core-active seconds than core-seconds in the window")
+	}
+	if u.SMTActiveSec > u.CoreActiveSec+1e-9 {
+		t.Fatal("SMT seconds exceed active seconds")
+	}
+}
+
+func TestProbRoundMeanPreserving(t *testing.T) {
+	m := New(Default())
+	_ = m
+	r := newTestStream()
+	var sum int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += probRound(2.5, r)
+	}
+	mean := float64(sum) / n
+	if mean < 2.45 || mean > 2.55 {
+		t.Fatalf("probRound(2.5) mean = %v", mean)
+	}
+}

@@ -1,0 +1,200 @@
+package machine
+
+import "repro/internal/energy"
+
+// JobCounters is a live counter snapshot for one job, the analogue of a
+// libpfm event-set read. The dynamic partitioning controller differences
+// successive snapshots to compute interval MPKI (Algorithm 6.1).
+type JobCounters struct {
+	Instructions float64
+	LLCAccesses  uint64 // demand L2 misses reaching the LLC
+	LLCMisses    uint64 // demand fetches from DRAM
+	DRAMBytes    uint64 // includes prefetch and writeback traffic
+}
+
+// MPKI returns LLC misses per kilo-instruction for the snapshot.
+func (c JobCounters) MPKI() float64 {
+	if c.Instructions <= 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / c.Instructions * 1000
+}
+
+// APKI returns LLC accesses per kilo-instruction for the snapshot.
+func (c JobCounters) APKI() float64 {
+	if c.Instructions <= 0 {
+		return 0
+	}
+	return float64(c.LLCAccesses) / c.Instructions * 1000
+}
+
+// Sub returns the counter delta c - o (for interval readings).
+func (c JobCounters) Sub(o JobCounters) JobCounters {
+	return JobCounters{
+		Instructions: c.Instructions - o.Instructions,
+		LLCAccesses:  c.LLCAccesses - o.LLCAccesses,
+		LLCMisses:    c.LLCMisses - o.LLCMisses,
+		DRAMBytes:    c.DRAMBytes - o.DRAMBytes,
+	}
+}
+
+// ReadCounters snapshots job j's current counters by summing the
+// per-core hierarchy statistics over the cores the job is pinned to
+// (cores are never shared between jobs, mirroring the paper's disjoint
+// pinning).
+func (m *Machine) ReadCounters(j *Job) JobCounters {
+	c := JobCounters{Instructions: j.retired}
+	for _, core := range j.cores {
+		cs := m.hier.CoreStats(core)
+		// Prefetch fills count as LLC traffic: on the real machine the
+		// LLC access counters see prefetcher-generated requests too, and
+		// Table 2's >10-APKI pollution criterion is about total pressure.
+		c.LLCAccesses += cs.LLCAccesses + cs.LLCPrefetchFills
+		c.LLCMisses += cs.LLCMisses
+		c.DRAMBytes += cs.DRAMReadBytes + cs.DRAMWriteBytes
+	}
+	c.DRAMBytes += j.streamLines * 64
+	return c
+}
+
+// JobResult summarizes one job over the measured window.
+type JobResult struct {
+	Name         string
+	Threads      int
+	Background   bool
+	Seconds      float64 // foreground: completion time; background: window
+	Instructions float64 // retired within the window
+	Iterations   float64 // completed iterations (fractional)
+	IPC          float64
+	LLCMPKI      float64
+	LLCAPKI      float64
+	DRAMBytes    float64
+}
+
+// Result is the outcome of one Machine.Run.
+type Result struct {
+	WindowSeconds float64
+	Jobs          []JobResult
+	Usage         energy.Usage
+	Energy        energy.Report
+}
+
+// JobByName returns the result entry for the named job. It panics if the
+// job was not scheduled (an experiment-driver bug).
+func (r *Result) JobByName(name string) JobResult {
+	for _, j := range r.Jobs {
+		if j.Name == name {
+			return j
+		}
+	}
+	panic("machine: no job named " + name)
+}
+
+// collect builds the Result after the run loop terminates.
+func (m *Machine) collect() *Result {
+	// Window: completion of the last foreground job.
+	var windowCycles float64
+	for _, j := range m.jobs {
+		if !j.Spec.Background && j.endCycles > windowCycles {
+			windowCycles = j.endCycles
+		}
+	}
+	res := &Result{WindowSeconds: m.cfg.Timing.Seconds(windowCycles)}
+
+	for _, j := range m.jobs {
+		cnt := m.ReadCounters(j)
+		jr := JobResult{
+			Name:         j.Name(),
+			Threads:      len(j.threads),
+			Background:   j.Spec.Background,
+			Instructions: cnt.Instructions,
+			LLCMPKI:      cnt.MPKI(),
+			LLCAPKI:      cnt.APKI(),
+			DRAMBytes:    float64(cnt.DRAMBytes),
+		}
+		if j.Spec.Background {
+			jr.Seconds = res.WindowSeconds
+			if j.perIterInstr > 0 {
+				jr.Iterations = j.retired / j.perIterInstr
+			}
+		} else {
+			jr.Seconds = m.jobSteadySeconds(j)
+			jr.Iterations = 1
+		}
+		if jr.Seconds > 0 {
+			jr.IPC = jr.Instructions / (jr.Seconds * m.cfg.Timing.FreqHz)
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+
+	res.Usage = m.usage(windowCycles)
+	res.Energy = m.cfg.Energy.Price(res.Usage)
+	return res
+}
+
+// jobSteadySeconds reports a foreground job's completion time with the
+// cold-start transient removed: each thread's duration is its
+// post-warmup time extrapolated over the full instruction count, and
+// the job finishes with its slowest thread. See Config.WarmupFrac.
+func (m *Machine) jobSteadySeconds(j *Job) float64 {
+	wf := m.cfg.WarmupFrac
+	var worst float64
+	for _, t := range j.threads {
+		d := t.cycles
+		if t.warmDone && wf > 0 && wf < 1 {
+			d = (t.cycles - t.warmCycles) / (1 - wf)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return m.cfg.Timing.Seconds(worst)
+}
+
+// usage integrates core activity and event counts over the window for
+// the energy model.
+func (m *Machine) usage(windowCycles float64) energy.Usage {
+	u := energy.Usage{
+		WallSeconds: m.cfg.Timing.Seconds(windowCycles),
+		Cores:       m.cfg.Cores,
+	}
+	// Per-core activity: a thread is busy from cycle 0 until it
+	// finishes (or the window closes for background threads).
+	for c := 0; c < m.cfg.Cores; c++ {
+		var ends []float64
+		for ht := 0; ht < m.cfg.ThreadsPerCore; ht++ {
+			t := m.slots[c*m.cfg.ThreadsPerCore+ht]
+			if t == nil {
+				continue
+			}
+			end := t.cycles
+			if t.job.Spec.Background || end > windowCycles {
+				end = windowCycles
+			}
+			ends = append(ends, end)
+		}
+		switch len(ends) {
+		case 0:
+		case 1:
+			u.CoreActiveSec += m.cfg.Timing.Seconds(ends[0])
+		default:
+			lo, hi := ends[0], ends[1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			u.CoreActiveSec += m.cfg.Timing.Seconds(hi)
+			u.SMTActiveSec += m.cfg.Timing.Seconds(lo)
+		}
+	}
+	// Event counts from the hierarchy.
+	for c := 0; c < m.cfg.Cores; c++ {
+		u.L2Accesses += m.hier.L2(c).Stats().Accesses
+		cs := m.hier.CoreStats(c)
+		u.DRAMLines += (cs.DRAMReadBytes + cs.DRAMWriteBytes) / 64
+	}
+	u.LLCAccesses = m.hier.LLC().Stats().Accesses
+	for _, j := range m.jobs {
+		u.DRAMLines += j.streamLines
+	}
+	return u
+}

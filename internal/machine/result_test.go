@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestJobCountersArithmetic(t *testing.T) {
+	a := JobCounters{Instructions: 2000, LLCAccesses: 100, LLCMisses: 40, DRAMBytes: 640}
+	b := JobCounters{Instructions: 1000, LLCAccesses: 60, LLCMisses: 10, DRAMBytes: 320}
+	d := a.Sub(b)
+	if d.Instructions != 1000 || d.LLCAccesses != 40 || d.LLCMisses != 30 || d.DRAMBytes != 320 {
+		t.Fatalf("Sub: %+v", d)
+	}
+	if got := d.MPKI(); got != 30 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	if got := d.APKI(); got != 40 {
+		t.Fatalf("APKI = %v", got)
+	}
+	var zero JobCounters
+	if zero.MPKI() != 0 || zero.APKI() != 0 {
+		t.Fatal("zero counters should report zero rates")
+	}
+}
+
+func TestJobByNamePanicsOnUnknown(t *testing.T) {
+	res := &Result{Jobs: []JobResult{{Name: "a"}}}
+	if res.JobByName("a").Name != "a" {
+		t.Fatal("lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown job name accepted")
+		}
+	}()
+	res.JobByName("b")
+}
+
+func TestWarmupReducesReportedTime(t *testing.T) {
+	// A cache-warming-dominated run: with warmup exclusion the reported
+	// steady-state time must not exceed the raw completion time.
+	app := workload.MustByName("471.omnetpp")
+	cfgRaw := Default()
+	cfgRaw.WarmupFrac = 0
+	mRaw := New(cfgRaw)
+	mRaw.AddJob(JobSpec{Profile: app, Threads: 1, Slots: []int{0}, Scale: testScale})
+	raw := mRaw.Run().JobByName(app.Name).Seconds
+
+	mWarm := New(Default())
+	mWarm.AddJob(JobSpec{Profile: app, Threads: 1, Slots: []int{0}, Scale: testScale})
+	warm := mWarm.Run().JobByName(app.Name).Seconds
+
+	if warm > raw*1.001 {
+		t.Fatalf("warmup-excluded time %v exceeds raw %v", warm, raw)
+	}
+}
+
+func TestBandwidthQoSProtectsVictim(t *testing.T) {
+	fg := workload.MustByName("462.libquantum")
+	bg := workload.MustByName("stream_uncached")
+	run := func(qos bool) float64 {
+		cfg := Default()
+		cfg.BandwidthQoS = qos
+		m := New(cfg)
+		m.AddJob(JobSpec{Profile: fg, Threads: 1, Slots: m.SlotsForCores(0, 1), Scale: 2e-3})
+		m.AddJob(JobSpec{Profile: bg, Threads: 1, Slots: m.SlotsForCores(2, 3),
+			Background: true, Scale: 2e-3})
+		return m.Run().JobByName(fg.Name).Seconds
+	}
+	noQoS := run(false)
+	withQoS := run(true)
+	if withQoS >= noQoS {
+		t.Fatalf("bandwidth QoS did not protect the victim: %v vs %v", withQoS, noQoS)
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	app := workload.MustByName("ferret")
+	small := New(Default())
+	small.AddJob(JobSpec{Profile: app, Threads: 4, Slots: small.SlotsForCores(0, 1), Scale: testScale})
+	big := New(Default())
+	big.AddJob(JobSpec{Profile: app, Threads: 4, Slots: big.SlotsForCores(0, 1), Scale: 2 * testScale})
+	s, b := small.Run(), big.Run()
+	if b.Energy.SocketJoules <= s.Energy.SocketJoules {
+		t.Fatal("twice the work did not cost more energy")
+	}
+	if b.WindowSeconds <= s.WindowSeconds {
+		t.Fatal("twice the work did not take longer")
+	}
+}
+
+func TestDRAMTrafficAccounted(t *testing.T) {
+	res := runAlone(t, "462.libquantum", 1)
+	j := res.JobByName("462.libquantum")
+	if j.DRAMBytes == 0 {
+		t.Fatal("streaming workload moved no DRAM bytes")
+	}
+	if res.Usage.DRAMLines == 0 {
+		t.Fatal("usage missed DRAM traffic")
+	}
+}

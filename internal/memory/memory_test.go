@@ -1,0 +1,138 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testBus() *Bus {
+	return NewBus(BusConfig{Name: "t", PeakBytesPerCycle: 10, Knee: 0.5, MaxQueueFactor: 3}, 4)
+}
+
+func TestUtilizationAccumulates(t *testing.T) {
+	b := testBus()
+	if b.Utilization() != 0 {
+		t.Fatal("fresh bus utilized")
+	}
+	b.SetRate(0, 2)
+	b.SetRate(1, 3)
+	if u := b.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	b.SetRate(0, 1) // replace, not add
+	if u := b.Utilization(); u != 0.4 {
+		t.Fatalf("utilization after update = %v, want 0.4", u)
+	}
+	b.ClearRate(1)
+	if u := b.Utilization(); u != 0.1 {
+		t.Fatalf("utilization after clear = %v, want 0.1", u)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	b := testBus()
+	b.SetRate(0, 100)
+	if u := b.Utilization(); u != 1 {
+		t.Fatalf("oversubscribed utilization = %v, want 1", u)
+	}
+	b.SetRate(0, -5) // negative demand treated as zero
+	if u := b.Utilization(); u != 0 {
+		t.Fatalf("negative demand utilization = %v", u)
+	}
+}
+
+func TestQueueFactorShape(t *testing.T) {
+	b := testBus()
+	b.SetRate(0, 4) // U = 0.4, below knee
+	if f := b.QueueFactor(); f != 1 {
+		t.Fatalf("below-knee factor = %v", f)
+	}
+	b.SetRate(0, 5) // at knee
+	if f := b.QueueFactor(); f != 1 {
+		t.Fatalf("at-knee factor = %v", f)
+	}
+	b.SetRate(0, 6.5)
+	mid := b.QueueFactor()
+	if mid <= 1 {
+		t.Fatalf("above-knee factor = %v", mid)
+	}
+	b.SetRate(0, 20)
+	if f := b.QueueFactor(); f != 3 {
+		t.Fatalf("saturated factor = %v, want cap 3", f)
+	}
+	if mid >= 3 {
+		t.Fatal("mid-load factor already at cap")
+	}
+}
+
+func TestQueueFactorMonotone(t *testing.T) {
+	b := testBus()
+	prev := 0.0
+	for r := 0.0; r <= 15; r += 0.5 {
+		b.SetRate(0, r)
+		f := b.QueueFactor()
+		if f < prev {
+			t.Fatalf("queue factor decreased at rate %v", r)
+		}
+		prev = f
+	}
+}
+
+func TestQueueFactorQuickBounds(t *testing.T) {
+	if err := quick.Check(func(rates [4]float64) bool {
+		b := testBus()
+		for i, r := range rates {
+			if r < 0 {
+				r = -r
+			}
+			if r > 1e6 {
+				r = 1e6
+			}
+			b.SetRate(i, r)
+		}
+		f := b.QueueFactor()
+		return f >= 1 && f <= 3
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusReset(t *testing.T) {
+	b := testBus()
+	b.SetRate(0, 5)
+	b.Reset()
+	if b.Utilization() != 0 {
+		t.Fatal("Reset left demand")
+	}
+}
+
+func TestNewBusValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-peak bus accepted")
+		}
+	}()
+	NewBus(BusConfig{Name: "bad"}, 1)
+}
+
+func TestDRAMLatencyUnderLoad(t *testing.T) {
+	d := NewDRAM(DefaultDRAM(), 2)
+	unloaded := d.Latency()
+	if unloaded != d.BaseLatency() {
+		t.Fatalf("unloaded latency %v != base %v", unloaded, d.BaseLatency())
+	}
+	d.Bus().SetRate(0, 100)
+	if loaded := d.Latency(); loaded <= unloaded {
+		t.Fatal("saturated DRAM no slower than unloaded")
+	}
+}
+
+func TestDefaultDRAMSane(t *testing.T) {
+	cfg := DefaultDRAM()
+	if cfg.BaseLatencyCycles < 100 || cfg.BaseLatencyCycles > 400 {
+		t.Fatalf("odd base latency %v", cfg.BaseLatencyCycles)
+	}
+	if cfg.Bus.PeakBytesPerCycle <= 0 {
+		t.Fatal("no bandwidth")
+	}
+}

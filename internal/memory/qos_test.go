@@ -1,0 +1,92 @@
+package memory
+
+import "testing"
+
+func qosBus() *Bus {
+	b := NewBus(BusConfig{Name: "q", PeakBytesPerCycle: 10, Knee: 0.5, MaxQueueFactor: 3}, 4)
+	// Threads 0-1 in group 0 (50% share), threads 2-3 in group 1 (50%).
+	b.ConfigureQoS([]int{0, 0, 1, 1}, []float64{0.5, 0.5})
+	return b
+}
+
+func TestQoSIsolatesGroups(t *testing.T) {
+	b := qosBus()
+	// Group 1 saturates its share; group 0 is idle.
+	b.SetRate(2, 10)
+	b.SetRate(3, 10)
+	if f := b.QueueFactorFor(0); f != 1 {
+		t.Fatalf("idle group inflated by neighbor: factor %v", f)
+	}
+	if f := b.QueueFactorFor(2); f <= 1 {
+		t.Fatalf("saturated group not inflated: factor %v", f)
+	}
+}
+
+func TestQoSGroupUtilization(t *testing.T) {
+	b := qosBus()
+	b.SetRate(0, 2.5) // half of group 0's 5 B/cyc reservation
+	if u := b.UtilizationFor(0); u != 0.5 {
+		t.Fatalf("group utilization = %v, want 0.5", u)
+	}
+	if u := b.UtilizationFor(2); u != 0 {
+		t.Fatalf("other group utilization = %v", u)
+	}
+}
+
+func TestQoSRateUpdatesTrackGroups(t *testing.T) {
+	b := qosBus()
+	b.SetRate(0, 4)
+	b.SetRate(0, 1) // replace, not accumulate
+	if u := b.UtilizationFor(0); u != 0.2 {
+		t.Fatalf("group utilization after update = %v, want 0.2", u)
+	}
+	b.ClearRate(0)
+	if u := b.UtilizationFor(0); u != 0 {
+		t.Fatal("clear did not reach group totals")
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	b := NewBus(BusConfig{Name: "v", PeakBytesPerCycle: 10, Knee: 0.5, MaxQueueFactor: 3}, 2)
+	for _, fn := range []func(){
+		func() { b.ConfigureQoS([]int{0}, []float64{1}) },           // wrong length
+		func() { b.ConfigureQoS([]int{0, 0}, []float64{0}) },        // zero share
+		func() { b.ConfigureQoS([]int{0, 1}, []float64{0.8, 0.8}) }, // >1 total
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid QoS config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQoSPreconfiguredRates(t *testing.T) {
+	b := NewBus(BusConfig{Name: "p", PeakBytesPerCycle: 10, Knee: 0.5, MaxQueueFactor: 3}, 2)
+	b.SetRate(0, 5) // demand registered before QoS configuration
+	b.ConfigureQoS([]int{0, 1}, []float64{0.5, 0.5})
+	if u := b.UtilizationFor(0); u != 1 {
+		t.Fatalf("pre-registered demand lost: utilization %v", u)
+	}
+}
+
+func TestUngroupedThreadSeesGlobal(t *testing.T) {
+	b := NewBus(BusConfig{Name: "g", PeakBytesPerCycle: 10, Knee: 0.5, MaxQueueFactor: 3}, 3)
+	b.ConfigureQoS([]int{0, -1, 0}, []float64{0.5})
+	b.SetRate(0, 9)
+	if b.QueueFactorFor(1) != b.QueueFactor() {
+		t.Fatal("ungrouped thread should see global contention")
+	}
+}
+
+func TestResetClearsGroupTotals(t *testing.T) {
+	b := qosBus()
+	b.SetRate(0, 5)
+	b.Reset()
+	if b.UtilizationFor(0) != 0 {
+		t.Fatal("Reset left group demand")
+	}
+}

@@ -1,0 +1,42 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestBestForForegroundIsProtective(t *testing.T) {
+	r := sched.New(sched.Options{Scale: 1e-3})
+	fg := workload.MustByName("429.mcf") // cache-hungry foreground
+	bg := workload.MustByName("ferret")
+	ch := BestForForeground(r, fg, bg)
+	if ch.FgWays+ch.BgWays != 12 {
+		t.Fatalf("split %d+%d", ch.FgWays, ch.BgWays)
+	}
+	// For a cache-hungry foreground against a cache-light background,
+	// the fg-optimal split must grant the foreground a large share.
+	if ch.FgWays < 8 {
+		t.Fatalf("fg-optimal allocation gave mcf only %d ways", ch.FgWays)
+	}
+	if ch.FgSlowdown <= 0 || ch.BgThroughput <= 0 {
+		t.Fatalf("degenerate choice: %+v", ch)
+	}
+}
+
+func TestBestForForegroundVsBestBiased(t *testing.T) {
+	// The Figure 13 baseline breaks ties toward the foreground; the
+	// Figure 9 biased policy breaks ties toward background throughput.
+	// The foreground-greedy choice must never grant FEWER ways than a
+	// tied background-friendly one would lose performance over.
+	r := sched.New(sched.Options{Scale: 1e-3})
+	fg := workload.MustByName("ferret") // cache-indifferent: all splits tie
+	bg := workload.MustByName("fop")
+	greedy := BestForForeground(r, fg, bg)
+	biased := BestBiased(r, fg, bg)
+	if greedy.FgWays < biased.FgWays {
+		t.Fatalf("fg-greedy split (%d ways) smaller than bg-friendly biased (%d ways)",
+			greedy.FgWays, biased.FgWays)
+	}
+}

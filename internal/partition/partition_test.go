@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestPolicyNames(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Shared: "shared", Fair: "fair", Biased: "biased", Dynamic: "dynamic",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestStaticWays(t *testing.T) {
+	if f, b := StaticWays(Shared, 12, nil); f != 0 || b != 0 {
+		t.Fatalf("shared ways = %d,%d", f, b)
+	}
+	if f, b := StaticWays(Fair, 12, nil); f != 6 || b != 6 {
+		t.Fatalf("fair ways = %d,%d", f, b)
+	}
+	ch := &BiasedChoice{FgWays: 9, BgWays: 3}
+	if f, b := StaticWays(Biased, 12, ch); f != 9 || b != 3 {
+		t.Fatalf("biased ways = %d,%d", f, b)
+	}
+}
+
+func TestStaticWaysPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { StaticWays(Biased, 12, nil) },
+		func() { StaticWays(Dynamic, 12, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStaticPoliciesOrder(t *testing.T) {
+	ps := StaticPolicies()
+	if len(ps) != 3 || ps[0] != Shared || ps[1] != Fair || ps[2] != Biased {
+		t.Fatalf("StaticPolicies() = %v", ps)
+	}
+}
+
+func TestBestBiasedSearch(t *testing.T) {
+	r := sched.New(sched.Options{Scale: 1e-3})
+	fg := workload.MustByName("429.mcf")
+	bg := workload.MustByName("ferret")
+	ch := BestBiased(r, fg, bg)
+	if ch.FgWays < 1 || ch.FgWays > 11 || ch.FgWays+ch.BgWays != 12 {
+		t.Fatalf("biased split %d+%d", ch.FgWays, ch.BgWays)
+	}
+	if ch.BgThroughput <= 0 {
+		t.Fatal("biased choice recorded no background progress")
+	}
+	// mcf is cache-hungry: the chosen foreground share should not be
+	// tiny when paired with a cache-indifferent background.
+	if ch.FgWays < 3 {
+		t.Fatalf("mcf granted only %d ways against ferret", ch.FgWays)
+	}
+	// The choice must beat or match fair partitioning for the fg.
+	fgAlone := r.AloneHalf(fg).JobByName(fg.Name).Seconds
+	fair := r.RunPair(sched.PairSpec{Fg: fg, Bg: bg, FgWays: 6, BgWays: 6,
+		Mode: sched.BackgroundLoop}).JobByName(fg.Name).Seconds / fgAlone
+	if ch.FgSlowdown > fair*1.02 {
+		t.Fatalf("biased slowdown %v worse than fair %v", ch.FgSlowdown, fair)
+	}
+}

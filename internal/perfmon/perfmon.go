@@ -1,0 +1,81 @@
+// Package perfmon is the simulator's analogue of the paper's
+// libpfm/perf_events layer (§2.2): it exposes per-job hardware counters
+// as an event set that can be read at intervals, yielding the MPKI
+// deltas that drive phase detection and the time series plotted in
+// Figure 12.
+package perfmon
+
+import "repro/internal/machine"
+
+// EventSet tracks one job's counters and produces interval deltas.
+type EventSet struct {
+	m    *machine.Machine
+	job  *machine.Job
+	last machine.JobCounters
+}
+
+// Open attaches an event set to a job. The first ReadInterval returns
+// the delta since Open.
+func Open(m *machine.Machine, job *machine.Job) *EventSet {
+	return &EventSet{m: m, job: job, last: m.ReadCounters(job)}
+}
+
+// ReadInterval returns the counter delta since the previous read (or
+// since Open) and advances the reference point.
+func (e *EventSet) ReadInterval() machine.JobCounters {
+	cur := e.m.ReadCounters(e.job)
+	d := cur.Sub(e.last)
+	e.last = cur
+	return d
+}
+
+// ReadTotal returns the cumulative counters without advancing the
+// interval reference.
+func (e *EventSet) ReadTotal() machine.JobCounters {
+	return e.m.ReadCounters(e.job)
+}
+
+// Sample is one point of a sampled counter time series.
+type Sample struct {
+	Seconds      float64 // simulated time of the reading
+	Instructions float64 // cumulative instructions at the reading
+	MPKI         float64 // interval LLC misses per kilo-instruction
+	APKI         float64 // interval LLC accesses per kilo-instruction
+	Ways         int     // LLC ways allocated at the reading (if tracked)
+}
+
+// Sampler records an MPKI time series for a job at a fixed simulated-
+// time interval — the instrumentation behind Figure 12.
+type Sampler struct {
+	es      *EventSet
+	samples []Sample
+	ways    func() int
+	total   float64
+}
+
+// NewSampler registers a sampling ticker on the machine. ways, if
+// non-nil, is polled at each sample to record the current allocation.
+func NewSampler(m *machine.Machine, job *machine.Job, intervalSeconds float64, ways func() int) *Sampler {
+	s := &Sampler{es: Open(m, job), ways: ways}
+	m.RegisterTicker(intervalSeconds, func(now float64) {
+		d := s.es.ReadInterval()
+		if d.Instructions <= 0 {
+			return
+		}
+		s.total += d.Instructions
+		smp := Sample{
+			Seconds:      now,
+			Instructions: s.total,
+			MPKI:         d.MPKI(),
+			APKI:         d.APKI(),
+		}
+		if s.ways != nil {
+			smp.Ways = s.ways()
+		}
+		s.samples = append(s.samples, smp)
+	})
+	return s
+}
+
+// Samples returns the recorded series.
+func (s *Sampler) Samples() []Sample { return s.samples }

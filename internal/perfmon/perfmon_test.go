@@ -1,0 +1,102 @@
+package perfmon
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func TestEventSetIntervals(t *testing.T) {
+	m := machine.New(machine.Default())
+	job := m.AddJob(machine.JobSpec{
+		Profile: workload.MustByName("canneal"),
+		Threads: 4, Slots: m.SlotsForCores(0, 1), Scale: 5e-4,
+	})
+	es := Open(m, job)
+	var intervals []machine.JobCounters
+	m.RegisterTicker(2e-5, func(now float64) {
+		intervals = append(intervals, es.ReadInterval())
+	})
+	m.Run()
+	if len(intervals) < 5 {
+		t.Fatalf("only %d intervals", len(intervals))
+	}
+	var sum float64
+	for _, d := range intervals {
+		if d.Instructions < 0 {
+			t.Fatal("negative interval")
+		}
+		sum += d.Instructions
+	}
+	total := es.ReadTotal()
+	if sum > total.Instructions {
+		t.Fatalf("interval sum %v exceeds total %v", sum, total.Instructions)
+	}
+	// ReadTotal must not advance the interval reference.
+	first := es.ReadTotal()
+	second := es.ReadTotal()
+	if first != second {
+		t.Fatal("ReadTotal advanced state")
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	m := machine.New(machine.Default())
+	job := m.AddJob(machine.JobSpec{
+		Profile: workload.MustByName("429.mcf"),
+		Threads: 1, Slots: []int{0}, Scale: 1e-3,
+	})
+	ways := 7
+	s := NewSampler(m, job, 2e-5, func() int { return ways })
+	m.Run()
+	samples := s.Samples()
+	if len(samples) < 10 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	prevT := -1.0
+	prevI := -1.0
+	for _, smp := range samples {
+		if smp.Seconds <= prevT {
+			t.Fatal("sample times not increasing")
+		}
+		if smp.Instructions <= prevI {
+			t.Fatal("sample instructions not increasing")
+		}
+		if smp.Ways != 7 {
+			t.Fatalf("ways callback not used: %d", smp.Ways)
+		}
+		if smp.MPKI < 0 || smp.APKI < smp.MPKI {
+			t.Fatalf("inconsistent sample: %+v", smp)
+		}
+		prevT, prevI = smp.Seconds, smp.Instructions
+	}
+}
+
+func TestSamplerSeesMcfPhases(t *testing.T) {
+	// mcf's alternating working sets must appear as distinct MPKI
+	// regimes in the sampled series (the substance of Figure 12).
+	m := machine.New(machine.Default())
+	job := m.AddJob(machine.JobSpec{
+		Profile: workload.MustByName("429.mcf"),
+		Threads: 1, Slots: []int{0}, Scale: 2e-3,
+	})
+	s := NewSampler(m, job, 2e-5, nil)
+	m.Run()
+	samples := s.Samples()
+	if len(samples) < 20 {
+		t.Skipf("too few samples (%d) to see phases", len(samples))
+	}
+	lo, hi := samples[0].MPKI, samples[0].MPKI
+	for _, smp := range samples {
+		if smp.MPKI < lo {
+			lo = smp.MPKI
+		}
+		if smp.MPKI > hi {
+			hi = smp.MPKI
+		}
+	}
+	if hi < 2*lo+1 {
+		t.Fatalf("no phase contrast in MPKI series: min %v max %v", lo, hi)
+	}
+}

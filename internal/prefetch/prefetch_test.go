@@ -1,0 +1,183 @@
+package prefetch
+
+import "testing"
+
+func TestDisabledUnitIssuesNothing(t *testing.T) {
+	u := NewUnit(AllOff())
+	for i := uint64(0); i < 100; i++ {
+		if reqs := u.ObserveL1D(1, i); len(reqs) != 0 {
+			t.Fatal("disabled DCU prefetchers issued")
+		}
+		if reqs := u.ObserveL2(i); len(reqs) != 0 {
+			t.Fatal("disabled MLC prefetchers issued")
+		}
+	}
+	if u.Stats().Issued() != 0 {
+		t.Fatal("stats nonzero for disabled unit")
+	}
+}
+
+func TestIPStrideDetection(t *testing.T) {
+	u := NewUnit(Config{DCUIP: true})
+	const pc = 12345
+	var got []Request
+	// Stride-3 stream from one PC: after two confirmations the next
+	// access should trigger a prefetch of line+3.
+	for i := 0; i < 6; i++ {
+		got = u.ObserveL1D(pc, uint64(100+3*i))
+	}
+	if len(got) != 1 {
+		t.Fatalf("trained IP prefetcher issued %d requests", len(got))
+	}
+	if got[0].LineAddr != 100+3*5+3 {
+		t.Fatalf("IP prefetch target = %d", got[0].LineAddr)
+	}
+	if !got[0].IntoL1 {
+		t.Fatal("DCU IP prefetch must target L1")
+	}
+}
+
+func TestIPIgnoresLargeStrides(t *testing.T) {
+	u := NewUnit(Config{DCUIP: true})
+	for i := 0; i < 8; i++ {
+		if reqs := u.ObserveL1D(7, uint64(100+100*i)); len(reqs) != 0 {
+			t.Fatal("IP prefetcher chased a 100-line stride")
+		}
+	}
+}
+
+func TestIPStrideChangeResetsConfidence(t *testing.T) {
+	u := NewUnit(Config{DCUIP: true})
+	for i := 0; i < 4; i++ {
+		u.ObserveL1D(9, uint64(10+2*i))
+	}
+	// Break the stride; the immediately following accesses must not
+	// prefetch until retrained.
+	if reqs := u.ObserveL1D(9, 500); len(reqs) != 0 {
+		t.Fatal("prefetched on stride break")
+	}
+	if reqs := u.ObserveL1D(9, 503); len(reqs) != 0 {
+		t.Fatal("prefetched after a single stride sample")
+	}
+}
+
+func TestDCUStreamerAscending(t *testing.T) {
+	u := NewUnit(Config{DCUStreamer: true})
+	var got []Request
+	for i := uint64(0); i < 5; i++ {
+		got = u.ObserveL1D(uint64(1000+i), 200+i) // distinct PCs: streamer is PC-blind
+	}
+	if len(got) == 0 {
+		t.Fatal("ascending stream did not trigger DCU streamer")
+	}
+	if got[0].LineAddr != 205 {
+		t.Fatalf("streamer target = %d, want 205", got[0].LineAddr)
+	}
+}
+
+func TestDCUStreamerSameLineTrigger(t *testing.T) {
+	u := NewUnit(Config{DCUStreamer: true})
+	u.ObserveL1D(1, 300)
+	var got []Request
+	for i := 0; i < 3; i++ {
+		got = u.ObserveL1D(1, 300) // repeated reads to one line
+	}
+	if len(got) == 0 {
+		t.Fatal("multiple reads to one line did not trigger the DCU streamer")
+	}
+	for _, r := range got {
+		if r.LineAddr == 300 {
+			t.Fatal("streamer prefetched the line being read")
+		}
+	}
+}
+
+func TestMLCSpatialBuddy(t *testing.T) {
+	u := NewUnit(Config{MLCSpatial: true})
+	u.ObserveL2(400)
+	got := u.ObserveL2(401)
+	if len(got) != 1 {
+		t.Fatalf("spatial prefetcher issued %d", len(got))
+	}
+	// Buddy of 401 within its 128-byte pair is 400; of 400 it is 401.
+	if got[0].LineAddr != 400 {
+		t.Fatalf("buddy = %d", got[0].LineAddr)
+	}
+	if got[0].IntoL1 {
+		t.Fatal("MLC prefetch must target L2")
+	}
+}
+
+func TestMLCStreamerRunsAhead(t *testing.T) {
+	u := NewUnit(Config{MLCStreamer: true})
+	var got []Request
+	for i := uint64(0); i < 5; i++ {
+		got = u.ObserveL2(500 + i)
+	}
+	if len(got) != mlcAhead {
+		t.Fatalf("MLC streamer issued %d, want %d", len(got), mlcAhead)
+	}
+	if got[0].LineAddr != 505 || got[1].LineAddr != 506 {
+		t.Fatalf("MLC targets = %d,%d", got[0].LineAddr, got[1].LineAddr)
+	}
+}
+
+func TestMLCStreamerDescending(t *testing.T) {
+	u := NewUnit(Config{MLCStreamer: true})
+	var got []Request
+	for i := 0; i < 5; i++ {
+		got = u.ObserveL2(uint64(600 - i))
+	}
+	if len(got) == 0 {
+		t.Fatal("descending stream not detected")
+	}
+	if got[0].LineAddr != 595 {
+		t.Fatalf("descending target = %d, want 595", got[0].LineAddr)
+	}
+}
+
+func TestStreamTableEviction(t *testing.T) {
+	u := NewUnit(Config{MLCStreamer: true})
+	// Allocate far more streams than table entries; must not panic and
+	// must still detect a fresh stream afterwards.
+	for i := uint64(0); i < 100; i++ {
+		u.ObserveL2(i * 1000)
+	}
+	var got []Request
+	for i := uint64(0); i < 5; i++ {
+		got = u.ObserveL2(999000 + i)
+	}
+	if len(got) == 0 {
+		t.Fatal("stream detection broken after table churn")
+	}
+}
+
+func TestStatsAttribution(t *testing.T) {
+	u := NewUnit(AllOn())
+	for i := uint64(0); i < 10; i++ {
+		u.ObserveL1D(3, 100+i)
+		u.ObserveL2(100 + i)
+	}
+	s := u.Stats()
+	if s.IssuedDCUStreamer == 0 || s.IssuedMLCStreamer == 0 {
+		t.Fatalf("streamers idle on a pure stream: %+v", s)
+	}
+	if s.Issued() != s.IssuedDCUIP+s.IssuedDCUStreamer+s.IssuedMLCSpatial+s.IssuedMLCStreamer {
+		t.Fatal("Issued() sum mismatch")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	on := AllOn()
+	if !on.DCUIP || !on.DCUStreamer || !on.MLCSpatial || !on.MLCStreamer {
+		t.Fatal("AllOn incomplete")
+	}
+	off := AllOff()
+	if off.DCUIP || off.DCUStreamer || off.MLCSpatial || off.MLCStreamer {
+		t.Fatal("AllOff incomplete")
+	}
+	u := NewUnit(on)
+	if u.Config() != on {
+		t.Fatal("Config() round trip")
+	}
+}

@@ -1,0 +1,138 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewNamed("stream-a")
+	b := NewNamed("stream-a")
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-named streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestNamedStreamsDiffer(t *testing.T) {
+	a := NewNamed("stream-a")
+	b := NewNamed("stream-b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently-named streams produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	parent := NewNamed("parent")
+	before := parent.state
+	d1 := parent.Derive("x")
+	d2 := parent.Derive("y")
+	if parent.state != before {
+		t.Fatal("Derive advanced the parent stream")
+	}
+	if d1.Uint64() == d2.Uint64() {
+		t.Fatal("derived streams with different labels start identically")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(42)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.24 || p > 0.26 {
+		t.Fatalf("Bool(0.25) rate %v", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(3))
+	}
+	mean := sum / n
+	if mean < 2.8 || mean > 3.2 {
+		t.Fatalf("Geometric(3) mean %v", mean)
+	}
+	if g := s.Geometric(0.5); g != 1 {
+		t.Fatalf("Geometric(<1) = %d, want 1", g)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := s.Uint64n(17); v >= 17 {
+			t.Fatalf("Uint64n(17) = %d", v)
+		}
+	}
+}
+
+func TestHashStringNonZero(t *testing.T) {
+	if hashString("") == 0 {
+		t.Fatal("hashString(\"\") returned 0")
+	}
+}

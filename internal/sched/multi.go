@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// MultiSpec describes a foreground application co-scheduled with
+// several continuously-running background instances — the "two or more
+// copies of the background applications" configuration of §5.2 and the
+// multi-peer scenario of §6.3. The foreground keeps cores 0-1; each
+// background instance gets one core (2 hyperthreads) from core 2 up.
+type MultiSpec struct {
+	Fg *workload.Profile
+	// Bgs run continuously, one per remaining core (at most Cores-2).
+	Bgs []*workload.Profile
+	// FgWays/BgWays optionally split the LLC: the foreground replaces
+	// in the low ways, every background peer shares the remaining high
+	// ways (peers contend within the background partition, §6.3).
+	FgWays, BgWays int
+	// Setup runs before the simulation starts; the dynamic controller
+	// hooks in here. The bg argument receives the first background job
+	// (the controller treats all peers as one partition).
+	Setup func(m *machine.Machine, fg *machine.Job, bgs []*machine.Job)
+}
+
+// RunMulti executes a multi-background scenario. Results are memoized
+// when no Setup hook is given.
+func (r *Runner) RunMulti(s MultiSpec) *machine.Result {
+	cfg := r.opt.machineConfig()
+	maxBgs := cfg.Cores - 2
+	if len(s.Bgs) == 0 || len(s.Bgs) > maxBgs {
+		panic(fmt.Sprintf("sched: %d background jobs, platform fits 1..%d", len(s.Bgs), maxBgs))
+	}
+
+	key := ""
+	if s.Setup == nil {
+		key = fmt.Sprintf("multi|%s|f%d|b%d|s%g", s.Fg.Name, s.FgWays, s.BgWays, r.opt.scale())
+		for _, bg := range s.Bgs {
+			key += "|" + bg.Name
+		}
+		if res := r.cached(key); res != nil {
+			return res
+		}
+	}
+
+	m := machine.New(cfg)
+	fg := m.AddJob(machine.JobSpec{
+		Profile: s.Fg,
+		Threads: capThreads(s.Fg, 4),
+		Slots:   m.SlotsForCores(0, 1),
+		Scale:   r.opt.scale(),
+		Seed:    "fg",
+	})
+	var bgJobs []*machine.Job
+	for i, bgProf := range s.Bgs {
+		core := 2 + i
+		bgJobs = append(bgJobs, m.AddJob(machine.JobSpec{
+			Profile:    bgProf,
+			Threads:    capThreads(bgProf, 2),
+			Slots:      m.SlotsForCores(core),
+			Background: true,
+			Scale:      r.opt.scale(),
+			Seed:       fmt.Sprintf("bg%d", i),
+		}))
+	}
+
+	assoc := cfg.Hier.LLC.Assoc
+	switch {
+	case s.FgWays == 0 && s.BgWays == 0:
+	case s.FgWays > 0 && s.BgWays > 0 && s.FgWays+s.BgWays <= assoc:
+		fgMask := cache.MaskFirstN(s.FgWays)
+		bgMask := cache.MaskRange(assoc-s.BgWays, assoc)
+		for _, c := range fg.Cores() {
+			m.Hierarchy().SetWayMask(c, fgMask)
+		}
+		for _, bj := range bgJobs {
+			for _, c := range bj.Cores() {
+				m.Hierarchy().SetWayMask(c, bgMask)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sched: invalid multi partition %d+%d of %d", s.FgWays, s.BgWays, assoc))
+	}
+
+	if s.Setup != nil {
+		s.Setup(m, fg, bgJobs)
+	}
+	res := m.Run()
+	if key != "" {
+		r.store(key, res)
+	}
+	return res
+}

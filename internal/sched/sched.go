@@ -1,0 +1,261 @@
+// Package sched runs consolidation scenarios on the simulated platform:
+// an application alone with a given thread count and LLC way allocation,
+// or a foreground/background pair pinned to disjoint cores (the paper's
+// taskset methodology, §2.1/§5). It owns placement, scaling, and a
+// result cache so experiment drivers can sweep large allocation spaces
+// without re-simulating identical configurations.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// DefaultScale is the default instruction-count multiplier applied to
+// the catalog's nominal counts. Experiments pass larger values for
+// calibration-quality runs; benches pass smaller ones.
+const DefaultScale = 2e-3
+
+// Options configure a runner.
+type Options struct {
+	// Machine is the platform template; zero value means machine.Default().
+	Machine *machine.Config
+	// Scale multiplies nominal instruction counts (0 = DefaultScale).
+	Scale float64
+	// DisableCache bypasses the memoized run cache.
+	DisableCache bool
+}
+
+func (o Options) machineConfig() machine.Config {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return machine.Default()
+}
+
+func (o Options) scale() float64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return DefaultScale
+}
+
+// Runner executes scenarios. The zero value is not usable; call New.
+type Runner struct {
+	opt Options
+
+	mu    sync.Mutex
+	cache map[string]*machine.Result
+}
+
+// New builds a runner.
+func New(opt Options) *Runner {
+	return &Runner{opt: opt, cache: make(map[string]*machine.Result)}
+}
+
+// Scale returns the effective instruction scale.
+func (r *Runner) Scale() float64 { return r.opt.scale() }
+
+// SingleSpec describes an application running alone.
+type SingleSpec struct {
+	App     *workload.Profile
+	Threads int // capped by the profile's MaxThreads
+	Ways    int // LLC ways allocated to it (0 = all 12)
+	// Prefetch overrides the platform prefetcher configuration.
+	Prefetch *prefetch.Config
+}
+
+// RunSingle executes an application alone on the machine: threads fill
+// both hyperthreads of each core before the next core (the paper's
+// assignment order), and every core the app runs on gets the first Ways
+// LLC ways. Results are memoized.
+func (r *Runner) RunSingle(s SingleSpec) *machine.Result {
+	key := fmt.Sprintf("single|%s|t%d|w%d|pf%v|s%g",
+		s.App.Name, s.Threads, s.Ways, pfKey(s.Prefetch), r.opt.scale())
+	if res := r.cached(key); res != nil {
+		return res
+	}
+
+	cfg := r.opt.machineConfig()
+	if s.Prefetch != nil {
+		cfg.Prefetch = *s.Prefetch
+	}
+	m := machine.New(cfg)
+
+	threads := capThreads(s.App, s.Threads)
+	slots := make([]int, threads)
+	for i := range slots {
+		slots[i] = i // slot order = HT0/HT1 of core 0, then core 1, ...
+	}
+	job := m.AddJob(machine.JobSpec{
+		Profile: s.App,
+		Threads: threads,
+		Slots:   slots,
+		Scale:   r.opt.scale(),
+		Seed:    "single",
+	})
+	applyWays(m, job.Cores(), s.Ways)
+
+	res := m.Run()
+	r.store(key, res)
+	return res
+}
+
+// PairMode selects how a foreground/background pair is run.
+type PairMode int
+
+const (
+	// BackgroundLoop restarts the background job continuously; the run
+	// ends when the foreground completes (Figs 8, 9, 12, 13).
+	BackgroundLoop PairMode = iota
+	// BothOnce runs both jobs exactly once; the run ends when both have
+	// completed (Figs 10, 11 energy/throughput vs sequential).
+	BothOnce
+)
+
+// PairSpec describes a co-scheduled foreground/background pair. The
+// foreground is pinned to cores 0-1 (4 hyperthreads), the background to
+// cores 2-3, matching §5's placement.
+type PairSpec struct {
+	Fg, Bg *workload.Profile
+	// FgWays/BgWays give each side's LLC allocation. Both zero = fully
+	// shared cache (no partitioning). Non-zero values must sum to at
+	// most the LLC associativity; the masks are disjoint: the
+	// foreground gets the low ways, the background the high ways.
+	FgWays, BgWays int
+	Mode           PairMode
+	// Setup, if non-nil, runs after jobs are scheduled and before the
+	// run starts; the dynamic partitioning controller hooks in here.
+	Setup func(m *machine.Machine, fg, bg *machine.Job)
+	// Prefetch overrides the platform prefetcher configuration.
+	Prefetch *prefetch.Config
+}
+
+// RunPair executes a pair scenario. Runs with a Setup hook are not
+// memoized (the hook may close over external state).
+func (r *Runner) RunPair(s PairSpec) *machine.Result {
+	key := ""
+	if s.Setup == nil {
+		key = fmt.Sprintf("pair|%s|%s|f%d|b%d|m%d|pf%v|s%g",
+			s.Fg.Name, s.Bg.Name, s.FgWays, s.BgWays, s.Mode, pfKey(s.Prefetch), r.opt.scale())
+		if res := r.cached(key); res != nil {
+			return res
+		}
+	}
+
+	cfg := r.opt.machineConfig()
+	if s.Prefetch != nil {
+		cfg.Prefetch = *s.Prefetch
+	}
+	m := machine.New(cfg)
+
+	fgThreads := capThreads(s.Fg, 4)
+	bgThreads := capThreads(s.Bg, 4)
+	fg := m.AddJob(machine.JobSpec{
+		Profile: s.Fg,
+		Threads: fgThreads,
+		Slots:   m.SlotsForCores(0, 1),
+		Scale:   r.opt.scale(),
+		Seed:    "fg",
+	})
+	bg := m.AddJob(machine.JobSpec{
+		Profile:    s.Bg,
+		Threads:    bgThreads,
+		Slots:      m.SlotsForCores(2, 3),
+		Background: s.Mode == BackgroundLoop,
+		Scale:      r.opt.scale(),
+		Seed:       "bg",
+	})
+
+	assoc := cfg.Hier.LLC.Assoc
+	switch {
+	case s.FgWays == 0 && s.BgWays == 0:
+		// Fully shared: both sides may replace anywhere.
+	case s.FgWays > 0 && s.BgWays > 0 && s.FgWays+s.BgWays <= assoc:
+		fgMask := cache.MaskFirstN(s.FgWays)
+		bgMask := cache.MaskRange(assoc-s.BgWays, assoc)
+		for _, c := range fg.Cores() {
+			m.Hierarchy().SetWayMask(c, fgMask)
+		}
+		for _, c := range bg.Cores() {
+			m.Hierarchy().SetWayMask(c, bgMask)
+		}
+	default:
+		panic(fmt.Sprintf("sched: invalid pair partition %d+%d ways of %d",
+			s.FgWays, s.BgWays, assoc))
+	}
+
+	if s.Setup != nil {
+		s.Setup(m, fg, bg)
+	}
+
+	res := m.Run()
+	if key != "" {
+		r.store(key, res)
+	}
+	return res
+}
+
+// AloneHalf returns the foreground baseline of §5.1: the application
+// alone on 2 cores / 4 hyperthreads with the full LLC.
+func (r *Runner) AloneHalf(app *workload.Profile) *machine.Result {
+	return r.RunSingle(SingleSpec{App: app, Threads: 4})
+}
+
+// AloneWhole returns the sequential baseline of §5.3: the application
+// alone on the whole machine (8 hyperthreads, full LLC).
+func (r *Runner) AloneWhole(app *workload.Profile) *machine.Result {
+	return r.RunSingle(SingleSpec{App: app, Threads: 8})
+}
+
+func capThreads(p *workload.Profile, want int) int {
+	if want < 1 {
+		want = 1
+	}
+	if want > p.MaxThreads {
+		return p.MaxThreads
+	}
+	return want
+}
+
+// applyWays restricts each listed core's LLC replacement mask to the
+// first n ways (0 = leave the full mask).
+func applyWays(m *machine.Machine, cores []int, n int) {
+	if n <= 0 {
+		return
+	}
+	mask := cache.MaskFirstN(n)
+	for _, c := range cores {
+		m.Hierarchy().SetWayMask(c, mask)
+	}
+}
+
+func (r *Runner) cached(key string) *machine.Result {
+	if r.opt.DisableCache {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache[key]
+}
+
+func (r *Runner) store(key string, res *machine.Result) {
+	if r.opt.DisableCache || key == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[key] = res
+}
+
+func pfKey(p *prefetch.Config) string {
+	if p == nil {
+		return "def"
+	}
+	return fmt.Sprintf("%v%v%v%v", p.DCUIP, p.DCUStreamer, p.MLCSpatial, p.MLCStreamer)
+}

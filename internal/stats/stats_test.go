@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean of 1,2,3")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean of 1,4")
+	}
+	if !almostEq(GeoMean([]float64{2, 0, 8}), 4) {
+		t.Fatal("geomean should skip non-positive entries")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("geomean of all non-positive")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatal("min/max")
+	}
+	if ArgMin(xs) != 1 {
+		t.Fatalf("ArgMin = %d", ArgMin(xs))
+	}
+	if ArgMax(xs) != 4 {
+		t.Fatalf("ArgMax = %d", ArgMax(xs))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("Arg* on empty should be -1")
+	}
+}
+
+func TestNormalize01(t *testing.T) {
+	xs := Normalize01([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range xs {
+		if !almostEq(xs[i], want[i]) {
+			t.Fatalf("normalize: got %v", xs)
+		}
+	}
+	cs := Normalize01([]float64{5, 5, 5})
+	for _, v := range cs {
+		if v != 0 {
+			t.Fatal("constant vector should normalize to zeros")
+		}
+	}
+}
+
+func TestNormalize01Property(t *testing.T) {
+	if err := quick.Check(func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip inputs whose span would overflow float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		cp := append([]float64(nil), xs...)
+		Normalize01(cp)
+		for _, v := range cp {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if !almostEq(Euclidean([]float64{0, 0}, []float64{3, 4}), 5) {
+		t.Fatal("3-4-5 triangle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestEuclideanSymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b [4]float64) bool {
+		for _, v := range append(a[:], b[:]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		return almostEq(Euclidean(a[:], b[:]), Euclidean(b[:], a[:]))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almostEq(Percentile(xs, 0), 1) || !almostEq(Percentile(xs, 100), 5) {
+		t.Fatal("percentile endpoints")
+	}
+	if !almostEq(Percentile(xs, 50), 3) {
+		t.Fatal("median")
+	}
+	if !almostEq(Percentile([]float64{1, 2}, 50), 1.5) {
+		t.Fatal("interpolated median")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp")
+	}
+}

@@ -1,0 +1,259 @@
+// Package trace generates synthetic memory-reference streams. Each
+// application in the workload catalog is modeled as a mix of access
+// patterns (sequential streams, fixed strides, skewed random reuse) over
+// a phase-dependent working set, plus optional non-temporal streaming
+// traffic that bypasses the cache hierarchy — the mechanism behind the
+// paper's stream_uncached bandwidth hog.
+package trace
+
+import "repro/internal/rng"
+
+// PatternMix gives the probability of each access pattern. Weights are
+// normalized internally; a zero mix defaults to all-random.
+type PatternMix struct {
+	Seq    float64 // ascending line stream (prefetcher-friendly)
+	Stride float64 // fixed multi-line stride (IP-prefetcher-friendly)
+	Random float64 // skewed random reuse within the working set
+}
+
+// Config parameterizes a per-thread generator for one phase.
+type Config struct {
+	// DataBase is the byte address of this thread's private region.
+	DataBase uint64
+	// PrivateBytes is the size of the thread's private working set.
+	PrivateBytes int
+	// SharedBase/SharedBytes describe the region shared by all threads
+	// of the application (zero SharedBytes disables sharing).
+	SharedBase  uint64
+	SharedBytes int
+	SharedFrac  float64 // probability an access targets the shared region
+	Mix         PatternMix
+	StrideLines int     // stride pattern step, in lines (default 4)
+	WriteFrac   float64 // probability an access is a store
+	StreamFrac  float64 // probability an access is non-temporal (bypasses caches)
+	HotFrac     float64 // probability a random access hits the hot subset
+	HotPortion  float64 // hot subset size as a fraction of the region
+	// RepeatFrac is the probability an access re-reads the previous
+	// line (field-by-field object access). Repeats hit the L1 but train
+	// the DCU streamer's multiple-reads-to-one-line trigger, so for
+	// scattered heaps they generate pure prefetch pollution.
+	RepeatFrac float64
+	// HotStride spreads the hot subset across the region: hot line k
+	// lives at index k*HotStride (default 1 = contiguous). A strided hot
+	// layout makes next-line prefetches land on cold lines — pollution.
+	HotStride int
+	LineBytes int // cache line size (default 64)
+}
+
+// Ref is one generated memory reference.
+type Ref struct {
+	LineAddr  uint64 // line address (byte address >> log2(line))
+	PC        uint64 // pseudo program counter (stable per stream)
+	Write     bool
+	Streaming bool // non-temporal: bypasses the cache hierarchy
+}
+
+// Generator produces references for one software thread in one phase.
+type Generator struct {
+	cfg       Config
+	rng       *rng.Stream
+	lineShift uint
+
+	privLines   uint64
+	sharedLines uint64
+
+	seqCursor    uint64
+	strideCursor uint64
+	pcSeq        uint64
+	pcStride     uint64
+	pcShared     uint64
+	pcStream     uint64
+	pcRepeat     uint64
+	streamCursor uint64
+	lastLine     uint64
+	haveLast     bool
+
+	wSeq, wStride, wRandom float64 // normalized cumulative mix
+}
+
+// NewGenerator builds a generator. The rng stream must be dedicated to
+// this generator (callers derive one per thread per phase).
+func NewGenerator(cfg Config, r *rng.Stream) *Generator {
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.StrideLines == 0 {
+		cfg.StrideLines = 4
+	}
+	if cfg.HotPortion == 0 {
+		cfg.HotPortion = 0.2
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	g := &Generator{
+		cfg:       cfg,
+		rng:       r,
+		lineShift: shift,
+	}
+	g.privLines = uint64(cfg.PrivateBytes) >> shift
+	if g.privLines == 0 {
+		g.privLines = 1
+	}
+	g.sharedLines = uint64(cfg.SharedBytes) >> shift
+	// Normalize the pattern mix.
+	total := cfg.Mix.Seq + cfg.Mix.Stride + cfg.Mix.Random
+	if total <= 0 {
+		g.wSeq, g.wStride, g.wRandom = 0, 0, 1
+	} else {
+		g.wSeq = cfg.Mix.Seq / total
+		g.wStride = g.wSeq + cfg.Mix.Stride/total
+		g.wRandom = 1
+	}
+	// Stable pseudo-PCs so the IP prefetcher can train on the
+	// structured streams; random accesses get varying PCs.
+	g.pcSeq = r.Derive("pc.seq").Uint64() | 1
+	g.pcStride = r.Derive("pc.stride").Uint64() | 1
+	g.pcShared = r.Derive("pc.shared").Uint64() | 1
+	g.pcStream = r.Derive("pc.stream").Uint64() | 1
+	g.pcRepeat = r.Derive("pc.repeat").Uint64() | 1
+	g.seqCursor = r.Uint64n(g.privLines)
+	g.strideCursor = r.Uint64n(g.privLines)
+	return g
+}
+
+// Next produces the next reference.
+func (g *Generator) Next() Ref {
+	c := &g.cfg
+	if c.RepeatFrac > 0 && g.haveLast && g.rng.Bool(c.RepeatFrac) {
+		return Ref{
+			LineAddr: g.lastLine,
+			PC:       g.pcRepeat,
+			Write:    g.rng.Bool(c.WriteFrac),
+		}
+	}
+	if c.StreamFrac > 0 && g.rng.Bool(c.StreamFrac) {
+		// Non-temporal stream: walk an unbounded region; never reused.
+		g.streamCursor++
+		return Ref{
+			LineAddr:  (c.DataBase >> g.lineShift) + (1 << 30) + g.streamCursor,
+			PC:        g.pcStream,
+			Write:     g.rng.Bool(c.WriteFrac),
+			Streaming: true,
+		}
+	}
+
+	write := g.rng.Bool(c.WriteFrac)
+
+	// Shared-region access?
+	if g.sharedLines > 0 && g.rng.Bool(c.SharedFrac) {
+		off := g.skewedIndex(g.sharedLines)
+		return g.emit(Ref{
+			LineAddr: (c.SharedBase >> g.lineShift) + off,
+			PC:       g.pcShared,
+			Write:    write,
+		})
+	}
+
+	base := c.DataBase >> g.lineShift
+	p := g.rng.Float64()
+	switch {
+	case p < g.wSeq:
+		g.seqCursor++
+		if g.seqCursor >= g.privLines {
+			g.seqCursor = 0
+		}
+		return g.emit(Ref{LineAddr: base + g.seqCursor, PC: g.pcSeq, Write: write})
+	case p < g.wStride:
+		g.strideCursor += uint64(c.StrideLines)
+		if g.strideCursor >= g.privLines {
+			g.strideCursor %= g.privLines
+		}
+		return g.emit(Ref{LineAddr: base + g.strideCursor, PC: g.pcStride, Write: write})
+	default:
+		off := g.skewedIndex(g.privLines)
+		// Vary the PC so random traffic does not train the IP table.
+		pc := g.rng.Uint64() | 1
+		return g.emit(Ref{LineAddr: base + off, PC: pc, Write: write})
+	}
+}
+
+// emit records the line for repeat-burst generation and returns the ref.
+func (g *Generator) emit(r Ref) Ref {
+	g.lastLine = r.LineAddr
+	g.haveLast = true
+	return r
+}
+
+// skewedIndex returns a line offset in [0, n) with hot-subset reuse skew:
+// with probability HotFrac the access lands in the first HotPortion of
+// the region. The skew produces the smooth, knee-free miss-rate curves
+// the paper observes on real hardware (§3.2).
+func (g *Generator) skewedIndex(n uint64) uint64 {
+	if n <= 1 {
+		return 0
+	}
+	c := &g.cfg
+	if c.HotFrac > 0 && g.rng.Bool(c.HotFrac) {
+		hot := uint64(float64(n) * c.HotPortion)
+		if hot < 1 {
+			hot = 1
+		}
+		stride := uint64(c.HotStride)
+		if stride <= 1 {
+			return g.rng.Uint64n(hot)
+		}
+		return (g.rng.Uint64n(hot) * stride) % n
+	}
+	return g.rng.Uint64n(n)
+}
+
+// CodeGenerator produces instruction-fetch references over a code
+// footprint: mostly-sequential with random branches, which is what a
+// front end sees. Applications with large code footprints (JIT-heavy
+// managed runtimes) thereby generate L1I and LLC instruction traffic.
+type CodeGenerator struct {
+	base      uint64
+	lines     uint64
+	cursor    uint64
+	rng       *rng.Stream
+	pc        uint64
+	lineShift uint
+}
+
+// NewCodeGenerator builds a code-fetch generator over footprintBytes.
+func NewCodeGenerator(base uint64, footprintBytes, lineBytes int, r *rng.Stream) *CodeGenerator {
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	lines := uint64(footprintBytes) >> shift
+	if lines == 0 {
+		lines = 1
+	}
+	return &CodeGenerator{
+		base:      base >> shift,
+		lines:     lines,
+		rng:       r,
+		pc:        r.Derive("pc.code").Uint64() | 1,
+		lineShift: shift,
+	}
+}
+
+// Next returns the next instruction-line fetch.
+func (cg *CodeGenerator) Next() Ref {
+	// 70% fall-through to the next line, 30% branch to a random line.
+	if cg.rng.Bool(0.3) {
+		cg.cursor = cg.rng.Uint64n(cg.lines)
+	} else {
+		cg.cursor++
+		if cg.cursor >= cg.lines {
+			cg.cursor = 0
+		}
+	}
+	return Ref{LineAddr: cg.base + cg.cursor, PC: cg.pc}
+}

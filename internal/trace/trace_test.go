@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func gen(cfg Config, seed string) *Generator {
+	return NewGenerator(cfg, rng.NewNamed(seed))
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{DataBase: 1 << 20, PrivateBytes: 64 << 10, Mix: PatternMix{Seq: 0.3, Random: 0.7}}
+	a := gen(cfg, "x")
+	b := gen(cfg, "x")
+	for i := 0; i < 1000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("generators diverged at ref %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestAddressesStayInRegion(t *testing.T) {
+	const base = uint64(4) << 30
+	const ws = 256 << 10
+	g := gen(Config{DataBase: base, PrivateBytes: ws, Mix: PatternMix{Seq: 0.4, Stride: 0.3, Random: 0.3}}, "r")
+	lo, hi := base>>6, (base+ws)>>6
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Streaming {
+			continue
+		}
+		if r.LineAddr < lo || r.LineAddr >= hi {
+			t.Fatalf("ref %d outside region: %#x", i, r.LineAddr)
+		}
+	}
+}
+
+func TestSequentialPatternAscends(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20, Mix: PatternMix{Seq: 1}}, "s")
+	prev := g.Next().LineAddr
+	wraps := 0
+	for i := 0; i < 5000; i++ {
+		cur := g.Next().LineAddr
+		if cur != prev+1 {
+			if cur != 0 {
+				t.Fatalf("non-contiguous seq step: %d -> %d", prev, cur)
+			}
+			wraps++
+		}
+		prev = cur
+	}
+	if wraps > 1 {
+		t.Fatalf("seq stream wrapped %d times over a 16k-line region", wraps)
+	}
+}
+
+func TestSeqSharesOnePC(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20, Mix: PatternMix{Seq: 1}}, "pc")
+	pc := g.Next().PC
+	for i := 0; i < 100; i++ {
+		if g.Next().PC != pc {
+			t.Fatal("sequential stream changed PC (IP prefetcher cannot train)")
+		}
+	}
+}
+
+func TestRandomVariesPC(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20, Mix: PatternMix{Random: 1}, HotFrac: 0}, "rp")
+	pcs := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		pcs[g.Next().PC] = true
+	}
+	if len(pcs) < 90 {
+		t.Fatalf("random accesses reused PCs heavily: %d unique of 100", len(pcs))
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20, Mix: PatternMix{Random: 1}, WriteFrac: 0.3}, "w")
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("write fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestStreamingBypass(t *testing.T) {
+	g := gen(Config{DataBase: 1 << 30, PrivateBytes: 1 << 20, StreamFrac: 1, Mix: PatternMix{Seq: 1}}, "st")
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if !r.Streaming {
+			t.Fatal("StreamFrac=1 produced cached access")
+		}
+		if i > 0 && r.LineAddr != prev+1 {
+			t.Fatal("stream not monotonic")
+		}
+		prev = r.LineAddr
+	}
+}
+
+func TestHotSkew(t *testing.T) {
+	const ws = 1 << 20 // 16384 lines
+	g := gen(Config{DataBase: 0, PrivateBytes: ws, Mix: PatternMix{Random: 1},
+		HotFrac: 0.8, HotPortion: 0.1}, "h")
+	hotLines := uint64(16384 / 10)
+	inHot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().LineAddr < hotLines {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / n
+	// 80% targeted + ~10% of the uniform 20% also lands in the hot range.
+	if frac < 0.76 || frac > 0.88 {
+		t.Fatalf("hot fraction %v, want ~0.82", frac)
+	}
+}
+
+func TestHotStrideSpreads(t *testing.T) {
+	const ws = 1 << 20
+	g := gen(Config{DataBase: 0, PrivateBytes: ws, Mix: PatternMix{Random: 1},
+		HotFrac: 1, HotPortion: 0.1, HotStride: 4}, "hs")
+	maxSeen := uint64(0)
+	for i := 0; i < 5000; i++ {
+		if a := g.Next().LineAddr; a > maxSeen {
+			maxSeen = a
+		}
+	}
+	contiguousHot := uint64(16384 / 10)
+	if maxSeen < contiguousHot*2 {
+		t.Fatalf("strided hot set not spread: max line %d", maxSeen)
+	}
+}
+
+func TestRepeatBursts(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20, Mix: PatternMix{Random: 1},
+		RepeatFrac: 0.5}, "rep")
+	repeats := 0
+	prev := g.Next().LineAddr
+	const n = 20000
+	for i := 0; i < n; i++ {
+		cur := g.Next().LineAddr
+		if cur == prev {
+			repeats++
+		}
+		prev = cur
+	}
+	frac := float64(repeats) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("repeat fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestSharedRegionRouting(t *testing.T) {
+	cfg := Config{
+		DataBase: 0, PrivateBytes: 1 << 20,
+		SharedBase: 1 << 30, SharedBytes: 1 << 20, SharedFrac: 0.4,
+		Mix: PatternMix{Random: 1},
+	}
+	g := gen(cfg, "sh")
+	shared := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().LineAddr >= (1<<30)>>6 {
+			shared++
+		}
+	}
+	frac := float64(shared) / n
+	if frac < 0.36 || frac > 0.44 {
+		t.Fatalf("shared fraction %v, want ~0.4", frac)
+	}
+}
+
+func TestZeroMixDefaultsToRandom(t *testing.T) {
+	g := gen(Config{DataBase: 0, PrivateBytes: 1 << 20}, "z")
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[g.Next().LineAddr] = true
+	}
+	if len(seen) < 500 {
+		t.Fatalf("zero mix produced only %d distinct lines", len(seen))
+	}
+}
+
+func TestTinyRegionSafe(t *testing.T) {
+	if err := quick.Check(func(ws uint16, seed uint64) bool {
+		g := NewGenerator(Config{DataBase: 0, PrivateBytes: int(ws),
+			Mix: PatternMix{Seq: 1, Stride: 1, Random: 1}}, rng.New(seed))
+		for i := 0; i < 100; i++ {
+			g.Next()
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeGenerator(t *testing.T) {
+	cg := NewCodeGenerator(1<<24, 64<<10, 64, rng.NewNamed("code"))
+	lo, hi := uint64(1<<24)>>6, uint64((1<<24)+(64<<10))>>6
+	pc := uint64(0)
+	for i := 0; i < 5000; i++ {
+		r := cg.Next()
+		if r.LineAddr < lo || r.LineAddr >= hi {
+			t.Fatalf("code fetch outside footprint: %#x", r.LineAddr)
+		}
+		if r.Write {
+			t.Fatal("code fetch marked as write")
+		}
+		if i == 0 {
+			pc = r.PC
+		} else if r.PC != pc {
+			t.Fatal("code generator PC changed")
+		}
+	}
+}
+
+func TestCodeGeneratorTinyFootprint(t *testing.T) {
+	cg := NewCodeGenerator(0, 1, 64, rng.NewNamed("tiny"))
+	for i := 0; i < 10; i++ {
+		if cg.Next().LineAddr != 0 {
+			t.Fatal("1-byte footprint should stay on line 0")
+		}
+	}
+}

@@ -1,0 +1,635 @@
+package workload
+
+import "repro/internal/trace"
+
+// Size units for catalog readability.
+const (
+	kb = 1024
+	mb = 1 << 20
+)
+
+// giga scales nominal instruction counts.
+const giga = 1e9
+
+// The catalog. Each entry's comment states the paper-published targets
+// the parameters are calibrated against, in the form:
+//
+//	scalability (Table 1) / LLC utility (Table 2) / prefetch (Fig 3) /
+//	bandwidth (Fig 4); ">10 LLC-APKI" marks Table 2 bold entries.
+//
+// Working-set sizes are chosen so the *measured* capacity demand
+// (capacity needed to reach 95% of best performance, §3.2) reproduces
+// the paper's census: 44% of applications under 1 MB, 78% under 3 MB.
+// Streaming codes have huge nominal arrays but tiny measured demand —
+// caching cannot help them, exactly as on the real machine.
+var catalog = []Profile{
+
+	// ------------------------------------------------------------------
+	// PARSEC (13) — pthreads parallel suite, native inputs.
+	// ------------------------------------------------------------------
+
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "blackscholes", Suite: SuitePARSEC,
+		Instructions: 2.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.012, SyncOverhead: 0.004,
+		MLP: 3.5, CPIScale: 0.85, WriteFrac: 0.25, SharedFrac: 0.05,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 8,
+		Phases: flat(192*kb, 7, trace.PatternMix{Seq: 0.35, Stride: 0.1, Random: 0.55}),
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "bodytrack", Suite: SuitePARSEC,
+		Instructions: 2.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.03, SyncOverhead: 0.012,
+		MLP: 3.0, CPIScale: 0.9, WriteFrac: 0.28, SharedFrac: 0.15,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 10,
+		Phases: flat(640*kb, 8, trace.PatternMix{Seq: 0.3, Stride: 0.15, Random: 0.55}),
+	},
+	// saturated scal / saturated utility / pf-insensitive / bw-mild;
+	// >10 LLC-APKI: the classic pointer-chasing LLC polluter and the
+	// paper's example aggressor (slows canneal's co-runners).
+	{
+		Name: "canneal", Suite: SuitePARSEC,
+		Instructions: 3.0 * giga, MaxThreads: 8,
+		SerialFrac: 0.15, SyncOverhead: 0.12,
+		MLP: 2.6, CPIScale: 1.1, WriteFrac: 0.3, SharedFrac: 0.5,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 8,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2400 * kb, APKI: 13,
+			Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+			HotFrac: 0.55, HotPortion: 0.25,
+		}},
+	},
+	// saturated scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "dedup", Suite: SuitePARSEC,
+		Instructions: 2.4 * giga, MaxThreads: 8,
+		SerialFrac: 0.12, SyncOverhead: 0.1,
+		MLP: 2.8, CPIScale: 1.0, WriteFrac: 0.35, SharedFrac: 0.2,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 10,
+		Phases: flat(768*kb, 8, trace.PatternMix{Seq: 0.4, Stride: 0.1, Random: 0.5}),
+	},
+	// high scal / saturated utility / pf-sensitive / bw-insensitive.
+	{
+		Name: "facesim", Suite: SuitePARSEC,
+		Instructions: 3.4 * giga, MaxThreads: 8,
+		SerialFrac: 0.02, SyncOverhead: 0.01,
+		MLP: 4.0, CPIScale: 0.85, WriteFrac: 0.33, SharedFrac: 0.2,
+		CodeFootprintBytes: 128 * kb, CodeRefPKI: 10,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2 * mb, APKI: 13,
+			Mix:     trace.PatternMix{Seq: 0.55, Stride: 0.2, Random: 0.25},
+			HotFrac: 0.65, HotPortion: 0.3,
+		}},
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	// Table 3: representative of cluster C3 (high scalability, low
+	// cache utility).
+	{
+		Name: "ferret", Suite: SuitePARSEC,
+		Instructions: 4.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.015, SyncOverhead: 0.006,
+		MLP: 3.2, CPIScale: 0.95, WriteFrac: 0.27, SharedFrac: 0.15,
+		CodeFootprintBytes: 128 * kb, CodeRefPKI: 12,
+		Phases: flat(896*kb, 8, trace.PatternMix{Seq: 0.3, Stride: 0.1, Random: 0.6}),
+	},
+	// high scal / low utility / pf-insensitive / bw-SENSITIVE
+	// (one of the two PARSEC bandwidth victims, Fig 4).
+	{
+		Name: "fluidanimate", Suite: SuitePARSEC,
+		Instructions: 3.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.02, SyncOverhead: 0.008,
+		MLP: 3.5, CPIScale: 0.9, WriteFrac: 0.38, SharedFrac: 0.25,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 8,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 24 * mb, APKI: 11,
+			Mix:     trace.PatternMix{Seq: 0.5, Stride: 0.3, Random: 0.2},
+			HotFrac: 0.4, HotPortion: 0.05,
+		}},
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "freqmine", Suite: SuitePARSEC,
+		Instructions: 3.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.025, SyncOverhead: 0.01,
+		MLP: 2.6, CPIScale: 1.0, WriteFrac: 0.3, SharedFrac: 0.2,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 10,
+		Phases: flat(832*kb, 9, trace.PatternMix{Seq: 0.25, Stride: 0.1, Random: 0.65}),
+	},
+	// saturated scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "raytrace", Suite: SuitePARSEC,
+		Instructions: 3.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.12, SyncOverhead: 0.1,
+		MLP: 2.4, CPIScale: 0.95, WriteFrac: 0.2, SharedFrac: 0.3,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 9,
+		Phases: flat(960*kb, 7, trace.PatternMix{Seq: 0.2, Stride: 0.15, Random: 0.65}),
+	},
+	// high scal / low utility / pf-sensitive / bw-SENSITIVE;
+	// >10 LLC-APKI (streaming k-means over a large point set).
+	{
+		Name: "streamcluster", Suite: SuitePARSEC,
+		Instructions: 3.0 * giga, MaxThreads: 8,
+		SerialFrac: 0.02, SyncOverhead: 0.012,
+		MLP: 5.0, CPIScale: 0.9, WriteFrac: 0.15, SharedFrac: 0.4,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 8,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 28 * mb, APKI: 13,
+			Mix:     trace.PatternMix{Seq: 0.6, Stride: 0.2, Random: 0.2},
+			HotFrac: 0.2, HotPortion: 0.04,
+		}},
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive:
+	// tiny working set, pure compute.
+	{
+		Name: "swaptions", Suite: SuitePARSEC,
+		Instructions: 2.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.008, SyncOverhead: 0.003,
+		MLP: 3.0, CPIScale: 0.8, WriteFrac: 0.22, SharedFrac: 0.02,
+		CodeFootprintBytes: 48 * kb, CodeRefPKI: 6,
+		Phases: flat(144*kb, 6, trace.PatternMix{Seq: 0.3, Stride: 0.2, Random: 0.5}),
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "vips", Suite: SuitePARSEC,
+		Instructions: 3.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.02, SyncOverhead: 0.009,
+		MLP: 3.4, CPIScale: 0.9, WriteFrac: 0.33, SharedFrac: 0.1,
+		CodeFootprintBytes: 160 * kb, CodeRefPKI: 12,
+		Phases: flat(704*kb, 8, trace.PatternMix{Seq: 0.45, Stride: 0.15, Random: 0.4}),
+	},
+	// high scal / HIGH utility / pf-insensitive / bw-mild: the one
+	// PARSEC code whose references keep rewarding extra LLC capacity.
+	{
+		Name: "x264", Suite: SuitePARSEC,
+		Instructions: 3.4 * giga, MaxThreads: 8,
+		SerialFrac: 0.03, SyncOverhead: 0.015,
+		MLP: 2.8, CPIScale: 0.9, WriteFrac: 0.3, SharedFrac: 0.25,
+		CodeFootprintBytes: 192 * kb, CodeRefPKI: 12,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5632 * kb, APKI: 12,
+			Mix:     trace.PatternMix{Seq: 0.3, Stride: 0.25, Random: 0.45},
+			HotFrac: 0.8, HotPortion: 0.85,
+		}},
+	},
+
+	// ------------------------------------------------------------------
+	// DaCapo 2009 (14) — managed (JVM) suite: large code footprints,
+	// GC-limited scalability, moderate bandwidth demand.
+	// ------------------------------------------------------------------
+
+	// saturated scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "avrora", Suite: SuiteDaCapo,
+		Instructions: 2.0 * giga, MaxThreads: 8,
+		SerialFrac: 0.18, SyncOverhead: 0.14,
+		MLP: 2.2, CPIScale: 1.3, WriteFrac: 0.3, SharedFrac: 0.25,
+		CodeFootprintBytes: 384 * kb, CodeRefPKI: 24,
+		Phases: flat(448*kb, 6, trace.PatternMix{Seq: 0.2, Stride: 0.1, Random: 0.7}),
+	},
+	// saturated scal / saturated utility / pf-insensitive /
+	// bw-insensitive. Table 3: representative of cluster C6.
+	{
+		Name: "batik", Suite: SuiteDaCapo,
+		Instructions: 1.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.16, SyncOverhead: 0.14,
+		MLP: 2.5, CPIScale: 1.25, WriteFrac: 0.32, SharedFrac: 0.2,
+		CodeFootprintBytes: 640 * kb, CodeRefPKI: 28,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 1600 * kb, APKI: 8,
+			Mix:     trace.PatternMix{Seq: 0.25, Stride: 0.1, Random: 0.65},
+			HotFrac: 0.7, HotPortion: 0.3,
+		}},
+	},
+	// saturated scal / HIGH utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "eclipse", Suite: SuiteDaCapo,
+		Instructions: 3.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.16, SyncOverhead: 0.12,
+		MLP: 2.5, CPIScale: 1.35, WriteFrac: 0.33, SharedFrac: 0.25,
+		CodeFootprintBytes: 1536 * kb, CodeRefPKI: 34,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5632 * kb, APKI: 10,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.1, Random: 0.75},
+			HotFrac: 0.78, HotPortion: 0.85,
+		}},
+	},
+	// saturated scal / HIGH utility / pf-insensitive / bw-insensitive.
+	// Table 3: representative of cluster C4 (cache-sensitive,
+	// saturated scalability).
+	{
+		Name: "fop", Suite: SuiteDaCapo,
+		Instructions: 1.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.15, SyncOverhead: 0.12,
+		MLP: 2.0, CPIScale: 1.3, WriteFrac: 0.34, SharedFrac: 0.2,
+		CodeFootprintBytes: 768 * kb, CodeRefPKI: 30,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5376 * kb, APKI: 9,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.1, Random: 0.75},
+			HotFrac: 0.78, HotPortion: 0.85,
+		}},
+	},
+	// LOW scal / saturated utility / pf-insensitive / bw-insensitive:
+	// transactional database, lock-serialized.
+	{
+		Name: "h2", Suite: SuiteDaCapo,
+		Instructions: 3.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.6, SyncOverhead: 0.15,
+		MLP: 2.4, CPIScale: 1.35, WriteFrac: 0.38, SharedFrac: 0.35,
+		CodeFootprintBytes: 896 * kb, CodeRefPKI: 30,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2200 * kb, APKI: 10,
+			Mix:     trace.PatternMix{Seq: 0.1, Stride: 0.1, Random: 0.8},
+			HotFrac: 0.65, HotPortion: 0.25,
+		}},
+	},
+	// saturated scal / saturated utility / pf-insensitive /
+	// bw-insensitive.
+	{
+		Name: "jython", Suite: SuiteDaCapo,
+		Instructions: 2.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.18, SyncOverhead: 0.14,
+		MLP: 2.0, CPIScale: 1.4, WriteFrac: 0.3, SharedFrac: 0.2,
+		CodeFootprintBytes: 1024 * kb, CodeRefPKI: 36,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 1800 * kb, APKI: 7,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.1, Random: 0.75},
+			HotFrac: 0.7, HotPortion: 0.3,
+		}},
+	},
+	// saturated scal / saturated utility / pf-insensitive /
+	// bw-insensitive.
+	{
+		Name: "luindex", Suite: SuiteDaCapo,
+		Instructions: 1.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.2, SyncOverhead: 0.15,
+		MLP: 2.2, CPIScale: 1.25, WriteFrac: 0.35, SharedFrac: 0.15,
+		CodeFootprintBytes: 512 * kb, CodeRefPKI: 26,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 1400 * kb, APKI: 8,
+			Mix:     trace.PatternMix{Seq: 0.3, Stride: 0.1, Random: 0.6},
+			HotFrac: 0.7, HotPortion: 0.3,
+		}},
+	},
+	// saturated scal / HIGH utility / pf-DEGRADED / bw-mild;
+	// the paper's one prefetch-hurt application (Fig 3) and a listed
+	// aggressor (Fig 8). Short-stride traffic mistrains the streamers,
+	// so prefetch fills pollute its large, reuse-heavy heap.
+	{
+		Name: "lusearch", Suite: SuiteDaCapo,
+		Instructions: 2.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.14, SyncOverhead: 0.1,
+		MLP: 2.2, CPIScale: 1.3, WriteFrac: 0.32, SharedFrac: 0.25,
+		CodeFootprintBytes: 640 * kb, CodeRefPKI: 28,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5376 * kb, APKI: 16,
+			Mix:     trace.PatternMix{Random: 1},
+			HotFrac: 0.8, HotPortion: 0.22,
+			RepeatFrac: 0.35, HotStride: 4,
+		}},
+	},
+	// high scal / HIGH utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "pmd", Suite: SuiteDaCapo,
+		Instructions: 2.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.05, SyncOverhead: 0.04,
+		MLP: 2.0, CPIScale: 1.3, WriteFrac: 0.3, SharedFrac: 0.2,
+		CodeFootprintBytes: 1024 * kb, CodeRefPKI: 32,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5632 * kb, APKI: 10,
+			Mix:     trace.PatternMix{Seq: 0.1, Stride: 0.1, Random: 0.8},
+			HotFrac: 0.76, HotPortion: 0.85,
+		}},
+	},
+	// high scal / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "sunflow", Suite: SuiteDaCapo,
+		Instructions: 2.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.02, SyncOverhead: 0.015,
+		MLP: 2.8, CPIScale: 1.1, WriteFrac: 0.25, SharedFrac: 0.3,
+		CodeFootprintBytes: 448 * kb, CodeRefPKI: 22,
+		Phases: flat(832*kb, 7, trace.PatternMix{Seq: 0.2, Stride: 0.15, Random: 0.65}),
+	},
+	// high scal / saturated utility / pf-insensitive / bw-insensitive.
+	// §3.2's example of saturated LLC utility.
+	{
+		Name: "tomcat", Suite: SuiteDaCapo,
+		Instructions: 3.0 * giga, MaxThreads: 8,
+		SerialFrac: 0.05, SyncOverhead: 0.035,
+		MLP: 2.2, CPIScale: 1.3, WriteFrac: 0.33, SharedFrac: 0.3,
+		CodeFootprintBytes: 1280 * kb, CodeRefPKI: 34,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2 * mb, APKI: 8,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.1, Random: 0.75},
+			HotFrac: 0.7, HotPortion: 0.3,
+		}},
+	},
+	// LOW scal / HIGH utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "tradebeans", Suite: SuiteDaCapo,
+		Instructions: 3.4 * giga, MaxThreads: 8,
+		SerialFrac: 0.6, SyncOverhead: 0.15,
+		MLP: 2.4, CPIScale: 1.35, WriteFrac: 0.36, SharedFrac: 0.35,
+		CodeFootprintBytes: 1280 * kb, CodeRefPKI: 32,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5632 * kb, APKI: 9,
+			Mix:     trace.PatternMix{Seq: 0.1, Stride: 0.1, Random: 0.8},
+			HotFrac: 0.74, HotPortion: 0.85,
+		}},
+	},
+	// LOW scal / saturated utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "tradesoap", Suite: SuiteDaCapo,
+		Instructions: 3.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.62, SyncOverhead: 0.15,
+		MLP: 2.4, CPIScale: 1.35, WriteFrac: 0.35, SharedFrac: 0.35,
+		CodeFootprintBytes: 1152 * kb, CodeRefPKI: 32,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2400 * kb, APKI: 8,
+			Mix:     trace.PatternMix{Seq: 0.1, Stride: 0.1, Random: 0.8},
+			HotFrac: 0.65, HotPortion: 0.25,
+		}},
+	},
+	// high scal / HIGH utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "xalan", Suite: SuiteDaCapo,
+		Instructions: 2.4 * giga, MaxThreads: 8,
+		SerialFrac: 0.03, SyncOverhead: 0.02,
+		MLP: 2.2, CPIScale: 1.3, WriteFrac: 0.3, SharedFrac: 0.3,
+		CodeFootprintBytes: 896 * kb, CodeRefPKI: 30,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5376 * kb, APKI: 10,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.1, Random: 0.75},
+			HotFrac: 0.76, HotPortion: 0.85,
+		}},
+	},
+
+	// ------------------------------------------------------------------
+	// SPEC CPU2006 subset (12) — sequential; Phansalkar et al. subset
+	// plus Jaleel's four LLC-stressing floating-point additions.
+	// ------------------------------------------------------------------
+
+	// sequential / saturated utility / pf-insensitive / bw-mild;
+	// >10 LLC-APKI. Table 3: representative of cluster C1. Six
+	// alternating low/high-MPKI phases reproduce Figure 12.
+	{
+		Name: "429.mcf", Suite: SuiteSPEC,
+		Instructions: 5.6 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 2.5, CPIScale: 1.15, WriteFrac: 0.28,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 8,
+		Phases: []Phase{
+			{Frac: 0.17, WorkingSetBytes: 1400 * kb, APKI: 30,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.7, HotPortion: 0.35},
+			{Frac: 0.17, WorkingSetBytes: 9 * mb, APKI: 60,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.92, HotPortion: 0.36},
+			{Frac: 0.16, WorkingSetBytes: 1400 * kb, APKI: 30,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.7, HotPortion: 0.35},
+			{Frac: 0.17, WorkingSetBytes: 9 * mb, APKI: 60,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.92, HotPortion: 0.36},
+			{Frac: 0.16, WorkingSetBytes: 1400 * kb, APKI: 30,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.7, HotPortion: 0.35},
+			{Frac: 0.17, WorkingSetBytes: 9 * mb, APKI: 60,
+				Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+				HotFrac: 0.92, HotPortion: 0.36},
+		},
+	},
+	// sequential / low utility / pf-insensitive / bw-insensitive:
+	// grid solver with a compact resident set per sweep.
+	{
+		Name: "436.cactusADM", Suite: SuiteSPEC,
+		Instructions: 3.6 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 4.0, CPIScale: 0.85, WriteFrac: 0.3,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 6,
+		Phases: flat(700*kb, 8, trace.PatternMix{Seq: 0.5, Stride: 0.3, Random: 0.2}),
+	},
+	// sequential / low utility / pf-sensitive / bw-SENSITIVE;
+	// >10 LLC-APKI: streaming stencil sweeps, no cacheable reuse.
+	{
+		Name: "437.leslie3d", Suite: SuiteSPEC,
+		Instructions: 3.8 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 5.0, CPIScale: 1.0, WriteFrac: 0.35,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 6,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 24 * mb, APKI: 20,
+			Mix:     trace.PatternMix{Seq: 0.65, Stride: 0.25, Random: 0.1},
+			HotFrac: 0.1, HotPortion: 0.02,
+		}},
+	},
+	// sequential / low utility / pf-SENSITIVE / bw-SENSITIVE;
+	// >10 LLC-APKI.
+	{
+		Name: "450.soplex", Suite: SuiteSPEC,
+		Instructions: 3.4 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 4.0, CPIScale: 1.05, WriteFrac: 0.25,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 8,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 20 * mb, APKI: 22,
+			Mix:     trace.PatternMix{Seq: 0.6, Stride: 0.25, Random: 0.15},
+			HotFrac: 0.15, HotPortion: 0.03,
+		}},
+	},
+	// sequential / low utility / pf-insensitive / bw-insensitive:
+	// compute-bound ray tracer, tiny memory appetite.
+	{
+		Name: "453.povray", Suite: SuiteSPEC,
+		Instructions: 3.0 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 3.0, CPIScale: 0.75, WriteFrac: 0.2,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 8,
+		Phases: flat(160*kb, 6, trace.PatternMix{Seq: 0.25, Stride: 0.15, Random: 0.6}),
+	},
+	// sequential / low utility / pf-insensitive / bw-insensitive.
+	{
+		Name: "454.calculix", Suite: SuiteSPEC,
+		Instructions: 3.2 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 3.5, CPIScale: 0.8, WriteFrac: 0.28,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 7,
+		Phases: flat(320*kb, 8, trace.PatternMix{Seq: 0.4, Stride: 0.25, Random: 0.35}),
+	},
+	// sequential / low utility / pf-SENSITIVE / bw-SENSITIVE;
+	// >10 LLC-APKI. Table 3: representative of cluster C2 (low
+	// scalability, bandwidth- and prefetch-sensitive).
+	{
+		Name: "459.GemsFDTD", Suite: SuiteSPEC,
+		Instructions: 3.0 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 5.0, CPIScale: 1.05, WriteFrac: 0.4,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 6,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 26 * mb, APKI: 22,
+			Mix:     trace.PatternMix{Seq: 0.7, Stride: 0.2, Random: 0.1},
+			HotFrac: 0.1, HotPortion: 0.02,
+		}},
+	},
+	// sequential / low utility / pf-SENSITIVE / bw-SENSITIVE;
+	// >10 LLC-APKI: pure sequential sweep, the ideal prefetch target.
+	{
+		Name: "462.libquantum", Suite: SuiteSPEC,
+		Instructions: 3.2 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 4.0, CPIScale: 1.0, WriteFrac: 0.3,
+		CodeFootprintBytes: 32 * kb, CodeRefPKI: 4,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 32 * mb, APKI: 28,
+			Mix:     trace.PatternMix{Seq: 0.9, Stride: 0.08, Random: 0.02},
+			HotFrac: 0.02, HotPortion: 0.01,
+		}},
+	},
+	// sequential / low utility / pf-SENSITIVE / bw-SENSITIVE;
+	// >10 LLC-APKI: Lattice-Boltzmann streaming, heavy stores.
+	{
+		Name: "470.lbm", Suite: SuiteSPEC,
+		Instructions: 3.0 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 4.5, CPIScale: 1.0, WriteFrac: 0.5,
+		CodeFootprintBytes: 32 * kb, CodeRefPKI: 4,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 30 * mb, APKI: 26,
+			Mix:     trace.PatternMix{Seq: 0.85, Stride: 0.12, Random: 0.03},
+			HotFrac: 0.03, HotPortion: 0.01,
+		}},
+	},
+	// sequential / HIGH utility / pf-insensitive / bw-mild;
+	// >10 LLC-APKI. §3.2's example of high LLC utility and a listed
+	// aggressor (Fig 8).
+	{
+		Name: "471.omnetpp", Suite: SuiteSPEC,
+		Instructions: 4.0 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 2.4, CPIScale: 1.2, WriteFrac: 0.33,
+		CodeFootprintBytes: 192 * kb, CodeRefPKI: 14,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 6656 * kb, APKI: 30,
+			Mix:     trace.PatternMix{Seq: 0.05, Stride: 0.05, Random: 0.9},
+			HotFrac: 0.85, HotPortion: 0.85,
+		}},
+	},
+	// sequential / saturated utility / pf-insensitive /
+	// bw-insensitive.
+	{
+		Name: "473.astar", Suite: SuiteSPEC,
+		Instructions: 3.6 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 2.2, CPIScale: 1.1, WriteFrac: 0.25,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 6,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 1800 * kb, APKI: 16,
+			Mix:     trace.PatternMix{Seq: 0.1, Stride: 0.1, Random: 0.8},
+			HotFrac: 0.8, HotPortion: 0.3,
+		}},
+	},
+	// sequential / saturated utility / pf-insensitive / bw-mild;
+	// >10 LLC-APKI.
+	{
+		Name: "482.sphinx3", Suite: SuiteSPEC,
+		Instructions: 3.8 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 3.0, CPIScale: 1.0, WriteFrac: 0.22,
+		CodeFootprintBytes: 128 * kb, CodeRefPKI: 10,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2600 * kb, APKI: 14,
+			Mix:     trace.PatternMix{Seq: 0.3, Stride: 0.15, Random: 0.55},
+			HotFrac: 0.65, HotPortion: 0.25,
+		}},
+	},
+
+	// ------------------------------------------------------------------
+	// Research parallel applications (4) — all memory-bandwidth-bound
+	// on this platform (Fig 1c): parallel speedups limited by DRAM.
+	// ------------------------------------------------------------------
+
+	// saturated scal (bw-bound) / HIGH utility / pf-sensitive /
+	// bw-SENSITIVE; aggressor. Browser layout-animation kernel.
+	{
+		Name: "browser_animation", Suite: SuiteParallel,
+		Instructions: 2.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.05, SyncOverhead: 0.03,
+		MLP: 3.5, CPIScale: 1.0, WriteFrac: 0.35, SharedFrac: 0.3,
+		CodeFootprintBytes: 256 * kb, CodeRefPKI: 16,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 5376 * kb, APKI: 24,
+			Mix:     trace.PatternMix{Seq: 0.5, Stride: 0.2, Random: 0.3},
+			HotFrac: 0.72, HotPortion: 0.8,
+		}},
+	},
+	// saturated scal (bw-bound) / HIGH utility / pf-mild /
+	// bw-SENSITIVE. Graph500 breadth-first search (CSR layout).
+	{
+		Name: "g500_csr", Suite: SuiteParallel,
+		Instructions: 2.6 * giga, MaxThreads: 8,
+		SerialFrac: 0.06, SyncOverhead: 0.04,
+		MLP: 2.2, CPIScale: 1.05, WriteFrac: 0.2, SharedFrac: 0.5,
+		CodeFootprintBytes: 96 * kb, CodeRefPKI: 8,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 8 * mb, APKI: 24,
+			Mix:     trace.PatternMix{Seq: 0.15, Stride: 0.05, Random: 0.8},
+			HotFrac: 0.7, HotPortion: 0.72,
+		}},
+	},
+	// LOW scal (bw-bound) / saturated utility / pf-sensitive /
+	// bw-SENSITIVE; aggressor. Parallel speech decoder.
+	{
+		Name: "ParaDecoder", Suite: SuiteParallel,
+		Instructions: 3.2 * giga, MaxThreads: 8,
+		SerialFrac: 0.38, SyncOverhead: 0.1,
+		MLP: 2.0, CPIScale: 1.1, WriteFrac: 0.3, SharedFrac: 0.45,
+		CodeFootprintBytes: 256 * kb, CodeRefPKI: 14,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2800 * kb, APKI: 22,
+			Mix:     trace.PatternMix{Seq: 0.4, Stride: 0.1, Random: 0.5},
+			HotFrac: 0.6, HotPortion: 0.25,
+		}},
+	},
+	// saturated scal (bw-bound) / saturated utility / pf-sensitive /
+	// bw-SENSITIVE. Heat-transfer stencil over a regular grid.
+	{
+		Name: "stencilprobe", Suite: SuiteParallel,
+		Instructions: 2.8 * giga, MaxThreads: 8,
+		SerialFrac: 0.03, SyncOverhead: 0.02,
+		MLP: 5.5, CPIScale: 0.9, WriteFrac: 0.4, SharedFrac: 0.2,
+		CodeFootprintBytes: 64 * kb, CodeRefPKI: 6,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 2 * mb, APKI: 24,
+			Mix:     trace.PatternMix{Seq: 0.7, Stride: 0.2, Random: 0.1},
+			HotFrac: 0.55, HotPortion: 0.3,
+		}},
+	},
+
+	// ------------------------------------------------------------------
+	// Microbenchmarks (2).
+	// ------------------------------------------------------------------
+
+	// sequential / saturated utility / pf-sensitive / bw-mild:
+	// sweeps arrays of growing size to map the hierarchy (phases walk
+	// 16 KB → 12 MB).
+	{
+		Name: "ccbench", Suite: SuiteMicro,
+		Instructions: 2.4 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 2.0, CPIScale: 1.0, WriteFrac: 0.0,
+		CodeFootprintBytes: 32 * kb, CodeRefPKI: 3,
+		Phases: []Phase{
+			{Frac: 0.2, WorkingSetBytes: 16 * kb, APKI: 40,
+				Mix: trace.PatternMix{Random: 1}, HotFrac: 0, HotPortion: 0.2},
+			{Frac: 0.2, WorkingSetBytes: 128 * kb, APKI: 40,
+				Mix: trace.PatternMix{Random: 1}, HotFrac: 0, HotPortion: 0.2},
+			{Frac: 0.2, WorkingSetBytes: 1 * mb, APKI: 40,
+				Mix: trace.PatternMix{Random: 1}, HotFrac: 0, HotPortion: 0.2},
+			{Frac: 0.2, WorkingSetBytes: 4 * mb, APKI: 40,
+				Mix: trace.PatternMix{Random: 1}, HotFrac: 0, HotPortion: 0.2},
+			{Frac: 0.2, WorkingSetBytes: 12 * mb, APKI: 40,
+				Mix: trace.PatternMix{Random: 1}, HotFrac: 0, HotPortion: 0.2},
+		},
+	},
+	// sequential / low utility / pf-n.a. / bw-HOG: tagged non-temporal
+	// loads/stores streaming straight to DRAM; the Fig 4 antagonist.
+	{
+		Name: "stream_uncached", Suite: SuiteMicro,
+		Instructions: 2.6 * giga, MaxThreads: 1,
+		SerialFrac: 1, MLP: 14.0, CPIScale: 0.6, WriteFrac: 0.5,
+		CodeFootprintBytes: 16 * kb, CodeRefPKI: 2,
+		Phases: []Phase{{
+			Frac: 1, WorkingSetBytes: 64 * mb, APKI: 110,
+			Mix:        trace.PatternMix{Seq: 1},
+			StreamFrac: 1.0,
+		}},
+	},
+}

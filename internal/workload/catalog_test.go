@@ -1,0 +1,194 @@
+package workload
+
+import "testing"
+
+func TestCatalogValid(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestCatalogCoversThePaper(t *testing.T) {
+	// §2.3: 13 PARSEC, 14 DaCapo, 12 SPEC, 4 parallel apps, 2 micros.
+	want := map[string]int{
+		SuitePARSEC:   13,
+		SuiteDaCapo:   14,
+		SuiteSPEC:     12,
+		SuiteParallel: 4,
+		SuiteMicro:    2,
+	}
+	for suite, n := range want {
+		if got := len(BySuite(suite)); got != n {
+			t.Errorf("suite %s has %d apps, want %d", suite, got, n)
+		}
+	}
+	if got := len(All()); got != 45 {
+		t.Errorf("catalog has %d apps, want 45", got)
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("429.mcf")
+	if err != nil || p.Suite != SuiteSPEC {
+		t.Fatalf("ByName(429.mcf) = %v, %v", p, err)
+	}
+	if _, err := ByName("doom3"); err == nil {
+		t.Fatal("unknown app did not error")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName on unknown app did not panic")
+		}
+	}()
+	MustByName("doom3")
+}
+
+func TestRepresentativesAreTable3(t *testing.T) {
+	reps := Representatives()
+	if len(reps) != 6 {
+		t.Fatalf("%d representatives, want 6", len(reps))
+	}
+	want := []string{"429.mcf", "459.GemsFDTD", "ferret", "fop", "dedup", "batik"}
+	for i, p := range reps {
+		if p.Name != want[i] {
+			t.Errorf("C%d = %s, want %s", i+1, p.Name, want[i])
+		}
+	}
+}
+
+func TestSequentialAppsAreSingleThreaded(t *testing.T) {
+	for _, p := range BySuite(SuiteSPEC) {
+		if p.MaxThreads != 1 {
+			t.Errorf("%s: SPEC must be single-threaded", p.Name)
+		}
+		if p.SerialFrac != 1 {
+			t.Errorf("%s: sequential app with SerialFrac %v", p.Name, p.SerialFrac)
+		}
+	}
+	for _, p := range BySuite(SuiteMicro) {
+		if p.MaxThreads != 1 {
+			t.Errorf("%s: microbenchmarks are single-threaded", p.Name)
+		}
+	}
+}
+
+func TestMcfHasAlternatingPhases(t *testing.T) {
+	p := MustByName("429.mcf")
+	if len(p.Phases) != 6 {
+		t.Fatalf("mcf has %d phases, want 6 (Figure 12)", len(p.Phases))
+	}
+	// Phases must alternate small/large working sets.
+	for i := 0; i < len(p.Phases)-1; i++ {
+		a, b := p.Phases[i].WorkingSetBytes, p.Phases[i+1].WorkingSetBytes
+		if (a < b) == (i%2 == 1) {
+			t.Fatalf("mcf phases %d,%d do not alternate: %d vs %d", i, i+1, a, b)
+		}
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	p := MustByName("429.mcf")
+	first, idx := p.PhaseAt(0)
+	if idx != 0 || first.WorkingSetBytes != p.Phases[0].WorkingSetBytes {
+		t.Fatal("PhaseAt(0)")
+	}
+	_, last := p.PhaseAt(0.999)
+	if last != len(p.Phases)-1 {
+		t.Fatalf("PhaseAt(0.999) = phase %d", last)
+	}
+	_, over := p.PhaseAt(5)
+	if over != len(p.Phases)-1 {
+		t.Fatal("PhaseAt beyond 1 should clamp to last phase")
+	}
+	_, under := p.PhaseAt(-1)
+	if under != 0 {
+		t.Fatal("PhaseAt below 0 should clamp to first phase")
+	}
+}
+
+func TestStreamUncachedIsPureStreaming(t *testing.T) {
+	p := MustByName("stream_uncached")
+	if p.Phases[0].StreamFrac != 1 {
+		t.Fatal("stream_uncached must bypass the caches entirely")
+	}
+}
+
+func TestWorkingSetCensus(t *testing.T) {
+	// Sanity floor for the §3.2 census: a good share of the catalog has
+	// nominal working sets at or under 1 MB. (The measured census in
+	// EXPERIMENTS.md uses capacity-to-95%-performance, which also counts
+	// the streaming codes as small.)
+	small := 0
+	for _, p := range All() {
+		if p.MaxWorkingSet() <= 1<<20 {
+			small++
+		}
+	}
+	if small < 12 {
+		t.Errorf("only %d apps with <=1MB nominal working sets", small)
+	}
+}
+
+func TestMeanAPKIWeighting(t *testing.T) {
+	p := &Profile{
+		Name: "x", Instructions: 1, MaxThreads: 1,
+		Phases: []Phase{
+			{Frac: 0.5, WorkingSetBytes: 1, APKI: 10},
+			{Frac: 0.5, WorkingSetBytes: 1, APKI: 30},
+		},
+	}
+	if got := p.MeanAPKI(); got != 20 {
+		t.Fatalf("MeanAPKI = %v", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	bad := []Profile{
+		{Name: "", Instructions: 1, MaxThreads: 1, Phases: []Phase{{Frac: 1, WorkingSetBytes: 1}}},
+		{Name: "a", Instructions: 0, MaxThreads: 1, Phases: []Phase{{Frac: 1, WorkingSetBytes: 1}}},
+		{Name: "b", Instructions: 1, MaxThreads: 0, Phases: []Phase{{Frac: 1, WorkingSetBytes: 1}}},
+		{Name: "c", Instructions: 1, MaxThreads: 1, SerialFrac: 2, Phases: []Phase{{Frac: 1, WorkingSetBytes: 1}}},
+		{Name: "d", Instructions: 1, MaxThreads: 1},
+		{Name: "e", Instructions: 1, MaxThreads: 1, Phases: []Phase{{Frac: 0.5, WorkingSetBytes: 1}}},
+		{Name: "f", Instructions: 1, MaxThreads: 1, Phases: []Phase{{Frac: 1, WorkingSetBytes: 0}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q validated despite being malformed", p.Name)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	n := SortedNames()
+	if len(n) != 45 {
+		t.Fatalf("%d names", len(n))
+	}
+	for i := 1; i < len(n); i++ {
+		if n[i-1] >= n[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSuitesOrder(t *testing.T) {
+	s := Suites()
+	if len(s) != 5 || s[0] != SuitePARSEC || s[4] != SuiteMicro {
+		t.Fatalf("Suites() = %v", s)
+	}
+}

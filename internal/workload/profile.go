@@ -1,0 +1,253 @@
+// Package workload defines the synthetic application catalog: a
+// parameterized behavioral model for each of the 45 applications the
+// paper studies (SPEC CPU2006 subset, DaCapo 2009, PARSEC, four research
+// parallel applications, and two microbenchmarks).
+//
+// The paper ran the real binaries on real hardware; those binaries,
+// inputs, and the prototype part are unavailable, so each application is
+// substituted by a stochastic generator whose parameters are calibrated
+// to land the application in the paper's published characterization:
+// thread-scalability class (Table 1), LLC-utility class and
+// accesses-per-kilo-instruction (Table 2), prefetcher sensitivity
+// (Figure 3), and bandwidth sensitivity (Figure 4). DESIGN.md documents
+// this substitution.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Suite names, matching the paper's grouping.
+const (
+	SuitePARSEC   = "PARSEC"
+	SuiteDaCapo   = "DaCapo"
+	SuiteSPEC     = "SPEC"
+	SuiteParallel = "PAR"
+	SuiteMicro    = "micro"
+)
+
+// Phase is one execution phase of an application: a fraction of the
+// instruction stream with its own working set and access behavior.
+// Applications with flat behavior have a single phase; 429.mcf's
+// alternating low/high-MPKI phases (Figure 12) have six.
+type Phase struct {
+	Frac            float64 // fraction of the instruction stream
+	WorkingSetBytes int     // per-application data working set
+	APKI            float64 // L1D accesses per kilo-instruction
+	Mix             trace.PatternMix
+	StrideLines     int     // step for the stride pattern (lines)
+	StreamFrac      float64 // non-temporal fraction (bypasses caches)
+	HotFrac         float64 // reuse skew: probability of hot-subset access
+	HotPortion      float64 // hot subset size as fraction of working set
+	RepeatFrac      float64 // same-line re-read bursts (trains the DCU streamer)
+	HotStride       int     // hot-line spacing (pollution-prone layouts > 1)
+}
+
+// Profile is the complete behavioral model of one application.
+type Profile struct {
+	Name  string
+	Suite string
+
+	// Instructions is the nominal dynamic instruction count at scale
+	// 1.0. The scheduler multiplies it by the experiment scale.
+	Instructions float64
+
+	// MaxThreads caps the usable software threads (1 = sequential).
+	MaxThreads int
+
+	// SerialFrac is the Amdahl serial fraction, executed by thread 0.
+	SerialFrac float64
+
+	// SyncOverhead inflates each thread's parallel work by
+	// 1 + SyncOverhead*(T-1), modeling barriers, locks, and (for the
+	// managed suite) garbage-collection scaling bottlenecks.
+	SyncOverhead float64
+
+	// MLP is the memory-level parallelism: how many misses overlap.
+	// Pointer-chasing codes sit near 1, streaming codes near 6-8.
+	MLP float64
+
+	// CPIScale multiplies the platform base CPI (ILP-rich float codes
+	// below 1, branchy interpreters above).
+	CPIScale float64
+
+	WriteFrac  float64 // store fraction of data accesses
+	SharedFrac float64 // fraction of accesses to the thread-shared region
+
+	// CodeFootprintBytes and CodeRefPKI model the instruction side;
+	// JIT-heavy managed applications have footprints well beyond L1I.
+	CodeFootprintBytes int
+	CodeRefPKI         float64
+
+	Phases []Phase
+}
+
+// Validate checks internal consistency; the catalog test runs it on
+// every entry.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile with empty name")
+	}
+	if p.Instructions <= 0 {
+		return fmt.Errorf("workload %s: non-positive instruction count", p.Name)
+	}
+	if p.MaxThreads < 1 {
+		return fmt.Errorf("workload %s: MaxThreads < 1", p.Name)
+	}
+	if p.SerialFrac < 0 || p.SerialFrac > 1 {
+		return fmt.Errorf("workload %s: SerialFrac %v out of [0,1]", p.Name, p.SerialFrac)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload %s: no phases", p.Name)
+	}
+	var total float64
+	for i, ph := range p.Phases {
+		if ph.Frac <= 0 {
+			return fmt.Errorf("workload %s: phase %d has non-positive fraction", p.Name, i)
+		}
+		if ph.WorkingSetBytes <= 0 {
+			return fmt.Errorf("workload %s: phase %d has non-positive working set", p.Name, i)
+		}
+		if ph.APKI < 0 {
+			return fmt.Errorf("workload %s: phase %d has negative APKI", p.Name, i)
+		}
+		total += ph.Frac
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("workload %s: phase fractions sum to %v, want 1", p.Name, total)
+	}
+	return nil
+}
+
+// PhaseAt returns the phase covering instruction-progress fraction
+// f ∈ [0,1) and the index of that phase.
+func (p *Profile) PhaseAt(f float64) (Phase, int) {
+	if f < 0 {
+		f = 0
+	}
+	acc := 0.0
+	for i, ph := range p.Phases {
+		acc += ph.Frac
+		if f < acc {
+			return ph, i
+		}
+	}
+	return p.Phases[len(p.Phases)-1], len(p.Phases) - 1
+}
+
+// MaxWorkingSet returns the largest per-phase working set.
+func (p *Profile) MaxWorkingSet() int {
+	m := 0
+	for _, ph := range p.Phases {
+		if ph.WorkingSetBytes > m {
+			m = ph.WorkingSetBytes
+		}
+	}
+	return m
+}
+
+// MeanAPKI returns the phase-weighted mean data APKI.
+func (p *Profile) MeanAPKI() float64 {
+	var s float64
+	for _, ph := range p.Phases {
+		s += ph.Frac * ph.APKI
+	}
+	return s
+}
+
+// flat builds the common single-phase profile body.
+func flat(ws int, apki float64, mix trace.PatternMix) []Phase {
+	return []Phase{{
+		Frac:            1,
+		WorkingSetBytes: ws,
+		APKI:            apki,
+		Mix:             mix,
+		HotFrac:         0.6,
+		HotPortion:      0.2,
+	}}
+}
+
+// ByName returns the catalog profile with the given name.
+func ByName(name string) (*Profile, error) {
+	for i := range catalog {
+		if catalog[i].Name == name {
+			return &catalog[i], nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// MustByName is ByName for static names in experiments and examples.
+func MustByName(name string) *Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All returns the full catalog in suite order (PARSEC, DaCapo, SPEC,
+// parallel applications, microbenchmarks), the order the paper's
+// figures use.
+func All() []*Profile {
+	out := make([]*Profile, len(catalog))
+	for i := range catalog {
+		out[i] = &catalog[i]
+	}
+	return out
+}
+
+// Names returns all application names in catalog order.
+func Names() []string {
+	ps := All()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// BySuite returns the catalog entries of one suite, in catalog order.
+func BySuite(suite string) []*Profile {
+	var out []*Profile
+	for i := range catalog {
+		if catalog[i].Suite == suite {
+			out = append(out, &catalog[i])
+		}
+	}
+	return out
+}
+
+// Suites returns the suite names in presentation order.
+func Suites() []string {
+	return []string{SuitePARSEC, SuiteDaCapo, SuiteSPEC, SuiteParallel, SuiteMicro}
+}
+
+// Representatives returns the six cluster representatives the paper
+// selects in Table 3 (bold entries): C1=429.mcf, C2=459.GemsFDTD,
+// C3=ferret, C4=fop, C5=dedup, C6=batik.
+func Representatives() []*Profile {
+	names := RepresentativeNames()
+	out := make([]*Profile, len(names))
+	for i, n := range names {
+		out[i] = MustByName(n)
+	}
+	return out
+}
+
+// RepresentativeNames returns the Table 3 representative names in
+// cluster order C1..C6.
+func RepresentativeNames() []string {
+	return []string{"429.mcf", "459.GemsFDTD", "ferret", "fop", "dedup", "batik"}
+}
+
+// SortedNames returns all application names sorted alphabetically
+// (useful for deterministic map iteration in reports).
+func SortedNames() []string {
+	n := Names()
+	sort.Strings(n)
+	return n
+}
