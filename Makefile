@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml: `make ci` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the concurrent experiment engine (worker pool,
+# singleflight memoization, batched Setup-hook runs) under the detector.
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# One iteration per paper figure; doubles as a regression smoke test.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+lint:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: build lint race bench

@@ -209,6 +209,26 @@ func BenchmarkHeadline(b *testing.B) {
 	b.ReportMetric(saving*100, "biased-energy-saving-%")
 }
 
+// BenchmarkEngineBatchSweep measures the concurrent experiment engine:
+// a partition-search-shaped pair sweep submitted as one batch through
+// the worker pool with memoization disabled, reporting simulations per
+// host second. Compare -cpu=1 vs -cpu=N to see the worker-pool scaling.
+func BenchmarkEngineBatchSweep(b *testing.B) {
+	fg := workload.MustByName("429.mcf")
+	bg := workload.MustByName("ferret")
+	r := sched.New(sched.Options{Scale: benchScale, DisableCache: true})
+	var specs []sched.Spec
+	for w := 1; w < 12; w++ {
+		specs = append(specs, sched.PairSpec{Fg: fg, Bg: bg,
+			FgWays: w, BgWays: 12 - w, Mode: sched.BackgroundLoop})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RunBatch(specs)
+	}
+	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated
 // instructions per host second for a representative mixed workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -7,12 +7,17 @@
 //
 //	cachepart list
 //	cachepart run  -app 429.mcf [-threads 4] [-ways 0] [-scale 0.002]
-//	cachepart pair -fg 429.mcf -bg ferret [-policy dynamic] [-scale 0.002]
-//	cachepart exp  -id fig9 [-scale 0.002] [-quick]
+//	cachepart pair -fg 429.mcf -bg ferret [-policy dynamic] [-scale 0.002] [-parallel N]
+//	cachepart exp  -id fig9 [-scale 0.002] [-quick] [-parallel N]
 //	cachepart exp  -id all  [-quick]
 //
 // Experiment ids: fig1..fig13, table1, table2, table3, headline, the
 // abl-* ablation studies, and all.
+//
+// -parallel sets the experiment engine's worker count (0 = GOMAXPROCS,
+// 1 = serial). Output is byte-identical at any setting; each
+// experiment's footer reports the effective speedup the worker pool and
+// memo cache delivered.
 package main
 
 import (
@@ -57,8 +62,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cachepart list
   cachepart run  -app NAME [-threads N] [-ways W] [-scale S]
-  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S]
-  cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick]`)
+  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S] [-parallel N]
+  cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N]
+
+-parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
+byte-identical at any setting.`)
 }
 
 func cmdList() error {
@@ -108,13 +116,14 @@ func cmdPair(args []string) error {
 	bg := fs.String("bg", "", "background application")
 	policy := fs.String("policy", "dynamic", "shared|fair|biased|dynamic")
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fg == "" || *bg == "" {
 		return fmt.Errorf("pair: -fg and -bg are required")
 	}
-	sys := core.NewSystem(core.Options{Scale: *scale})
+	sys := core.NewSystem(core.Options{Scale: *scale, Parallelism: *parallel})
 	t0 := time.Now()
 	rep, err := sys.Consolidate(*fg, *bg, core.Policy(*policy))
 	if err != nil {
@@ -142,6 +151,7 @@ func cmdExp(args []string) error {
 	id := fs.String("id", "", "experiment id (fig1..fig13, table1..3, headline, all)")
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
 	quick := fs.Bool("quick", false, "representatives-only scope (fast)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,18 +160,33 @@ func cmdExp(args []string) error {
 	}
 	var ctx *experiments.Context
 	if *quick {
-		ctx = experiments.NewQuickContext(*scale)
+		ctx = experiments.NewQuickContextParallel(*scale, *parallel)
 	} else {
-		ctx = experiments.NewContext(*scale)
+		ctx = experiments.NewContextParallel(*scale, *parallel)
 	}
+	// The footer reports engine deltas per experiment: simulations run,
+	// memoized results reused, and the effective speedup (summed
+	// executed-simulation time / wall time — the overlap the worker
+	// pool achieved; memo hits cost ~nothing in both terms, so an
+	// all-cached experiment reads ~0x). It is printed outside the table
+	// text so tables stay byte-identical at any -parallel setting.
 	runOne := func(name string) error {
+		before := ctx.R.Stats()
 		t0 := time.Now()
 		out, err := runExperiment(ctx, name)
 		if err != nil {
 			return err
 		}
+		wall := time.Since(t0).Seconds()
+		st := ctx.R.Stats()
+		speedup := 0.0
+		if wall > 0 {
+			speedup = (st.BusySeconds - before.BusySeconds) / wall
+		}
 		fmt.Print(out)
-		fmt.Printf("(host time %.1fs)\n\n", time.Since(t0).Seconds())
+		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
+			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
+			speedup, st.Parallelism)
 		return nil
 	}
 	if *id == "all" {

@@ -7,4 +7,12 @@
 // The root package holds only the benchmark harness (bench_test.go),
 // one benchmark per paper table and figure; the library lives under
 // internal/ and the public entry point is internal/core.
+//
+// Experiments execute through the concurrent engine in internal/sched:
+// drivers submit each figure's full sweep as one batch, a worker pool
+// (sched.Options.Parallelism, default GOMAXPROCS; the CLI's -parallel
+// flag) fans the independent simulations across CPUs, and singleflight
+// memoization runs each distinct configuration exactly once. Because
+// every simulation derives its randomness solely from its own spec,
+// parallel runs render byte-identical tables to serial runs.
 package repro

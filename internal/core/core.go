@@ -51,10 +51,15 @@ type Options struct {
 	// (0 = sched.DefaultScale). Larger values cost proportionally more
 	// simulation time and give cleaner steady-state numbers.
 	Scale float64
+	// Parallelism is the worker count independent simulations (policy
+	// searches, sweeps) fan across (0 = GOMAXPROCS, 1 = serial).
+	// Results are identical at any setting; only host time changes.
+	Parallelism int
 }
 
 // System is a simulated platform plus a memoized run cache. It is safe
-// for use from a single goroutine.
+// for concurrent use; independent simulations fan across the engine's
+// worker pool.
 type System struct {
 	r *sched.Runner
 }
@@ -63,7 +68,7 @@ type System struct {
 // Sandy Bridge client, 6 MB 12-way inclusive LLC with way partitioning,
 // four hardware prefetchers, ring interconnect, dual-channel DDR3.
 func NewSystem(opt Options) *System {
-	return &System{r: sched.New(sched.Options{Scale: opt.Scale})}
+	return &System{r: sched.New(sched.Options{Scale: opt.Scale, Parallelism: opt.Parallelism})}
 }
 
 // Runner exposes the underlying scheduler for advanced scenarios

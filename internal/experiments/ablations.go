@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/machine"
+	"repro/internal/partition"
 	"repro/internal/prefetch"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -32,11 +33,14 @@ import (
 //     cases" paragraph).
 
 // runnerWith builds a runner over a modified platform, sharing the
-// context's scale but not its memoized results.
+// context's scale, worker count, and stat counters (so ablation
+// simulations show up in the shared engine footer) but not its
+// memoized results.
 func (c *Context) runnerWith(mut func(*machine.Config)) *sched.Runner {
 	cfg := machine.Default()
 	mut(&cfg)
-	return sched.New(sched.Options{Machine: &cfg, Scale: c.R.Scale()})
+	return sched.New(sched.Options{Machine: &cfg, Scale: c.R.Scale(),
+		Parallelism: c.R.Parallelism(), Counters: c.R.Counters()})
 }
 
 // AblationSmallLLC reruns the shared/fair/biased comparison for the
@@ -50,6 +54,20 @@ func (c *Context) AblationSmallLLC() *Table {
 
 	t := &Table{Title: "Ablation: 2MB/8-way LLC vs the 6MB/12-way platform (fg slowdown)",
 		Columns: []string{"pair", "6MB shared", "6MB biased", "2MB shared", "2MB biased"}}
+
+	// Submit both platforms' full pair sweeps to their runners up front.
+	var specs6, specs2 []sched.Spec
+	for i, fg := range c.Reps {
+		for j, bg := range c.Reps {
+			if i == j {
+				continue
+			}
+			specs6 = append(specs6, policySweepSpecs(fg, bg, 12)...)
+			specs2 = append(specs2, policySweepSpecs(fg, bg, 8)...)
+		}
+	}
+	warmAll([]*sched.Runner{big, small}, specs6, specs2)
+
 	var gain6, gain2 []float64
 	for i, fg := range c.Reps {
 		for j, bg := range c.Reps {
@@ -71,17 +89,25 @@ func (c *Context) AblationSmallLLC() *Table {
 	return t
 }
 
+// policySweepSpecs lists one pair's policy comparison on a platform
+// with the given associativity: the biased-search sweep (alone
+// baseline plus every uneven split) and the shared run.
+func policySweepSpecs(fg, bg *workload.Profile, assoc int) []sched.Spec {
+	search := partition.SearchSpecs(assoc, fg, bg)
+	specs := []sched.Spec{search[0],
+		sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop}}
+	return append(specs, search[1:]...)
+}
+
 // policySlowdowns returns (shared, bestBiased) fg slowdowns for a pair
-// on the given runner.
+// on the given runner, running the sweep as one batch.
 func policySlowdowns(r *sched.Runner, fg, bg *workload.Profile, assoc int) (float64, float64) {
-	alone := r.AloneHalf(fg).JobByName(fg.Name).Seconds
-	shared := r.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop}).
-		JobByName(fg.Name).Seconds / alone
+	results := r.RunBatch(policySweepSpecs(fg, bg, assoc))
+	alone := results[0].JobByName(fg.Name).Seconds
+	shared := results[1].JobByName(fg.Name).Seconds / alone
 	best := shared
-	for w := 1; w < assoc; w++ {
-		sd := r.RunPair(sched.PairSpec{Fg: fg, Bg: bg, FgWays: w, BgWays: assoc - w,
-			Mode: sched.BackgroundLoop}).JobByName(fg.Name).Seconds / alone
-		if sd < best {
+	for _, res := range results[2:] {
+		if sd := res.JobByName(fg.Name).Seconds / alone; sd < best {
 			best = sd
 		}
 	}
@@ -97,6 +123,16 @@ func (c *Context) AblationBandwidthQoS() *Table {
 
 	t := &Table{Title: "Ablation: memory-bandwidth QoS (slowdown vs stream_uncached hog)",
 		Columns: []string{"app", "no QoS", "with QoS"}}
+
+	var specs []sched.Spec
+	for _, name := range victims {
+		app := workload.MustByName(name)
+		specs = append(specs,
+			sched.AloneHalfSpec(app),
+			sched.PairSpec{Fg: app, Bg: hog, Mode: sched.BackgroundLoop})
+	}
+	warmAll([]*sched.Runner{c.R, qos}, specs)
+
 	var without, with []float64
 	for _, name := range victims {
 		app := workload.MustByName(name)
@@ -123,6 +159,10 @@ func (c *Context) AblationIndexing() *Table {
 
 	t := &Table{Title: "Ablation: hashed vs plain LLC set indexing (471.omnetpp, 1 thread)",
 		Columns: []string{"ways", "hashed time(s)", "plain time(s)", "plain/hashed"}}
+
+	sweep := c.capacitySpecs(app, 1)
+	warmAll([]*sched.Runner{c.R, plain}, sweep)
+
 	for _, w := range c.WayPoints {
 		h := c.singleSeconds(app, 1, w)
 		p := plain.RunSingle(sched.SingleSpec{App: app, Threads: 1, Ways: w}).
@@ -141,11 +181,15 @@ func (c *Context) AblationReplacement() *Table {
 		Columns: []string{"app", "plru(s)", "lru(s)", "random(s)", "lru/plru", "random/plru"}}
 	lru := c.runnerWith(func(cfg *machine.Config) { cfg.Hier.LLC.Replacement = cache.ReplaceLRU })
 	rnd := c.runnerWith(func(cfg *machine.Config) { cfg.Hier.LLC.Replacement = cache.ReplaceRandom })
+
+	var specs []sched.Spec
 	for _, app := range c.Reps {
-		th := 4
-		if app.MaxThreads < th {
-			th = app.MaxThreads
-		}
+		specs = append(specs, sched.SingleSpec{App: app, Threads: threadsFor(app, 4)})
+	}
+	warmAll([]*sched.Runner{c.R, lru, rnd}, specs)
+
+	for _, app := range c.Reps {
+		th := threadsFor(app, 4)
 		p := c.singleSeconds(app, th, 0)
 		l := lru.RunSingle(sched.SingleSpec{App: app, Threads: th}).JobByName(app.Name).Seconds
 		r := rnd.RunSingle(sched.SingleSpec{App: app, Threads: th}).JobByName(app.Name).Seconds
@@ -162,6 +206,16 @@ func (c *Context) AblationInclusion() *Table {
 	nonInc := c.runnerWith(func(cfg *machine.Config) { cfg.Hier.NonInclusiveLLC = true })
 	t := &Table{Title: "Ablation: inclusive vs non-inclusive LLC at small allocations",
 		Columns: []string{"app", "ways", "inclusive(s)", "non-inclusive(s)", "inclusion cost"}}
+
+	var specs []sched.Spec
+	for _, name := range []string{"429.mcf", "471.omnetpp", "h2"} {
+		app := workload.MustByName(name)
+		for _, w := range []int{1, 2, 12} {
+			specs = append(specs, sched.SingleSpec{App: app, Threads: 1, Ways: w})
+		}
+	}
+	warmAll([]*sched.Runner{c.R, nonInc}, specs)
+
 	for _, name := range []string{"429.mcf", "471.omnetpp", "h2"} {
 		app := workload.MustByName(name)
 		for _, w := range []int{1, 2, 12} {
@@ -193,6 +247,17 @@ func (c *Context) AblationPrefetchers() *Table {
 	}
 	t := &Table{Title: "Ablation: per-prefetcher contribution (time normalized to all-off)"}
 	t.Columns = append([]string{"app"}, configNames(configs)...)
+
+	var specs []sched.Spec
+	for _, name := range apps {
+		app := workload.MustByName(name)
+		for i := range configs {
+			pf := configs[i].cfg
+			specs = append(specs, sched.SingleSpec{App: app, Threads: 4, Prefetch: &pf})
+		}
+	}
+	c.submit(specs)
+
 	for _, name := range apps {
 		app := workload.MustByName(name)
 		row := []string{name}
@@ -217,6 +282,20 @@ func (c *Context) AblationPrefetchers() *Table {
 func (c *Context) AblationMultiBackground() *Table {
 	t := &Table{Title: "Ablation: one vs two background copies (fg slowdown, shared LLC)",
 		Columns: []string{"fg", "bg", "1 copy", "2 copies"}}
+
+	var specs []sched.Spec
+	for _, fgName := range []string{"429.mcf", "fop", "batik"} {
+		for _, bgName := range []string{"ferret", "canneal"} {
+			fg := workload.MustByName(fgName)
+			bg := workload.MustByName(bgName)
+			specs = append(specs,
+				sched.AloneHalfSpec(fg),
+				sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg}},
+				sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg, bg}})
+		}
+	}
+	c.submit(specs)
+
 	var one, two []float64
 	for _, fgName := range []string{"429.mcf", "fop", "batik"} {
 		for _, bgName := range []string{"ferret", "canneal"} {

@@ -16,32 +16,58 @@ type AllocationPoint struct {
 	WallJoules    float64
 }
 
-// AllocationSpace sweeps every thread × way allocation for one
-// application (Figure 6's scatter data).
-func (c *Context) AllocationSpace(app *workload.Profile, threadPoints, wayPoints []int) []AllocationPoint {
-	var out []AllocationPoint
+// allocationSpecs lists the thread × way grid of Figure 6 for one
+// application, with the grid coordinates alongside.
+func allocationSpecs(app *workload.Profile, threadPoints, wayPoints []int) ([]sched.Spec, [][2]int) {
+	var specs []sched.Spec
+	var coords [][2]int
 	for _, th := range threadPoints {
 		if th > app.MaxThreads && th != 1 {
 			continue
 		}
 		for _, w := range wayPoints {
-			res := c.R.RunSingle(sched.SingleSpec{App: app, Threads: th, Ways: w})
-			j := res.JobByName(app.Name)
-			out = append(out, AllocationPoint{
-				Threads: th, Ways: w,
-				Seconds:      j.Seconds,
-				MPKI:         j.LLCMPKI,
-				SocketJoules: res.Energy.SocketJoules,
-				WallJoules:   res.Energy.WallJoules,
-			})
+			specs = append(specs, sched.SingleSpec{App: app, Threads: th, Ways: w})
+			coords = append(coords, [2]int{th, w})
+		}
+	}
+	return specs, coords
+}
+
+// AllocationSpace sweeps every thread × way allocation for one
+// application (Figure 6's scatter data). The whole grid runs as one
+// batch; points come back in grid order.
+func (c *Context) AllocationSpace(app *workload.Profile, threadPoints, wayPoints []int) []AllocationPoint {
+	specs, coords := allocationSpecs(app, threadPoints, wayPoints)
+	results := c.R.RunBatch(specs)
+	out := make([]AllocationPoint, len(results))
+	for i, res := range results {
+		j := res.JobByName(app.Name)
+		out[i] = AllocationPoint{
+			Threads: coords[i][0], Ways: coords[i][1],
+			Seconds:      j.Seconds,
+			MPKI:         j.LLCMPKI,
+			SocketJoules: res.Energy.SocketJoules,
+			WallJoules:   res.Energy.WallJoules,
 		}
 	}
 	return out
 }
 
+// submitAllocationGrids batches every representative's full allocation
+// grid so Figures 6 and 7 assemble from memo hits.
+func (c *Context) submitAllocationGrids() {
+	var specs []sched.Spec
+	for _, app := range c.Reps {
+		s, _ := allocationSpecs(app, c.ThreadPoints, c.WayPoints)
+		specs = append(specs, s...)
+	}
+	c.submit(specs)
+}
+
 // Fig6AllocationSpace reproduces Figure 6: runtime, MPKI, socket and
 // wall energy for the full allocation grid of each representative.
 func (c *Context) Fig6AllocationSpace() *Table {
+	c.submitAllocationGrids()
 	t := &Table{Title: "Figure 6: allocation space of the cluster representatives",
 		Columns: []string{"app", "threads", "ways", "time(s)", "MPKI", "socket(J)", "wall(J)"}}
 	for _, app := range c.Reps {
@@ -60,6 +86,7 @@ func (c *Context) Fig6AllocationSpace() *Table {
 // plots: for each representative, the energy-optimal allocation and how
 // much LLC it can yield without leaving the near-optimal region.
 func (c *Context) Fig7YieldableCapacity() *Table {
+	c.submitAllocationGrids()
 	t := &Table{Title: "Figure 7: wall-energy-optimal allocations and yieldable LLC",
 		Columns: []string{"app", "best threads", "best ways", "best wall(J)",
 			"min ways within 2.5%", "yieldable MB"}}

@@ -40,20 +40,44 @@ func classifyScalability(speedups map[int]float64) ScalabilityClass {
 	}
 }
 
-// SpeedupCurve measures app's speedup at each thread point, normalized
-// to 1 thread (Figure 1's series for one application).
-func (c *Context) SpeedupCurve(app *workload.Profile) map[int]float64 {
-	t1 := c.singleSeconds(app, 1, 0)
-	out := make(map[int]float64, len(c.ThreadPoints))
+// speedupSpecs lists the runs one application's Figure 1 series needs:
+// the 1-thread baseline plus every thread point.
+func (c *Context) speedupSpecs(app *workload.Profile) []sched.Spec {
+	specs := []sched.Spec{sched.SingleSpec{App: app, Threads: 1}}
 	for _, th := range c.ThreadPoints {
-		out[th] = t1 / c.singleSeconds(app, th, 0)
+		specs = append(specs, sched.SingleSpec{App: app, Threads: th})
+	}
+	return specs
+}
+
+// SpeedupCurve measures app's speedup at each thread point, normalized
+// to 1 thread (Figure 1's series for one application). The points run
+// as one batch across the engine's workers.
+func (c *Context) SpeedupCurve(app *workload.Profile) map[int]float64 {
+	res := c.R.RunBatch(c.speedupSpecs(app))
+	t1 := res[0].JobByName(app.Name).Seconds
+	out := make(map[int]float64, len(c.ThreadPoints))
+	for i, th := range c.ThreadPoints {
+		out[th] = t1 / res[i+1].JobByName(app.Name).Seconds
 	}
 	return out
 }
 
+// submitSpeedupCurves batches every application's Figure 1 series so
+// Figure 1 and Table 1 assemble from memo hits.
+func (c *Context) submitSpeedupCurves() {
+	var specs []sched.Spec
+	for _, app := range c.Apps {
+		specs = append(specs, c.speedupSpecs(app)...)
+	}
+	c.submit(specs)
+}
+
 // Fig1ThreadScalability reproduces Figure 1: normalized speedup of every
-// application from 1 to 8 threads.
+// application from 1 to 8 threads. All series are submitted as one
+// batch up front.
 func (c *Context) Fig1ThreadScalability() *Table {
+	c.submitSpeedupCurves()
 	t := &Table{Title: "Figure 1: speedup vs threads (normalized to 1 thread)"}
 	t.Columns = append([]string{"app", "suite"}, colsForThreads(c.ThreadPoints)...)
 	for _, app := range c.Apps {
@@ -78,6 +102,7 @@ func colsForThreads(ths []int) []string {
 
 // Table1Scalability reproduces Table 1: the scalability classification.
 func (c *Context) Table1Scalability() (*Table, map[string]ScalabilityClass) {
+	c.submitSpeedupCurves()
 	t := &Table{Title: "Table 1: thread scalability classes",
 		Columns: []string{"app", "suite", "speedup@8", "class"}}
 	classes := map[string]ScalabilityClass{}
@@ -100,12 +125,23 @@ const (
 	UtilHigh      UtilityClass = "high"
 )
 
+// capacitySpecs lists one application's way sweep at a thread count.
+func (c *Context) capacitySpecs(app *workload.Profile, threads int) []sched.Spec {
+	specs := make([]sched.Spec, len(c.WayPoints))
+	for i, w := range c.WayPoints {
+		specs[i] = sched.SingleSpec{App: app, Threads: threads, Ways: w}
+	}
+	return specs
+}
+
 // CapacityCurve measures execution time at each way allocation for the
-// given thread count (one series of Figure 2).
+// given thread count (one series of Figure 2). The sweep runs as one
+// batch across the engine's workers.
 func (c *Context) CapacityCurve(app *workload.Profile, threads int) map[int]float64 {
+	res := c.R.RunBatch(c.capacitySpecs(app, threads))
 	out := make(map[int]float64, len(c.WayPoints))
-	for _, w := range c.WayPoints {
-		out[w] = c.singleSeconds(app, threads, w)
+	for i, w := range c.WayPoints {
+		out[w] = res[i].JobByName(app.Name).Seconds
 	}
 	return out
 }
@@ -146,6 +182,18 @@ func classifyUtility(curve map[int]float64, wayPoints []int) UtilityClass {
 // allocation for the three §3.2 exemplars at 1/2/4/8 threads.
 func (c *Context) Fig2LLCSensitivity() *Table {
 	apps := []string{"swaptions", "tomcat", "471.omnetpp"}
+	var specs []sched.Spec
+	for _, name := range apps {
+		app := workload.MustByName(name)
+		for _, th := range []int{1, 2, 4, 8} {
+			if th > app.MaxThreads {
+				continue
+			}
+			specs = append(specs, c.capacitySpecs(app, th)...)
+		}
+	}
+	c.submit(specs)
+
 	t := &Table{Title: "Figure 2: execution time (s) vs LLC allocation"}
 	t.Columns = []string{"app", "threads"}
 	for _, w := range c.WayPoints {
@@ -189,12 +237,17 @@ func (c *Context) Table2LLCUtility() *Table2Result {
 		Classes:  map[string]UtilityClass{},
 		DemandMB: map[string]float64{},
 	}
+	var specs []sched.Spec
+	for _, app := range c.Apps {
+		threads := threadsFor(app, 4)
+		specs = append(specs, c.capacitySpecs(app, threads)...)
+		specs = append(specs, sched.SingleSpec{App: app, Threads: threads})
+	}
+	c.submit(specs)
+
 	n1, n3 := 0, 0
 	for _, app := range c.Apps {
-		threads := 4
-		if app.MaxThreads < threads {
-			threads = app.MaxThreads
-		}
+		threads := threadsFor(app, 4)
 		curve := c.CapacityCurve(app, threads)
 		cl := classifyUtility(curve, c.WayPoints)
 		demand := float64(capacityDemandWays(curve, c.WayPoints)) * 0.5
@@ -221,21 +274,32 @@ func (c *Context) Table2LLCUtility() *Table2Result {
 	return res
 }
 
+// prefetchSpecs lists one application's Figure 3 pair: all prefetchers
+// on, all off.
+func prefetchSpecs(app *workload.Profile) []sched.Spec {
+	off := prefetch.AllOff()
+	return []sched.Spec{
+		sched.SingleSpec{App: app, Threads: 4},
+		sched.SingleSpec{App: app, Threads: 4, Prefetch: &off},
+	}
+}
+
 // PrefetchSensitivity returns time(all prefetchers on)/time(all off)
 // for one application at 4 threads (one bar of Figure 3).
 func (c *Context) PrefetchSensitivity(app *workload.Profile) float64 {
-	threads := 4
-	off := prefetch.AllOff()
-	on := c.R.RunSingle(sched.SingleSpec{App: app, Threads: threads}).
-		JobByName(app.Name).Seconds
-	offT := c.R.RunSingle(sched.SingleSpec{App: app, Threads: threads, Prefetch: &off}).
-		JobByName(app.Name).Seconds
-	return on / offT
+	res := c.R.RunBatch(prefetchSpecs(app))
+	return res[0].JobByName(app.Name).Seconds / res[1].JobByName(app.Name).Seconds
 }
 
 // Fig3Prefetchers reproduces Figure 3: normalized execution time with
 // all prefetchers enabled relative to all disabled.
 func (c *Context) Fig3Prefetchers() *Table {
+	var specs []sched.Spec
+	for _, app := range c.Apps {
+		specs = append(specs, prefetchSpecs(app)...)
+	}
+	c.submit(specs)
+
 	t := &Table{Title: "Figure 3: time with prefetchers on / off",
 		Columns: []string{"app", "suite", "on/off"}}
 	sensitive := 0
@@ -251,22 +315,41 @@ func (c *Context) Fig3Prefetchers() *Table {
 	return t
 }
 
+// bandwidthSpecs lists one application's Figure 4 runs: the alone
+// baseline and the run against the bandwidth hog. Nil for the hog
+// itself (not part of the figure).
+func bandwidthSpecs(app *workload.Profile) []sched.Spec {
+	hog := workload.MustByName("stream_uncached")
+	if app.Name == hog.Name {
+		return nil
+	}
+	return []sched.Spec{
+		sched.AloneHalfSpec(app),
+		sched.PairSpec{Fg: app, Bg: hog, Mode: sched.BackgroundLoop},
+	}
+}
+
 // BandwidthSensitivity returns the slowdown of app (4 threads, cores
 // 0-1) when stream_uncached hogs the memory system from core 2 (one bar
 // of Figure 4).
 func (c *Context) BandwidthSensitivity(app *workload.Profile) float64 {
-	hog := workload.MustByName("stream_uncached")
-	if app.Name == hog.Name {
+	specs := bandwidthSpecs(app)
+	if specs == nil {
 		return 1 // the hog against itself is not part of the figure
 	}
-	alone := c.aloneHalfSeconds(app)
-	pair := c.R.RunPair(sched.PairSpec{Fg: app, Bg: hog, Mode: sched.BackgroundLoop})
-	return pair.JobByName(app.Name).Seconds / alone
+	res := c.R.RunBatch(specs)
+	return res[1].JobByName(app.Name).Seconds / res[0].JobByName(app.Name).Seconds
 }
 
 // Fig4Bandwidth reproduces Figure 4: execution-time increase when
 // co-running with the bandwidth-hog microbenchmark.
 func (c *Context) Fig4Bandwidth() *Table {
+	var specs []sched.Spec
+	for _, app := range c.Apps {
+		specs = append(specs, bandwidthSpecs(app)...)
+	}
+	c.submit(specs)
+
 	t := &Table{Title: "Figure 4: slowdown vs stream_uncached bandwidth hog",
 		Columns: []string{"app", "suite", "slowdown"}}
 	for _, app := range c.Apps {

@@ -4,8 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
+
+// featureSpecs lists every run one application's feature vector needs.
+func (c *Context) featureSpecs(app *workload.Profile) []sched.Spec {
+	specs := []sched.Spec{sched.SingleSpec{App: app, Threads: 1}}
+	for th := 2; th <= 8; th++ {
+		specs = append(specs, sched.SingleSpec{App: app, Threads: th})
+	}
+	threads := threadsFor(app, 4)
+	for w := 2; w <= 12; w++ {
+		specs = append(specs, sched.SingleSpec{App: app, Threads: threads, Ways: w})
+	}
+	specs = append(specs, prefetchSpecs(app)...)
+	return append(specs, bandwidthSpecs(app)...)
+}
 
 // FeatureVector builds the 19-feature characterization vector of §3.5
 // for one application: execution time versus thread count (7 features,
@@ -13,15 +28,13 @@ import (
 // ways), prefetcher sensitivity (1), and bandwidth sensitivity (1).
 // Values are raw here; NormalizeFeatures rescales per dimension.
 func (c *Context) FeatureVector(app *workload.Profile) []float64 {
+	c.submit(c.featureSpecs(app))
 	var vec []float64
 	t1 := c.singleSeconds(app, 1, 0)
 	for th := 2; th <= 8; th++ {
 		vec = append(vec, c.singleSeconds(app, th, 0)/t1)
 	}
-	threads := 4
-	if app.MaxThreads < threads {
-		threads = app.MaxThreads
-	}
+	threads := threadsFor(app, 4)
 	full := c.singleSeconds(app, threads, 12)
 	for w := 2; w <= 11; w++ {
 		vec = append(vec, c.singleSeconds(app, threads, w)/full)
@@ -43,6 +56,12 @@ type Fig5Result struct {
 // single-linkage clustering of the 19-feature vectors, cut at 0.9, with
 // centroid-closest representatives.
 func (c *Context) Fig5Clustering() *Fig5Result {
+	var specs []sched.Spec
+	for _, app := range c.Apps {
+		specs = append(specs, c.featureSpecs(app)...)
+	}
+	c.submit(specs)
+
 	items := make([]cluster.Item, len(c.Apps))
 	for i, app := range c.Apps {
 		items[i] = cluster.Item{Name: app.Name, Vec: c.FeatureVector(app)}

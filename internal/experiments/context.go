@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -31,10 +32,17 @@ type Context struct {
 }
 
 // NewContext builds a context at the given instruction scale
-// (0 = sched.DefaultScale).
+// (0 = sched.DefaultScale) with the default worker count (GOMAXPROCS).
 func NewContext(scale float64) *Context {
+	return NewContextParallel(scale, 0)
+}
+
+// NewContextParallel is NewContext with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). Parallel and serial contexts render
+// byte-identical tables; only host time differs.
+func NewContextParallel(scale float64, parallelism int) *Context {
 	return &Context{
-		R:            sched.New(sched.Options{Scale: scale}),
+		R:            sched.New(sched.Options{Scale: scale, Parallelism: parallelism}),
 		Apps:         workload.All(),
 		Reps:         workload.Representatives(),
 		ThreadPoints: []int{1, 2, 3, 4, 5, 6, 7, 8},
@@ -45,11 +53,60 @@ func NewContext(scale float64) *Context {
 // NewQuickContext builds a reduced-scope context for tests and benches:
 // representative apps only, coarser sweeps.
 func NewQuickContext(scale float64) *Context {
-	c := NewContext(scale)
+	return NewQuickContextParallel(scale, 0)
+}
+
+// NewQuickContextParallel is NewQuickContext with an explicit worker
+// count (0 = GOMAXPROCS, 1 = serial).
+func NewQuickContextParallel(scale float64, parallelism int) *Context {
+	c := NewContextParallel(scale, parallelism)
 	c.Apps = c.Reps
 	c.ThreadPoints = []int{1, 2, 4, 8}
 	c.WayPoints = []int{1, 2, 4, 6, 8, 10, 12}
 	return c
+}
+
+// warmAll warms the same (or per-runner) sweeps on several runners
+// concurrently, so an ablation's platform variants overlap instead of
+// serializing behind one barrier per runner. sweeps[i] goes to
+// runners[i]; a single sweep fans out to every runner. Each runner
+// brings its own worker pool, so N runners oversubscribe the CPU up to
+// Nx — work-conserving, and for the 2-3 platform variants the
+// ablations compare, cheaper than threading a shared semaphore through
+// nested batches.
+func warmAll(runners []*sched.Runner, sweeps ...[]sched.Spec) {
+	if len(sweeps) != 1 && len(sweeps) != len(runners) {
+		panic(fmt.Sprintf("experiments: warmAll with %d runners and %d sweeps",
+			len(runners), len(sweeps)))
+	}
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		sweep := sweeps[0]
+		if len(sweeps) > 1 {
+			sweep = sweeps[i]
+		}
+		wg.Add(1)
+		go func(r *sched.Runner, specs []sched.Spec) {
+			defer wg.Done()
+			r.Warm(specs)
+		}(r, sweep)
+	}
+	wg.Wait()
+}
+
+// submit fans a figure's sweep across the runner's worker pool before
+// assembly begins. Drivers collect the specs of every simulation a
+// figure needs, submit them in one batch, and then keep their simple
+// sequential assembly loops: each value the loop asks for is already a
+// memo hit, so rendered output is byte-identical to a serial run while
+// the simulations themselves saturate the machine.
+func (c *Context) submit(specs []sched.Spec) { c.R.Warm(specs) }
+
+// threadsFor caps a requested operating point by the application's
+// parallelism. Delegating to the engine's rule keeps planned batch
+// specs aligned with what each spec's execution will actually run.
+func threadsFor(app *workload.Profile, want int) int {
+	return sched.CapThreads(app, want)
 }
 
 // aloneHalfSeconds returns the §5.1 foreground baseline time.

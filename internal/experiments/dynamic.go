@@ -20,18 +20,30 @@ func (c *Context) controllerInterval(fg *workload.Profile) float64 {
 	return estSeconds / intervalsPerRun
 }
 
-// RunDynamic co-schedules fg and bg with the §6 controller attached and
-// returns the run result plus the controller (for its MPKI/ways trace).
-func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Controller) {
-	var ctl *partition.Controller
-	res := c.R.RunPair(sched.PairSpec{
+// dynamicSpec builds the pair spec for a §6 controller run. The Setup
+// hook stores the controller through ctl (nil when the caller only
+// needs the run result); because such specs are never memoized, each
+// batched run attaches its own fresh controller, and RunBatch's
+// completion barrier publishes the write to the caller.
+func (c *Context) dynamicSpec(fg, bg *workload.Profile, ctl **partition.Controller) sched.Spec {
+	return sched.PairSpec{
 		Fg: fg, Bg: bg, Mode: sched.BackgroundLoop,
 		Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
 			cfg := partition.DefaultControllerConfig()
 			cfg.IntervalSeconds = c.controllerInterval(fg)
-			ctl = partition.Attach(m, fgJob, bgJob, cfg)
+			attached := partition.Attach(m, fgJob, bgJob, cfg)
+			if ctl != nil {
+				*ctl = attached
+			}
 		},
-	})
+	}
+}
+
+// RunDynamic co-schedules fg and bg with the §6 controller attached and
+// returns the run result plus the controller (for its MPKI/ways trace).
+func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Controller) {
+	var ctl *partition.Controller
+	res := c.R.RunPair(c.dynamicSpec(fg, bg, &ctl).(sched.PairSpec))
 	return res, ctl
 }
 
@@ -58,10 +70,15 @@ func (c *Context) Fig12Phases() *Table {
 		return stats.Min(xs), stats.Max(xs), stats.Mean(xs)
 	}
 
-	for _, ways := range []int{2, 3, 5, 7, 9, 11} {
-		var sampler *perfmon.Sampler
-		w := ways
-		res := c.R.RunPair(sched.PairSpec{
+	// All static allocations plus the dynamic run go out as one batch;
+	// each run's Setup hook installs a private sampler, and results come
+	// back in allocation order.
+	allocs := []int{2, 3, 5, 7, 9, 11}
+	samplers := make([]*perfmon.Sampler, len(allocs))
+	var ctl *partition.Controller
+	specs := make([]sched.Spec, 0, len(allocs)+1)
+	for i, w := range allocs {
+		specs = append(specs, sched.PairSpec{
 			Fg: mcf, Bg: bg, Mode: sched.BackgroundLoop,
 			Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
 				// Static split applied through the same mask mechanism.
@@ -69,15 +86,20 @@ func (c *Context) Fig12Phases() *Table {
 				for _, core := range bgJob.Cores() {
 					m.Hierarchy().SetWayMask(core, maskRange(w, 12))
 				}
-				sampler = perfmon.NewSampler(m, fgJob, interval, func() int { return w })
+				samplers[i] = perfmon.NewSampler(m, fgJob, interval, func() int { return w })
 			},
 		})
-		lo, hi, mean := summarize(sampler.Samples())
+	}
+	specs = append(specs, c.dynamicSpec(mcf, bg, &ctl))
+	results := c.R.RunBatch(specs)
+
+	for i, ways := range allocs {
+		lo, hi, mean := summarize(samplers[i].Samples())
 		t.Add(fmt.Sprintf("%d ways", ways), f(lo), f(hi), f(mean),
-			fmt.Sprintf("%.4f", res.JobByName(mcf.Name).Seconds))
+			fmt.Sprintf("%.4f", results[i].JobByName(mcf.Name).Seconds))
 	}
 
-	res, ctl := c.RunDynamic(mcf, bg)
+	res := results[len(allocs)]
 	lo, hi, mean := summarize(ctl.Samples())
 	t.Add("dynamic", f(lo), f(hi), f(mean), fmt.Sprintf("%.4f", res.JobByName(mcf.Name).Seconds))
 	minW, maxW := 12, 0
@@ -112,6 +134,27 @@ func (c *Context) Fig13DynamicThroughput() *Fig13Result {
 	t := &Table{Title: "Figure 13: background throughput vs best static allocation",
 		Columns: []string{"pair", "static iters", "dynamic iters", "dyn/static",
 			"shared/static", "dyn fg cost"}}
+
+	// One batch for everything: the memoizable static sweeps (which
+	// contain every pair's best-static run), the shared runs, and the
+	// non-memoizable dynamic controller runs — statics and dynamics
+	// overlap instead of serializing behind a barrier. The dynamic
+	// results are the batch's tail, in pair order.
+	var specs []sched.Spec
+	for _, fg := range c.Reps {
+		for _, bg := range c.Reps {
+			specs = append(specs, partition.SearchSpecs(12, fg, bg)...)
+			specs = append(specs, sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+		}
+	}
+	nPairs := len(c.Reps) * len(c.Reps)
+	for _, fg := range c.Reps {
+		for _, bg := range c.Reps {
+			specs = append(specs, c.dynamicSpec(fg, bg, nil))
+		}
+	}
+	dynResults := c.R.RunBatch(specs)[len(specs)-nPairs:]
+
 	for i, fg := range c.Reps {
 		for j, bg := range c.Reps {
 			// The Figure 13 baseline is the allocation best *for the
@@ -120,7 +163,7 @@ func (c *Context) Fig13DynamicThroughput() *Fig13Result {
 			static := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg,
 				FgWays: best.FgWays, BgWays: best.BgWays, Mode: sched.BackgroundLoop})
 			shared := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
-			dyn, _ := c.RunDynamic(fg, bg)
+			dyn := dynResults[i*len(c.Reps)+j]
 
 			sIter := static.JobByName(bg.Name).Iterations
 			dIter := dyn.JobByName(bg.Name).Iterations

@@ -35,12 +35,25 @@ func (c *Context) Fig8Heatmap(fgApps, bgApps []*workload.Profile) *Fig8Result {
 	colSum := map[string]float64{} // per-fg average (sensitivity)
 	rowSum := map[string]float64{} // per-bg average (aggressiveness)
 
+	// One batch for the whole grid: each fg's alone baseline followed by
+	// its row of pairs. Results come back in submission order.
+	var specs []sched.Spec
+	for _, fg := range fgApps {
+		specs = append(specs, sched.AloneHalfSpec(fg))
+		for _, bg := range bgApps {
+			specs = append(specs, sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+		}
+	}
+	results := c.R.RunBatch(specs)
+
+	i := 0
 	for _, fg := range fgApps {
 		res.Slowdown[fg.Name] = map[string]float64{}
-		alone := c.aloneHalfSeconds(fg)
+		alone := results[i].JobByName(fg.Name).Seconds
+		i++
 		for _, bg := range bgApps {
-			pair := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
-			sd := pair.JobByName(fg.Name).Seconds / alone
+			sd := results[i].JobByName(fg.Name).Seconds / alone
+			i++
 			res.Slowdown[fg.Name][bg.Name] = sd
 			all = append(all, sd)
 			colSum[fg.Name] += sd
@@ -129,6 +142,22 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 	t := &Table{Title: "Figure 9: fg slowdown by policy (pairs Ci+Cj of Table 3 representatives)",
 		Columns: []string{"pair", "shared", "fair", "biased", "biased ways"}}
 	assoc := 12
+
+	// Submit every pair's full sweep up front: the biased search splits
+	// (which include each pair's eventual biased run) plus the shared
+	// and fair configurations. Assembly below then runs off memo hits.
+	var specs []sched.Spec
+	for _, fg := range c.Reps {
+		for _, bg := range c.Reps {
+			specs = append(specs, partition.SearchSpecs(assoc, fg, bg)...)
+			specs = append(specs,
+				sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop},
+				sched.PairSpec{Fg: fg, Bg: bg, FgWays: assoc / 2, BgWays: assoc - assoc/2,
+					Mode: sched.BackgroundLoop})
+		}
+	}
+	c.submit(specs)
+
 	for i, fg := range c.Reps {
 		alone := c.aloneHalfSeconds(fg)
 		for j, bg := range c.Reps {
@@ -195,6 +224,35 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 	sumsE := map[partition.Policy][]float64{}
 	sumsW := map[partition.Policy][]float64{}
 	assoc := 12
+
+	// Stage 1: sequential baselines, biased searches, and the shared and
+	// fair consolidation runs — everything whose spec is known up front.
+	var stage1 []sched.Spec
+	for i, a := range c.Reps {
+		stage1 = append(stage1, sched.AloneWholeSpec(a))
+		for j := i; j < len(c.Reps); j++ {
+			b := c.Reps[j]
+			stage1 = append(stage1, partition.SearchSpecs(assoc, a, b)...)
+			stage1 = append(stage1,
+				sched.PairSpec{Fg: a, Bg: b, Mode: sched.BothOnce},
+				sched.PairSpec{Fg: a, Bg: b, FgWays: assoc / 2, BgWays: assoc - assoc/2,
+					Mode: sched.BothOnce})
+		}
+	}
+	c.submit(stage1)
+
+	// Stage 2: the biased consolidation runs, whose splits the searches
+	// above just decided (BestBiased is now a memo-hit re-read).
+	var stage2 []sched.Spec
+	for i, a := range c.Reps {
+		for j := i; j < len(c.Reps); j++ {
+			b := c.Reps[j]
+			ch := partition.BestBiased(c.R, a, b)
+			stage2 = append(stage2, sched.PairSpec{Fg: a, Bg: b,
+				FgWays: ch.FgWays, BgWays: ch.BgWays, Mode: sched.BothOnce})
+		}
+	}
+	c.submit(stage2)
 
 	for i, a := range c.Reps {
 		for j := i; j < len(c.Reps); j++ {

@@ -70,12 +70,29 @@ type BiasedChoice struct {
 // background-friendly (hiding the gains Figures 9/13 report).
 const slowdownTieEps = 0.002
 
+// SearchSpecs lists every run the exhaustive biased search for a pair
+// needs — the foreground-alone baseline plus each uneven split — so
+// experiment drivers can batch the searches of many pairs up front.
+func SearchSpecs(assoc int, fg, bg *workload.Profile) []sched.Spec {
+	specs := []sched.Spec{sched.AloneHalfSpec(fg)}
+	for w := 1; w < assoc; w++ {
+		specs = append(specs, sched.PairSpec{
+			Fg: fg, Bg: bg,
+			FgWays: w, BgWays: assoc - w,
+			Mode: sched.BackgroundLoop,
+		})
+	}
+	return specs
+}
+
 // BestBiased exhaustively evaluates every uneven split (foreground gets
 // w ways, background the remaining assoc-w, for w in [1, assoc-1]) with
-// the background running continuously, and returns the best choice.
+// the background running continuously, and returns the best choice. The
+// splits run as one batch across the engine's workers.
 func BestBiased(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
 	assoc := llcAssoc(r)
-	fgAlone := r.AloneHalf(fg).JobByName(fg.Name).Seconds
+	results := r.RunBatch(SearchSpecs(assoc, fg, bg))
+	fgAlone := results[0].JobByName(fg.Name).Seconds
 
 	type cand struct {
 		ways     int
@@ -84,11 +101,7 @@ func BestBiased(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
 	}
 	var cands []cand
 	for w := 1; w < assoc; w++ {
-		res := r.RunPair(sched.PairSpec{
-			Fg: fg, Bg: bg,
-			FgWays: w, BgWays: assoc - w,
-			Mode: sched.BackgroundLoop,
-		})
+		res := results[w]
 		cands = append(cands, cand{
 			ways:     w,
 			slowdown: res.JobByName(fg.Name).Seconds / fgAlone,
@@ -127,16 +140,13 @@ func BestBiased(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
 // tie-break used in Figure 9.
 func BestForForeground(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
 	assoc := llcAssoc(r)
-	fgAlone := r.AloneHalf(fg).JobByName(fg.Name).Seconds
+	results := r.RunBatch(SearchSpecs(assoc, fg, bg))
+	fgAlone := results[0].JobByName(fg.Name).Seconds
 
 	best := BiasedChoice{FgWays: -1}
 	var bestSlow float64
 	for w := assoc - 1; w >= 1; w-- { // larger fg shares win ties
-		res := r.RunPair(sched.PairSpec{
-			Fg: fg, Bg: bg,
-			FgWays: w, BgWays: assoc - w,
-			Mode: sched.BackgroundLoop,
-		})
+		res := results[w]
 		slow := res.JobByName(fg.Name).Seconds / fgAlone
 		if best.FgWays < 0 || slow < bestSlow*(1-slowdownTieEps) {
 			best = BiasedChoice{

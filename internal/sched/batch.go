@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// RunBatch executes all specs and returns their results in submission
+// order, fanning the work across Options.Parallelism workers. Identical
+// specs submitted together are deduplicated by the singleflight memo
+// cache — one runs, the rest share its result — so drivers can submit a
+// whole figure's sweep without tracking which runs overlap.
+//
+// Each batch spins up its own bounded worker set rather than sharing a
+// runner-level pool, so nested batches (a driver batching pairs whose
+// assembly calls partition.BestBiased, which batches its own sweep)
+// can never deadlock waiting for each other's workers.
+func (r *Runner) RunBatch(specs []Spec) []*machine.Result {
+	out := make([]*machine.Result, len(specs))
+
+	// Deduplicate memoizable specs by key before fanning out: a worker
+	// that picked up a duplicate would otherwise park on the flight its
+	// own batch just started, running the batch below Parallelism.
+	// Each distinct work item runs once and fans its result out to
+	// every submission slot that asked for it.
+	type item struct {
+		spec    Spec
+		targets []int
+	}
+	var items []*item
+	byKey := map[string]*item{}
+	for i, s := range specs {
+		key := ""
+		if !r.opt.DisableCache {
+			key = s.memoKey(r)
+		}
+		if key != "" {
+			if it, ok := byKey[key]; ok {
+				it.targets = append(it.targets, i)
+				r.ctr.hits.Add(1)
+				continue
+			}
+		}
+		it := &item{spec: s, targets: []int{i}}
+		if key != "" {
+			byKey[key] = it
+		}
+		items = append(items, it)
+	}
+
+	fill := func(it *item, res *machine.Result) {
+		for _, t := range it.targets {
+			out[t] = res
+		}
+	}
+	workers := r.opt.parallelism()
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, it := range items {
+			fill(it, r.Run(it.spec))
+		}
+		return out
+	}
+	// A panicking spec (an experiment-construction bug) must surface on
+	// the submitting goroutine, as it would serially — not kill the
+	// process from an unrecoverable worker goroutine. Workers capture
+	// the first panic and stop claiming further work; the caller
+	// re-raises it after the barrier.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+					aborted.Store(true)
+				}
+			}()
+			for !aborted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				fill(items[i], r.Run(items[i].spec))
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}
+
+// Sweep generates n specs and runs them as one batch, returning results
+// in index order. It is RunBatch for the common "iterate a parameter"
+// shape: Sweep(len(points), func(i int) Spec {...}).
+func (r *Runner) Sweep(n int, gen func(i int) Spec) []*machine.Result {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = gen(i)
+	}
+	return r.RunBatch(specs)
+}
+
+// Warm submits specs for execution and discards the results. Drivers
+// call it with a figure's full sweep up front: the simulations run in
+// parallel, and the driver's sequential assembly then collects every
+// value as a memo hit. Specs whose key is already cached (or in
+// flight) are skipped without touching the hit counter — re-warming an
+// overlapping sweep costs nothing and doesn't inflate the stats — as
+// are non-memoizable specs, whose results could never be collected.
+// (With DisableCache there is nothing to warm, so Warm is a no-op
+// rather than running everything twice.)
+func (r *Runner) Warm(specs []Spec) {
+	if r.opt.DisableCache {
+		return
+	}
+	var pending []Spec
+	seen := map[string]bool{}
+	r.mu.Lock()
+	for _, s := range specs {
+		key := s.memoKey(r)
+		if key == "" || seen[key] {
+			continue
+		}
+		if _, ok := r.cache[key]; !ok {
+			seen[key] = true
+			pending = append(pending, s)
+		}
+	}
+	r.mu.Unlock()
+	r.RunBatch(pending)
+}
+
+// Stats is a snapshot of the engine's execution counters.
+type Stats struct {
+	// Parallelism is the effective worker count.
+	Parallelism int
+	// Simulations counts machine runs actually executed.
+	Simulations uint64
+	// MemoHits counts requests satisfied without a new simulation
+	// (cached results and singleflight joins on in-flight runs).
+	MemoHits uint64
+	// BusySeconds is summed host time spent inside simulations; with
+	// Simulations it sizes the work the memo cache and worker pool
+	// saved. BusySeconds / elapsed wall time is the effective parallel
+	// speedup over a serial engine.
+	BusySeconds float64
+}
+
+// Stats returns the runner's counters (shared ones, if Options.Counters
+// linked several runners). Deltas around an experiment give
+// per-experiment speedup: (busy after - busy before) / wall time.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Parallelism: r.opt.parallelism(),
+		Simulations: r.ctr.sims.Load(),
+		MemoHits:    r.ctr.hits.Load(),
+		BusySeconds: time.Duration(r.ctr.busyNanos.Load()).Seconds(),
+	}
+}

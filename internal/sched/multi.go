@@ -27,30 +27,28 @@ type MultiSpec struct {
 	Setup func(m *machine.Machine, fg *machine.Job, bgs []*machine.Job)
 }
 
-// RunMulti executes a multi-background scenario. Results are memoized
-// when no Setup hook is given.
-func (r *Runner) RunMulti(s MultiSpec) *machine.Result {
+func (s MultiSpec) memoKey(r *Runner) string {
+	if s.Setup != nil {
+		return ""
+	}
+	key := fmt.Sprintf("multi|%s|f%d|b%d|s%g", s.Fg.Name, s.FgWays, s.BgWays, r.opt.scale())
+	for _, bg := range s.Bgs {
+		key += "|" + bg.Name
+	}
+	return key
+}
+
+func (s MultiSpec) execute(r *Runner) *machine.Result {
 	cfg := r.opt.machineConfig()
 	maxBgs := cfg.Cores - 2
 	if len(s.Bgs) == 0 || len(s.Bgs) > maxBgs {
 		panic(fmt.Sprintf("sched: %d background jobs, platform fits 1..%d", len(s.Bgs), maxBgs))
 	}
 
-	key := ""
-	if s.Setup == nil {
-		key = fmt.Sprintf("multi|%s|f%d|b%d|s%g", s.Fg.Name, s.FgWays, s.BgWays, r.opt.scale())
-		for _, bg := range s.Bgs {
-			key += "|" + bg.Name
-		}
-		if res := r.cached(key); res != nil {
-			return res
-		}
-	}
-
 	m := machine.New(cfg)
 	fg := m.AddJob(machine.JobSpec{
 		Profile: s.Fg,
-		Threads: capThreads(s.Fg, 4),
+		Threads: CapThreads(s.Fg, 4),
 		Slots:   m.SlotsForCores(0, 1),
 		Scale:   r.opt.scale(),
 		Seed:    "fg",
@@ -60,7 +58,7 @@ func (r *Runner) RunMulti(s MultiSpec) *machine.Result {
 		core := 2 + i
 		bgJobs = append(bgJobs, m.AddJob(machine.JobSpec{
 			Profile:    bgProf,
-			Threads:    capThreads(bgProf, 2),
+			Threads:    CapThreads(bgProf, 2),
 			Slots:      m.SlotsForCores(core),
 			Background: true,
 			Scale:      r.opt.scale(),
@@ -89,9 +87,11 @@ func (r *Runner) RunMulti(s MultiSpec) *machine.Result {
 	if s.Setup != nil {
 		s.Setup(m, fg, bgJobs)
 	}
-	res := m.Run()
-	if key != "" {
-		r.store(key, res)
-	}
-	return res
+	return m.Run()
+}
+
+// RunMulti executes a multi-background scenario. Results are memoized
+// when no Setup hook is given.
+func (r *Runner) RunMulti(s MultiSpec) *machine.Result {
+	return r.Run(s)
 }

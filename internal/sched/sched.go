@@ -1,14 +1,29 @@
 // Package sched runs consolidation scenarios on the simulated platform:
 // an application alone with a given thread count and LLC way allocation,
 // or a foreground/background pair pinned to disjoint cores (the paper's
-// taskset methodology, §2.1/§5). It owns placement, scaling, and a
-// result cache so experiment drivers can sweep large allocation spaces
-// without re-simulating identical configurations.
+// taskset methodology, §2.1/§5). It owns placement, scaling, and the
+// experiment execution engine: a worker pool fans independent
+// simulations across CPUs (Options.Parallelism, default GOMAXPROCS)
+// while a singleflight-memoized result cache guarantees each distinct
+// configuration is simulated exactly once, so experiment drivers can
+// sweep large allocation spaces without re-simulating identical
+// configurations.
+//
+// Every simulation is a pure function of its spec: machine.New builds a
+// fresh platform per run, and all randomness comes from rng streams
+// named by the spec (application, seed label, thread index). Parallel
+// execution therefore produces byte-identical results to sequential
+// execution — RunBatch returns results in submission order regardless
+// of completion order, and sched's tests assert Parallelism 1 and 8
+// agree exactly.
 package sched
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/machine"
@@ -29,6 +44,14 @@ type Options struct {
 	Scale float64
 	// DisableCache bypasses the memoized run cache.
 	DisableCache bool
+	// Parallelism is the worker count RunBatch and Sweep fan
+	// simulations across (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+	// Counters, if non-nil, is where this runner accumulates its
+	// execution stats. Pass another runner's Counters() to report
+	// several runners (e.g. an ablation's modified platforms) as one
+	// engine. Nil means private counters.
+	Counters *Counters
 }
 
 func (o Options) machineConfig() machine.Config {
@@ -45,21 +68,131 @@ func (o Options) scale() float64 {
 	return DefaultScale
 }
 
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Spec is one runnable scenario: SingleSpec, PairSpec, and MultiSpec
+// implement it. A spec fully determines its simulation — the machine is
+// built fresh per run and every rng stream is named by spec fields — so
+// running a spec is a pure function and results can be memoized and
+// computed on any worker.
+type Spec interface {
+	// memoKey returns the memoization key, or "" when the run must not
+	// be memoized (e.g. a Setup hook closing over external state).
+	memoKey(r *Runner) string
+	// execute builds a fresh machine and runs the scenario.
+	execute(r *Runner) *machine.Result
+}
+
+// flight is one memo entry: a simulation that is running or finished.
+// Waiters block on done; res is immutable once done is closed.
+type flight struct {
+	done chan struct{}
+	res  *machine.Result
+}
+
+// Counters accumulates engine activity. Runners normally own a private
+// set; pass one runner's Counters() to another's Options to account
+// for both as one engine (the ablation studies do this so their
+// private-platform runners show up in the shared footer).
+type Counters struct {
+	sims      atomic.Uint64 // simulations actually executed
+	hits      atomic.Uint64 // memo lookups satisfied without a new run
+	busyNanos atomic.Int64  // summed host time inside simulations
+}
+
 // Runner executes scenarios. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
 type Runner struct {
 	opt Options
+	ctr *Counters
 
 	mu    sync.Mutex
-	cache map[string]*machine.Result
+	cache map[string]*flight
 }
 
 // New builds a runner.
 func New(opt Options) *Runner {
-	return &Runner{opt: opt, cache: make(map[string]*machine.Result)}
+	ctr := opt.Counters
+	if ctr == nil {
+		ctr = &Counters{}
+	}
+	return &Runner{opt: opt, ctr: ctr, cache: make(map[string]*flight)}
 }
 
 // Scale returns the effective instruction scale.
 func (r *Runner) Scale() float64 { return r.opt.scale() }
+
+// Parallelism returns the effective worker count.
+func (r *Runner) Parallelism() int { return r.opt.parallelism() }
+
+// Counters returns the runner's stat accumulator, shareable through
+// Options.Counters.
+func (r *Runner) Counters() *Counters { return r.ctr }
+
+// Run executes one spec through the singleflight memo cache: the first
+// request for a key runs the simulation, concurrent requests for the
+// same key wait for that one in-flight run, and later requests return
+// the cached result. Non-memoizable specs always execute.
+func (r *Runner) Run(s Spec) *machine.Result {
+	key := ""
+	if !r.opt.DisableCache {
+		key = s.memoKey(r)
+	}
+	if key == "" {
+		return r.measure(s)
+	}
+	for {
+		r.mu.Lock()
+		if f, ok := r.cache[key]; ok {
+			r.mu.Unlock()
+			r.ctr.hits.Add(1)
+			<-f.done
+			if f.res != nil {
+				return f.res
+			}
+			// The run we joined panicked and its entry was evicted;
+			// retry so this caller re-executes and observes the panic
+			// itself rather than returning a nil result.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		r.cache[key] = f
+		r.mu.Unlock()
+		return r.runFlight(key, f, s)
+	}
+}
+
+// runFlight executes the simulation owning a flight entry. If the spec
+// panics (e.g. an invalid partition — an experiment-construction bug),
+// the poisoned entry is evicted before waiters are released, so later
+// requests for the key re-execute and panic too instead of
+// deadlocking on a never-closed flight.
+func (r *Runner) runFlight(key string, f *flight, s Spec) *machine.Result {
+	defer func() {
+		if f.res == nil {
+			r.mu.Lock()
+			delete(r.cache, key)
+			r.mu.Unlock()
+		}
+		close(f.done)
+	}()
+	f.res = r.measure(s)
+	return f.res
+}
+
+// measure executes a spec and accounts for it in the runner stats.
+func (r *Runner) measure(s Spec) *machine.Result {
+	t0 := time.Now()
+	res := s.execute(r)
+	r.ctr.busyNanos.Add(int64(time.Since(t0)))
+	r.ctr.sims.Add(1)
+	return res
+}
 
 // SingleSpec describes an application running alone.
 type SingleSpec struct {
@@ -70,24 +203,19 @@ type SingleSpec struct {
 	Prefetch *prefetch.Config
 }
 
-// RunSingle executes an application alone on the machine: threads fill
-// both hyperthreads of each core before the next core (the paper's
-// assignment order), and every core the app runs on gets the first Ways
-// LLC ways. Results are memoized.
-func (r *Runner) RunSingle(s SingleSpec) *machine.Result {
-	key := fmt.Sprintf("single|%s|t%d|w%d|pf%v|s%g",
+func (s SingleSpec) memoKey(r *Runner) string {
+	return fmt.Sprintf("single|%s|t%d|w%d|pf%v|s%g",
 		s.App.Name, s.Threads, s.Ways, pfKey(s.Prefetch), r.opt.scale())
-	if res := r.cached(key); res != nil {
-		return res
-	}
+}
 
+func (s SingleSpec) execute(r *Runner) *machine.Result {
 	cfg := r.opt.machineConfig()
 	if s.Prefetch != nil {
 		cfg.Prefetch = *s.Prefetch
 	}
 	m := machine.New(cfg)
 
-	threads := capThreads(s.App, s.Threads)
+	threads := CapThreads(s.App, s.Threads)
 	slots := make([]int, threads)
 	for i := range slots {
 		slots[i] = i // slot order = HT0/HT1 of core 0, then core 1, ...
@@ -101,9 +229,15 @@ func (r *Runner) RunSingle(s SingleSpec) *machine.Result {
 	})
 	applyWays(m, job.Cores(), s.Ways)
 
-	res := m.Run()
-	r.store(key, res)
-	return res
+	return m.Run()
+}
+
+// RunSingle executes an application alone on the machine: threads fill
+// both hyperthreads of each core before the next core (the paper's
+// assignment order), and every core the app runs on gets the first Ways
+// LLC ways. Results are memoized.
+func (r *Runner) RunSingle(s SingleSpec) *machine.Result {
+	return r.Run(s)
 }
 
 // PairMode selects how a foreground/background pair is run.
@@ -131,31 +265,32 @@ type PairSpec struct {
 	Mode           PairMode
 	// Setup, if non-nil, runs after jobs are scheduled and before the
 	// run starts; the dynamic partitioning controller hooks in here.
+	// Runs with a Setup hook are not memoized (the hook may close over
+	// external state), but they may still be batched: each batched run
+	// gets its own machine, and RunBatch's completion barrier makes the
+	// hook's writes visible to the caller.
 	Setup func(m *machine.Machine, fg, bg *machine.Job)
 	// Prefetch overrides the platform prefetcher configuration.
 	Prefetch *prefetch.Config
 }
 
-// RunPair executes a pair scenario. Runs with a Setup hook are not
-// memoized (the hook may close over external state).
-func (r *Runner) RunPair(s PairSpec) *machine.Result {
-	key := ""
-	if s.Setup == nil {
-		key = fmt.Sprintf("pair|%s|%s|f%d|b%d|m%d|pf%v|s%g",
-			s.Fg.Name, s.Bg.Name, s.FgWays, s.BgWays, s.Mode, pfKey(s.Prefetch), r.opt.scale())
-		if res := r.cached(key); res != nil {
-			return res
-		}
+func (s PairSpec) memoKey(r *Runner) string {
+	if s.Setup != nil {
+		return ""
 	}
+	return fmt.Sprintf("pair|%s|%s|f%d|b%d|m%d|pf%v|s%g",
+		s.Fg.Name, s.Bg.Name, s.FgWays, s.BgWays, s.Mode, pfKey(s.Prefetch), r.opt.scale())
+}
 
+func (s PairSpec) execute(r *Runner) *machine.Result {
 	cfg := r.opt.machineConfig()
 	if s.Prefetch != nil {
 		cfg.Prefetch = *s.Prefetch
 	}
 	m := machine.New(cfg)
 
-	fgThreads := capThreads(s.Fg, 4)
-	bgThreads := capThreads(s.Bg, 4)
+	fgThreads := CapThreads(s.Fg, 4)
+	bgThreads := CapThreads(s.Bg, 4)
 	fg := m.AddJob(machine.JobSpec{
 		Profile: s.Fg,
 		Threads: fgThreads,
@@ -194,26 +329,43 @@ func (r *Runner) RunPair(s PairSpec) *machine.Result {
 		s.Setup(m, fg, bg)
 	}
 
-	res := m.Run()
-	if key != "" {
-		r.store(key, res)
-	}
-	return res
+	return m.Run()
+}
+
+// RunPair executes a pair scenario. Runs with a Setup hook are not
+// memoized (the hook may close over external state).
+func (r *Runner) RunPair(s PairSpec) *machine.Result {
+	return r.Run(s)
 }
 
 // AloneHalf returns the foreground baseline of §5.1: the application
 // alone on 2 cores / 4 hyperthreads with the full LLC.
 func (r *Runner) AloneHalf(app *workload.Profile) *machine.Result {
-	return r.RunSingle(SingleSpec{App: app, Threads: 4})
+	return r.RunSingle(AloneHalfSpec(app))
+}
+
+// AloneHalfSpec is the spec AloneHalf runs, exposed so drivers can
+// batch the baseline together with the sweeps that normalize to it.
+func AloneHalfSpec(app *workload.Profile) SingleSpec {
+	return SingleSpec{App: app, Threads: 4}
 }
 
 // AloneWhole returns the sequential baseline of §5.3: the application
 // alone on the whole machine (8 hyperthreads, full LLC).
 func (r *Runner) AloneWhole(app *workload.Profile) *machine.Result {
-	return r.RunSingle(SingleSpec{App: app, Threads: 8})
+	return r.RunSingle(AloneWholeSpec(app))
 }
 
-func capThreads(p *workload.Profile, want int) int {
+// AloneWholeSpec is the spec AloneWhole runs.
+func AloneWholeSpec(app *workload.Profile) SingleSpec {
+	return SingleSpec{App: app, Threads: 8}
+}
+
+// CapThreads returns want clamped to [1, p.MaxThreads] — the rule every
+// spec applies to requested thread counts. Exported so experiment
+// drivers planning batch sweeps derive the same operating points the
+// engine will actually run.
+func CapThreads(p *workload.Profile, want int) int {
 	if want < 1 {
 		want = 1
 	}
@@ -233,24 +385,6 @@ func applyWays(m *machine.Machine, cores []int, n int) {
 	for _, c := range cores {
 		m.Hierarchy().SetWayMask(c, mask)
 	}
-}
-
-func (r *Runner) cached(key string) *machine.Result {
-	if r.opt.DisableCache {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cache[key]
-}
-
-func (r *Runner) store(key string, res *machine.Result) {
-	if r.opt.DisableCache || key == "" {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.cache[key] = res
 }
 
 func pfKey(p *prefetch.Config) string {
