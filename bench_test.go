@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/partition"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -227,6 +228,38 @@ func BenchmarkEngineBatchSweep(b *testing.B) {
 		r.RunBatch(specs)
 	}
 	b.ReportMetric(float64(len(specs)*b.N)/b.Elapsed().Seconds(), "sims/s")
+}
+
+// BenchmarkScenarioMix pushes an N-job mix through the full hierarchy:
+// a latency-sensitive foreground plus three looping batch co-runners,
+// compiled from the shipped scenario file and executed with
+// memoization off — the multiprogram hot path future PRs must not
+// regress. Reported as simulated instructions per host second.
+func BenchmarkScenarioMix(b *testing.B) {
+	s, err := scenario.ParseFile("examples/scenarios/latency-3batch.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The shipped file declares the biased search; the hot path under
+	// measurement is one mix execution, so pin a static fair split.
+	s.Partition.Policy = scenario.PartitionFair
+	r := sched.New(sched.Options{Scale: benchScale, DisableCache: true})
+	mix, err := s.Compile(r.MachineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instr float64
+	for _, j := range mix.Jobs {
+		instr += j.App.Instructions * benchScale
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.RunMix(mix)
+		if len(res.Jobs) != 4 {
+			b.Fatal("mix lost a job")
+		}
+	}
+	b.ReportMetric(instr*float64(b.N)/b.Elapsed().Seconds(), "sim-instr/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated

@@ -10,6 +10,8 @@
 //	cachepart pair -fg 429.mcf -bg ferret [-policy dynamic] [-scale 0.002] [-parallel N]
 //	cachepart exp  -id fig9 [-scale 0.002] [-quick] [-parallel N]
 //	cachepart exp  -id all  [-quick]
+//	cachepart scenario run examples/scenarios/latency-3batch.json [-quick] [-policy dynamic]
+//	cachepart scenario check examples/scenarios/*.json
 //
 // Experiment ids: fig1..fig13, table1, table2, table3, headline, the
 // abl-* ablation studies, and all.
@@ -46,6 +48,8 @@ func main() {
 		err = cmdPair(os.Args[2:])
 	case "exp":
 		err = cmdExp(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -64,6 +68,12 @@ func usage() {
   cachepart run  -app NAME [-threads N] [-ways W] [-scale S]
   cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S] [-parallel N]
   cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N]
+  cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] FILE.json...
+  cachepart scenario check [-policy P] FILE.json...
+
+scenario runs declarative JSON scenario files (N-job mixes with roles,
+placement, and a partition policy; see examples/scenarios/ and
+DESIGN.md). -policy overrides the file's partition policy.
 
 -parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
 byte-identical at any setting.`)

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+// quickScale is the reduced instruction scale -quick runs at: enough to
+// exercise every policy and placement path in seconds (the CI smoke
+// step), too little for publication-quality aggregates.
+const quickScale = 3e-4
+
+// cmdScenario dispatches the scenario subcommands:
+//
+//	cachepart scenario run   [flags] file.json...
+//	cachepart scenario check [flags] file.json...
+func cmdScenario(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("scenario: want 'run' or 'check' (see 'cachepart help')")
+	}
+	switch args[0] {
+	case "run":
+		return scenarioRun(args[1:])
+	case "check":
+		return scenarioCheck(args[1:])
+	default:
+		return fmt.Errorf("scenario: unknown subcommand %q (want run or check)", args[0])
+	}
+}
+
+// splitFlags separates flag arguments from positional file arguments so
+// both "scenario run -quick a.json" and "scenario run a.json -quick"
+// work (shell globs put the files first).
+func splitFlags(args []string, valueFlags map[string]bool) (flags, files []string) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			files = append(files, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			continue // -flag=value form carries its own value
+		}
+		if valueFlags[name] && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return flags, files
+}
+
+var scenarioValueFlags = map[string]bool{"scale": true, "parallel": true, "policy": true}
+
+func scenarioRun(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
+	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
+	policy := fs.String("policy", "", "override the scenario's partition policy (shared|fair|biased|dynamic)")
+	flagArgs, files := splitFlags(args, scenarioValueFlags)
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("scenario run: no scenario files given")
+	}
+	effScale := *scale
+	if effScale == 0 && *quick {
+		effScale = quickScale
+	}
+	// One runner for every file: scenarios sharing configurations (or
+	// baselines) deduplicate through the engine's memo cache.
+	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel})
+
+	for _, path := range files {
+		s, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if *policy != "" {
+			s.Partition.Policy = scenario.PartitionPolicy(*policy)
+		}
+		before := r.Stats()
+		t0 := time.Now()
+		rep, err := scenario.Run(r, s)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0).Seconds()
+		st := r.Stats()
+		speedup := 0.0
+		if wall > 0 {
+			speedup = (st.BusySeconds - before.BusySeconds) / wall
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
+			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
+			speedup, st.Parallelism)
+	}
+	return nil
+}
+
+func scenarioCheck(args []string) error {
+	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
+	policy := fs.String("policy", "", "override the scenario's partition policy before checking")
+	flagArgs, files := splitFlags(args, scenarioValueFlags)
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("scenario check: no scenario files given")
+	}
+	for _, path := range files {
+		s, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if *policy != "" {
+			s.Partition.Policy = scenario.PartitionPolicy(*policy)
+		}
+		p, err := s.Plan(machine.Default())
+		if err != nil {
+			return err
+		}
+		pol := s.Partition.Policy
+		if pol == "" {
+			pol = scenario.PartitionShared
+		}
+		fmt.Printf("%s: ok — %q, %d jobs on %d cores, policy %s\n",
+			path, s.Name, len(p.Instances), p.Config.Cores, pol)
+		for _, inst := range p.Instances {
+			fmt.Printf("  %-8s %-8s %-18s threads=%d slots=%v ways=%s\n",
+				inst.Seed, inst.Role, inst.App.Name, inst.Threads, inst.Slots, inst.WaysLabel())
+		}
+	}
+	return nil
+}

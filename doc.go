@@ -15,4 +15,10 @@
 // memoization runs each distinct configuration exactly once. Because
 // every simulation derives its randomness solely from its own spec,
 // parallel runs render byte-identical tables to serial runs.
+//
+// Runs are described declaratively: internal/scenario compiles N-job
+// scenario files (roles, placement, partitioning, metrics; see
+// examples/scenarios/ and `cachepart scenario`) down to the engine's
+// general MixSpec, of which the paper's single/pair/multi shapes are
+// the canonical degenerate cases.
 package repro

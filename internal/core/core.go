@@ -176,7 +176,7 @@ func (s *System) Consolidate(fg, bg string, policy Policy) (ConsolidationReport,
 			Fg: fp, Bg: bp, Mode: sched.BackgroundLoop,
 			Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
 				cfg := partition.DefaultControllerConfig()
-				cfg.IntervalSeconds = fp.Instructions * s.r.Scale() * 1.5 / 3.4e9 / 500
+				cfg.IntervalSeconds = partition.SamplingInterval(fp, s.r.Scale())
 				ctl = partition.Attach(m, fgJob, bgJob, cfg)
 			},
 		})

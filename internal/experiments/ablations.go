@@ -290,8 +290,8 @@ func (c *Context) AblationMultiBackground() *Table {
 			bg := workload.MustByName(bgName)
 			specs = append(specs,
 				sched.AloneHalfSpec(fg),
-				sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg}},
-				sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg, bg}})
+				c.multiRun(fg, bg, 1),
+				c.multiRun(fg, bg, 2))
 		}
 	}
 	c.submit(specs)
@@ -302,9 +302,9 @@ func (c *Context) AblationMultiBackground() *Table {
 			fg := workload.MustByName(fgName)
 			bg := workload.MustByName(bgName)
 			alone := c.aloneHalfSeconds(fg)
-			s1 := c.R.RunMulti(sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg}}).
+			s1 := c.R.Run(c.multiRun(fg, bg, 1)).
 				JobByName(fg.Name).Seconds / alone
-			s2 := c.R.RunMulti(sched.MultiSpec{Fg: fg, Bgs: []*workload.Profile{bg, bg}}).
+			s2 := c.R.Run(c.multiRun(fg, bg, 2)).
 				JobByName(fg.Name).Seconds / alone
 			one = append(one, s1)
 			two = append(two, s2)

@@ -6,44 +6,41 @@ import (
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/perfmon"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// controllerInterval sizes the sampling period the way the paper's
-// 100 ms relates to its multi-minute runs: a fixed number of decision
-// intervals per foreground execution.
+// controllerInterval sizes the sampling period; the rule is shared
+// with the scenario layer and the core API through
+// partition.SamplingInterval.
 func (c *Context) controllerInterval(fg *workload.Profile) float64 {
-	const intervalsPerRun = 500
-	estSeconds := fg.Instructions * c.R.Scale() * 1.5 / 3.4e9
-	return estSeconds / intervalsPerRun
+	return partition.SamplingInterval(fg, c.R.Scale())
 }
 
-// dynamicSpec builds the pair spec for a §6 controller run. The Setup
-// hook stores the controller through ctl (nil when the caller only
-// needs the run result); because such specs are never memoized, each
-// batched run attaches its own fresh controller, and RunBatch's
-// completion barrier publishes the write to the caller.
+// dynamicSpec builds the §6 controller run as a dynamic-policy
+// scenario compiled to a batchable spec. The attached controller is
+// stored through ctl (nil when the caller only needs the run result);
+// because such specs are never memoized, each batched run attaches its
+// own fresh controller, and RunBatch's completion barrier publishes
+// the write to the caller.
 func (c *Context) dynamicSpec(fg, bg *workload.Profile, ctl **partition.Controller) sched.Spec {
-	return sched.PairSpec{
-		Fg: fg, Bg: bg, Mode: sched.BackgroundLoop,
-		Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
-			cfg := partition.DefaultControllerConfig()
-			cfg.IntervalSeconds = c.controllerInterval(fg)
-			attached := partition.Attach(m, fgJob, bgJob, cfg)
-			if ctl != nil {
-				*ctl = attached
-			}
-		},
+	cfg := c.R.MachineConfig()
+	s := pairMix(cfg.Hier.LLC.Assoc, fg, bg, 0, 0, false)
+	s.Partition.Policy = scenario.PartitionDynamic
+	mix, err := s.CompileDynamic(cfg, c.R.Scale(), ctl)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
+	return mix
 }
 
 // RunDynamic co-schedules fg and bg with the §6 controller attached and
 // returns the run result plus the controller (for its MPKI/ways trace).
 func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Controller) {
 	var ctl *partition.Controller
-	res := c.R.RunPair(c.dynamicSpec(fg, bg, &ctl).(sched.PairSpec))
+	res := c.R.Run(c.dynamicSpec(fg, bg, &ctl))
 	return res, ctl
 }
 
@@ -144,7 +141,7 @@ func (c *Context) Fig13DynamicThroughput() *Fig13Result {
 	for _, fg := range c.Reps {
 		for _, bg := range c.Reps {
 			specs = append(specs, partition.SearchSpecs(12, fg, bg)...)
-			specs = append(specs, sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+			specs = append(specs, c.pairRun(fg, bg, 0, 0, false))
 		}
 	}
 	nPairs := len(c.Reps) * len(c.Reps)
@@ -160,9 +157,8 @@ func (c *Context) Fig13DynamicThroughput() *Fig13Result {
 			// The Figure 13 baseline is the allocation best *for the
 			// foreground* (ties broken toward the protective split).
 			best := partition.BestForForeground(c.R, fg, bg)
-			static := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg,
-				FgWays: best.FgWays, BgWays: best.BgWays, Mode: sched.BackgroundLoop})
-			shared := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+			static := c.R.Run(c.pairRun(fg, bg, best.FgWays, best.BgWays, false))
+			shared := c.R.Run(c.pairRun(fg, bg, 0, 0, false))
 			dyn := dynResults[i*len(c.Reps)+j]
 
 			sIter := static.JobByName(bg.Name).Iterations

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestFig9Golden pins the rendered Figure 9 table at quick scale
+// against a checked-in golden file captured before the scenario-layer
+// refactor. Any change to placement, seeding, partition masks, or the
+// policy search would shift these numbers; the driver rewiring on top
+// of the scenario subsystem must not.
+//
+// Regenerate (only for an intentional model change) with:
+//
+//	go test ./internal/experiments -run TestFig9Golden -update-golden
+func TestFig9Golden(t *testing.T) {
+	got := quickAt(0).Fig9StaticPolicies().Table.String()
+	path := filepath.Join("testdata", "fig9_quick.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Fig 9 output drifted from pre-refactor golden\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

@@ -41,7 +41,7 @@ func (c *Context) Fig8Heatmap(fgApps, bgApps []*workload.Profile) *Fig8Result {
 	for _, fg := range fgApps {
 		specs = append(specs, sched.AloneHalfSpec(fg))
 		for _, bg := range bgApps {
-			specs = append(specs, sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop})
+			specs = append(specs, c.pairRun(fg, bg, 0, 0, false))
 		}
 	}
 	results := c.R.RunBatch(specs)
@@ -151,9 +151,8 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 		for _, bg := range c.Reps {
 			specs = append(specs, partition.SearchSpecs(assoc, fg, bg)...)
 			specs = append(specs,
-				sched.PairSpec{Fg: fg, Bg: bg, Mode: sched.BackgroundLoop},
-				sched.PairSpec{Fg: fg, Bg: bg, FgWays: assoc / 2, BgWays: assoc - assoc/2,
-					Mode: sched.BackgroundLoop})
+				c.pairRun(fg, bg, 0, 0, false),
+				c.pairRun(fg, bg, assoc/2, assoc-assoc/2, false))
 		}
 	}
 	c.submit(specs)
@@ -175,8 +174,7 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 				} else {
 					fgW, bgW = partition.StaticWays(pol, assoc, nil)
 				}
-				pair := c.R.RunPair(sched.PairSpec{Fg: fg, Bg: bg,
-					FgWays: fgW, BgWays: bgW, Mode: sched.BackgroundLoop})
+				pair := c.R.Run(c.pairRun(fg, bg, fgW, bgW, false))
 				sd := pair.JobByName(fg.Name).Seconds / alone
 				res.Outcomes = append(res.Outcomes, PolicyOutcome{
 					Fg: fg.Name, Bg: bg.Name, Policy: pol,
@@ -234,9 +232,8 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 			b := c.Reps[j]
 			stage1 = append(stage1, partition.SearchSpecs(assoc, a, b)...)
 			stage1 = append(stage1,
-				sched.PairSpec{Fg: a, Bg: b, Mode: sched.BothOnce},
-				sched.PairSpec{Fg: a, Bg: b, FgWays: assoc / 2, BgWays: assoc - assoc/2,
-					Mode: sched.BothOnce})
+				c.pairRun(a, b, 0, 0, true),
+				c.pairRun(a, b, assoc/2, assoc-assoc/2, true))
 		}
 	}
 	c.submit(stage1)
@@ -248,8 +245,7 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 		for j := i; j < len(c.Reps); j++ {
 			b := c.Reps[j]
 			ch := partition.BestBiased(c.R, a, b)
-			stage2 = append(stage2, sched.PairSpec{Fg: a, Bg: b,
-				FgWays: ch.FgWays, BgWays: ch.BgWays, Mode: sched.BothOnce})
+			stage2 = append(stage2, c.pairRun(a, b, ch.FgWays, ch.BgWays, true))
 		}
 	}
 	c.submit(stage2)
@@ -273,8 +269,7 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 				} else {
 					fgW, bgW = partition.StaticWays(pol, assoc, nil)
 				}
-				pair := c.R.RunPair(sched.PairSpec{Fg: a, Bg: b,
-					FgWays: fgW, BgWays: bgW, Mode: sched.BothOnce})
+				pair := c.R.Run(c.pairRun(a, b, fgW, bgW, true))
 				relE := pair.Energy.SocketJoules / seqEnergy
 				ws := aAlone/pair.JobByName(a.Name).Seconds +
 					bAlone/pair.JobByName(b.Name).Seconds

@@ -55,8 +55,15 @@ type Config struct {
 
 // Default returns the paper's platform: 4-core, 8-thread Sandy Bridge
 // client with the 6 MB way-partitionable LLC and all prefetchers on.
-func Default() Config {
-	cores := 4
+func Default() Config { return DefaultWithCores(4) }
+
+// DefaultWithCores returns the paper's platform scaled to an arbitrary
+// core count — hierarchy and ring sized to match — for scenarios that
+// need a bigger machine than the 4-core prototype.
+func DefaultWithCores(cores int) Config {
+	if cores < 1 {
+		panic("machine: platform needs at least one core")
+	}
 	return Config{
 		Cores:             cores,
 		ThreadsPerCore:    2,
@@ -153,6 +160,11 @@ type Machine struct {
 	jobs    []*Job
 	slots   []*thread
 	tickers []*ticker
+	// reservedBy records which job holds each slot of its pinned
+	// taskset region — including the tail beyond the running threads,
+	// which carries no thread but still owns the slot (bandwidth QoS
+	// follows it).
+	reservedBy []*Job
 
 	epochs uint64
 }
@@ -164,11 +176,12 @@ func New(cfg Config) *Machine {
 	}
 	nThreads := cfg.Cores * cfg.ThreadsPerCore
 	m := &Machine{
-		cfg:   cfg,
-		hier:  cache.NewHierarchy(cfg.Hier),
-		dram:  memory.NewDRAM(cfg.DRAM, nThreads),
-		ring:  interconnect.NewRing(cfg.Ring, nThreads),
-		slots: make([]*thread, nThreads),
+		cfg:        cfg,
+		hier:       cache.NewHierarchy(cfg.Hier),
+		dram:       memory.NewDRAM(cfg.DRAM, nThreads),
+		ring:       interconnect.NewRing(cfg.Ring, nThreads),
+		slots:      make([]*thread, nThreads),
+		reservedBy: make([]*Job, nThreads),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		m.pf = append(m.pf, prefetch.NewUnit(cfg.Prefetch))
@@ -187,38 +200,66 @@ func (m *Machine) Config() Config { return m.cfg }
 // the paper's assignment order: both hyperthreads of a core before the
 // next core.
 func (m *Machine) SlotsForCores(cores ...int) []int {
-	var out []int
-	for _, c := range cores {
-		for ht := 0; ht < m.cfg.ThreadsPerCore; ht++ {
-			out = append(out, c*m.cfg.ThreadsPerCore+ht)
-		}
-	}
-	return out
+	return m.cfg.SlotsForCores(cores...)
 }
 
-// AddJob schedules a job. It panics on slot conflicts or malformed
-// specs — these are experiment-construction bugs.
-func (m *Machine) AddJob(spec JobSpec) *Job {
+// validateJobSpec checks a spec against the platform and the slots
+// already occupied, returning a descriptive error for every way a
+// placement can mis-pin: missing profile or scale, too few slots for
+// the (capped) thread count, out-of-range slots, a slot listed twice,
+// or a slot another job already holds. The full pinned slot set is
+// checked — not just the first Threads entries — because the tail still
+// reserves cores (taskset region) for bandwidth QoS.
+func (m *Machine) validateJobSpec(spec JobSpec, threads int) error {
 	if spec.Profile == nil {
-		panic("machine: job without profile")
+		return fmt.Errorf("machine: job without profile")
 	}
 	if spec.Scale <= 0 {
-		panic("machine: job scale must be positive")
+		return fmt.Errorf("machine: job %s scale must be positive, got %v", spec.Profile.Name, spec.Scale)
 	}
+	if len(spec.Slots) < threads {
+		return fmt.Errorf("machine: job %s needs %d slots, got %d",
+			spec.Profile.Name, threads, len(spec.Slots))
+	}
+	seen := make(map[int]bool, len(spec.Slots))
+	for _, slot := range spec.Slots {
+		if slot < 0 || slot >= len(m.slots) {
+			return fmt.Errorf("machine: job %s slot %d out of range [0,%d)",
+				spec.Profile.Name, slot, len(m.slots))
+		}
+		if seen[slot] {
+			return fmt.Errorf("machine: job %s lists slot %d twice", spec.Profile.Name, slot)
+		}
+		seen[slot] = true
+		if prev := m.slots[slot]; prev != nil {
+			return fmt.Errorf("machine: slot %d already occupied by %s", slot, prev.job.Name())
+		}
+		if prev := m.reservedBy[slot]; prev != nil {
+			return fmt.Errorf("machine: slot %d already reserved by %s (taskset tail)", slot, prev.Name())
+		}
+	}
+	return nil
+}
+
+// AddJobChecked schedules a job, validating the placement first: a
+// descriptive error is returned (and the machine left untouched) for
+// overlapping, duplicate, or out-of-range slots and for thread counts
+// the slot list cannot hold.
+func (m *Machine) AddJobChecked(spec JobSpec) (*Job, error) {
 	threads := spec.Threads
 	if threads < 1 {
 		threads = 1
 	}
-	if mt := spec.Profile.MaxThreads; threads > mt {
-		threads = mt
+	if spec.Profile != nil && threads > spec.Profile.MaxThreads {
+		threads = spec.Profile.MaxThreads
 	}
-	if len(spec.Slots) < threads {
-		panic(fmt.Sprintf("machine: job %s needs %d slots, got %d",
-			spec.Profile.Name, threads, len(spec.Slots)))
+	if err := m.validateJobSpec(spec, threads); err != nil {
+		return nil, err
 	}
 	job := &Job{Spec: spec, ID: len(m.jobs)}
 	seenReserved := map[int]bool{}
 	for _, slot := range spec.Slots {
+		m.reservedBy[slot] = job
 		core := slot / m.cfg.ThreadsPerCore
 		if !seenReserved[core] {
 			seenReserved[core] = true
@@ -236,13 +277,6 @@ func (m *Machine) AddJob(spec JobSpec) *Job {
 	seenCore := map[int]bool{}
 	for t := 0; t < threads; t++ {
 		slot := spec.Slots[t]
-		if slot < 0 || slot >= len(m.slots) {
-			panic(fmt.Sprintf("machine: slot %d out of range", slot))
-		}
-		if m.slots[slot] != nil {
-			panic(fmt.Sprintf("machine: slot %d already occupied by %s",
-				slot, m.slots[slot].job.Name()))
-		}
 		goal := par
 		if t == 0 {
 			goal += totalInstr * prof.SerialFrac
@@ -267,6 +301,17 @@ func (m *Machine) AddJob(spec JobSpec) *Job {
 		}
 	}
 	m.jobs = append(m.jobs, job)
+	return job, nil
+}
+
+// AddJob schedules a job. It panics on slot conflicts or malformed
+// specs — these are experiment-construction bugs; callers assembling
+// placements from external input (scenario files) use AddJobChecked.
+func (m *Machine) AddJob(spec JobSpec) *Job {
+	job, err := m.AddJobChecked(spec)
+	if err != nil {
+		panic(err.Error())
+	}
 	return job
 }
 

@@ -1,0 +1,216 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlacementPolicy selects how a mix of jobs is assigned to hardware-
+// thread slots. Policies replace the hand-written slot lists the run
+// layer used to compute: callers describe per-job thread demands and
+// the planner returns validated, disjoint slot sets.
+type PlacementPolicy int
+
+const (
+	// PlacePack assigns cores left to right: each job receives the
+	// fewest cores that hold its threads, both hyperthreads of a core
+	// before the next core — the paper's taskset assignment order
+	// (§2.1). The foreground-on-cores-0-1, background-on-cores-2-3
+	// layout of §5 is pack placement of a two-job mix.
+	PlacePack PlacementPolicy = iota
+	// PlaceSpread first gives each job its minimum cores, then deals
+	// the remaining cores round-robin, so jobs own as much of the
+	// machine as possible: threads land one per core (HT0 across the
+	// job's cores) before doubling up on hyperthreads, minimizing SMT
+	// interference.
+	PlaceSpread
+	// PlaceExplicit uses caller-provided slot lists verbatim (after
+	// validation) — the escape hatch for asymmetric layouts.
+	PlaceExplicit
+)
+
+// String returns the policy's scenario-file name.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlacePack:
+		return "pack"
+	case PlaceSpread:
+		return "spread"
+	case PlaceExplicit:
+		return "explicit"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// PlacementPolicyByName parses a scenario-file placement name.
+func PlacementPolicyByName(name string) (PlacementPolicy, error) {
+	switch name {
+	case "", "pack":
+		return PlacePack, nil
+	case "spread":
+		return PlaceSpread, nil
+	case "explicit":
+		return PlaceExplicit, nil
+	default:
+		return 0, fmt.Errorf("machine: unknown placement policy %q (want pack, spread, or explicit)", name)
+	}
+}
+
+// coresFor returns how many cores hold n threads on this platform.
+func (c Config) coresFor(threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	return (threads + c.ThreadsPerCore - 1) / c.ThreadsPerCore
+}
+
+// Slots returns the hardware-thread slot count of the platform.
+func (c Config) Slots() int { return c.Cores * c.ThreadsPerCore }
+
+// SlotsForCores returns the hardware-thread slots of the given cores in
+// the paper's assignment order: both hyperthreads of a core before the
+// next core. (Machine.SlotsForCores delegates here.)
+func (c Config) SlotsForCores(cores ...int) []int {
+	var out []int
+	for _, core := range cores {
+		for ht := 0; ht < c.ThreadsPerCore; ht++ {
+			out = append(out, core*c.ThreadsPerCore+ht)
+		}
+	}
+	return out
+}
+
+// Plan assigns disjoint core groups to a mix of jobs. threads[i] is job
+// i's requested software-thread count; the returned slots[i] lists the
+// hardware-thread slots job i is pinned to, in assignment order. Jobs
+// never share a core (the paper's disjoint pinning, which per-core way
+// masks and counter attribution both rely on).
+//
+// When the mix over-subscribes the machine — the jobs' minimum core
+// demands exceed the available cores — Plan shrinks the largest demands
+// first (latest-listed first on ties, so the head of the list keeps its
+// grant longest) until the mix fits, one core per job at minimum; a
+// job's thread grant is then capped by its shrunken slot set. A mix
+// with more jobs than cores cannot be placed and returns an error.
+func Plan(cfg Config, policy PlacementPolicy, threads []int) ([][]int, error) {
+	if policy == PlaceExplicit {
+		return nil, fmt.Errorf("machine: explicit placement needs caller-provided slots; use ValidateSlots")
+	}
+	n := len(threads)
+	if n == 0 {
+		return nil, fmt.Errorf("machine: placement of an empty job mix")
+	}
+	if n > cfg.Cores {
+		return nil, fmt.Errorf("machine: %d jobs need %d cores, platform has %d (jobs cannot share cores)",
+			n, n, cfg.Cores)
+	}
+
+	// Minimum core demand per job, then shrink the largest demands until
+	// the mix fits (over-subscription).
+	demand := make([]int, n)
+	total := 0
+	for i, t := range threads {
+		demand[i] = cfg.coresFor(t)
+		total += demand[i]
+	}
+	for total > cfg.Cores {
+		// Shrink the job with the largest demand; the latest such job
+		// loses first, so earlier-listed jobs — scenarios list the
+		// latency-critical job first — hold their grants longest. The
+		// order is deterministic either way.
+		big := 0
+		for i := 1; i < n; i++ {
+			if demand[i] >= demand[big] {
+				big = i
+			}
+		}
+		demand[big]--
+		total--
+	}
+
+	if policy == PlaceSpread {
+		// Deal the leftover cores round-robin so jobs spread across the
+		// whole machine.
+		for spare := cfg.Cores - total; spare > 0; {
+			for i := 0; i < n && spare > 0; i++ {
+				demand[i]++
+				spare--
+			}
+		}
+	}
+
+	out := make([][]int, n)
+	nextCore := 0
+	for i, d := range demand {
+		cores := make([]int, d)
+		for k := range cores {
+			cores[k] = nextCore
+			nextCore++
+		}
+		if policy == PlaceSpread {
+			out[i] = spreadSlots(cfg, cores)
+		} else {
+			out[i] = cfg.SlotsForCores(cores...)
+		}
+	}
+	return out, nil
+}
+
+// spreadSlots orders a core group's slots HT0 of every core first, then
+// HT1, so threads occupy distinct cores before sharing one.
+func spreadSlots(cfg Config, cores []int) []int {
+	var out []int
+	for ht := 0; ht < cfg.ThreadsPerCore; ht++ {
+		for _, c := range cores {
+			out = append(out, c*cfg.ThreadsPerCore+ht)
+		}
+	}
+	return out
+}
+
+// ValidateSlots checks explicit per-job slot lists against the
+// platform: every slot in range, no slot claimed twice, no core shared
+// between jobs, and each job's list able to hold at least one thread.
+func ValidateSlots(cfg Config, slots [][]int) error {
+	owner := map[int]int{}     // slot -> job
+	coreOwner := map[int]int{} // core -> job
+	for j, list := range slots {
+		if len(list) == 0 {
+			return fmt.Errorf("machine: job %d has no slots", j)
+		}
+		for _, s := range list {
+			if s < 0 || s >= cfg.Slots() {
+				return fmt.Errorf("machine: job %d slot %d out of range [0,%d)", j, s, cfg.Slots())
+			}
+			if prev, ok := owner[s]; ok {
+				if prev == j {
+					return fmt.Errorf("machine: job %d lists slot %d twice", j, s)
+				}
+				return fmt.Errorf("machine: slot %d claimed by both job %d and job %d", s, prev, j)
+			}
+			owner[s] = j
+			core := s / cfg.ThreadsPerCore
+			if prev, ok := coreOwner[core]; ok && prev != j {
+				return fmt.Errorf("machine: core %d shared by job %d and job %d (jobs must own whole cores)",
+					core, prev, j)
+			}
+			coreOwner[core] = j
+		}
+	}
+	return nil
+}
+
+// FreeSlots returns the machine's unoccupied, unreserved slots in slot
+// order — callers placing jobs incrementally can plan against what is
+// left.
+func (m *Machine) FreeSlots() []int {
+	var out []int
+	for s, t := range m.slots {
+		if t == nil && m.reservedBy[s] == nil {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

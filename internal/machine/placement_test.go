@@ -1,0 +1,164 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPlanPackMatchesPaperLayout(t *testing.T) {
+	cfg := Default()
+	// The §5 pair: two 4-thread jobs pack onto cores 0-1 and 2-3.
+	slots, err := Plan(cfg, PlacePack, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	if !reflect.DeepEqual(slots, want) {
+		t.Fatalf("pack = %v, want %v", slots, want)
+	}
+	// The §5.2 multi shape: 4-thread fg plus two 2-thread peers.
+	slots, err = Plan(cfg, PlacePack, []int{4, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = [][]int{{0, 1, 2, 3}, {4, 5}, {6, 7}}
+	if !reflect.DeepEqual(slots, want) {
+		t.Fatalf("pack = %v, want %v", slots, want)
+	}
+}
+
+func TestPlanSpreadUsesWholeMachine(t *testing.T) {
+	cfg := Default()
+	slots, err := Plan(cfg, PlaceSpread, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each job gets two cores and its threads land on distinct cores
+	// (HT0 of each) before sharing a core.
+	want := [][]int{{0, 2, 1, 3}, {4, 6, 5, 7}}
+	if !reflect.DeepEqual(slots, want) {
+		t.Fatalf("spread = %v, want %v", slots, want)
+	}
+}
+
+func TestPlanOverSubscriptionShrinks(t *testing.T) {
+	cfg := Default()
+	// Three 4-thread jobs want 6 cores of 4: the largest demands shrink
+	// until the mix fits, one core per job at minimum.
+	slots, err := Plan(cfg, PlacePack, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 3 {
+		t.Fatalf("%d jobs placed", len(slots))
+	}
+	seen := map[int]bool{}
+	for j, list := range slots {
+		if len(list) == 0 {
+			t.Fatalf("job %d got no slots", j)
+		}
+		for _, s := range list {
+			if seen[s] {
+				t.Fatalf("slot %d assigned twice: %v", s, slots)
+			}
+			seen[s] = true
+		}
+	}
+	// More jobs than cores cannot be placed at all.
+	if _, err := Plan(cfg, PlacePack, []int{1, 1, 1, 1, 1}); err == nil {
+		t.Fatal("5 jobs on 4 cores accepted")
+	}
+}
+
+func TestValidateSlots(t *testing.T) {
+	cfg := Default()
+	cases := []struct {
+		name  string
+		slots [][]int
+		want  string // substring of the error, "" = valid
+	}{
+		{"valid", [][]int{{0, 1}, {2, 3}}, ""},
+		{"out of range", [][]int{{0, 99}}, "out of range"},
+		{"negative", [][]int{{-1}}, "out of range"},
+		{"duplicate within job", [][]int{{2, 2}}, "twice"},
+		{"overlap across jobs", [][]int{{0, 1}, {1, 2}}, "claimed by both"},
+		{"core shared", [][]int{{0}, {1}}, "shared by"},
+		{"empty job", [][]int{{}}, "no slots"},
+	}
+	for _, c := range cases {
+		err := ValidateSlots(cfg, c.slots)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAddJobCheckedRejectsBadPlacement(t *testing.T) {
+	app := workload.MustByName("ferret")
+	newM := func() *Machine { return New(Default()) }
+
+	cases := []struct {
+		name string
+		prep func(m *Machine)
+		spec JobSpec
+		want string
+	}{
+		{"no profile", nil, JobSpec{Threads: 1, Slots: []int{0}, Scale: 1e-4}, "without profile"},
+		{"bad scale", nil, JobSpec{Profile: app, Threads: 1, Slots: []int{0}}, "scale must be positive"},
+		{"too few slots", nil, JobSpec{Profile: app, Threads: 4, Slots: []int{0, 1}, Scale: 1e-4}, "needs 4 slots"},
+		{"out of range", nil, JobSpec{Profile: app, Threads: 1, Slots: []int{8}, Scale: 1e-4}, "out of range"},
+		{"negative slot", nil, JobSpec{Profile: app, Threads: 1, Slots: []int{-2}, Scale: 1e-4}, "out of range"},
+		{"duplicate slot", nil, JobSpec{Profile: app, Threads: 2, Slots: []int{3, 3}, Scale: 1e-4}, "twice"},
+		// The reserved tail beyond Threads entries must be validated too:
+		// a bogus tail used to silently corrupt the taskset region.
+		{"bad reserved tail", nil, JobSpec{Profile: app, Threads: 1, Slots: []int{0, 42}, Scale: 1e-4}, "out of range"},
+		{"occupied", func(m *Machine) {
+			m.AddJob(JobSpec{Profile: app, Threads: 2, Slots: []int{0, 1}, Scale: 1e-4})
+		}, JobSpec{Profile: app, Threads: 1, Slots: []int{1}, Scale: 1e-4}, "already occupied"},
+	}
+	for _, c := range cases {
+		m := newM()
+		if c.prep != nil {
+			c.prep(m)
+		}
+		before := len(m.jobs)
+		_, err := m.AddJobChecked(c.spec)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+		if len(m.jobs) != before {
+			t.Errorf("%s: failed AddJobChecked mutated the machine", c.name)
+		}
+	}
+
+	// The reserved tail beyond a job's running threads owns its slots:
+	// a later job landing inside it must be rejected, not silently
+	// double-book the taskset region's bandwidth reservation.
+	m2 := newM()
+	mcf := workload.MustByName("429.mcf") // MaxThreads 1: slots 1-3 are tail
+	m2.AddJob(JobSpec{Profile: mcf, Threads: 4, Slots: []int{0, 1, 2, 3}, Scale: 1e-4})
+	if _, err := m2.AddJobChecked(JobSpec{Profile: app, Threads: 2, Slots: []int{2, 3}, Scale: 1e-4}); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("reserved-tail conflict: error %v, want reserved-slot rejection", err)
+	}
+	if free := m2.FreeSlots(); len(free) != 4 || free[0] != 4 {
+		t.Errorf("FreeSlots after reserved tail = %v, want [4 5 6 7]", free)
+	}
+
+	// A rejected spec must leave the slots clean for a valid retry.
+	m := newM()
+	if _, err := m.AddJobChecked(JobSpec{Profile: app, Threads: 1, Slots: []int{0, 42}, Scale: 1e-4}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := m.AddJobChecked(JobSpec{Profile: app, Threads: 2, Slots: []int{0, 1}, Scale: 1e-4}); err != nil {
+		t.Fatalf("valid retry rejected: %v", err)
+	}
+}

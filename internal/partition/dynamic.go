@@ -4,7 +4,20 @@ import (
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/perfmon"
+	"repro/internal/workload"
 )
+
+// SamplingInterval sizes the controller's sampling period the way the
+// paper's 100 ms relates to its multi-minute runs: a fixed number of
+// decision intervals per foreground execution. Every caller that
+// attaches the controller (experiment drivers, the core API, scenario
+// runs) derives the interval from this one rule so their dynamic runs
+// are directly comparable.
+func SamplingInterval(fg *workload.Profile, scale float64) float64 {
+	const intervalsPerRun = 500
+	estSeconds := fg.Instructions * scale * 1.5 / 3.4e9
+	return estSeconds / intervalsPerRun
+}
 
 // ControllerConfig parameterizes the dynamic partitioning framework of
 // §6. The paper samples MPKI every 100 ms of wall time and uses

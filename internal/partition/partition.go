@@ -70,65 +70,125 @@ type BiasedChoice struct {
 // background-friendly (hiding the gains Figures 9/13 report).
 const slowdownTieEps = 0.002
 
-// SearchSpecs lists every run the exhaustive biased search for a pair
-// needs — the foreground-alone baseline plus each uneven split — so
-// experiment drivers can batch the searches of many pairs up front.
-func SearchSpecs(assoc int, fg, bg *workload.Profile) []sched.Spec {
+// SearchSpecs lists every run the exhaustive biased search for a job
+// list needs — the foreground-alone baseline plus each uneven split —
+// so experiment drivers can batch the searches of many mixes up front.
+// One background peer is the §5.2 pair shape; several peers share the
+// background partition and contend within it (§6.3).
+func SearchSpecs(assoc int, fg *workload.Profile, bgs ...*workload.Profile) []sched.Spec {
+	if len(bgs) == 0 {
+		panic("partition: biased search needs at least one background job")
+	}
 	specs := []sched.Spec{sched.AloneHalfSpec(fg)}
 	for w := 1; w < assoc; w++ {
-		specs = append(specs, sched.PairSpec{
-			Fg: fg, Bg: bg,
-			FgWays: w, BgWays: assoc - w,
-			Mode: sched.BackgroundLoop,
-		})
+		specs = append(specs, splitSpec(assoc, fg, bgs, w))
 	}
 	return specs
 }
 
-// BestBiased exhaustively evaluates every uneven split (foreground gets
-// w ways, background the remaining assoc-w, for w in [1, assoc-1]) with
-// the background running continuously, and returns the best choice. The
-// splits run as one batch across the engine's workers.
-func BestBiased(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
-	assoc := llcAssoc(r)
-	results := r.RunBatch(SearchSpecs(assoc, fg, bg))
-	fgAlone := results[0].JobByName(fg.Name).Seconds
+// splitSpec builds the co-run of one candidate split: foreground w
+// ways, every background peer sharing the remaining assoc-w.
+func splitSpec(assoc int, fg *workload.Profile, bgs []*workload.Profile, w int) sched.Spec {
+	if len(bgs) == 1 {
+		return sched.PairSpec{Fg: fg, Bg: bgs[0],
+			FgWays: w, BgWays: assoc - w, Mode: sched.BackgroundLoop}
+	}
+	return sched.MultiSpec{Fg: fg, Bgs: bgs, FgWays: w, BgWays: assoc - w}
+}
 
-	type cand struct {
-		ways     int
-		slowdown float64
-		bgThru   float64
+// Candidate is one allocation's measured outcome in a biased search.
+// The scenario layer builds candidates from arbitrary job mixes and
+// reuses the same selection rules through PickBiased and
+// PickForForeground.
+type Candidate struct {
+	FgWays       int
+	FgSlowdown   float64 // foreground time / foreground-alone time
+	BgThroughput float64 // summed background iterations
+}
+
+// PickBiased returns the index of the winning candidate under the
+// §5.2 criterion: among allocations within slowdownTieEps of the
+// minimum foreground degradation, the one that maximizes background
+// throughput.
+func PickBiased(cands []Candidate) int {
+	if len(cands) == 0 {
+		panic("partition: PickBiased with no candidates")
 	}
-	var cands []cand
-	for w := 1; w < assoc; w++ {
-		res := results[w]
-		cands = append(cands, cand{
-			ways:     w,
-			slowdown: res.JobByName(fg.Name).Seconds / fgAlone,
-			bgThru:   res.JobByName(bg.Name).Iterations,
-		})
-	}
-	minSlow := cands[0].slowdown
+	minSlow := cands[0].FgSlowdown
 	for _, c := range cands[1:] {
-		if c.slowdown < minSlow {
-			minSlow = c.slowdown
+		if c.FgSlowdown < minSlow {
+			minSlow = c.FgSlowdown
 		}
 	}
 	best := -1
 	for i, c := range cands {
-		if c.slowdown > minSlow*(1+slowdownTieEps) {
+		if c.FgSlowdown > minSlow*(1+slowdownTieEps) {
 			continue
 		}
-		if best < 0 || c.bgThru > cands[best].bgThru {
+		if best < 0 || c.BgThroughput > cands[best].BgThroughput {
 			best = i
 		}
 	}
-	ch := cands[best]
+	return best
+}
+
+// PickForForeground returns the index of the winning candidate under
+// the Figure 13 criterion: minimum foreground degradation with ties
+// broken toward the larger (more protective) foreground share.
+// Candidates must be ordered by ascending FgWays.
+func PickForForeground(cands []Candidate) int {
+	if len(cands) == 0 {
+		panic("partition: PickForForeground with no candidates")
+	}
+	best := -1
+	var bestSlow float64
+	for i := len(cands) - 1; i >= 0; i-- { // larger fg shares win ties
+		if best < 0 || cands[i].FgSlowdown < bestSlow*(1-slowdownTieEps) {
+			best = i
+			bestSlow = cands[i].FgSlowdown
+		}
+	}
+	return best
+}
+
+// searchCandidates runs a job list's full split sweep as one batch and
+// returns the per-split candidates.
+func searchCandidates(r *sched.Runner, assoc int, fg *workload.Profile, bgs []*workload.Profile) []Candidate {
+	results := r.RunBatch(SearchSpecs(assoc, fg, bgs...))
+	fgAlone := results[0].JobByName(fg.Name).Seconds
+
+	cands := make([]Candidate, 0, assoc-1)
+	for w := 1; w < assoc; w++ {
+		res := results[w]
+		var thru float64
+		for _, j := range res.Jobs {
+			if j.Background {
+				thru += j.Iterations
+			}
+		}
+		cands = append(cands, Candidate{
+			FgWays:       w,
+			FgSlowdown:   res.JobByName(fg.Name).Seconds / fgAlone,
+			BgThroughput: thru,
+		})
+	}
+	return cands
+}
+
+// BestBiased exhaustively evaluates every uneven split (foreground gets
+// w ways, the background peers share the remaining assoc-w, for w in
+// [1, assoc-1]) with the backgrounds running continuously, and returns
+// the best choice. The splits run as one batch across the engine's
+// workers.
+func BestBiased(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
+	assoc := llcAssoc(r)
+	cands := searchCandidates(r, assoc, fg, bgs)
+	ch := cands[PickBiased(cands)]
 	return BiasedChoice{
-		FgWays:       ch.ways,
-		BgWays:       assoc - ch.ways,
-		FgSlowdown:   ch.slowdown,
-		BgThroughput: ch.bgThru,
+		FgWays:       ch.FgWays,
+		BgWays:       assoc - ch.FgWays,
+		FgSlowdown:   ch.FgSlowdown,
+		BgThroughput: ch.BgThroughput,
 	}
 }
 
@@ -138,26 +198,38 @@ func BestBiased(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
 // Figure 13 baseline ("the best static cache allocation for the
 // foreground application"), distinct from BestBiased's background-aware
 // tie-break used in Figure 9.
-func BestForForeground(r *sched.Runner, fg, bg *workload.Profile) BiasedChoice {
+func BestForForeground(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
 	assoc := llcAssoc(r)
-	results := r.RunBatch(SearchSpecs(assoc, fg, bg))
-	fgAlone := results[0].JobByName(fg.Name).Seconds
-
-	best := BiasedChoice{FgWays: -1}
-	var bestSlow float64
-	for w := assoc - 1; w >= 1; w-- { // larger fg shares win ties
-		res := results[w]
-		slow := res.JobByName(fg.Name).Seconds / fgAlone
-		if best.FgWays < 0 || slow < bestSlow*(1-slowdownTieEps) {
-			best = BiasedChoice{
-				FgWays: w, BgWays: assoc - w,
-				FgSlowdown:   slow,
-				BgThroughput: res.JobByName(bg.Name).Iterations,
-			}
-			bestSlow = slow
-		}
+	cands := searchCandidates(r, assoc, fg, bgs)
+	ch := cands[PickForForeground(cands)]
+	return BiasedChoice{
+		FgWays:       ch.FgWays,
+		BgWays:       assoc - ch.FgWays,
+		FgSlowdown:   ch.FgSlowdown,
+		BgThroughput: ch.BgThroughput,
 	}
-	return best
+}
+
+// SplitWays divides assoc ways into n contiguous disjoint shares, the
+// generalized fair policy: every job gets assoc/n ways, the earliest
+// jobs absorbing the remainder. The returned [first, lim) ranges cover
+// the cache.
+func SplitWays(assoc, n int) [][2]int {
+	if n < 1 || n > assoc {
+		panic(fmt.Sprintf("partition: cannot split %d ways %d ways", assoc, n))
+	}
+	out := make([][2]int, n)
+	base, rem := assoc/n, assoc%n
+	first := 0
+	for i := range out {
+		w := base
+		if i < rem {
+			w++
+		}
+		out[i] = [2]int{first, first + w}
+		first += w
+	}
+	return out
 }
 
 // StaticWays returns the (fgWays, bgWays) for a static policy; the

@@ -1,0 +1,307 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// JobOutcome is one instance's measured result.
+type JobOutcome struct {
+	Instance
+	Seconds      float64
+	Iterations   float64
+	IPC, MPKI    float64
+	AloneSeconds float64 // run-once jobs with a baseline, else 0
+	Slowdown     float64 // Seconds / AloneSeconds, run-once jobs
+	Throughput   float64 // iterations per window second, looping jobs
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario *Scenario
+	Policy   PartitionPolicy
+	Cores    int
+	Assoc    int // LLC associativity of the platform run on
+	Jobs     []JobOutcome
+
+	WindowSeconds   float64
+	SocketJoules    float64
+	WallJoules      float64
+	ED2             float64 // socket energy × window² (energy-delay-squared)
+	WeightedSpeedup float64 // Σ alone/together over run-once jobs
+	TotalThroughput float64 // Σ looping-job throughput
+
+	// BiasedFgWays is the split the biased search chose.
+	BiasedFgWays int
+	// Reallocations/FinalFgWays summarize the dynamic controller.
+	Reallocations int
+	FinalFgWays   int
+}
+
+// Run executes a scenario on the runner under its declared partition
+// policy: it plans the placement, batches the baselines the metrics
+// block needs together with the run itself (and, for the biased
+// policy, the whole split sweep) across the engine's workers, and
+// assembles a deterministic report. Byte-identical output at any
+// parallelism, like every other driver on the engine.
+func Run(r *sched.Runner, s *Scenario) (*Report, error) {
+	p, err := s.Plan(r.MachineConfig())
+	if err != nil {
+		return nil, err
+	}
+	assoc := p.Config.Hier.LLC.Assoc
+
+	// Baselines: one alone run per terminating job when a normalizing
+	// metric is requested.
+	needAlone := s.wantMetric(MetricSlowdown) || s.wantMetric(MetricWeightedSpeedup)
+	var aloneIdx []int
+	var specs []sched.Spec
+	if needAlone {
+		for i, inst := range p.Instances {
+			if !inst.Loop {
+				aloneIdx = append(aloneIdx, i)
+				specs = append(specs, p.aloneMix(i))
+			}
+		}
+	}
+
+	rep := &Report{Scenario: s, Policy: s.partitionPolicy(), Cores: p.Config.Cores, Assoc: assoc}
+
+	var main *machine.Result
+	var ways [][2]int
+	switch rep.Policy {
+	case PartitionBiased:
+		fg := p.latencyIndex()
+		// The biased policy needs the latency job's alone baseline even
+		// when no normalizing metric was requested.
+		fgAloneAt := -1
+		for k, i := range aloneIdx {
+			if i == fg {
+				fgAloneAt = k
+			}
+		}
+		if fgAloneAt < 0 {
+			fgAloneAt = len(specs)
+			specs = append(specs, p.aloneMix(fg))
+		}
+		sweepAt := len(specs)
+		for w := 1; w < assoc; w++ {
+			specs = append(specs, p.mix(p.splitWays(fg, w), nil))
+		}
+		results := r.RunBatch(specs)
+
+		fgAlone := results[fgAloneAt].Jobs[0].Seconds
+		var cands []partition.Candidate
+		for w := 1; w < assoc; w++ {
+			res := results[sweepAt+w-1]
+			var thru float64
+			for _, j := range res.Jobs {
+				if j.Background {
+					thru += j.Iterations
+				}
+			}
+			cands = append(cands, partition.Candidate{
+				FgWays:       w,
+				FgSlowdown:   res.Jobs[fg].Seconds / fgAlone,
+				BgThroughput: thru,
+			})
+		}
+		best := cands[partition.PickBiased(cands)]
+		rep.BiasedFgWays = best.FgWays
+		ways = p.splitWays(fg, best.FgWays)
+		main = results[sweepAt+best.FgWays-1]
+		assembleJobs(rep, p, ways, main, results, aloneIdx)
+
+	case PartitionDynamic:
+		var ctl *partition.Controller
+		dyn := p.dynamicMix(r.Scale(), &ctl)
+		mainAt := len(specs)
+		specs = append(specs, dyn)
+		results := r.RunBatch(specs)
+		main = results[mainAt]
+		rep.Reallocations = ctl.Reallocations()
+		rep.FinalFgWays = ctl.FgWays()
+		assembleJobs(rep, p, nil, main, results, aloneIdx)
+
+	default: // shared, fair, explicit
+		mainAt := len(specs)
+		specs = append(specs, p.mix(nil, nil))
+		results := r.RunBatch(specs)
+		main = results[mainAt]
+		assembleJobs(rep, p, nil, main, results, aloneIdx)
+	}
+
+	rep.WindowSeconds = main.WindowSeconds
+	rep.SocketJoules = main.Energy.SocketJoules
+	rep.WallJoules = main.Energy.WallJoules
+	rep.ED2 = main.Energy.SocketJoules * main.WindowSeconds * main.WindowSeconds
+	return rep, nil
+}
+
+// assembleJobs fills the per-instance outcomes and the aggregate
+// metrics from the main run and the alone baselines.
+func assembleJobs(rep *Report, p *Plan, ways [][2]int, main *machine.Result, results []*machine.Result, aloneIdx []int) {
+	aloneAt := map[int]int{}
+	for k, i := range aloneIdx {
+		aloneAt[i] = k
+	}
+	for i, inst := range p.Instances {
+		if ways != nil {
+			inst.WayFirst, inst.WayLim = ways[i][0], ways[i][1]
+		}
+		jr := main.Jobs[i]
+		out := JobOutcome{
+			Instance:   inst,
+			Seconds:    jr.Seconds,
+			Iterations: jr.Iterations,
+			IPC:        jr.IPC,
+			MPKI:       jr.LLCMPKI,
+		}
+		if inst.Loop {
+			if main.WindowSeconds > 0 {
+				out.Throughput = jr.Iterations / main.WindowSeconds
+			}
+			rep.TotalThroughput += out.Throughput
+		} else if k, ok := aloneAt[i]; ok {
+			out.AloneSeconds = results[k].Jobs[0].Seconds
+			out.Slowdown = out.Seconds / out.AloneSeconds
+			rep.WeightedSpeedup += out.AloneSeconds / out.Seconds
+		}
+		rep.Jobs = append(rep.Jobs, out)
+	}
+}
+
+// slotRanges compresses a slot list into "a-b,c" run notation.
+func slotRanges(slots []int) string {
+	if len(slots) == 0 {
+		return "-"
+	}
+	sorted := append([]int(nil), slots...)
+	sort.Ints(sorted)
+	var sb strings.Builder
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&sb, "%d-%d", sorted[i], sorted[j])
+		} else {
+			fmt.Fprintf(&sb, "%d", sorted[i])
+		}
+		i = j + 1
+	}
+	return sb.String()
+}
+
+// String renders the report as aligned text, shaped by the scenario's
+// metrics block. Output is deterministic: byte-identical across
+// engine parallelism settings.
+func (r *Report) String() string {
+	s := r.Scenario
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== scenario: %s (policy %s, %d cores) ==\n", s.Name, r.Policy, r.Cores)
+	if s.Description != "" {
+		fmt.Fprintf(&sb, "%s\n", s.Description)
+	}
+
+	cols := []string{"job", "role", "app", "thr", "slots", "ways", "time(s)"}
+	if s.wantMetric(MetricSlowdown) {
+		cols = append(cols, "slowdown")
+	}
+	if s.wantMetric(MetricThroughput) {
+		cols = append(cols, "iters", "iters/s")
+	}
+	cols = append(cols, "IPC", "MPKI")
+
+	rows := [][]string{cols}
+	for _, o := range r.Jobs {
+		row := []string{o.Seed, string(o.Role), o.App.Name,
+			fmt.Sprintf("%d", o.Threads), slotRanges(o.Slots), o.WaysLabel(),
+			fmt.Sprintf("%.4f", o.Seconds)}
+		if s.wantMetric(MetricSlowdown) {
+			if o.Loop {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", o.Slowdown))
+			}
+		}
+		if s.wantMetric(MetricThroughput) {
+			if o.Loop {
+				row = append(row, fmt.Sprintf("%.2f", o.Iterations), fmt.Sprintf("%.2f", o.Throughput))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2f", o.IPC), fmt.Sprintf("%.2f", o.MPKI))
+		rows = append(rows, row)
+	}
+	writeAligned(&sb, rows)
+
+	fmt.Fprintf(&sb, "window %.4f s\n", r.WindowSeconds)
+	if s.wantMetric(MetricWeightedSpeedup) {
+		n := 0
+		for _, o := range r.Jobs {
+			if !o.Loop {
+				n++
+			}
+		}
+		fmt.Fprintf(&sb, "weighted speedup %.3f over %d run-once jobs\n", r.WeightedSpeedup, n)
+	}
+	if s.wantMetric(MetricThroughput) && r.TotalThroughput > 0 {
+		fmt.Fprintf(&sb, "total looping throughput %.2f iters/s\n", r.TotalThroughput)
+	}
+	if s.wantMetric(MetricEnergy) {
+		fmt.Fprintf(&sb, "energy %.2f J socket, %.2f J wall\n", r.SocketJoules, r.WallJoules)
+	}
+	if s.wantMetric(MetricED2) {
+		fmt.Fprintf(&sb, "ED2 %.4g J*s^2 (socket)\n", r.ED2)
+	}
+	switch r.Policy {
+	case PartitionBiased:
+		fmt.Fprintf(&sb, "biased search: latency job granted %d of %d ways\n",
+			r.BiasedFgWays, r.Assoc)
+	case PartitionDynamic:
+		fmt.Fprintf(&sb, "dynamic controller: %d reallocations, final latency allocation %d ways\n",
+			r.Reallocations, r.FinalFgWays)
+	}
+	return sb.String()
+}
+
+// writeAligned renders rows (first row = header) as aligned columns
+// with a separator rule, matching the experiment tables' look.
+func writeAligned(sb *strings.Builder, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+}

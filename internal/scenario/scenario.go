@@ -1,0 +1,338 @@
+// Package scenario is the declarative run layer: an N-job consolidation
+// scenario — each job an application with a role, thread count, and
+// replica count — plus a placement policy, a partitioning policy, and a
+// metrics block, described as a Go value or a JSON file and compiled
+// down to one general sched.MixSpec. The canonical shapes of the
+// paper's evaluation (an application alone, the §5 foreground/background
+// pair, the §6.3 multi-peer mix) are all degenerate scenarios, and new
+// workload mixes are a scenario file rather than a code change — see
+// examples/scenarios/ and DESIGN.md for the format.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// Role classifies a job's function in the mix; it decides the job's
+// termination behavior and which metrics apply to it.
+type Role string
+
+const (
+	// RoleLatency is the responsiveness-critical foreground: it runs to
+	// completion, ends the measurement window, and is scored by its
+	// slowdown versus running alone on the same placement.
+	RoleLatency Role = "latency"
+	// RoleBatch is throughput work. By default it loops continuously
+	// (the paper's background methodology) and is scored by iteration
+	// throughput; with "loop": false it runs exactly once and
+	// contributes to weighted speedup instead (the §5.3 consolidation
+	// accounting).
+	RoleBatch Role = "batch"
+	// RoleStream is a streaming aggressor: a continuously-looping
+	// bandwidth hog co-located to pressure the mix. It never
+	// terminates the run.
+	RoleStream Role = "stream"
+)
+
+// PartitionPolicy names a scenario-level LLC management scheme —
+// the paper's four policies generalized from pairs to arbitrary mixes,
+// plus an explicit per-job escape hatch.
+type PartitionPolicy string
+
+const (
+	// PartitionShared leaves the LLC unpartitioned.
+	PartitionShared PartitionPolicy = "shared"
+	// PartitionFair splits the ways evenly across all jobs.
+	PartitionFair PartitionPolicy = "fair"
+	// PartitionBiased runs the exhaustive §5.2 search over the
+	// scenario itself: the latency job gets w ways, every other job
+	// shares the remainder, and w minimizes latency-job slowdown with
+	// ties broken by co-runner throughput.
+	PartitionBiased PartitionPolicy = "biased"
+	// PartitionDynamic attaches the §6 online controller, with the
+	// latency job monitored and all other jobs sharing the shrinking
+	// partition.
+	PartitionDynamic PartitionPolicy = "dynamic"
+	// PartitionExplicit uses the per-job "ways" ranges verbatim.
+	PartitionExplicit PartitionPolicy = "explicit"
+)
+
+// PartitionPolicies lists the searchable policies in presentation
+// order.
+func PartitionPolicies() []PartitionPolicy {
+	return []PartitionPolicy{PartitionShared, PartitionFair, PartitionBiased, PartitionDynamic}
+}
+
+// JobDef declares one job of the mix (possibly replicated).
+type JobDef struct {
+	// App names a workload-catalog application.
+	App string `json:"app"`
+	// Role is latency, batch, or stream (default batch).
+	Role Role `json:"role,omitempty"`
+	// Threads is the requested software-thread count per instance
+	// (default: one core's worth). Requests are capped by the
+	// application's parallelism and by the instance's slot grant.
+	Threads int `json:"threads,omitempty"`
+	// Count replicates the job (default 1); replicas get distinct rng
+	// seeds and their own placements.
+	Count int `json:"count,omitempty"`
+	// Loop overrides the role's looping default (batch only: latency
+	// jobs never loop, stream jobs always loop).
+	Loop *bool `json:"loop,omitempty"`
+	// Seed overrides the instance's rng stream name (replicas append
+	// their index). Defaults follow the engine's conventions: "single"
+	// for a lone job, "fg" for the latency job, "bg"/"bg<i>" for
+	// co-runners.
+	Seed string `json:"seed,omitempty"`
+	// Slots pins the job explicitly (placement policy "explicit" only;
+	// requires Count 1).
+	Slots []int `json:"slots,omitempty"`
+	// Ways bounds the job's LLC replacement mask to [Ways[0], Ways[1])
+	// (partition policy "explicit" only; omitted = full cache).
+	Ways *[2]int `json:"ways,omitempty"`
+}
+
+// PlacementDef selects the slot-assignment policy.
+type PlacementDef struct {
+	// Policy is pack (default), spread, or explicit.
+	Policy string `json:"policy,omitempty"`
+}
+
+// PartitionDef selects the LLC policy.
+type PartitionDef struct {
+	// Policy is shared (default), fair, biased, dynamic, or explicit.
+	Policy PartitionPolicy `json:"policy,omitempty"`
+}
+
+// MachineDef optionally overrides the platform.
+type MachineDef struct {
+	// Cores scales the paper's platform to a different core count
+	// (0 = the default 4-core prototype).
+	Cores int `json:"cores,omitempty"`
+}
+
+// Metric names a reported quantity; the metrics block selects which
+// sections a scenario report renders.
+type Metric string
+
+const (
+	MetricSlowdown        Metric = "slowdown"         // per-job slowdown vs alone
+	MetricThroughput      Metric = "throughput"       // looping-job iterations/s
+	MetricWeightedSpeedup Metric = "weighted-speedup" // Σ alone/together over run-once jobs
+	MetricEnergy          Metric = "energy"           // socket and wall joules
+	MetricED2             Metric = "ed2"              // socket energy × window²
+)
+
+// AllMetrics returns every metric in presentation order (the default
+// metrics block).
+func AllMetrics() []Metric {
+	return []Metric{MetricSlowdown, MetricThroughput, MetricWeightedSpeedup, MetricEnergy, MetricED2}
+}
+
+// Scenario is a complete declarative run description.
+type Scenario struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Machine     MachineDef   `json:"machine,omitempty"`
+	Placement   PlacementDef `json:"placement,omitempty"`
+	Partition   PartitionDef `json:"partition,omitempty"`
+	Jobs        []JobDef     `json:"jobs"`
+	// Metrics selects the report sections (default: all).
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Parse decodes and validates a JSON scenario. Unknown fields are
+// rejected so typos in scenario files fail loudly.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads and parses one scenario file.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// loops reports whether a job instance restarts continuously.
+func (d *JobDef) loops() bool {
+	switch d.role() {
+	case RoleStream:
+		return true
+	case RoleLatency:
+		return false
+	default:
+		return d.Loop == nil || *d.Loop
+	}
+}
+
+func (d *JobDef) role() Role {
+	if d.Role == "" {
+		return RoleBatch
+	}
+	return d.Role
+}
+
+func (d *JobDef) count() int {
+	if d.Count == 0 {
+		return 1
+	}
+	return d.Count
+}
+
+// Validate checks everything that does not depend on the platform:
+// known applications, roles, policies and metrics, role/loop
+// consistency, replica counts, and the policy-specific shape rules
+// (biased and dynamic need exactly one latency job; at least one job
+// must terminate or the run never would).
+func (s *Scenario) Validate() error {
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("scenario %q: no jobs", s.Name)
+	}
+	latency, terminating := 0, 0
+	for i := range s.Jobs {
+		d := &s.Jobs[i]
+		if _, err := workload.ByName(d.App); err != nil {
+			return fmt.Errorf("scenario %q job %d: %w", s.Name, i, err)
+		}
+		switch d.role() {
+		case RoleLatency, RoleBatch, RoleStream:
+		default:
+			return fmt.Errorf("scenario %q job %d (%s): unknown role %q (want latency, batch, or stream)",
+				s.Name, i, d.App, d.Role)
+		}
+		if d.Loop != nil {
+			if d.role() == RoleLatency && *d.Loop {
+				return fmt.Errorf("scenario %q job %d (%s): a latency job cannot loop", s.Name, i, d.App)
+			}
+			if d.role() == RoleStream && !*d.Loop {
+				return fmt.Errorf("scenario %q job %d (%s): a stream aggressor always loops", s.Name, i, d.App)
+			}
+		}
+		if d.Count < 0 {
+			return fmt.Errorf("scenario %q job %d (%s): negative count", s.Name, i, d.App)
+		}
+		if d.Threads < 0 {
+			return fmt.Errorf("scenario %q job %d (%s): negative threads", s.Name, i, d.App)
+		}
+		if len(d.Slots) > 0 && d.count() != 1 {
+			return fmt.Errorf("scenario %q job %d (%s): explicit slots require count 1", s.Name, i, d.App)
+		}
+		if !validSeed(d.Seed) {
+			return fmt.Errorf("scenario %q job %d (%s): seed %q may only contain letters, digits, '.', '_', '-'",
+				s.Name, i, d.App, d.Seed)
+		}
+		if d.role() == RoleLatency {
+			latency += d.count()
+		}
+		if !d.loops() {
+			terminating += d.count()
+		}
+	}
+	if terminating == 0 {
+		return fmt.Errorf("scenario %q: every job loops; at least one must terminate the run", s.Name)
+	}
+
+	pol, err := placementPolicy(s.Placement.Policy)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if pol != machine.PlaceExplicit {
+		for i := range s.Jobs {
+			if len(s.Jobs[i].Slots) > 0 {
+				return fmt.Errorf("scenario %q job %d (%s): per-job slots require the explicit placement policy",
+					s.Name, i, s.Jobs[i].App)
+			}
+		}
+	}
+	switch p := s.partitionPolicy(); p {
+	case PartitionShared, PartitionFair, PartitionExplicit:
+	case PartitionBiased, PartitionDynamic:
+		if latency != 1 {
+			return fmt.Errorf("scenario %q: the %s policy needs exactly one latency job, got %d",
+				s.Name, p, latency)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown partition policy %q (want shared, fair, biased, dynamic, or explicit)",
+			s.Name, p)
+	}
+	if s.partitionPolicy() != PartitionExplicit {
+		for i := range s.Jobs {
+			if s.Jobs[i].Ways != nil {
+				return fmt.Errorf("scenario %q job %d (%s): per-job ways require the explicit partition policy",
+					s.Name, i, s.Jobs[i].App)
+			}
+		}
+	}
+	for _, m := range s.Metrics {
+		switch m {
+		case MetricSlowdown, MetricThroughput, MetricWeightedSpeedup, MetricEnergy, MetricED2:
+		default:
+			return fmt.Errorf("scenario %q: unknown metric %q", s.Name, m)
+		}
+	}
+	if s.Machine.Cores < 0 {
+		return fmt.Errorf("scenario %q: negative core count", s.Name)
+	}
+	return nil
+}
+
+// validSeed restricts explicit seeds to a safe alphabet: seeds name
+// rng streams and appear in engine memo keys.
+func validSeed(seed string) bool {
+	for _, r := range seed {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// partitionPolicy returns the effective policy (default shared).
+func (s *Scenario) partitionPolicy() PartitionPolicy {
+	if s.Partition.Policy == "" {
+		return PartitionShared
+	}
+	return s.Partition.Policy
+}
+
+// metrics returns the effective metrics block (default: all).
+func (s *Scenario) metrics() []Metric {
+	if len(s.Metrics) == 0 {
+		return AllMetrics()
+	}
+	return s.Metrics
+}
+
+func (s *Scenario) wantMetric(m Metric) bool {
+	for _, x := range s.metrics() {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

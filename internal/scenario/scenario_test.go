@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+const testScale = 3e-4
+
+// fourJobJSON is the canonical acceptance mix: one latency-sensitive
+// foreground plus three batch co-runners.
+const fourJobJSON = `{
+  "name": "test-1lat-3batch",
+  "partition": {"policy": "shared"},
+  "jobs": [
+    {"app": "429.mcf", "role": "latency", "threads": 2},
+    {"app": "ferret", "role": "batch", "threads": 2},
+    {"app": "dedup", "role": "batch", "threads": 2},
+    {"app": "canneal", "role": "batch", "threads": 2}
+  ]
+}`
+
+func TestParseRejectsBadScenarios(t *testing.T) {
+	cases := []struct {
+		name, js, want string
+	}{
+		{"unknown field", `{"name":"x","jbos":[]}`, "unknown field"},
+		{"no jobs", `{"name":"x","jobs":[]}`, "no jobs"},
+		{"unknown app", `{"name":"x","jobs":[{"app":"nope"}]}`, "unknown application"},
+		{"unknown role", `{"name":"x","jobs":[{"app":"ferret","role":"demon"}]}`, "unknown role"},
+		{"all looping", `{"name":"x","jobs":[{"app":"ferret","role":"batch"}]}`, "must terminate"},
+		{"looping latency", `{"name":"x","jobs":[{"app":"ferret","role":"latency","loop":true}]}`, "cannot loop"},
+		{"bad policy", `{"name":"x","partition":{"policy":"magic"},"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown partition policy"},
+		{"biased needs latency", `{"name":"x","partition":{"policy":"biased"},"jobs":[{"app":"ferret","role":"batch","loop":false}]}`, "exactly one latency"},
+		{"ways without explicit", `{"name":"x","jobs":[{"app":"ferret","role":"latency","ways":[0,6]}]}`, "explicit partition policy"},
+		{"bad metric", `{"name":"x","metrics":["vibes"],"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown metric"},
+		{"bad placement", `{"name":"x","placement":{"policy":"teleport"},"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown placement"},
+		{"slots without explicit", `{"name":"x","jobs":[{"app":"ferret","role":"latency","slots":[4,5]}]}`, "explicit placement policy"},
+		{"bad seed", `{"name":"x","jobs":[{"app":"ferret","role":"latency","seed":"fg|evil"}]}`, "may only contain"},
+	}
+	for _, c := range cases {
+		_, err := Parse([]byte(c.js))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCompileMatchesPairSpec: the §5 pair expressed as a scenario must
+// reduce to the exact memo entry the legacy PairSpec produces — same
+// placement, seeds, threads, and way split — so scenario-expressed
+// drivers dedup perfectly against the historical shapes.
+func TestCompileMatchesPairSpec(t *testing.T) {
+	r := sched.New(sched.Options{Scale: testScale})
+	fg := workload.MustByName("429.mcf")
+	bg := workload.MustByName("ferret")
+
+	s := &Scenario{
+		Name:      "pair",
+		Partition: PartitionDef{Policy: PartitionExplicit},
+		Jobs: []JobDef{
+			{App: fg.Name, Role: RoleLatency, Threads: 4, Ways: &[2]int{0, 8}},
+			{App: bg.Name, Role: RoleBatch, Threads: 4, Ways: &[2]int{8, 12}},
+		},
+	}
+	mix, err := s.Compile(r.MachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := sched.PairSpec{Fg: fg, Bg: bg, FgWays: 8, BgWays: 4, Mode: sched.BackgroundLoop}
+	if r.RunMix(mix) != r.RunPair(pair) {
+		t.Fatal("scenario pair and PairSpec did not share a memo entry")
+	}
+}
+
+// TestKeyDeterministic: JSON parse → compile → memo key must be a pure
+// function of the file contents.
+func TestKeyDeterministic(t *testing.T) {
+	r := sched.New(sched.Options{Scale: testScale})
+	var keys []string
+	for i := 0; i < 3; i++ {
+		s, err := Parse([]byte(fourJobJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := s.Compile(r.MachineConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, mix.Key(r))
+	}
+	if keys[0] == "" {
+		t.Fatal("static scenario not memoizable")
+	}
+	if keys[1] != keys[0] || keys[2] != keys[0] {
+		t.Fatalf("memo key unstable across parses:\n%s\n%s\n%s", keys[0], keys[1], keys[2])
+	}
+}
+
+// TestRunAllPolicies: the acceptance mix must execute under all four
+// partition policies with sane per-role outcomes.
+func TestRunAllPolicies(t *testing.T) {
+	for _, pol := range PartitionPolicies() {
+		s, err := Parse([]byte(fourJobJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Partition.Policy = pol
+		r := sched.New(sched.Options{Scale: testScale})
+		rep, err := Run(r, s)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if len(rep.Jobs) != 4 {
+			t.Fatalf("%s: %d job outcomes", pol, len(rep.Jobs))
+		}
+		fg := rep.Jobs[0]
+		if fg.Role != RoleLatency || fg.Loop || fg.Slowdown <= 0 {
+			t.Fatalf("%s: latency outcome %+v", pol, fg)
+		}
+		for _, o := range rep.Jobs[1:] {
+			if !o.Loop || o.Throughput <= 0 {
+				t.Fatalf("%s: batch outcome %+v", pol, o)
+			}
+		}
+		if pol == PartitionBiased && (rep.BiasedFgWays < 1 || rep.BiasedFgWays > 11) {
+			t.Fatalf("biased chose %d ways", rep.BiasedFgWays)
+		}
+		if pol == PartitionDynamic && rep.FinalFgWays < 1 {
+			t.Fatalf("dynamic final ways %d", rep.FinalFgWays)
+		}
+		if out := rep.String(); !strings.Contains(out, string(pol)) {
+			t.Fatalf("%s: report does not name its policy:\n%s", pol, out)
+		}
+	}
+}
+
+// TestRunByteIdenticalAcrossParallelism extends the engine's
+// determinism guarantee to scenario runs: serial and 8-way rendering
+// must agree byte for byte, for a static and an engine-driven policy.
+func TestRunByteIdenticalAcrossParallelism(t *testing.T) {
+	render := func(parallelism int, pol PartitionPolicy) string {
+		s, err := Parse([]byte(fourJobJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Partition.Policy = pol
+		r := sched.New(sched.Options{Scale: testScale, Parallelism: parallelism})
+		rep, err := Run(r, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	for _, pol := range []PartitionPolicy{PartitionFair, PartitionBiased, PartitionDynamic} {
+		serial, parallel := render(1, pol), render(8, pol)
+		if serial != parallel {
+			t.Errorf("%s: parallel run diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				pol, serial, parallel)
+		}
+	}
+}
+
+// TestMachineOverrideAndOverSubscription: a 10-job mix on a declared
+// 12-core platform places every job, shrinking grants where demand
+// exceeds the machine.
+func TestMachineOverrideAndOverSubscription(t *testing.T) {
+	s := &Scenario{
+		Name:    "big",
+		Machine: MachineDef{Cores: 12},
+		Jobs: []JobDef{
+			{App: "429.mcf", Role: RoleLatency, Threads: 4},
+			{App: "ferret", Role: RoleBatch, Threads: 4, Count: 5},
+			{App: "dedup", Role: RoleBatch, Threads: 4, Count: 4},
+		},
+	}
+	p, err := s.Plan(machine.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Config.Cores != 12 || !p.Overrides {
+		t.Fatalf("override config: %d cores, override=%v", p.Config.Cores, p.Overrides)
+	}
+	if len(p.Instances) != 10 {
+		t.Fatalf("%d instances", len(p.Instances))
+	}
+	used := map[int]bool{}
+	for _, inst := range p.Instances {
+		if len(inst.Slots) == 0 || inst.Threads < 1 {
+			t.Fatalf("instance got nothing: %+v", inst)
+		}
+		for _, sl := range inst.Slots {
+			if used[sl] {
+				t.Fatalf("slot %d double-booked", sl)
+			}
+			used[sl] = true
+		}
+	}
+	// 10 jobs × 2-core demand = 20 cores on a 12-core machine: the
+	// placement must have shrunk someone.
+	if len(used) > 24 {
+		t.Fatalf("%d slots used on a 24-slot machine", len(used))
+	}
+
+	r := sched.New(sched.Options{Scale: testScale})
+	rep, err := Run(r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cores != 12 || len(rep.Jobs) != 10 {
+		t.Fatalf("report: %d cores, %d jobs", rep.Cores, len(rep.Jobs))
+	}
+}
+
+// TestSeedConventions: replicas and roles get the engine's seed names.
+func TestSeedConventions(t *testing.T) {
+	s := &Scenario{
+		Name: "seeds",
+		Jobs: []JobDef{
+			{App: "429.mcf", Role: RoleLatency},
+			{App: "ferret", Role: RoleBatch, Count: 2},
+			{App: "dedup", Role: RoleStream},
+		},
+	}
+	p, err := s.Plan(machine.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for _, inst := range p.Instances {
+		got = append(got, inst.Seed)
+	}
+	want := []string{"fg", "bg0", "bg1", "bg2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seeds = %v, want %v", got, want)
+		}
+	}
+
+	lone := &Scenario{Name: "lone", Jobs: []JobDef{{App: "ferret", Role: RoleLatency}}}
+	p, err = lone.Plan(machine.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instances[0].Seed != "single" {
+		t.Fatalf("lone seed = %q", p.Instances[0].Seed)
+	}
+}

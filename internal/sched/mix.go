@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/prefetch"
+	"repro/internal/workload"
+)
+
+// MixJob is one job of a general N-job mix: an application instance
+// with a validated slot placement, an LLC way range, and a role flag.
+// The scenario layer compiles declarative job descriptions down to
+// these; SingleSpec, PairSpec, and MultiSpec build them internally.
+type MixJob struct {
+	App *workload.Profile
+	// Threads is the requested software-thread count; execution caps it
+	// by the profile's parallelism (CapThreads).
+	Threads int
+	// Slots is the pinned hardware-thread slot list, in assignment
+	// order. It must hold the capped thread count; extra entries extend
+	// the reserved taskset region (bandwidth QoS follows it).
+	Slots []int
+	// Background marks a continuously-restarting job; at least one job
+	// of a mix must be foreground or the run would never terminate.
+	Background bool
+	// Seed differentiates otherwise-identical job instances: it names
+	// the job's rng streams, so two copies of an application with
+	// different seeds execute distinct (but deterministic) traces.
+	Seed string
+	// WayFirst/WayLim bound the job's LLC replacement mask to ways
+	// [WayFirst, WayLim). Both zero = the full cache. A non-empty range
+	// must satisfy 0 <= WayFirst < WayLim <= associativity.
+	WayFirst, WayLim int
+}
+
+// MixSpec is the general runnable scenario: N jobs on one platform.
+// Every other spec type reduces to a MixSpec — the pair and multi
+// shapes of §5 are two- and (1+N)-job mixes with pack placement — so
+// the engine has exactly one execution path, and equivalent
+// configurations deduplicate in the memo cache regardless of which
+// spec type described them.
+type MixSpec struct {
+	Jobs []MixJob
+	// Machine overrides the runner's platform template for this mix
+	// (scenario files declaring a larger machine use this); nil keeps
+	// the runner's configuration.
+	Machine *machine.Config
+	// Prefetch overrides the platform prefetcher configuration.
+	Prefetch *prefetch.Config
+	// Setup, if non-nil, runs after jobs are scheduled and before the
+	// run starts (the dynamic partitioning controller hooks in here).
+	// Mixes with a Setup hook are not memoized.
+	Setup func(m *machine.Machine, jobs []*machine.Job)
+}
+
+// memoKey renders the canonical key: every input the execution depends
+// on — platform, scale, prefetchers, and each job's identity, capped
+// threads, placement, role, seed, and way range. Specs that reduce to
+// the same mix therefore share one cache entry.
+func (s MixSpec) memoKey(r *Runner) string {
+	if s.Setup != nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mix|s%g|pf%v|m", r.opt.scale(), pfKey(s.Prefetch))
+	if s.Machine != nil {
+		fmt.Fprintf(&sb, "%+v", *s.Machine)
+	} else {
+		sb.WriteString("def")
+	}
+	for _, j := range s.Jobs {
+		fmt.Fprintf(&sb, "|%s|t%d|sl", j.App.Name, CapThreads(j.App, j.Threads))
+		for k, slot := range j.Slots {
+			if k > 0 {
+				sb.WriteByte('.')
+			}
+			fmt.Fprintf(&sb, "%d", slot)
+		}
+		// The seed is the one free-form field; length-prefix it so a
+		// seed containing the key grammar cannot forge another mix's
+		// key and poison the singleflight cache.
+		fmt.Fprintf(&sb, "|bg%v|sd%d:%s|w%d-%d", j.Background, len(j.Seed), j.Seed, j.WayFirst, j.WayLim)
+	}
+	return sb.String()
+}
+
+// config returns the platform this mix runs on.
+func (s MixSpec) config(r *Runner) machine.Config {
+	cfg := r.opt.machineConfig()
+	if s.Machine != nil {
+		cfg = *s.Machine
+	}
+	if s.Prefetch != nil {
+		cfg.Prefetch = *s.Prefetch
+	}
+	return cfg
+}
+
+// wayMask returns the job's LLC replacement mask, or ok=false for the
+// full cache. Invalid ranges panic — mixes are validated at
+// construction (scenario compile, legacy wrappers), so this is an
+// engine-construction bug.
+func (j MixJob) wayMask(assoc int) (cache.WayMask, bool) {
+	if j.WayFirst == 0 && j.WayLim == 0 {
+		return 0, false
+	}
+	if j.WayFirst < 0 || j.WayFirst >= j.WayLim || j.WayLim > assoc {
+		panic(fmt.Sprintf("sched: job %s invalid way range [%d,%d) of %d",
+			j.App.Name, j.WayFirst, j.WayLim, assoc))
+	}
+	return cache.MaskRange(j.WayFirst, j.WayLim), true
+}
+
+func (s MixSpec) execute(r *Runner) *machine.Result {
+	if len(s.Jobs) == 0 {
+		panic("sched: empty mix")
+	}
+	cfg := s.config(r)
+	m := machine.New(cfg)
+
+	jobs := make([]*machine.Job, len(s.Jobs))
+	for i, j := range s.Jobs {
+		job, err := m.AddJobChecked(machine.JobSpec{
+			Profile:    j.App,
+			Threads:    CapThreads(j.App, j.Threads),
+			Slots:      j.Slots,
+			Background: j.Background,
+			Scale:      r.opt.scale(),
+			Seed:       j.Seed,
+		})
+		if err != nil {
+			panic("sched: " + err.Error())
+		}
+		jobs[i] = job
+	}
+
+	assoc := cfg.Hier.LLC.Assoc
+	for i, j := range s.Jobs {
+		if mask, ok := j.wayMask(assoc); ok {
+			for _, c := range jobs[i].Cores() {
+				m.Hierarchy().SetWayMask(c, mask)
+			}
+		}
+	}
+
+	if s.Setup != nil {
+		s.Setup(m, jobs)
+	}
+	return m.Run()
+}
+
+// RunMix executes a general N-job mix. Results are memoized when no
+// Setup hook is given.
+func (r *Runner) RunMix(s MixSpec) *machine.Result {
+	return r.Run(s)
+}
+
+// Key exposes the canonical memo key ("" when the mix is not
+// memoizable) so callers above the engine — the scenario layer's
+// determinism tests, cache inspection tooling — can observe dedup
+// identity without running anything.
+func (s MixSpec) Key(r *Runner) string { return s.memoKey(r) }

@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/workload"
 )
@@ -27,68 +26,47 @@ type MultiSpec struct {
 	Setup func(m *machine.Machine, fg *machine.Job, bgs []*machine.Job)
 }
 
-func (s MultiSpec) memoKey(r *Runner) string {
-	if s.Setup != nil {
-		return ""
-	}
-	key := fmt.Sprintf("multi|%s|f%d|b%d|s%g", s.Fg.Name, s.FgWays, s.BgWays, r.opt.scale())
-	for _, bg := range s.Bgs {
-		key += "|" + bg.Name
-	}
-	return key
-}
-
-func (s MultiSpec) execute(r *Runner) *machine.Result {
+// toMix builds the scenario this spec denotes: a (1+N)-job pack-placed
+// mix where every background peer shares the high-way partition.
+func (s MultiSpec) toMix(r *Runner) MixSpec {
 	cfg := r.opt.machineConfig()
 	maxBgs := cfg.Cores - 2
 	if len(s.Bgs) == 0 || len(s.Bgs) > maxBgs {
 		panic(fmt.Sprintf("sched: %d background jobs, platform fits 1..%d", len(s.Bgs), maxBgs))
 	}
-
-	m := machine.New(cfg)
-	fg := m.AddJob(machine.JobSpec{
-		Profile: s.Fg,
-		Threads: CapThreads(s.Fg, 4),
-		Slots:   m.SlotsForCores(0, 1),
-		Scale:   r.opt.scale(),
-		Seed:    "fg",
-	})
-	var bgJobs []*machine.Job
-	for i, bgProf := range s.Bgs {
-		core := 2 + i
-		bgJobs = append(bgJobs, m.AddJob(machine.JobSpec{
-			Profile:    bgProf,
-			Threads:    CapThreads(bgProf, 2),
-			Slots:      m.SlotsForCores(core),
-			Background: true,
-			Scale:      r.opt.scale(),
-			Seed:       fmt.Sprintf("bg%d", i),
-		}))
-	}
-
 	assoc := cfg.Hier.LLC.Assoc
+	var fgLim, bgFirst, bgLim int
 	switch {
 	case s.FgWays == 0 && s.BgWays == 0:
 	case s.FgWays > 0 && s.BgWays > 0 && s.FgWays+s.BgWays <= assoc:
-		fgMask := cache.MaskFirstN(s.FgWays)
-		bgMask := cache.MaskRange(assoc-s.BgWays, assoc)
-		for _, c := range fg.Cores() {
-			m.Hierarchy().SetWayMask(c, fgMask)
-		}
-		for _, bj := range bgJobs {
-			for _, c := range bj.Cores() {
-				m.Hierarchy().SetWayMask(c, bgMask)
-			}
-		}
+		fgLim = s.FgWays
+		bgFirst, bgLim = assoc-s.BgWays, assoc
 	default:
 		panic(fmt.Sprintf("sched: invalid multi partition %d+%d of %d", s.FgWays, s.BgWays, assoc))
 	}
 
-	if s.Setup != nil {
-		s.Setup(m, fg, bgJobs)
+	jobs := []MixJob{{App: s.Fg, Threads: CapThreads(s.Fg, 4),
+		Slots: cfg.SlotsForCores(0, 1), Seed: "fg", WayLim: fgLim}}
+	for i, bgProf := range s.Bgs {
+		jobs = append(jobs, MixJob{
+			App: bgProf, Threads: CapThreads(bgProf, 2),
+			Slots: cfg.SlotsForCores(2 + i), Background: true,
+			Seed: fmt.Sprintf("bg%d", i), WayFirst: bgFirst, WayLim: bgLim,
+		})
 	}
-	return m.Run()
+	mix := MixSpec{Jobs: jobs}
+	if s.Setup != nil {
+		setup := s.Setup
+		mix.Setup = func(m *machine.Machine, mjobs []*machine.Job) {
+			setup(m, mjobs[0], mjobs[1:])
+		}
+	}
+	return mix
 }
+
+func (s MultiSpec) memoKey(r *Runner) string { return s.toMix(r).memoKey(r) }
+
+func (s MultiSpec) execute(r *Runner) *machine.Result { return s.toMix(r).execute(r) }
 
 // RunMulti executes a multi-background scenario. Results are memoized
 // when no Setup hook is given.

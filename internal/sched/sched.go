@@ -1,7 +1,8 @@
 // Package sched runs consolidation scenarios on the simulated platform:
-// an application alone with a given thread count and LLC way allocation,
-// or a foreground/background pair pinned to disjoint cores (the paper's
-// taskset methodology, §2.1/§5). It owns placement, scaling, and the
+// general N-job mixes (MixSpec) pinned to disjoint cores, of which an
+// application alone, a foreground/background pair, and a foreground
+// with several background peers (the paper's taskset methodology,
+// §2.1/§5) are the canonical shapes. It owns placement, scaling, and the
 // experiment execution engine: a worker pool fans independent
 // simulations across CPUs (Options.Parallelism, default GOMAXPROCS)
 // while a singleflight-memoized result cache guarantees each distinct
@@ -25,7 +26,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/prefetch"
 	"repro/internal/workload"
@@ -75,8 +75,11 @@ func (o Options) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Spec is one runnable scenario: SingleSpec, PairSpec, and MultiSpec
-// implement it. A spec fully determines its simulation — the machine is
+// Spec is one runnable scenario. MixSpec is the general form — an
+// arbitrary N-job mix — and SingleSpec, PairSpec, and MultiSpec are
+// thin wrappers that build the canonical §5 mixes, so every spec type
+// executes through one path and equivalent configurations share one
+// memo entry. A spec fully determines its simulation — the machine is
 // built fresh per run and every rng stream is named by spec fields — so
 // running a spec is a pure function and results can be memoized and
 // computed on any worker.
@@ -126,6 +129,10 @@ func New(opt Options) *Runner {
 
 // Scale returns the effective instruction scale.
 func (r *Runner) Scale() float64 { return r.opt.scale() }
+
+// MachineConfig returns the platform template specs run on (the
+// scenario compiler plans placements against it).
+func (r *Runner) MachineConfig() machine.Config { return r.opt.machineConfig() }
 
 // Parallelism returns the effective worker count.
 func (r *Runner) Parallelism() int { return r.opt.parallelism() }
@@ -194,7 +201,9 @@ func (r *Runner) measure(s Spec) *machine.Result {
 	return res
 }
 
-// SingleSpec describes an application running alone.
+// SingleSpec describes an application running alone. It is a thin
+// wrapper over the general MixSpec: a one-job mix with pack placement
+// from slot 0 and the first Ways LLC ways.
 type SingleSpec struct {
 	App     *workload.Profile
 	Threads int // capped by the profile's MaxThreads
@@ -203,34 +212,30 @@ type SingleSpec struct {
 	Prefetch *prefetch.Config
 }
 
-func (s SingleSpec) memoKey(r *Runner) string {
-	return fmt.Sprintf("single|%s|t%d|w%d|pf%v|s%g",
-		s.App.Name, s.Threads, s.Ways, pfKey(s.Prefetch), r.opt.scale())
-}
-
-func (s SingleSpec) execute(r *Runner) *machine.Result {
-	cfg := r.opt.machineConfig()
-	if s.Prefetch != nil {
-		cfg.Prefetch = *s.Prefetch
-	}
-	m := machine.New(cfg)
-
+// toMix builds the scenario this spec denotes. Threads fill both
+// hyperthreads of each core before the next core (the paper's
+// assignment order).
+func (s SingleSpec) toMix(r *Runner) MixSpec {
 	threads := CapThreads(s.App, s.Threads)
 	slots := make([]int, threads)
 	for i := range slots {
 		slots[i] = i // slot order = HT0/HT1 of core 0, then core 1, ...
 	}
-	job := m.AddJob(machine.JobSpec{
-		Profile: s.App,
-		Threads: threads,
-		Slots:   slots,
-		Scale:   r.opt.scale(),
-		Seed:    "single",
-	})
-	applyWays(m, job.Cores(), s.Ways)
-
-	return m.Run()
+	if s.Ways < 0 || s.Ways > r.opt.machineConfig().Hier.LLC.Assoc {
+		panic(fmt.Sprintf("sched: invalid single allocation of %d ways", s.Ways))
+	}
+	return MixSpec{
+		Jobs: []MixJob{{
+			App: s.App, Threads: threads, Slots: slots,
+			Seed: "single", WayLim: s.Ways,
+		}},
+		Prefetch: s.Prefetch,
+	}
 }
+
+func (s SingleSpec) memoKey(r *Runner) string { return s.toMix(r).memoKey(r) }
+
+func (s SingleSpec) execute(r *Runner) *machine.Result { return s.toMix(r).execute(r) }
 
 // RunSingle executes an application alone on the machine: threads fill
 // both hyperthreads of each core before the next core (the paper's
@@ -274,63 +279,45 @@ type PairSpec struct {
 	Prefetch *prefetch.Config
 }
 
-func (s PairSpec) memoKey(r *Runner) string {
-	if s.Setup != nil {
-		return ""
-	}
-	return fmt.Sprintf("pair|%s|%s|f%d|b%d|m%d|pf%v|s%g",
-		s.Fg.Name, s.Bg.Name, s.FgWays, s.BgWays, s.Mode, pfKey(s.Prefetch), r.opt.scale())
-}
-
-func (s PairSpec) execute(r *Runner) *machine.Result {
+// toMix builds the scenario this spec denotes: a two-job pack-placed
+// mix, the foreground in the low ways and the background in the high
+// ways when a static split is given.
+func (s PairSpec) toMix(r *Runner) MixSpec {
 	cfg := r.opt.machineConfig()
-	if s.Prefetch != nil {
-		cfg.Prefetch = *s.Prefetch
-	}
-	m := machine.New(cfg)
-
-	fgThreads := CapThreads(s.Fg, 4)
-	bgThreads := CapThreads(s.Bg, 4)
-	fg := m.AddJob(machine.JobSpec{
-		Profile: s.Fg,
-		Threads: fgThreads,
-		Slots:   m.SlotsForCores(0, 1),
-		Scale:   r.opt.scale(),
-		Seed:    "fg",
-	})
-	bg := m.AddJob(machine.JobSpec{
-		Profile:    s.Bg,
-		Threads:    bgThreads,
-		Slots:      m.SlotsForCores(2, 3),
-		Background: s.Mode == BackgroundLoop,
-		Scale:      r.opt.scale(),
-		Seed:       "bg",
-	})
-
 	assoc := cfg.Hier.LLC.Assoc
+	var fgFirst, fgLim, bgFirst, bgLim int
 	switch {
 	case s.FgWays == 0 && s.BgWays == 0:
 		// Fully shared: both sides may replace anywhere.
 	case s.FgWays > 0 && s.BgWays > 0 && s.FgWays+s.BgWays <= assoc:
-		fgMask := cache.MaskFirstN(s.FgWays)
-		bgMask := cache.MaskRange(assoc-s.BgWays, assoc)
-		for _, c := range fg.Cores() {
-			m.Hierarchy().SetWayMask(c, fgMask)
-		}
-		for _, c := range bg.Cores() {
-			m.Hierarchy().SetWayMask(c, bgMask)
-		}
+		fgFirst, fgLim = 0, s.FgWays
+		bgFirst, bgLim = assoc-s.BgWays, assoc
 	default:
 		panic(fmt.Sprintf("sched: invalid pair partition %d+%d ways of %d",
 			s.FgWays, s.BgWays, assoc))
 	}
-
-	if s.Setup != nil {
-		s.Setup(m, fg, bg)
+	mix := MixSpec{
+		Jobs: []MixJob{
+			{App: s.Fg, Threads: CapThreads(s.Fg, 4), Slots: cfg.SlotsForCores(0, 1),
+				Seed: "fg", WayFirst: fgFirst, WayLim: fgLim},
+			{App: s.Bg, Threads: CapThreads(s.Bg, 4), Slots: cfg.SlotsForCores(2, 3),
+				Background: s.Mode == BackgroundLoop,
+				Seed:       "bg", WayFirst: bgFirst, WayLim: bgLim},
+		},
+		Prefetch: s.Prefetch,
 	}
-
-	return m.Run()
+	if s.Setup != nil {
+		setup := s.Setup
+		mix.Setup = func(m *machine.Machine, jobs []*machine.Job) {
+			setup(m, jobs[0], jobs[1])
+		}
+	}
+	return mix
 }
+
+func (s PairSpec) memoKey(r *Runner) string { return s.toMix(r).memoKey(r) }
+
+func (s PairSpec) execute(r *Runner) *machine.Result { return s.toMix(r).execute(r) }
 
 // RunPair executes a pair scenario. Runs with a Setup hook are not
 // memoized (the hook may close over external state).
@@ -373,18 +360,6 @@ func CapThreads(p *workload.Profile, want int) int {
 		return p.MaxThreads
 	}
 	return want
-}
-
-// applyWays restricts each listed core's LLC replacement mask to the
-// first n ways (0 = leave the full mask).
-func applyWays(m *machine.Machine, cores []int, n int) {
-	if n <= 0 {
-		return
-	}
-	mask := cache.MaskFirstN(n)
-	for _, c := range cores {
-		m.Hierarchy().SetWayMask(c, mask)
-	}
 }
 
 func pfKey(p *prefetch.Config) string {
