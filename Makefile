@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint ci
+.PHONY: build test race bench bench-json lint ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ race:
 # One iteration per paper figure; doubles as a regression smoke test.
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Benchmark trajectory: the two hot-path benchmarks future PRs must
+# not regress, emitted as committed/diffable JSON (BENCH_fleet.json is
+# the checked-in baseline; CI uploads the current run as an artifact).
+# Two steps (not a pipe) so a failing benchmark fails the target
+# instead of being masked by a partially-parsed stream.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioMix|BenchmarkFleetRun' -benchtime=1x . > /tmp/bench-fleet.out
+	$(GO) run ./cmd/benchjson < /tmp/bench-fleet.out > BENCH_fleet.json
+	@rm -f /tmp/bench-fleet.out
+	@cat BENCH_fleet.json
 
 lint:
 	@out="$$(gofmt -l .)"; \

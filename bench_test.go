@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/loadgen"
 	"repro/internal/partition"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -260,6 +262,35 @@ func BenchmarkScenarioMix(b *testing.B) {
 		}
 	}
 	b.ReportMetric(instr*float64(b.N)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// BenchmarkFleetRun measures the fleet layer end to end on a small
+// pool: trace generation, the oracle's engine batch (alone baselines
+// plus the protective way sweep), and the three-policy event loop.
+// Each iteration uses a fresh runner, so the cost includes the
+// simulations a cold fleet run must execute. Reported alongside
+// requests placed per host second.
+func BenchmarkFleetRun(b *testing.B) {
+	def := &fleet.Def{
+		Machines: 4,
+		Duration: 0.05,
+		Seed:     "bench",
+		Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 400}},
+		Backlog:  []loadgen.BatchDef{{App: "ferret", Count: 3, Iterations: 20}},
+	}
+	var requests int
+	for i := 0; i < b.N; i++ {
+		r := sched.New(sched.Options{Scale: benchScale})
+		rep, err := fleet.Run(r, "bench", def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != 3 {
+			b.Fatal("missing policy results")
+		}
+		requests = rep.Requests
+	}
+	b.ReportMetric(float64(requests*3*b.N)/b.Elapsed().Seconds(), "placements/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: whatever
+BenchmarkScenarioMix-8     	       1	  52034180 ns/op	 123456789 sim-instr/s
+BenchmarkFleetRun     	       2	  41000000 ns/op	       120 placements/s
+--- some noise ---
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GoOS != "linux" || doc.GoArch != "amd64" || doc.Package != "repro" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	mix := doc.Benchmarks[0]
+	if mix.Name != "BenchmarkScenarioMix" {
+		t.Errorf("CPU suffix not stripped: %q", mix.Name)
+	}
+	if mix.Iterations != 1 || mix.NsPerOp != 52034180 {
+		t.Errorf("mix numbers: %+v", mix)
+	}
+	if mix.Metrics["sim-instr/s"] != 123456789 {
+		t.Errorf("custom metric lost: %+v", mix.Metrics)
+	}
+	fleet := doc.Benchmarks[1]
+	if fleet.Name != "BenchmarkFleetRun" || fleet.Iterations != 2 {
+		t.Errorf("fleet entry: %+v", fleet)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 xyz 1 ns/op",
+		"Benchmark 1 2",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted noise line %q", line)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+// cmdFleet dispatches the fleet subcommands:
+//
+//	cachepart fleet run   [flags] file.json...
+//	cachepart fleet check [flags] file.json...
+//
+// Both accept the whole examples/scenarios/ glob: files without a
+// fleet block are skipped with a note, so the fleet and single-machine
+// scenario libraries can live side by side.
+func cmdFleet(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("fleet: want 'run' or 'check' (see 'cachepart help')")
+	}
+	switch args[0] {
+	case "run":
+		return fleetRun(args[1:])
+	case "check":
+		return fleetCheck(args[1:])
+	default:
+		return fmt.Errorf("fleet: unknown subcommand %q (want run or check)", args[0])
+	}
+}
+
+var fleetValueFlags = map[string]bool{
+	"scale": true, "parallel": true, "policy": true, "partition": true, "machines": true,
+}
+
+// applyFleetOverrides applies the -policy/-partition/-machines flags
+// to a parsed fleet definition and revalidates.
+func applyFleetOverrides(s *scenario.Scenario, policy, part string, machines int) error {
+	if policy != "" {
+		s.Fleet.Policies = nil
+		for _, p := range strings.Split(policy, ",") {
+			s.Fleet.Policies = append(s.Fleet.Policies, fleet.PolicyName(strings.TrimSpace(p)))
+		}
+	}
+	if part != "" {
+		s.Fleet.Partition = fleet.PartitionMode(part)
+	}
+	if machines != 0 {
+		s.Fleet.Machines = machines
+	}
+	return s.Validate()
+}
+
+func fleetRun(args []string) error {
+	fs := flag.NewFlagSet("fleet run", flag.ExitOnError)
+	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
+	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
+	policy := fs.String("policy", "", "comma-separated consolidation policies to evaluate (override the file)")
+	part := fs.String("partition", "", "override the co-location partition mode (shared|biased|dynamic)")
+	machines := fs.Int("machines", 0, "override the pool size")
+	flagArgs, files := splitFlags(args, fleetValueFlags)
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("fleet run: no scenario files given")
+	}
+	effScale := *scale
+	if effScale == 0 && *quick {
+		effScale = quickScale
+	}
+	// One runner across files: fleets sharing applications (or pairs
+	// another driver already simulated) deduplicate in the memo cache.
+	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel})
+
+	ran := 0
+	for _, path := range files {
+		s, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if !s.IsFleet() {
+			fmt.Printf("%s: not a fleet scenario, skipped (use 'cachepart scenario run')\n", path)
+			continue
+		}
+		if err := applyFleetOverrides(s, *policy, *part, *machines); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		before := r.Stats()
+		t0 := time.Now()
+		rep, err := fleet.Run(r, s.Name, s.Fleet)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ran++
+		wall := time.Since(t0).Seconds()
+		st := r.Stats()
+		speedup := 0.0
+		if wall > 0 {
+			speedup = (st.BusySeconds - before.BusySeconds) / wall
+		}
+		if s.Description != "" {
+			fmt.Println(s.Description)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
+			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
+			speedup, st.Parallelism)
+	}
+	if ran == 0 {
+		return fmt.Errorf("fleet run: no fleet scenarios among the given files")
+	}
+	return nil
+}
+
+func fleetCheck(args []string) error {
+	fs := flag.NewFlagSet("fleet check", flag.ExitOnError)
+	policy := fs.String("policy", "", "override the policies before checking")
+	part := fs.String("partition", "", "override the partition mode before checking")
+	machines := fs.Int("machines", 0, "override the pool size before checking")
+	flagArgs, files := splitFlags(args, fleetValueFlags)
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("fleet check: no scenario files given")
+	}
+	for _, path := range files {
+		s, err := scenario.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		if !s.IsFleet() {
+			fmt.Printf("%s: not a fleet scenario, skipped\n", path)
+			continue
+		}
+		if err := applyFleetOverrides(s, *policy, *part, *machines); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		out, err := fleet.Describe(s.Name, s.Fleet)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: %s", path, out)
+	}
+	return nil
+}

@@ -12,6 +12,8 @@
 //	cachepart exp  -id all  [-quick]
 //	cachepart scenario run examples/scenarios/latency-3batch.json [-quick] [-policy dynamic]
 //	cachepart scenario check examples/scenarios/*.json
+//	cachepart fleet run examples/scenarios/fleet-consolidation-50.json [-quick]
+//	cachepart fleet check examples/scenarios/*.json
 //
 // Experiment ids: fig1..fig13, table1, table2, table3, headline, the
 // abl-* ablation studies, and all.
@@ -50,6 +52,8 @@ func main() {
 		err = cmdExp(os.Args[2:])
 	case "scenario":
 		err = cmdScenario(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,10 +74,17 @@ func usage() {
   cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N]
   cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] FILE.json...
   cachepart scenario check [-policy P] FILE.json...
+  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M] [-machines N] FILE.json...
+  cachepart fleet check [-policy P,P] [-partition M] [-machines N] FILE.json...
 
 scenario runs declarative JSON scenario files (N-job mixes with roles,
 placement, and a partition policy; see examples/scenarios/ and
 DESIGN.md). -policy overrides the file's partition policy.
+
+fleet runs scenario files with a fleet block: N machines under
+open-loop load, compared across consolidation policies (spread-idle,
+pack-partition, util-target) with p50/p95/p99 request slowdown,
+machines used, utilization, and energy per policy.
 
 -parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
 byte-identical at any setting.`)

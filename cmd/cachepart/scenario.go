@@ -11,10 +11,9 @@ import (
 	"repro/internal/sched"
 )
 
-// quickScale is the reduced instruction scale -quick runs at: enough to
-// exercise every policy and placement path in seconds (the CI smoke
-// step), too little for publication-quality aggregates.
-const quickScale = 3e-4
+// quickScale is the reduced instruction scale -quick runs at (the CI
+// smoke step); shared with the golden tests through sched.QuickScale.
+const quickScale = sched.QuickScale
 
 // cmdScenario dispatches the scenario subcommands:
 //
@@ -80,11 +79,17 @@ func scenarioRun(args []string) error {
 	// baselines) deduplicate through the engine's memo cache.
 	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel})
 
+	ran := 0
 	for _, path := range files {
 		s, err := scenario.ParseFile(path)
 		if err != nil {
 			return err
 		}
+		if s.IsFleet() {
+			fmt.Printf("%s: fleet scenario, skipped (use 'cachepart fleet run')\n\n", path)
+			continue
+		}
+		ran++
 		if *policy != "" {
 			s.Partition.Policy = scenario.PartitionPolicy(*policy)
 		}
@@ -105,6 +110,9 @@ func scenarioRun(args []string) error {
 			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
 			speedup, st.Parallelism)
 	}
+	if ran == 0 {
+		return fmt.Errorf("scenario run: no single-machine scenarios among the given files")
+	}
 	return nil
 }
 
@@ -122,6 +130,10 @@ func scenarioCheck(args []string) error {
 		s, err := scenario.ParseFile(path)
 		if err != nil {
 			return err
+		}
+		if s.IsFleet() {
+			fmt.Printf("%s: fleet scenario, skipped (use 'cachepart fleet check')\n", path)
+			continue
 		}
 		if *policy != "" {
 			s.Partition.Policy = scenario.PartitionPolicy(*policy)

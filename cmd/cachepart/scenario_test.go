@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeScenario drops a scenario file into a test dir and returns its
+// path.
+func writeScenario(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestScenarioRunErrorPaths pins the CLI contract for malformed
+// scenario files: a descriptive error return (which main turns into a
+// one-line message and exit 1), never a panic and never a silent
+// success — for unknown workloads, invalid placements, bad policy
+// overrides, and missing files.
+func TestScenarioRunErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, file, want string
+		args             []string
+	}{
+		{
+			name: "unknown workload",
+			file: `{"name":"bad","jobs":[{"app":"no-such-app","role":"latency"}]}`,
+			want: "unknown application",
+		},
+		{
+			name: "invalid placement policy",
+			file: `{"name":"bad","placement":{"policy":"zigzag"},"jobs":[{"app":"ferret","role":"latency"}]}`,
+			want: "unknown placement policy",
+		},
+		{
+			name: "out-of-range explicit slots",
+			file: `{"name":"bad","placement":{"policy":"explicit"},"jobs":[{"app":"ferret","role":"latency","slots":[0,99]}]}`,
+			want: "out of range",
+		},
+		{
+			name: "invalid way range",
+			file: `{"name":"bad","partition":{"policy":"explicit"},"jobs":[{"app":"ferret","role":"latency","ways":[5,99]}]}`,
+			want: "invalid",
+		},
+		{
+			name: "over-subscribed pool",
+			file: `{"name":"bad","jobs":[{"app":"ferret","role":"latency","count":40}]}`,
+			want: "jobs cannot share cores",
+		},
+		{
+			name: "bad policy override",
+			file: `{"name":"ok","jobs":[{"app":"ferret","role":"latency"}]}`,
+			args: []string{"-policy", "warp"},
+			want: "unknown partition policy",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := writeScenario(t, "s.json", c.file)
+			args := append([]string{path, "-quick"}, c.args...)
+			err := scenarioRun(args)
+			if err == nil {
+				t.Fatal("scenario run accepted a broken scenario")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %q, want substring %q", err, c.want)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+	if err := scenarioRun([]string{"-quick"}); err == nil {
+		t.Error("scenario run with no files accepted")
+	}
+	if err := scenarioRun([]string{filepath.Join(t.TempDir(), "missing.json"), "-quick"}); err == nil {
+		t.Error("scenario run with a missing file accepted")
+	}
+}
+
+// TestScenarioCommandsSkipFleetFiles: the scenario subcommands pass
+// over fleet scenarios (so shell globs covering the whole example
+// library keep working) but refuse to run on nothing.
+func TestScenarioCommandsSkipFleetFiles(t *testing.T) {
+	fleetFile := writeScenario(t, "f.json",
+		`{"name":"f","fleet":{"machines":1,"duration":0.01,"arrivals":[{"app":"xalan","rate":100}]}}`)
+	if err := scenarioCheck([]string{fleetFile}); err != nil {
+		t.Errorf("scenario check did not skip a fleet file: %v", err)
+	}
+	if err := scenarioRun([]string{fleetFile, "-quick"}); err == nil ||
+		!strings.Contains(err.Error(), "no single-machine scenarios") {
+		t.Errorf("scenario run on only fleet files: err %v", err)
+	}
+}
+
+// TestFleetCommandValidation covers the fleet subcommands' error and
+// skip paths without running a full fleet.
+func TestFleetCommandValidation(t *testing.T) {
+	plain := writeScenario(t, "p.json", `{"name":"p","jobs":[{"app":"ferret","role":"latency"}]}`)
+	if err := fleetRun([]string{plain, "-quick"}); err == nil ||
+		!strings.Contains(err.Error(), "no fleet scenarios") {
+		t.Errorf("fleet run on a plain scenario: err %v", err)
+	}
+	if err := fleetCheck([]string{plain}); err != nil {
+		t.Errorf("fleet check did not skip a plain scenario: %v", err)
+	}
+
+	badFleet := writeScenario(t, "b.json",
+		`{"name":"b","fleet":{"machines":2,"duration":0.01,"arrivals":[{"app":"nope","rate":10}]}}`)
+	if err := fleetCheck([]string{badFleet}); err == nil ||
+		!strings.Contains(err.Error(), "unknown application") {
+		t.Errorf("fleet check on unknown app: err %v", err)
+	}
+
+	okFleet := writeScenario(t, "ok.json",
+		`{"name":"ok","fleet":{"machines":2,"duration":0.01,"arrivals":[{"app":"xalan","rate":100}]}}`)
+	if err := fleetCheck([]string{okFleet}); err != nil {
+		t.Errorf("fleet check on a valid fleet: %v", err)
+	}
+	if err := fleetCheck([]string{okFleet, "-policy", "warp"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("fleet check with bad -policy override: err %v", err)
+	}
+	if err := fleetCheck([]string{okFleet, "-partition", "warp"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown partition mode") {
+		t.Errorf("fleet check with bad -partition override: err %v", err)
+	}
+	if err := cmdFleet([]string{"teleport"}); err == nil {
+		t.Error("unknown fleet subcommand accepted")
+	}
+	if err := cmdFleet(nil); err == nil {
+		t.Error("bare fleet command accepted")
+	}
+}
+
+// TestFleetRunSmall runs a tiny fleet end to end through the CLI path.
+func TestFleetRunSmall(t *testing.T) {
+	okFleet := writeScenario(t, "ok.json", `{
+  "name": "cli-small",
+  "fleet": {
+    "machines": 2, "duration": 0.02, "seed": "cli",
+    "arrivals": [{"app": "xalan", "rate": 200}],
+    "backlog": [{"app": "ferret", "count": 2, "iterations": 10}]
+  }
+}`)
+	if err := fleetRun([]string{okFleet, "-quick", "-policy", "pack-partition"}); err != nil {
+		t.Fatal(err)
+	}
+}

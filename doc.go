@@ -21,4 +21,11 @@
 // examples/scenarios/ and `cachepart scenario`) down to the engine's
 // general MixSpec, of which the paper's single/pair/multi shapes are
 // the canonical degenerate cases.
+//
+// Above the run layer, internal/fleet simulates the paper's datacenter
+// argument directly: N machines under seeded open-loop load
+// (internal/loadgen), compared across consolidation policies with
+// p50/p95/p99 request slowdown, machines used, utilization, and energy
+// per policy (`cachepart fleet`, the fleet-*.json examples, DESIGN.md
+// §5).
 package repro

@@ -1,0 +1,223 @@
+// Package fleet is the datacenter layer above the single-machine run
+// layer: a deterministic discrete-event simulator of N machines under
+// open-loop load. A loadgen trace delivers latency requests and a
+// batch backlog; a consolidation policy decides, request by request,
+// which machine serves each one and whether co-locating it with batch
+// work is acceptable; and every service time, throughput rate, and
+// power level in the fleet comes from full single-machine simulations
+// executed through the sched engine — fanned across its worker pool
+// and deduplicated against the same memo keys the experiment drivers
+// use. The fleet report aggregates what the paper's argument is about:
+// tail request slowdown (p50/p95/p99), machines used, utilization, and
+// energy, per consolidation policy over the identical arrival trace.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+// PolicyName names a consolidation policy — the rule that assigns
+// arriving latency requests and queued batch items to machines.
+type PolicyName string
+
+const (
+	// SpreadIdle is the conservative baseline: latency requests go to
+	// the least-recently-used fully idle machine and batch work only
+	// runs on machines with no latency traffic, so nothing is ever
+	// co-located. Best responsiveness, most machines.
+	SpreadIdle PolicyName = "spread-idle"
+	// PackPartition consolidates: requests prefer machines already
+	// running batch work, but a co-location is accepted only if the
+	// protective partition search (partition.PickForForeground over
+	// the way sweep) predicts request slowdown within the fleet's
+	// slowdown_limit. The paper's policy, fleet-scale.
+	PackPartition PolicyName = "pack-partition"
+	// UtilTarget is the naive packer: requests fill the busiest
+	// machine below the utilization target with no partition check —
+	// the consolidation strawman whose tail latency the partition
+	// check exists to fix.
+	UtilTarget PolicyName = "util-target"
+)
+
+// Policies returns every policy in presentation order (the default
+// policy block of a fleet scenario).
+func Policies() []PolicyName {
+	return []PolicyName{SpreadIdle, PackPartition, UtilTarget}
+}
+
+// PartitionMode selects how a co-located machine manages its LLC.
+type PartitionMode string
+
+const (
+	// PartShared leaves co-located machines unpartitioned.
+	PartShared PartitionMode = "shared"
+	// PartBiased gives the request the protective static split found
+	// by the exhaustive way search (the default).
+	PartBiased PartitionMode = "biased"
+	// PartDynamic attaches the §6 online controller to every
+	// co-location episode.
+	PartDynamic PartitionMode = "dynamic"
+)
+
+// Def is the fleet block of a scenario file: the machine pool, the
+// open-loop load, and the consolidation policies to compare over it.
+type Def struct {
+	// Machines is the pool size.
+	Machines int `json:"machines"`
+	// Cores overrides the per-machine core count (0 = the runner's
+	// platform template; must be even — each machine splits into a
+	// latency half and a batch half, the paper's §5 placement).
+	Cores int `json:"cores,omitempty"`
+	// Duration is the arrival-trace length in simulated seconds;
+	// the run itself continues until all accepted work drains.
+	Duration float64 `json:"duration"`
+	// Seed names the trace's rng streams (default "fleet").
+	Seed string `json:"seed,omitempty"`
+	// Policies lists the consolidation policies to evaluate on the
+	// identical trace (default: all of them).
+	Policies []PolicyName `json:"policies,omitempty"`
+	// Partition is the LLC mode of co-located machines: biased
+	// (default), shared, or dynamic.
+	Partition PartitionMode `json:"partition,omitempty"`
+	// SlowdownLimit is pack-partition's acceptance threshold: a
+	// co-location is accepted only if the partition-protected request
+	// slowdown stays within it (default 1.15).
+	SlowdownLimit float64 `json:"slowdown_limit,omitempty"`
+	// UtilTarget is util-target's fill threshold in [0,1]: machines
+	// at or above it are not packed further (default 0.75).
+	UtilTarget float64 `json:"util_target,omitempty"`
+	// BatchWidth caps the backlog items resident across the fleet at
+	// once — the operator's drain-parallelism knob (default:
+	// machines/4, at least 1).
+	BatchWidth int `json:"batch_width,omitempty"`
+	// Arrivals declares the open-loop latency request streams.
+	Arrivals []loadgen.RequestClass `json:"arrivals,omitempty"`
+	// Backlog declares the batch-job queue drained across the fleet.
+	Backlog []loadgen.BatchDef `json:"backlog,omitempty"`
+}
+
+func (d *Def) seed() string {
+	if d.Seed == "" {
+		return "fleet"
+	}
+	return d.Seed
+}
+
+func (d *Def) policies() []PolicyName {
+	if len(d.Policies) == 0 {
+		return Policies()
+	}
+	return d.Policies
+}
+
+func (d *Def) partition() PartitionMode {
+	if d.Partition == "" {
+		return PartBiased
+	}
+	return d.Partition
+}
+
+func (d *Def) slowdownLimit() float64 {
+	if d.SlowdownLimit == 0 {
+		return 1.15
+	}
+	return d.SlowdownLimit
+}
+
+func (d *Def) utilTarget() float64 {
+	if d.UtilTarget == 0 {
+		return 0.75
+	}
+	return d.UtilTarget
+}
+
+// Validate checks everything that does not depend on the platform:
+// pool shape, known applications, policies, partition mode, and
+// threshold ranges.
+func (d *Def) Validate() error {
+	if d.Machines < 1 {
+		return fmt.Errorf("fleet: needs at least one machine, got %d", d.Machines)
+	}
+	if d.Cores < 0 || d.Cores%2 != 0 {
+		return fmt.Errorf("fleet: cores must be a positive even count (latency half + batch half), got %d", d.Cores)
+	}
+	if d.Duration <= 0 {
+		return fmt.Errorf("fleet: trace duration must be positive, got %v", d.Duration)
+	}
+	if len(d.Arrivals) == 0 && len(d.Backlog) == 0 {
+		return fmt.Errorf("fleet: no arrivals and no backlog — nothing to run")
+	}
+	for i := range d.Arrivals {
+		c := &d.Arrivals[i]
+		if _, err := workload.ByName(c.App); err != nil {
+			return fmt.Errorf("fleet: arrival class %d: %w", i, err)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("fleet: arrival class %d: %w", i, err)
+		}
+	}
+	for i, b := range d.Backlog {
+		if _, err := workload.ByName(b.App); err != nil {
+			return fmt.Errorf("fleet: backlog %d: %w", i, err)
+		}
+		if b.Count < 0 {
+			return fmt.Errorf("fleet: backlog %d (%s): negative count", i, b.App)
+		}
+	}
+	seen := map[PolicyName]bool{}
+	for _, p := range d.policies() {
+		switch p {
+		case SpreadIdle, PackPartition, UtilTarget:
+		default:
+			return fmt.Errorf("fleet: unknown policy %q (want spread-idle, pack-partition, or util-target)", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("fleet: policy %s listed twice", p)
+		}
+		seen[p] = true
+	}
+	switch d.partition() {
+	case PartShared, PartBiased, PartDynamic:
+	default:
+		return fmt.Errorf("fleet: unknown partition mode %q (want shared, biased, or dynamic)", d.Partition)
+	}
+	if d.SlowdownLimit < 0 || (d.SlowdownLimit > 0 && d.SlowdownLimit < 1) {
+		return fmt.Errorf("fleet: slowdown_limit must be >= 1, got %v", d.SlowdownLimit)
+	}
+	if d.UtilTarget < 0 || d.UtilTarget > 1 {
+		return fmt.Errorf("fleet: util_target must be in [0,1], got %v", d.UtilTarget)
+	}
+	if d.BatchWidth < 0 {
+		return fmt.Errorf("fleet: negative batch_width")
+	}
+	return nil
+}
+
+// fgApps returns the distinct latency applications in class order.
+func (d *Def) fgApps() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range d.Arrivals {
+		if !seen[c.App] {
+			seen[c.App] = true
+			out = append(out, c.App)
+		}
+	}
+	return out
+}
+
+// bgApps returns the distinct batch applications in backlog order.
+func (d *Def) bgApps() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, b := range d.Backlog {
+		if !seen[b.App] {
+			seen[b.App] = true
+			out = append(out, b.App)
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/sched"
+)
+
+// testScale keeps fleet tests affordable; it is the CLI's -quick
+// scale, so the golden file and the smoke runs agree by construction.
+const testScale = sched.QuickScale
+
+func testDef() *Def {
+	return &Def{
+		Machines: 6,
+		Duration: 0.1,
+		Seed:     "test",
+		Arrivals: []loadgen.RequestClass{
+			{App: "429.mcf", Rate: 300},
+			{App: "xalan", Process: loadgen.ProcBursty, Rate: 500, BurstSeconds: 0.01},
+		},
+		Backlog: []loadgen.BatchDef{
+			{App: "canneal", Count: 4, Iterations: 30},
+			{App: "ferret", Count: 3, Iterations: 30},
+		},
+	}
+}
+
+func TestFleetParallelismByteIdentical(t *testing.T) {
+	def := testDef()
+	var outs []string
+	for _, par := range []int{1, 8} {
+		r := sched.New(sched.Options{Scale: testScale, Parallelism: par})
+		rep, err := Run(r, "par-test", def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, rep.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("fleet report differs between parallelism 1 and 8\n--- p1 ---\n%s\n--- p8 ---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestFleetDynamicParallelismByteIdentical(t *testing.T) {
+	// The dynamic partition mode runs non-memoizable controller
+	// episodes through the batch workers; their results must still be
+	// order-independent.
+	def := testDef()
+	def.Partition = PartDynamic
+	var outs []string
+	for _, par := range []int{1, 8} {
+		r := sched.New(sched.Options{Scale: testScale, Parallelism: par})
+		rep, err := Run(r, "dyn-par-test", def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, rep.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("dynamic fleet report differs between parallelism 1 and 8\n--- p1 ---\n%s\n--- p8 ---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestFleetRunShape(t *testing.T) {
+	r := sched.New(sched.Options{Scale: testScale})
+	rep, err := Run(r, "shape", testDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("want 3 policy results, got %d", len(rep.Results))
+	}
+	byPol := map[PolicyName]PolicyResult{}
+	for _, pr := range rep.Results {
+		byPol[pr.Policy] = pr
+		if pr.MachinesUsed < 1 || pr.MachinesUsed > 6 {
+			t.Errorf("%s: machines used %d out of range", pr.Policy, pr.MachinesUsed)
+		}
+		if pr.P99 < pr.P95 || pr.P95 < pr.P50 || pr.P50 < 1-1e-9 {
+			t.Errorf("%s: inconsistent percentiles p50=%v p95=%v p99=%v", pr.Policy, pr.P50, pr.P95, pr.P99)
+		}
+		if pr.Makespan <= 0 || pr.ActiveSocketJ <= 0 || pr.ED2 <= 0 {
+			t.Errorf("%s: degenerate accounting %+v", pr.Policy, pr)
+		}
+		if pr.DrainSeconds <= 0 {
+			t.Errorf("%s: backlog never drained", pr.Policy)
+		}
+		if pr.Utilization <= 0 || pr.Utilization > 1 {
+			t.Errorf("%s: utilization %v out of range", pr.Policy, pr.Utilization)
+		}
+		if pr.FleetSocketJ < pr.ActiveSocketJ {
+			t.Errorf("%s: fleet energy below active energy", pr.Policy)
+		}
+	}
+	spread, pack := byPol[SpreadIdle], byPol[PackPartition]
+	if spread.Colocated != 0 {
+		t.Errorf("spread-idle co-located %d requests", spread.Colocated)
+	}
+	if pack.Colocated == 0 {
+		t.Error("pack-partition never co-located")
+	}
+	if pack.MachinesUsed >= spread.MachinesUsed {
+		t.Errorf("pack used %d machines, spread %d — consolidation failed",
+			pack.MachinesUsed, spread.MachinesUsed)
+	}
+	if pack.ActiveSocketJ >= spread.ActiveSocketJ {
+		t.Errorf("pack energy %.1f J not below spread %.1f J",
+			pack.ActiveSocketJ, spread.ActiveSocketJ)
+	}
+}
+
+func TestFleetSharedVsBiasedPartition(t *testing.T) {
+	// Under the shared partition mode co-located requests run
+	// unprotected; the biased mode's protective split must never make
+	// the co-located tail worse than shared's for the same trace.
+	def := &Def{
+		Machines: 2,
+		Duration: 0.05,
+		Seed:     "modes",
+		Policies: []PolicyName{UtilTarget}, // force co-location
+		Arrivals: []loadgen.RequestClass{{App: "429.mcf", Rate: 150}},
+		Backlog:  []loadgen.BatchDef{{App: "canneal", Count: 2, Iterations: 200}},
+	}
+	r := sched.New(sched.Options{Scale: testScale})
+	biased, err := Run(r, "biased", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := *def
+	shared.Partition = PartShared
+	sharedRep, err := Run(r, "shared", &shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, s := biased.Results[0].P99, sharedRep.Results[0].P99; b > s+1e-9 {
+		t.Errorf("biased p99 %.4f worse than shared %.4f", b, s)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	bad := []*Def{
+		{Machines: 0, Duration: 1, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 0, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1},
+		{Machines: 1, Duration: 1, Arrivals: []loadgen.RequestClass{{App: "nope", Rate: 1}}},
+		{Machines: 1, Duration: 1, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: -1}}},
+		{Machines: 1, Duration: 1, Cores: 3, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1, Backlog: []loadgen.BatchDef{{App: "nope"}}},
+		{Machines: 1, Duration: 1, SlowdownLimit: 0.5, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1, UtilTarget: 2, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1, Policies: []PolicyName{"warp"}, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1, Policies: []PolicyName{SpreadIdle, SpreadIdle}, Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+		{Machines: 1, Duration: 1, Partition: "warp", Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 1}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, d)
+		}
+	}
+	if err := testDef().Validate(); err != nil {
+		t.Errorf("valid def rejected: %v", err)
+	}
+}
+
+func TestFleetDescribe(t *testing.T) {
+	out, err := Describe("d", testDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"6 machines", "429.mcf", "spread-idle, pack-partition, util-target"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetBacklogOnly(t *testing.T) {
+	// A pure drain fleet (no arrivals) must run and report drain time.
+	def := &Def{
+		Machines: 3,
+		Duration: 0.05,
+		Backlog:  []loadgen.BatchDef{{App: "ferret", Count: 6, Iterations: 20}},
+	}
+	r := sched.New(sched.Options{Scale: testScale})
+	rep, err := Run(r, "drain-only", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Results {
+		if pr.DrainSeconds <= 0 {
+			t.Errorf("%s: no drain time", pr.Policy)
+		}
+		if pr.P99 != 0 {
+			t.Errorf("%s: p99 %v with no requests", pr.Policy, pr.P99)
+		}
+	}
+}
+
+func TestSpreadNeverColocatesUnderLoad(t *testing.T) {
+	// Saturate a 2-machine pool: one machine holds a long-lived batch
+	// resident, the other takes every request. spread-idle must queue
+	// behind the resident-free machine rather than co-locate — the
+	// never-co-locate baseline holds under load, not just when idle
+	// machines are plentiful.
+	def := &Def{
+		Machines:   2,
+		Duration:   0.05,
+		Seed:       "saturate",
+		BatchWidth: 1,
+		Policies:   []PolicyName{SpreadIdle},
+		Arrivals:   []loadgen.RequestClass{{App: "429.mcf", Rate: 2000}},
+		Backlog:    []loadgen.BatchDef{{App: "canneal", Count: 1, Iterations: 500}},
+	}
+	r := sched.New(sched.Options{Scale: testScale})
+	rep, err := Run(r, "saturate", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := rep.Results[0]
+	if pr.Colocated != 0 {
+		t.Errorf("spread-idle co-located %d requests under saturation", pr.Colocated)
+	}
+	if pr.P99 <= 1 {
+		t.Errorf("saturated pool shows no queueing (p99 %.3f)", pr.P99)
+	}
+}

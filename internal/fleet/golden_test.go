@@ -1,0 +1,84 @@
+package fleet_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// quickScale is the CLI's -quick scale, so the golden file is exactly
+// what `cachepart fleet run -quick` prints for the shipped example
+// (minus the host-time footer).
+const quickScale = sched.QuickScale
+
+// TestFleet50Golden pins the shipped 50-machine consolidation example
+// at quick scale and asserts the acceptance shape the fleet exists to
+// demonstrate: pack-with-partition-check serves the identical trace on
+// fewer machines than spread-idle at (near-)equal p99.
+//
+// Regenerate (only for an intentional model change) with:
+//
+//	go test ./internal/fleet -run TestFleet50Golden -update-golden
+func TestFleet50Golden(t *testing.T) {
+	s, err := scenario.ParseFile(filepath.Join("..", "..", "examples", "scenarios", "fleet-consolidation-50.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsFleet() {
+		t.Fatal("fleet-consolidation-50.json lost its fleet block")
+	}
+	r := sched.New(sched.Options{Scale: quickScale})
+	rep, err := fleet.Run(r, s.Name, s.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byPol := map[fleet.PolicyName]fleet.PolicyResult{}
+	for _, pr := range rep.Results {
+		byPol[pr.Policy] = pr
+	}
+	spread, ok1 := byPol[fleet.SpreadIdle]
+	pack, ok2 := byPol[fleet.PackPartition]
+	if !ok1 || !ok2 {
+		t.Fatal("example no longer compares spread-idle and pack-partition")
+	}
+	if pack.MachinesUsed >= spread.MachinesUsed {
+		t.Errorf("pack-partition used %d machines, spread-idle %d — consolidation failed",
+			pack.MachinesUsed, spread.MachinesUsed)
+	}
+	// "Equal p99": the partition check bounds the co-located tail to a
+	// few percent of spread's never-co-located baseline.
+	if pack.P99 > spread.P99*1.05 {
+		t.Errorf("pack-partition p99 %.3f not within 5%% of spread-idle %.3f", pack.P99, spread.P99)
+	}
+	if pack.ActiveSocketJ >= spread.ActiveSocketJ {
+		t.Errorf("pack-partition energy %.1f J not below spread-idle %.1f J",
+			pack.ActiveSocketJ, spread.ActiveSocketJ)
+	}
+
+	got := rep.String()
+	path := filepath.Join("testdata", "fleet50_quick.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fleet output drifted from golden\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

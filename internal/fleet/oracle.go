@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// alonePerf is one application running alone on a machine's half —
+// the request service-time baseline and the single-occupant power
+// state.
+type alonePerf struct {
+	Seconds float64 // one run to completion
+	SocketW float64 // socket watts while running
+	WallW   float64 // wall watts while running
+}
+
+// pairPerf is a co-location: a latency request on the front half with
+// a batch occupant looping on the back half, under the fleet's
+// partition mode.
+type pairPerf struct {
+	FgSeconds  float64 // request service time co-located
+	FgSlowdown float64 // FgSeconds / alone seconds
+	BgRate     float64 // batch iterations per second while co-located
+	FgWays     int     // protective split chosen (0 = unpartitioned)
+	SocketW    float64 // socket watts while co-running
+	WallW      float64
+	Reallocs   int // dynamic-controller reallocations per episode
+}
+
+// oracle holds every simulation-derived number the event loop needs.
+// It is built once per fleet run by fanning all required
+// single-machine simulations through the sched engine as one batch:
+// the way sweeps of the biased partition check, the alone baselines,
+// and (in dynamic mode) one controller-driven episode per pair. All
+// memoizable specs use the canonical mix shapes, so a fleet run
+// deduplicates against pair/single runs any other driver has done.
+type oracle struct {
+	cfg      machine.Config
+	override bool // cfg differs from the runner's template
+
+	idleSocketW float64
+	idleWallW   float64
+
+	alone map[string]alonePerf
+	pair  map[string]pairPerf
+}
+
+func pairKey(fg, bg string) string { return fg + "\x00" + bg }
+
+// halfMixes builds the canonical mix shapes on the fleet's platform.
+type halfMixes struct {
+	cfg      machine.Config
+	override bool
+}
+
+func (h halfMixes) machine() *machine.Config {
+	if !h.override {
+		return nil
+	}
+	cfg := h.cfg
+	return &cfg
+}
+
+// aloneMix is an application alone on the front half: the same shape
+// (threads, slots, seed) as sched.AloneHalfSpec, so it shares that
+// memo entry on the default platform.
+func (h halfMixes) aloneMix(app *workload.Profile) sched.MixSpec {
+	threads := sched.CapThreads(app, h.cfg.Cores/2*h.cfg.ThreadsPerCore)
+	slots := make([]int, threads)
+	for i := range slots {
+		slots[i] = i
+	}
+	return sched.MixSpec{
+		Jobs:    []sched.MixJob{{App: app, Threads: threads, Slots: slots, Seed: "single"}},
+		Machine: h.machine(),
+	}
+}
+
+// pairMix is the §5 pair on the fleet's platform: the request on the
+// front cores (low ways when split), the batch occupant looping on the
+// back cores (high ways). w == 0 leaves the cache shared. Identical to
+// sched.PairSpec's mix on the default platform.
+func (h halfMixes) pairMix(fg, bg *workload.Profile, w int) sched.MixSpec {
+	half := h.cfg.Cores / 2
+	assoc := h.cfg.Hier.LLC.Assoc
+	frontCores := make([]int, half)
+	backCores := make([]int, half)
+	for i := 0; i < half; i++ {
+		frontCores[i], backCores[i] = i, half+i
+	}
+	htPerHalf := half * h.cfg.ThreadsPerCore
+	var fgLim, bgFirst, bgLim int
+	if w > 0 {
+		fgLim = w
+		bgFirst, bgLim = w, assoc
+	}
+	return sched.MixSpec{
+		Jobs: []sched.MixJob{
+			{App: fg, Threads: sched.CapThreads(fg, htPerHalf),
+				Slots: h.cfg.SlotsForCores(frontCores...), Seed: "fg", WayLim: fgLim},
+			{App: bg, Threads: sched.CapThreads(bg, htPerHalf),
+				Slots: h.cfg.SlotsForCores(backCores...), Background: true,
+				Seed: "bg", WayFirst: bgFirst, WayLim: bgLim},
+		},
+		Machine: h.machine(),
+	}
+}
+
+// buildOracle plans and executes every simulation the fleet run needs
+// as one engine batch.
+func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
+	cfg := r.MachineConfig()
+	override := false
+	if d.Cores > 0 && d.Cores != cfg.Cores {
+		cfg, override = machine.DefaultWithCores(d.Cores), true
+	}
+	if cfg.Cores < 2 || cfg.Cores%2 != 0 {
+		return nil, fmt.Errorf("fleet: machines need an even core count >= 2, got %d", cfg.Cores)
+	}
+	h := halfMixes{cfg: cfg, override: override}
+	assoc := cfg.Hier.LLC.Assoc
+
+	o := &oracle{
+		cfg: cfg, override: override,
+		idleSocketW: cfg.Energy.IdlePowerSocket(cfg.Cores),
+		idleWallW:   cfg.Energy.IdlePowerWall(cfg.Cores),
+		alone:       map[string]alonePerf{},
+		pair:        map[string]pairPerf{},
+	}
+
+	fgs, bgs := d.fgApps(), d.bgApps()
+	apps := map[string]*workload.Profile{}
+	for _, name := range append(append([]string{}, fgs...), bgs...) {
+		apps[name] = workload.MustByName(name)
+	}
+
+	// One batch: alone baselines for every app, then per (fg, bg) pair
+	// either the full way sweep (biased), the shared co-run, or one
+	// controller-driven episode (dynamic).
+	var specs []sched.Spec
+	aloneAt := map[string]int{}
+	for _, name := range fgs {
+		aloneAt[name] = len(specs)
+		specs = append(specs, h.aloneMix(apps[name]))
+	}
+	for _, name := range bgs {
+		if _, dup := aloneAt[name]; dup {
+			continue
+		}
+		aloneAt[name] = len(specs)
+		specs = append(specs, h.aloneMix(apps[name]))
+	}
+
+	mode := d.partition()
+	pairAt := map[string]int{} // first spec index of the pair's runs
+	// Dynamic episodes run concurrently across the batch workers; each
+	// Setup hook publishes its controller into its own slot (distinct
+	// memory, made visible by the batch's completion barrier).
+	ctlSlot := map[string]int{}
+	ctls := make([]*partition.Controller, 0, len(fgs)*len(bgs))
+	for _, fg := range fgs {
+		for _, bg := range bgs {
+			key := pairKey(fg, bg)
+			pairAt[key] = len(specs)
+			switch mode {
+			case PartBiased:
+				for w := 1; w < assoc; w++ {
+					specs = append(specs, h.pairMix(apps[fg], apps[bg], w))
+				}
+			case PartShared:
+				specs = append(specs, h.pairMix(apps[fg], apps[bg], 0))
+			case PartDynamic:
+				mix := h.pairMix(apps[fg], apps[bg], 0)
+				interval := partition.SamplingInterval(apps[fg], r.Scale())
+				ctlSlot[key] = len(ctls)
+				ctls = append(ctls, nil)
+				slot := &ctls[len(ctls)-1]
+				mix.Setup = func(m *machine.Machine, jobs []*machine.Job) {
+					ccfg := partition.DefaultControllerConfig()
+					ccfg.IntervalSeconds = interval
+					*slot = partition.AttachCores(m, jobs[0], jobs[1].Cores(), ccfg)
+				}
+				specs = append(specs, mix)
+			}
+		}
+	}
+
+	results := r.RunBatch(specs)
+
+	for name, at := range aloneAt {
+		res := results[at]
+		o.alone[name] = alonePerf{
+			Seconds: res.Jobs[0].Seconds,
+			SocketW: watts(res.Energy.SocketJoules, res.WindowSeconds),
+			WallW:   watts(res.Energy.WallJoules, res.WindowSeconds),
+		}
+	}
+
+	for _, fg := range fgs {
+		for _, bg := range bgs {
+			key := pairKey(fg, bg)
+			at := pairAt[key]
+			fgAlone := o.alone[fg].Seconds
+			var res *machine.Result
+			var fgWays, reallocs int
+			switch mode {
+			case PartBiased:
+				// The protective choice: minimum request degradation,
+				// ties toward the larger request share (Figure 13's
+				// best-static-for-the-foreground rule).
+				cands := make([]partition.Candidate, assoc-1)
+				for w := 1; w < assoc; w++ {
+					sw := results[at+w-1]
+					cands[w-1] = partition.Candidate{
+						FgWays:       w,
+						FgSlowdown:   sw.Jobs[0].Seconds / fgAlone,
+						BgThroughput: sw.Jobs[1].Iterations,
+					}
+				}
+				fgWays = cands[partition.PickForForeground(cands)].FgWays
+				res = results[at+fgWays-1]
+			case PartShared:
+				res = results[at]
+			case PartDynamic:
+				res = results[at]
+				reallocs = ctls[ctlSlot[key]].Reallocations()
+			}
+			o.pair[key] = pairPerf{
+				FgSeconds:  res.Jobs[0].Seconds,
+				FgSlowdown: res.Jobs[0].Seconds / fgAlone,
+				BgRate:     rate(res.Jobs[1].Iterations, res.WindowSeconds),
+				FgWays:     fgWays,
+				SocketW:    watts(res.Energy.SocketJoules, res.WindowSeconds),
+				WallW:      watts(res.Energy.WallJoules, res.WindowSeconds),
+				Reallocs:   reallocs,
+			}
+		}
+	}
+	return o, nil
+}
+
+// powerState returns the socket/wall power of a machine in the given
+// occupancy state ("" = that half is empty).
+func (o *oracle) powerState(fgApp, bgApp string) (socketW, wallW float64) {
+	switch {
+	case fgApp == "" && bgApp == "":
+		return o.idleSocketW, o.idleWallW
+	case fgApp != "" && bgApp != "":
+		p := o.pair[pairKey(fgApp, bgApp)]
+		return p.SocketW, p.WallW
+	case fgApp != "":
+		a := o.alone[fgApp]
+		return a.SocketW, a.WallW
+	default:
+		a := o.alone[bgApp]
+		return a.SocketW, a.WallW
+	}
+}
+
+func watts(joules, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return joules / seconds
+}
+
+func rate(iters, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return iters / seconds
+}

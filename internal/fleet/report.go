@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loadgen"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tabtext"
+)
+
+// PolicyResult aggregates one consolidation policy's run over the
+// shared trace.
+type PolicyResult struct {
+	Policy       PolicyName
+	MachinesUsed int // machines that ever hosted work
+	Colocated    int // requests served beside a batch resident
+	Rejects      int // arrivals the partition check spilled off batch residents
+	P50, P95     float64
+	P99          float64 // request slowdown percentiles (response / alone service)
+	MeanSlowdown float64
+	Utilization  float64 // busy machine-seconds / (machines used x makespan)
+	DrainSeconds float64 // when the last backlog item finished (0 = no backlog)
+	Makespan     float64 // last event in the run
+	// ActiveSocketJ/ActiveWallJ price only the machines the policy
+	// used (the rest powered off) — the consolidation saving.
+	ActiveSocketJ float64
+	ActiveWallJ   float64
+	// FleetSocketJ prices the whole pool powered for the makespan.
+	FleetSocketJ  float64
+	ED2           float64 // active socket energy x makespan^2
+	Reallocations int     // dynamic-mode controller reallocations, summed
+}
+
+// Report is the outcome of one fleet run: the trace, the platform,
+// and one PolicyResult per policy over the identical arrivals.
+type Report struct {
+	Name     string
+	Def      *Def
+	Cores    int
+	Assoc    int
+	Requests int
+	ByClass  []int // arrivals per request class
+	Backlog  int
+	Width    int // effective batch width
+	Results  []PolicyResult
+}
+
+// Run executes a fleet definition on the runner: it generates the
+// trace, fans every needed single-machine simulation through the
+// engine as one batch, then replays the identical trace under each
+// consolidation policy. Output is deterministic and byte-identical at
+// any engine parallelism.
+func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	arrivals, err := loadgen.Arrivals(def.Arrivals, def.Duration, def.seed())
+	if err != nil {
+		return nil, err
+	}
+	backlog, err := loadgen.Backlog(def.Backlog)
+	if err != nil {
+		return nil, err
+	}
+	o, err := buildOracle(r, def)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Name: name, Def: def,
+		Cores: o.cfg.Cores, Assoc: o.cfg.Hier.LLC.Assoc,
+		Requests: len(arrivals), ByClass: make([]int, len(def.Arrivals)),
+		Backlog: len(backlog), Width: def.batchWidth(),
+	}
+	for _, a := range arrivals {
+		rep.ByClass[a.Class]++
+	}
+
+	for _, pol := range def.policies() {
+		s := newSim(def, o, pol, arrivals, backlog)
+		makespan := s.run()
+		if s.nextItem < len(s.backlog) || s.drained != len(s.backlog) {
+			return nil, fmt.Errorf("fleet: policy %s stalled with %d of %d backlog items undrained",
+				pol, len(s.backlog)-s.drained, len(s.backlog))
+		}
+		pr := PolicyResult{
+			Policy: pol, Rejects: s.rejects, Colocated: s.coloc,
+			DrainSeconds: s.drainT, Makespan: makespan, Reallocations: s.reallocs,
+		}
+		var slow []float64
+		for i := range s.reqs {
+			rq := &s.reqs[i]
+			if !rq.done {
+				return nil, fmt.Errorf("fleet: policy %s left request %d unserved", pol, i)
+			}
+			slow = append(slow, (rq.finish-rq.arr.AtSeconds)/o.alone[rq.arr.App].Seconds)
+		}
+		if len(slow) > 0 {
+			pr.P50 = stats.Percentile(slow, 50)
+			pr.P95 = stats.Percentile(slow, 95)
+			pr.P99 = stats.Percentile(slow, 99)
+			pr.MeanSlowdown = stats.Mean(slow)
+		}
+		if makespan > 0 {
+			var busy float64
+			for mi := range s.machines {
+				s.account(mi, makespan)
+				m := &s.machines[mi]
+				busy += m.busySec
+				if m.used {
+					pr.MachinesUsed++
+					pr.ActiveSocketJ += m.socketJ
+					pr.ActiveWallJ += m.wallJ
+				}
+			}
+			pr.FleetSocketJ = pr.ActiveSocketJ +
+				o.idleSocketW*makespan*float64(def.Machines-pr.MachinesUsed)
+			if pr.MachinesUsed > 0 {
+				pr.Utilization = busy / (float64(pr.MachinesUsed) * makespan)
+			}
+			pr.ED2 = pr.ActiveSocketJ * makespan * makespan
+		}
+		rep.Results = append(rep.Results, pr)
+	}
+	return rep, nil
+}
+
+// String renders the report as aligned text; byte-identical across
+// engine parallelism settings.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== fleet: %s (%d machines x %d cores, %d-way LLC) ==\n",
+		r.Name, r.Def.Machines, r.Cores, r.Assoc)
+	fmt.Fprintf(&sb, "trace: %d requests over %.2f s (", r.Requests, r.Def.Duration)
+	for i, c := range r.Def.Arrivals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		proc := c.Process
+		if proc == "" {
+			proc = loadgen.ProcPoisson
+		}
+		fmt.Fprintf(&sb, "%s %s %g/s: %d", c.App, proc, c.Rate, r.ByClass[i])
+	}
+	if len(r.Def.Arrivals) == 0 {
+		sb.WriteString("none")
+	}
+	fmt.Fprintf(&sb, "); backlog %d items, width %d; partition %s; seed %q\n",
+		r.Backlog, r.Width, r.Def.partition(), r.Def.seed())
+
+	rows := [][]string{{"policy", "mach", "coloc", "rej", "p50", "p95", "p99",
+		"util%", "drain(s)", "mksp(s)", "socket(J)", "ED2(Js^2)"}}
+	for _, pr := range r.Results {
+		rows = append(rows, []string{
+			string(pr.Policy),
+			fmt.Sprintf("%d", pr.MachinesUsed),
+			fmt.Sprintf("%d", pr.Colocated),
+			fmt.Sprintf("%d", pr.Rejects),
+			fmt.Sprintf("%.3f", pr.P50),
+			fmt.Sprintf("%.3f", pr.P95),
+			fmt.Sprintf("%.3f", pr.P99),
+			fmt.Sprintf("%.1f", pr.Utilization*100),
+			fmt.Sprintf("%.4f", pr.DrainSeconds),
+			fmt.Sprintf("%.4f", pr.Makespan),
+			fmt.Sprintf("%.1f", pr.ActiveSocketJ),
+			fmt.Sprintf("%.4g", pr.ED2),
+		})
+	}
+	tabtext.WriteAligned(&sb, rows)
+	sb.WriteString("(mach = machines powered; socket/ED2 price those machines only;\n" +
+		" p50/p95/p99 = request slowdown vs alone, queueing included)\n")
+	if r.Def.partition() == PartDynamic {
+		for _, pr := range r.Results {
+			fmt.Fprintf(&sb, "dynamic controller under %s: %d reallocations across %d co-located requests\n",
+				pr.Policy, pr.Reallocations, pr.Colocated)
+		}
+	}
+	return sb.String()
+}
+
+// Describe validates a definition and summarizes the load it would
+// generate — the `fleet check` output. No simulations run.
+func Describe(name string, def *Def) (string, error) {
+	if err := def.Validate(); err != nil {
+		return "", err
+	}
+	arrivals, err := loadgen.Arrivals(def.Arrivals, def.Duration, def.seed())
+	if err != nil {
+		return "", err
+	}
+	backlog, err := loadgen.Backlog(def.Backlog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: ok — %d machines, %d requests over %.2f s, backlog %d (width %d), partition %s\n",
+		name, def.Machines, len(arrivals), def.Duration, len(backlog), def.batchWidth(), def.partition())
+	byClass := make([]int, len(def.Arrivals))
+	for _, a := range arrivals {
+		byClass[a.Class]++
+	}
+	for i := range def.Arrivals {
+		c := &def.Arrivals[i]
+		proc := c.Process
+		if proc == "" {
+			proc = loadgen.ProcPoisson
+		}
+		fmt.Fprintf(&sb, "  class %d: %-18s %-8s %6g req/s -> %d arrivals\n",
+			i, c.App, proc, c.Rate, byClass[i])
+	}
+	for i, b := range def.Backlog {
+		n := b.Count
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "  backlog %d: %-16s x%d\n", i, b.App, n)
+	}
+	fmt.Fprintf(&sb, "  policies: ")
+	for i, p := range def.policies() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(string(p))
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}

@@ -1,0 +1,454 @@
+package fleet
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/loadgen"
+)
+
+// The event loop. Each machine has two halves: a latency slot serving
+// at most one request (FIFO queue behind it) and a batch slot hosting
+// at most one resident backlog item. Requests are dispatched at
+// arrival by the consolidation policy; their service time is fixed at
+// dispatch from the oracle (alone, or co-located under the fleet's
+// partition mode). Batch residents accrue iterations at the alone rate
+// when the latency slot is empty and at the co-located rate while a
+// request runs beside them. Everything downstream of the oracle is
+// plain serial float arithmetic, so a fleet run is byte-identical at
+// any engine parallelism.
+
+const (
+	evFgDone  = iota // a request completed (machine index)
+	evBgDone         // a batch resident finished its item (machine index)
+	evArrival        // a request arrived (trace index)
+)
+
+type event struct {
+	t    float64
+	kind int
+	idx  int
+	ver  int // bgDone staleness check
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].t != h[b].t {
+		return h[a].t < h[b].t
+	}
+	if h[a].kind != h[b].kind {
+		return h[a].kind < h[b].kind
+	}
+	if h[a].idx != h[b].idx {
+		return h[a].idx < h[b].idx
+	}
+	return h[a].ver < h[b].ver
+}
+func (h eventHeap) Swap(a, b int)                 { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)                   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any                     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (s *sim) push(t float64, kind, idx, ver int) { heap.Push(&s.events, event{t, kind, idx, ver}) }
+
+// machState is one machine of the pool.
+type machState struct {
+	fgApp string // active request's application ("" = latency slot idle)
+	fgReq int    // active request index
+	queue []int  // waiting request indices, FIFO
+
+	bgApp       string  // resident batch item's application ("" = none)
+	bgRemaining float64 // iterations left
+	bgRate      float64 // iterations per second at current occupancy
+	bgVer       int
+
+	used        bool
+	latencyUsed bool
+	lastFree    float64 // when the machine last became fully idle (LRU)
+
+	accT    float64 // lazy-accounting timestamp
+	socketJ float64
+	wallJ   float64
+	busySec float64
+}
+
+type reqState struct {
+	arr    loadgen.Arrival
+	finish float64
+	done   bool
+}
+
+// sim is one policy's run over the shared trace.
+type sim struct {
+	def    *Def
+	o      *oracle
+	policy PolicyName
+
+	machines []machState
+	events   eventHeap
+	reqs     []reqState
+	backlog  []loadgen.BatchItem
+	nextItem int // next backlog item to place
+	resident int // batch residents currently placed
+	maxBatch int // fleet-wide batch-width cap
+	prefixK  int // util-target's static machine prefix
+
+	drained  int
+	drainT   float64
+	lastT    float64
+	rejects  int
+	coloc    int
+	reallocs int
+}
+
+func newSim(def *Def, o *oracle, policy PolicyName, arrivals []loadgen.Arrival, backlog []loadgen.BatchItem) *sim {
+	s := &sim{
+		def: def, o: o, policy: policy,
+		machines: make([]machState, def.Machines),
+		reqs:     make([]reqState, len(arrivals)),
+		backlog:  backlog,
+		maxBatch: def.batchWidth(),
+	}
+	for i := range s.machines {
+		s.machines[i].lastFree = -1
+		s.machines[i].fgReq = -1
+	}
+	for i, a := range arrivals {
+		s.reqs[i] = reqState{arr: a}
+		s.push(a.AtSeconds, evArrival, i, 0)
+	}
+	// util-target provisions a static machine prefix sized so the
+	// latency load alone fills it to the target: K = ceil(erlangs/U).
+	erlangs := 0.0
+	for _, c := range def.Arrivals {
+		erlangs += c.Rate * o.alone[c.App].Seconds
+	}
+	s.prefixK = int(math.Ceil(erlangs / def.utilTarget()))
+	if s.prefixK < 1 {
+		s.prefixK = 1
+	}
+	if s.prefixK > def.Machines {
+		s.prefixK = def.Machines
+	}
+	return s
+}
+
+// account integrates energy and busy time on machine mi up to now and
+// advances the batch resident's progress at the current rate.
+func (s *sim) account(mi int, now float64) {
+	m := &s.machines[mi]
+	dt := now - m.accT
+	if dt <= 0 {
+		m.accT = now
+		return
+	}
+	sw, ww := s.o.powerState(m.fgApp, m.bgApp)
+	m.socketJ += sw * dt
+	m.wallJ += ww * dt
+	if m.fgApp != "" || m.bgApp != "" {
+		m.busySec += dt
+	}
+	if m.bgApp != "" {
+		m.bgRemaining -= m.bgRate * dt
+		if m.bgRemaining < 0 {
+			m.bgRemaining = 0
+		}
+	}
+	m.accT = now
+}
+
+// setBgRate switches the resident's accrual rate (after account) and
+// reschedules its completion event.
+func (s *sim) setBgRate(mi int, rate, now float64) {
+	m := &s.machines[mi]
+	m.bgRate = rate
+	m.bgVer++
+	if rate > 0 {
+		s.push(now+m.bgRemaining/rate, evBgDone, mi, m.bgVer)
+	}
+}
+
+// dispatch starts request ri on machine mi at time now.
+func (s *sim) dispatch(ri, mi int, now float64) {
+	s.account(mi, now)
+	m := &s.machines[mi]
+	app := s.reqs[ri].arr.App
+	m.fgApp, m.fgReq = app, ri
+	m.used, m.latencyUsed = true, true
+
+	service := s.o.alone[app].Seconds
+	if m.bgApp != "" {
+		p := s.o.pair[pairKey(app, m.bgApp)]
+		service = p.FgSeconds
+		s.coloc++
+		s.reallocs += p.Reallocs
+		s.setBgRate(mi, p.BgRate, now)
+	}
+	s.push(now+service, evFgDone, mi, 0)
+}
+
+func (s *sim) onFgDone(mi int, now float64) {
+	s.account(mi, now)
+	m := &s.machines[mi]
+	r := &s.reqs[m.fgReq]
+	r.finish, r.done = now, true
+	m.fgApp, m.fgReq = "", -1
+	if m.bgApp != "" {
+		s.setBgRate(mi, s.o.aloneRate(m.bgApp), now)
+	} else {
+		m.lastFree = now
+	}
+	if len(m.queue) > 0 {
+		ri := m.queue[0]
+		m.queue = m.queue[1:]
+		s.dispatch(ri, mi, now)
+	}
+}
+
+func (s *sim) onBgDone(mi, ver int, now float64) {
+	m := &s.machines[mi]
+	if ver != m.bgVer {
+		return // rate changed since this event was scheduled
+	}
+	s.account(mi, now)
+	m.bgApp = ""
+	m.bgRemaining = 0
+	s.resident--
+	s.drained++
+	s.drainT = now
+	if m.fgApp == "" {
+		m.lastFree = now
+	}
+}
+
+func (s *sim) onArrival(ri int, now float64) {
+	mi, rejected := s.selectMachine(s.reqs[ri].arr.App)
+	if rejected {
+		s.rejects++
+	}
+	m := &s.machines[mi]
+	if m.fgApp == "" {
+		s.dispatch(ri, mi, now)
+	} else {
+		m.queue = append(m.queue, ri)
+	}
+}
+
+// fgFree reports whether machine mi can start a request immediately.
+func (s *sim) fgFree(mi int) bool {
+	m := &s.machines[mi]
+	return m.fgApp == "" && len(m.queue) == 0
+}
+
+// selectMachine applies the consolidation policy to an arriving
+// request and returns the chosen machine (and, for pack-partition,
+// whether any co-location was rejected by the partition check).
+func (s *sim) selectMachine(app string) (int, bool) {
+	switch s.policy {
+	case SpreadIdle:
+		// Fully idle machine, least-recently-used first; then the
+		// shortest queue among resident-free machines. Machines hosting
+		// a batch resident are avoided entirely — spread-idle is the
+		// never-co-locate baseline — unless every machine has one
+		// (batch_width >= machines, an operator choice).
+		if mi := s.pickLRU(func(mi int) bool {
+			return s.fgFree(mi) && s.machines[mi].bgApp == ""
+		}); mi >= 0 {
+			return mi, false
+		}
+		if mi := s.shortestQueueOK(func(mi int) bool {
+			return s.machines[mi].bgApp == ""
+		}); mi >= 0 {
+			return mi, false
+		}
+		return s.shortestQueueOK(nil), false
+
+	case PackPartition:
+		// Prefer co-locating with a resident that passes the partition
+		// check; then reuse an already-powered machine; then open a
+		// fresh one; then the shortest queue among machines whose
+		// resident (if any) passes the check, so the limit is honored
+		// when the queued request eventually dispatches. Only a fleet
+		// where every machine hosts a failing resident falls through to
+		// an unchecked queue. An arrival counts as rejected only when
+		// the check actually spilled it — it skipped a failing resident
+		// and no passing resident took it.
+		sawFailing := false
+		limit := s.def.slowdownLimit()
+		compatible := func(mi int) bool {
+			bg := s.machines[mi].bgApp
+			return bg == "" || s.o.pair[pairKey(app, bg)].FgSlowdown <= limit
+		}
+		for mi := range s.machines {
+			m := &s.machines[mi]
+			if !s.fgFree(mi) || m.bgApp == "" {
+				continue
+			}
+			if s.o.pair[pairKey(app, m.bgApp)].FgSlowdown <= limit {
+				return mi, false
+			}
+			sawFailing = true
+		}
+		rejected := sawFailing
+		if mi := s.pickIndex(func(mi int) bool {
+			return s.fgFree(mi) && s.machines[mi].bgApp == "" && s.machines[mi].used
+		}); mi >= 0 {
+			return mi, rejected
+		}
+		if mi := s.pickIndex(func(mi int) bool {
+			return s.fgFree(mi) && s.machines[mi].bgApp == ""
+		}); mi >= 0 {
+			return mi, rejected
+		}
+		if mi := s.shortestQueueOK(compatible); mi >= 0 {
+			return mi, rejected
+		}
+		return s.shortestQueueOK(nil), rejected
+
+	default: // UtilTarget
+		// Everything lands inside the statically provisioned prefix,
+		// fullest machines first, with no partition check — the
+		// strawman whose tail the check exists to protect.
+		if mi := s.pickIndex(func(mi int) bool {
+			return mi < s.prefixK && s.fgFree(mi) && s.machines[mi].bgApp != ""
+		}); mi >= 0 {
+			return mi, false
+		}
+		if mi := s.pickIndex(func(mi int) bool {
+			return mi < s.prefixK && s.fgFree(mi)
+		}); mi >= 0 {
+			return mi, false
+		}
+		return s.shortestQueueOK(func(mi int) bool { return mi < s.prefixK }), false
+	}
+}
+
+// pickIndex returns the lowest-index machine satisfying ok, or -1.
+func (s *sim) pickIndex(ok func(int) bool) int {
+	for mi := range s.machines {
+		if ok(mi) {
+			return mi
+		}
+	}
+	return -1
+}
+
+// pickLRU returns the machine satisfying ok that has been idle
+// longest (never-used machines first, by index), or -1.
+func (s *sim) pickLRU(ok func(int) bool) int {
+	best := -1
+	for mi := range s.machines {
+		if !ok(mi) {
+			continue
+		}
+		if best < 0 || s.machines[mi].lastFree < s.machines[best].lastFree {
+			best = mi
+		}
+	}
+	return best
+}
+
+// shortestQueueOK returns the machine with the fewest waiting
+// requests among those satisfying ok (nil = every machine), ties to
+// the lowest index; -1 when none qualifies.
+func (s *sim) shortestQueueOK(ok func(int) bool) int {
+	best := -1
+	for mi := range s.machines {
+		if ok != nil && !ok(mi) {
+			continue
+		}
+		if best < 0 || len(s.machines[mi].queue) < len(s.machines[best].queue) {
+			best = mi
+		}
+	}
+	return best
+}
+
+// placeBatch assigns queued backlog items to batch slots until the
+// width cap or the eligible machines are exhausted. A batch slot only
+// accepts work while the latency slot is idle — service times are
+// fixed at dispatch, so a resident never appears under a running
+// request.
+func (s *sim) placeBatch(now float64) {
+	for s.nextItem < len(s.backlog) && s.resident < s.maxBatch {
+		eligible := func(mi int) bool {
+			m := &s.machines[mi]
+			return m.bgApp == "" && m.fgApp == "" && len(m.queue) == 0
+		}
+		var mi int
+		switch s.policy {
+		case SpreadIdle:
+			// Keep batch away from latency traffic: machines that never
+			// served a request first, least-recently-used within each
+			// group.
+			mi = s.pickLRU(func(mi int) bool { return eligible(mi) && !s.machines[mi].latencyUsed })
+			if mi < 0 {
+				mi = s.pickLRU(eligible)
+			}
+		case PackPartition:
+			// Consolidate onto machines the fleet is already paying
+			// for; open a fresh one only when none has a free slot.
+			mi = s.pickIndex(func(mi int) bool { return eligible(mi) && s.machines[mi].used })
+			if mi < 0 {
+				mi = s.pickIndex(eligible)
+			}
+		default: // UtilTarget
+			mi = s.pickIndex(func(mi int) bool { return mi < s.prefixK && eligible(mi) })
+		}
+		if mi < 0 {
+			return
+		}
+		item := s.backlog[s.nextItem]
+		s.nextItem++
+		s.resident++
+		s.account(mi, now)
+		m := &s.machines[mi]
+		m.bgApp = item.App
+		m.bgRemaining = item.Iterations
+		m.used = true
+		s.setBgRate(mi, s.o.aloneRate(item.App), now)
+	}
+}
+
+// run executes the event loop to completion and returns the last
+// event time.
+func (s *sim) run() float64 {
+	s.placeBatch(0)
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.lastT = e.t
+		switch e.kind {
+		case evFgDone:
+			s.onFgDone(e.idx, e.t)
+		case evBgDone:
+			s.onBgDone(e.idx, e.ver, e.t)
+		case evArrival:
+			s.onArrival(e.idx, e.t)
+		}
+		s.placeBatch(e.t)
+	}
+	return s.lastT
+}
+
+// aloneRate is the resident's iteration rate with the latency slot
+// empty.
+func (o *oracle) aloneRate(app string) float64 {
+	sec := o.alone[app].Seconds
+	if sec <= 0 {
+		return 0
+	}
+	return 1 / sec
+}
+
+// batchWidth is the fleet-wide cap on concurrent batch residents
+// (default: a quarter of the pool).
+func (d *Def) batchWidth() int {
+	if d.BatchWidth > 0 {
+		return d.BatchWidth
+	}
+	w := d.Machines / 4
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

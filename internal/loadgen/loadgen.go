@@ -1,0 +1,285 @@
+// Package loadgen synthesizes reproducible open-loop load for the
+// fleet simulator: streams of latency-request arrivals (Poisson,
+// bursty, diurnal) and a backlog of batch jobs. Every trace is a pure
+// function of its spec and seed — all randomness comes from named rng
+// streams — so two generations of the same spec are byte-identical and
+// a fleet run replays the exact same workload under every
+// consolidation policy it compares.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Process names an arrival process.
+type Process string
+
+const (
+	// ProcPoisson is a memoryless stream at a constant mean rate —
+	// the open-loop baseline of datacenter load testing.
+	ProcPoisson Process = "poisson"
+	// ProcBursty is a two-state modulated Poisson process: quiet
+	// periods at a reduced rate interrupted by bursts at
+	// BurstFactor times the quiet rate, with the mean rate preserved.
+	ProcBursty Process = "bursty"
+	// ProcDiurnal modulates the rate sinusoidally over the trace —
+	// the day/night swing of user-facing traffic compressed into the
+	// simulated window.
+	ProcDiurnal Process = "diurnal"
+)
+
+// RequestClass describes one open-loop stream of latency requests: an
+// application, a mean arrival rate in requests per simulated second,
+// and the shape of the process.
+type RequestClass struct {
+	// App names the workload-catalog application each request runs.
+	App string `json:"app"`
+	// Process is poisson (default), bursty, or diurnal.
+	Process Process `json:"process,omitempty"`
+	// Rate is the mean arrival rate in requests per simulated second.
+	Rate float64 `json:"rate"`
+
+	// BurstFactor is the burst-to-quiet rate ratio of the bursty
+	// process (default 6; must be > 1).
+	BurstFactor float64 `json:"burst_factor,omitempty"`
+	// BurstFrac is the fraction of time spent bursting (default 0.15).
+	BurstFrac float64 `json:"burst_frac,omitempty"`
+	// BurstSeconds is the mean burst duration (default duration/20).
+	BurstSeconds float64 `json:"burst_seconds,omitempty"`
+
+	// Amplitude is the diurnal swing as a fraction of the mean rate:
+	// rate(t) = Rate * (1 + Amplitude*sin(2πt/Period)) (default 0.8).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// PeriodSeconds is the diurnal period (default: the trace
+	// duration, one full day compressed into the window).
+	PeriodSeconds float64 `json:"period,omitempty"`
+
+	// Seed names the class's rng stream (default: the class index).
+	Seed string `json:"seed,omitempty"`
+}
+
+// BatchDef is one backlog entry: Count queued items, each Iterations
+// runs of an application (default 1 run per item).
+type BatchDef struct {
+	App   string `json:"app"`
+	Count int    `json:"count"`
+	// Iterations sizes one item in application runs: an item holds its
+	// machine's batch slot until that many runs complete.
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// Arrival is one latency request of a generated trace.
+type Arrival struct {
+	// AtSeconds is the arrival time in simulated seconds from trace
+	// start.
+	AtSeconds float64
+	// App is the application the request runs.
+	App string
+	// Class is the index of the generating RequestClass.
+	Class int
+	// Seq is the request's sequence number within its class.
+	Seq int
+}
+
+func (c *RequestClass) process() Process {
+	if c.Process == "" {
+		return ProcPoisson
+	}
+	return c.Process
+}
+
+// Validate checks a request class's shape (application existence is
+// checked by the caller against the workload catalog).
+func (c *RequestClass) Validate() error {
+	switch c.process() {
+	case ProcPoisson, ProcBursty, ProcDiurnal:
+	default:
+		return fmt.Errorf("loadgen: unknown process %q (want poisson, bursty, or diurnal)", c.Process)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("loadgen: class %s needs a positive rate, got %v", c.App, c.Rate)
+	}
+	if c.BurstFactor != 0 && c.BurstFactor <= 1 {
+		return fmt.Errorf("loadgen: class %s burst_factor must exceed 1, got %v", c.App, c.BurstFactor)
+	}
+	if c.BurstFrac < 0 || c.BurstFrac >= 1 {
+		return fmt.Errorf("loadgen: class %s burst_frac must be in [0,1), got %v", c.App, c.BurstFrac)
+	}
+	if c.BurstSeconds < 0 {
+		return fmt.Errorf("loadgen: class %s negative burst_seconds", c.App)
+	}
+	if c.Amplitude < 0 || c.Amplitude > 1 {
+		return fmt.Errorf("loadgen: class %s amplitude must be in [0,1], got %v", c.App, c.Amplitude)
+	}
+	if c.PeriodSeconds < 0 {
+		return fmt.Errorf("loadgen: class %s negative period", c.App)
+	}
+	return nil
+}
+
+// expGap draws an exponential inter-arrival gap at the given rate.
+func expGap(r *rng.Stream, rate float64) float64 {
+	// 1-Float64() is in (0,1], so Log never sees 0.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Arrivals generates the merged arrival trace of all classes over
+// [0, duration) seconds. The trace is sorted by time with determinism
+// ties broken by (class, seq); each class draws from its own named rng
+// stream, so adding a class never perturbs another class's arrivals.
+func Arrivals(classes []RequestClass, duration float64, seed string) ([]Arrival, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("loadgen: trace duration must be positive, got %v", duration)
+	}
+	var out []Arrival
+	for i := range classes {
+		c := &classes[i]
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		name := c.Seed
+		if name == "" {
+			name = fmt.Sprintf("class%d", i)
+		}
+		r := rng.NewNamed("loadgen/" + seed + "/" + name)
+		var times []float64
+		switch c.process() {
+		case ProcPoisson:
+			times = poissonTimes(r, c.Rate, duration)
+		case ProcBursty:
+			times = burstyTimes(r, c, duration)
+		case ProcDiurnal:
+			times = diurnalTimes(r, c, duration)
+		}
+		for seq, t := range times {
+			out = append(out, Arrival{AtSeconds: t, App: c.App, Class: i, Seq: seq})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].AtSeconds != out[b].AtSeconds {
+			return out[a].AtSeconds < out[b].AtSeconds
+		}
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out, nil
+}
+
+func poissonTimes(r *rng.Stream, rate, duration float64) []float64 {
+	var times []float64
+	for t := expGap(r, rate); t < duration; t += expGap(r, rate) {
+		times = append(times, t)
+	}
+	return times
+}
+
+// burstyTimes alternates quiet and burst states. Rates are chosen so
+// the long-run mean equals c.Rate:
+//
+//	mean = (1-f)*quiet + f*quiet*factor  =>  quiet = mean/(1+f*(factor-1))
+func burstyTimes(r *rng.Stream, c *RequestClass, duration float64) []float64 {
+	factor := c.BurstFactor
+	if factor == 0 {
+		factor = 6
+	}
+	frac := c.BurstFrac
+	if frac == 0 {
+		frac = 0.15
+	}
+	burstLen := c.BurstSeconds
+	if burstLen == 0 {
+		burstLen = duration / 20
+	}
+	quietLen := burstLen * (1 - frac) / frac
+	quietRate := c.Rate / (1 + frac*(factor-1))
+	burstRate := quietRate * factor
+
+	// Start quiet; state durations are exponential with the configured
+	// means, so bursts arrive at irregular (but reproducible) times.
+	var times []float64
+	t, bursting := 0.0, false
+	stateEnd := expGap(r, 1/quietLen)
+	for t < duration {
+		rate := quietRate
+		if bursting {
+			rate = burstRate
+		}
+		t += expGap(r, rate)
+		for t >= stateEnd {
+			bursting = !bursting
+			mean := quietLen
+			if bursting {
+				mean = burstLen
+			}
+			stateEnd += expGap(r, 1/mean)
+		}
+		if t < duration {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+// diurnalTimes thins a max-rate Poisson stream by the instantaneous
+// sinusoidal rate (Lewis-Shedler thinning), preserving the mean.
+func diurnalTimes(r *rng.Stream, c *RequestClass, duration float64) []float64 {
+	amp := c.Amplitude
+	if amp == 0 {
+		amp = 0.8
+	}
+	period := c.PeriodSeconds
+	if period == 0 {
+		period = duration
+	}
+	maxRate := c.Rate * (1 + amp)
+	var times []float64
+	for t := expGap(r, maxRate); t < duration; t += expGap(r, maxRate) {
+		rate := c.Rate * (1 + amp*math.Sin(2*math.Pi*t/period))
+		if r.Float64()*maxRate < rate {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+// Backlog expands batch definitions into the deterministic item order
+// the fleet drains them in: definitions in declaration order, each
+// replicated Count times. Seq numbers replicas within a definition
+// (they seed distinct rng streams when run).
+type BatchItem struct {
+	App        string
+	Iterations float64 // application runs this item holds its slot for
+	Def        int     // index of the generating BatchDef
+	Seq        int     // replica number within the definition
+	Index      int     // global drain position
+}
+
+// Backlog expands the batch definitions into drain order.
+func Backlog(defs []BatchDef) ([]BatchItem, error) {
+	var out []BatchItem
+	for i, d := range defs {
+		if d.Count < 0 {
+			return nil, fmt.Errorf("loadgen: batch %s negative count", d.App)
+		}
+		if d.Iterations < 0 {
+			return nil, fmt.Errorf("loadgen: batch %s negative iterations", d.App)
+		}
+		n, iters := d.Count, d.Iterations
+		if n == 0 {
+			n = 1
+		}
+		if iters == 0 {
+			iters = 1
+		}
+		for k := 0; k < n; k++ {
+			out = append(out, BatchItem{App: d.App, Iterations: float64(iters), Def: i, Seq: k, Index: len(out)})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestArrivalsDeterministic(t *testing.T) {
+	classes := []RequestClass{
+		{App: "429.mcf", Rate: 40},
+		{App: "ferret", Process: ProcBursty, Rate: 25},
+		{App: "fop", Process: ProcDiurnal, Rate: 30, Amplitude: 0.6},
+	}
+	a, err := Arrivals(classes, 2.0, "fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(classes, 2.0, "fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec and seed produced different traces")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtSeconds < a[i-1].AtSeconds {
+			t.Fatalf("trace not time-sorted at %d", i)
+		}
+	}
+	c, err := Arrivals(classes, 2.0, "other-seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalsClassIndependence(t *testing.T) {
+	// Adding a class must not perturb an existing class's arrivals.
+	one, err := Arrivals([]RequestClass{{App: "429.mcf", Rate: 40}}, 2.0, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Arrivals([]RequestClass{
+		{App: "429.mcf", Rate: 40},
+		{App: "ferret", Rate: 100},
+	}, 2.0, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromTwo []Arrival
+	for _, a := range two {
+		if a.Class == 0 {
+			fromTwo = append(fromTwo, a)
+		}
+	}
+	if !reflect.DeepEqual(one, fromTwo) {
+		t.Fatal("class 0 arrivals changed when class 1 was added")
+	}
+}
+
+func TestArrivalRatesApproximateMean(t *testing.T) {
+	// Long traces should land near the declared mean rate for every
+	// process (the bursty and diurnal shapes preserve it by design).
+	for _, proc := range []Process{ProcPoisson, ProcBursty, ProcDiurnal} {
+		a, err := Arrivals([]RequestClass{{App: "x", Process: proc, Rate: 50, BurstSeconds: 2}}, 200, "rate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(len(a)) / 200
+		if math.Abs(got-50) > 5 {
+			t.Errorf("%s: mean rate %.1f/s, want ~50/s", proc, got)
+		}
+	}
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	cases := []RequestClass{
+		{App: "x", Rate: 0},
+		{App: "x", Rate: 10, Process: "weird"},
+		{App: "x", Rate: 10, Process: ProcBursty, BurstFactor: 0.5},
+		{App: "x", Rate: 10, Process: ProcBursty, BurstFrac: 1.5},
+		{App: "x", Rate: 10, Process: ProcDiurnal, Amplitude: 2},
+	}
+	for i, c := range cases {
+		if _, err := Arrivals([]RequestClass{c}, 1, "s"); err == nil {
+			t.Errorf("case %d: invalid class accepted: %+v", i, c)
+		}
+	}
+	if _, err := Arrivals([]RequestClass{{App: "x", Rate: 1}}, 0, "s"); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestBacklogExpansion(t *testing.T) {
+	items, err := Backlog([]BatchDef{{App: "ferret", Count: 3}, {App: "dedup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	want := []BatchItem{
+		{App: "ferret", Iterations: 1, Def: 0, Seq: 0, Index: 0},
+		{App: "ferret", Iterations: 1, Def: 0, Seq: 1, Index: 1},
+		{App: "ferret", Iterations: 1, Def: 0, Seq: 2, Index: 2},
+		{App: "dedup", Iterations: 1, Def: 1, Seq: 0, Index: 3},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("got %+v", items)
+	}
+	if items2, err := Backlog([]BatchDef{{App: "x", Count: 2, Iterations: 40}}); err != nil || items2[1].Iterations != 40 {
+		t.Fatalf("iterations not carried: %+v, %v", items2, err)
+	}
+	if _, err := Backlog([]BatchDef{{App: "x", Count: -1}}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := Backlog([]BatchDef{{App: "x", Iterations: -2}}); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+}

@@ -56,6 +56,9 @@ func (s *Scenario) Plan(base machine.Config) (*Plan, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if s.Fleet != nil {
+		return nil, fmt.Errorf("scenario %q: fleet scenarios run on the fleet layer; use 'cachepart fleet run' or fleet.Run", s.Name)
+	}
 	cfg, override := base, false
 	if s.Machine.Cores > 0 && s.Machine.Cores != base.Cores {
 		// A core-count override rebuilds the default platform at that

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/partition"
 	"repro/internal/sched"
+	"repro/internal/tabtext"
 )
 
 // JobOutcome is one instance's measured result.
@@ -244,7 +245,7 @@ func (r *Report) String() string {
 		row = append(row, fmt.Sprintf("%.2f", o.IPC), fmt.Sprintf("%.2f", o.MPKI))
 		rows = append(rows, row)
 	}
-	writeAligned(&sb, rows)
+	tabtext.WriteAligned(&sb, rows)
 
 	fmt.Fprintf(&sb, "window %.4f s\n", r.WindowSeconds)
 	if s.wantMetric(MetricWeightedSpeedup) {
@@ -274,34 +275,4 @@ func (r *Report) String() string {
 			r.Reallocations, r.FinalFgWays)
 	}
 	return sb.String()
-}
-
-// writeAligned renders rows (first row = header) as aligned columns
-// with a separator rule, matching the experiment tables' look.
-func writeAligned(sb *strings.Builder, rows [][]string) {
-	widths := make([]int, len(rows[0]))
-	for _, row := range rows {
-		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	total := len(widths) - 1
-	for _, w := range widths {
-		total += w + 1
-	}
-	for ri, row := range rows {
-		for i, cell := range row {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			fmt.Fprintf(sb, "%-*s", widths[i], cell)
-		}
-		sb.WriteByte('\n')
-		if ri == 0 {
-			sb.WriteString(strings.Repeat("-", total))
-			sb.WriteByte('\n')
-		}
-	}
 }

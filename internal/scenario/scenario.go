@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fleet"
 	"repro/internal/machine"
 	"repro/internal/workload"
 )
@@ -135,17 +136,29 @@ func AllMetrics() []Metric {
 	return []Metric{MetricSlowdown, MetricThroughput, MetricWeightedSpeedup, MetricEnergy, MetricED2}
 }
 
-// Scenario is a complete declarative run description.
+// Scenario is a complete declarative run description: either a
+// single-machine job mix (Jobs plus placement/partition blocks) or a
+// multi-machine fleet simulation (a Fleet block, run with
+// `cachepart fleet run`).
 type Scenario struct {
 	Name        string       `json:"name"`
 	Description string       `json:"description,omitempty"`
 	Machine     MachineDef   `json:"machine,omitempty"`
 	Placement   PlacementDef `json:"placement,omitempty"`
 	Partition   PartitionDef `json:"partition,omitempty"`
-	Jobs        []JobDef     `json:"jobs"`
+	Jobs        []JobDef     `json:"jobs,omitempty"`
 	// Metrics selects the report sections (default: all).
 	Metrics []Metric `json:"metrics,omitempty"`
+	// Fleet, if present, makes this a fleet scenario: N machines under
+	// open-loop load with consolidation policies (see internal/fleet).
+	// Fleet scenarios carry no job mix of their own — the fleet block
+	// declares the load — so Jobs and the placement/partition blocks
+	// must be empty.
+	Fleet *fleet.Def `json:"fleet,omitempty"`
 }
+
+// IsFleet reports whether this is a fleet scenario.
+func (s *Scenario) IsFleet() bool { return s.Fleet != nil }
 
 // Parse decodes and validates a JSON scenario. Unknown fields are
 // rejected so typos in scenario files fail loudly.
@@ -207,6 +220,22 @@ func (d *JobDef) count() int {
 // (biased and dynamic need exactly one latency job; at least one job
 // must terminate or the run never would).
 func (s *Scenario) Validate() error {
+	if s.Fleet != nil {
+		switch {
+		case len(s.Jobs) > 0:
+			return fmt.Errorf("scenario %q: a fleet scenario declares its load in the fleet block, not jobs", s.Name)
+		case s.Placement.Policy != "" || s.Partition.Policy != "":
+			return fmt.Errorf("scenario %q: fleet scenarios use the fleet block's policies, not placement/partition", s.Name)
+		case len(s.Metrics) > 0:
+			return fmt.Errorf("scenario %q: fleet reports have a fixed metrics set; drop the metrics block", s.Name)
+		case s.Machine.Cores != 0:
+			return fmt.Errorf("scenario %q: set per-machine cores inside the fleet block", s.Name)
+		}
+		if err := s.Fleet.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		return nil
+	}
 	if len(s.Jobs) == 0 {
 		return fmt.Errorf("scenario %q: no jobs", s.Name)
 	}

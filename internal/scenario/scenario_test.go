@@ -250,3 +250,47 @@ func TestSeedConventions(t *testing.T) {
 		t.Fatalf("lone seed = %q", p.Instances[0].Seed)
 	}
 }
+
+func TestFleetScenarioParsing(t *testing.T) {
+	good := `{
+  "name": "fleet-ok",
+  "fleet": {
+    "machines": 4, "duration": 0.1,
+    "arrivals": [{"app": "xalan", "rate": 100}],
+    "backlog": [{"app": "ferret", "count": 2, "iterations": 10}]
+  }
+}`
+	s, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsFleet() {
+		t.Fatal("fleet block not detected")
+	}
+	// Fleet scenarios stay out of the single-machine pipeline.
+	if _, err := s.Plan(machine.Default()); err == nil || !strings.Contains(err.Error(), "fleet") {
+		t.Errorf("Plan on a fleet scenario: err %v, want fleet redirect", err)
+	}
+	if _, err := s.Compile(machine.Default()); err == nil {
+		t.Error("Compile accepted a fleet scenario")
+	}
+
+	bad := []struct {
+		name, js, want string
+	}{
+		{"fleet with jobs", `{"name":"x","fleet":{"machines":1,"duration":1,"arrivals":[{"app":"xalan","rate":1}]},"jobs":[{"app":"ferret","role":"latency"}]}`, "not jobs"},
+		{"fleet with partition block", `{"name":"x","partition":{"policy":"fair"},"fleet":{"machines":1,"duration":1,"arrivals":[{"app":"xalan","rate":1}]}}`, "fleet block's policies"},
+		{"fleet with metrics", `{"name":"x","metrics":["energy"],"fleet":{"machines":1,"duration":1,"arrivals":[{"app":"xalan","rate":1}]}}`, "metrics"},
+		{"fleet with machine cores", `{"name":"x","machine":{"cores":8},"fleet":{"machines":1,"duration":1,"arrivals":[{"app":"xalan","rate":1}]}}`, "inside the fleet block"},
+		{"fleet unknown app", `{"name":"x","fleet":{"machines":1,"duration":1,"arrivals":[{"app":"nope","rate":1}]}}`, "unknown application"},
+		{"fleet no load", `{"name":"x","fleet":{"machines":1,"duration":1}}`, "nothing to run"},
+		{"fleet bad policy", `{"name":"x","fleet":{"machines":1,"duration":1,"policies":["warp"],"arrivals":[{"app":"xalan","rate":1}]}}`, "unknown policy"},
+		{"fleet unknown field", `{"name":"x","fleet":{"machines":1,"duration":1,"arivals":[]}}`, "unknown field"},
+	}
+	for _, c := range bad {
+		_, err := Parse([]byte(c.js))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}

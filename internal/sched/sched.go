@@ -36,6 +36,13 @@ import (
 // calibration-quality runs; benches pass smaller ones.
 const DefaultScale = 2e-3
 
+// QuickScale is the reduced instruction scale smoke runs share — the
+// CLI's -quick flag and the scenario/fleet golden tests all use this
+// one constant, so goldens stay exactly what a -quick run prints.
+// Enough to exercise every policy and placement path in seconds, too
+// little for publication-quality aggregates.
+const QuickScale = 3e-4
+
 // Options configure a runner.
 type Options struct {
 	// Machine is the platform template; zero value means machine.Default().

@@ -1,0 +1,39 @@
+// Package tabtext renders aligned text tables — the one formatting
+// helper the scenario and fleet reports share, so their tables keep
+// the experiment drivers' look without drifting copies.
+package tabtext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WriteAligned renders rows (first row = header) as space-aligned
+// columns followed by a separator rule under the header.
+func WriteAligned(sb *strings.Builder, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			sb.WriteString(strings.Repeat("-", total))
+			sb.WriteByte('\n')
+		}
+	}
+}
