@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json lint ci
+.PHONY: build test race bench bench-json profile lint ci
 
 build:
 	$(GO) build ./...
@@ -19,16 +19,31 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Benchmark trajectory: the two hot-path benchmarks future PRs must
-# not regress, emitted as committed/diffable JSON (BENCH_fleet.json is
-# the checked-in baseline; CI uploads the current run as an artifact).
-# Two steps (not a pipe) so a failing benchmark fails the target
-# instead of being masked by a partially-parsed stream.
+# Benchmark trajectory: the hot-path benchmarks future PRs must not
+# regress — the two end-to-end rates (scenario mix, fleet run) plus the
+# two hot-path microbenchmarks (one cache access, batched trace
+# generation) — emitted as committed/diffable JSON (BENCH_fleet.json is
+# the checked-in baseline; CI uploads the current run as an artifact
+# and gates on `benchjson compare`). Two steps (not a pipe) so a
+# failing benchmark fails the target instead of being masked by a
+# partially-parsed stream.
+# The end-to-end rates run one full iteration (a whole scenario/fleet
+# simulation each); the microbenchmarks are per-operation and need a
+# time budget to produce stable ns/op.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioMix|BenchmarkFleetRun' -benchtime=1x . > /tmp/bench-fleet.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkTraceGen' -benchtime=1s . >> /tmp/bench-fleet.out
 	$(GO) run ./cmd/benchjson < /tmp/bench-fleet.out > BENCH_fleet.json
 	@rm -f /tmp/bench-fleet.out
 	@cat BENCH_fleet.json
+
+# Profiling workflow (see DESIGN.md "Performance"): cpuprofile the
+# scenario-mix hot path and print the top functions. The profile stays
+# in /tmp for interactive digs: `go tool pprof /tmp/cachepart-cpu.prof`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkScenarioMix -benchtime=5x \
+		-cpuprofile /tmp/cachepart-cpu.prof -o /tmp/cachepart-bench.test .
+	$(GO) tool pprof -top -nodecount=20 /tmp/cachepart-cpu.prof
 
 lint:
 	@out="$$(gofmt -l .)"; \

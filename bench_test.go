@@ -9,13 +9,16 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
 	"repro/internal/partition"
+	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -291,6 +294,56 @@ func BenchmarkFleetRun(b *testing.B) {
 		requests = rep.Requests
 	}
 	b.ReportMetric(float64(requests*3*b.N)/b.Elapsed().Seconds(), "placements/s")
+}
+
+// BenchmarkCacheAccess isolates the innermost simulator operation: one
+// demand access against an LLC-geometry cache (6 MB, 12-way, hashed
+// index) over a conflict-heavy pre-generated address stream. Every
+// simulated instruction's memory traffic bottoms out here, so this is
+// the microbenchmark the data-oriented line layout must hold.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{
+		Name: "bench-llc", SizeBytes: 6 << 20, Assoc: 12, LineBytes: 64, HashIndex: true,
+	})
+	mask := cache.FullMask(12)
+	r := rng.NewNamed("bench.cache")
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		// ~4 lines per set beyond capacity: a steady mix of hits,
+		// misses, and evictions.
+		addrs[i] = r.Uint64n(1 << 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(len(addrs)-1)], i&7 == 0, mask)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkTraceGen measures batched reference generation — the other
+// half of the per-instruction hot path — through the same FillBatch
+// call runEpoch uses, with a buffer of one epoch's typical data refs.
+func BenchmarkTraceGen(b *testing.B) {
+	g := trace.NewGenerator(trace.Config{
+		DataBase:     1 << 40,
+		PrivateBytes: 4 << 20,
+		SharedBase:   1 << 41,
+		SharedBytes:  1 << 20,
+		SharedFrac:   0.2,
+		Mix:          trace.PatternMix{Seq: 0.3, Stride: 0.2, Random: 0.5},
+		WriteFrac:    0.3,
+		StreamFrac:   0.05,
+		HotFrac:      0.6,
+		RepeatFrac:   0.1,
+	}, rng.NewNamed("bench.trace"))
+	buf := make([]trace.Ref, 512)
+	b.ResetTimer()
+	refs := 0
+	for n := 0; n < b.N; n += len(buf) {
+		g.FillBatch(buf)
+		refs += len(buf)
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated

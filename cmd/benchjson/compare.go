@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metricDelta is one judged (or displayed) metric of one benchmark.
+type metricDelta struct {
+	bench, metric string
+	old, new      float64
+	delta         float64 // fractional change (new-old)/old
+	judged        bool    // counted toward the regression verdict
+	regressed     bool
+}
+
+// runCompare implements `benchjson compare old.json new.json
+// [-threshold F]`. It returns the process exit code (0 ok, 1 regression)
+// or an error for usage/IO problems.
+func runCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "fractional regression threshold (0.15 = 15%)")
+	var files, flagArgs []string
+	// Accept flags before or after the two files (CI templates differ).
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			files = append(files, a)
+			continue
+		}
+		flagArgs = append(flagArgs, a)
+		if (a == "-threshold" || a == "--threshold") && i+1 < len(args) {
+			i++
+			flagArgs = append(flagArgs, args[i])
+		}
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return 0, err
+	}
+	if len(files) != 2 {
+		return 0, fmt.Errorf("compare: want exactly two files (old.json new.json), got %d", len(files))
+	}
+	if *threshold <= 0 {
+		return 0, fmt.Errorf("compare: -threshold must be positive, got %v", *threshold)
+	}
+	oldDoc, err := loadDoc(files[0])
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := loadDoc(files[1])
+	if err != nil {
+		return 0, err
+	}
+	deltas, missing := compareDocs(oldDoc, newDoc)
+	code := 0
+	if len(missing) > 0 {
+		code = 1
+	}
+	for i := range deltas {
+		deltas[i].regressed = deltas[i].judged && regressedPast(deltas[i], *threshold)
+		if deltas[i].regressed {
+			code = 1
+		}
+	}
+	printDeltaTable(w, deltas, missing, *threshold)
+	if code != 0 {
+		fmt.Fprintf(w, "REGRESSION past %.0f%% threshold\n", *threshold*100)
+	}
+	return code, nil
+}
+
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// compareDocs pairs benchmarks by name and produces one delta row per
+// metric of every benchmark present in both documents, plus what
+// disappeared (regressions): benchmarks present only in old, and
+// judged metrics a still-present benchmark no longer reports —
+// dropping a rate metric must not slip past the gate the way an
+// unchanged number would. Unjudged metrics may come and go freely.
+func compareDocs(oldDoc, newDoc *Doc) (deltas []metricDelta, missing []string) {
+	newBy := map[string]Benchmark{}
+	for _, b := range newDoc.Benchmarks {
+		newBy[b.Name] = b
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			missing = append(missing, ob.Name)
+			continue
+		}
+		deltas = append(deltas, newDelta(ob.Name, "ns/op", ob.NsPerOp, nb.NsPerOp))
+		names := make([]string, 0, len(ob.Metrics))
+		for m := range ob.Metrics {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			nv, have := nb.Metrics[m]
+			if !have {
+				if newDelta(ob.Name, m, 0, 0).judged {
+					missing = append(missing, ob.Name+" "+m)
+				}
+				continue
+			}
+			deltas = append(deltas, newDelta(ob.Name, m, ob.Metrics[m], nv))
+		}
+	}
+	return deltas, missing
+}
+
+func newDelta(bench, metric string, old, new float64) metricDelta {
+	d := metricDelta{bench: bench, metric: metric, old: old, new: new}
+	if old != 0 {
+		d.delta = (new - old) / old
+	}
+	// ns/op and rates are speeds with a known good direction; other
+	// custom metrics (experiment aggregates like cluster counts or
+	// percentages) are informational.
+	d.judged = metric == "ns/op" || strings.HasSuffix(metric, "/s")
+	return d
+}
+
+// regressedPast reports whether a judged metric moved the wrong way by
+// more than the threshold: ns/op up, rates down.
+func regressedPast(d metricDelta, threshold float64) bool {
+	if d.metric == "ns/op" {
+		return d.delta > threshold
+	}
+	return d.delta < -threshold
+}
+
+func printDeltaTable(w io.Writer, deltas []metricDelta, missing []string, threshold float64) {
+	fmt.Fprintf(w, "%-28s %-14s %14s %14s %8s  %s\n",
+		"benchmark", "metric", "old", "new", "delta", "verdict")
+	for _, d := range deltas {
+		verdict := "-"
+		if d.judged {
+			switch {
+			case d.regressed:
+				verdict = "REGRESSED"
+			case d.metric == "ns/op" && d.delta < -threshold,
+				d.metric != "ns/op" && d.delta > threshold:
+				verdict = "improved"
+			default:
+				verdict = "ok"
+			}
+		}
+		fmt.Fprintf(w, "%-28s %-14s %14s %14s %+7.1f%%  %s\n",
+			d.bench, d.metric, fmtVal(d.old), fmtVal(d.new), d.delta*100, verdict)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-28s %-14s %14s %14s %8s  REGRESSED (missing from new)\n",
+			name, "-", "-", "-", "-")
+	}
+}
+
+// fmtVal renders a value compactly: integers plain, large values with
+// no fractional noise, small values with enough digits to compare.
+func fmtVal(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldDoc = `{"benchmarks":[
+  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":300000000,"metrics":{"sim-instr/s":25000000}},
+  {"name":"BenchmarkFleetRun","iterations":1,"ns_per_op":400000000,"metrics":{"placements/s":150}}
+]}`
+
+func TestCompareOK(t *testing.T) {
+	// Faster on both axes: no regression, exit 0.
+	newDoc := `{"benchmarks":[
+	  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":150000000,"metrics":{"sim-instr/s":50000000}},
+	  {"name":"BenchmarkFleetRun","iterations":1,"ns_per_op":200000000,"metrics":{"placements/s":320}}
+	]}`
+	var sb strings.Builder
+	code, err := runCompare([]string{
+		writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc),
+	}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d, err %v\n%s", code, err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "improved") {
+		t.Errorf("2x speedup not marked improved:\n%s", sb.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	// placements/s down 40%: past a 15% threshold, within a 50% one.
+	newDoc := `{"benchmarks":[
+	  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":300000000,"metrics":{"sim-instr/s":25000000}},
+	  {"name":"BenchmarkFleetRun","iterations":1,"ns_per_op":400000000,"metrics":{"placements/s":90}}
+	]}`
+	oldPath := writeDoc(t, "old.json", oldDoc)
+	newPath := writeDoc(t, "new.json", newDoc)
+
+	var sb strings.Builder
+	code, err := runCompare([]string{oldPath, newPath, "-threshold", "0.15"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("40%% rate drop not flagged at 15%%: code %d\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED verdict:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	code, err = runCompare([]string{"-threshold", "0.5", oldPath, newPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("40%% drop flagged at 50%% threshold: code %d\n%s", code, sb.String())
+	}
+}
+
+func TestCompareNsPerOpRegression(t *testing.T) {
+	// ns/op doubled with no custom-metric change visible.
+	newDoc := `{"benchmarks":[
+	  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":600000000,"metrics":{"sim-instr/s":25000000}},
+	  {"name":"BenchmarkFleetRun","iterations":1,"ns_per_op":400000000,"metrics":{"placements/s":150}}
+	]}`
+	var sb strings.Builder
+	code, err := runCompare([]string{
+		writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc),
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("doubled ns/op not flagged: code %d\n%s", code, sb.String())
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	newDoc := `{"benchmarks":[
+	  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":300000000,"metrics":{"sim-instr/s":25000000}}
+	]}`
+	var sb strings.Builder
+	code, err := runCompare([]string{
+		writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc),
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("dropped benchmark not flagged: code %d\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "missing from new") {
+		t.Errorf("missing-benchmark row absent:\n%s", sb.String())
+	}
+}
+
+func TestCompareMissingJudgedMetric(t *testing.T) {
+	// The benchmark survives but its rate metric disappears: that is a
+	// regression (an unchanged-looking gate would otherwise hide a
+	// dropped ReportMetric call).
+	newDoc := `{"benchmarks":[
+	  {"name":"BenchmarkScenarioMix","iterations":1,"ns_per_op":300000000,"metrics":{"sim-instr/s":25000000}},
+	  {"name":"BenchmarkFleetRun","iterations":1,"ns_per_op":400000000}
+	]}`
+	var sb strings.Builder
+	code, err := runCompare([]string{
+		writeDoc(t, "old.json", oldDoc), writeDoc(t, "new.json", newDoc),
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("dropped judged metric not flagged: code %d\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkFleetRun placements/s") {
+		t.Errorf("missing-metric row absent:\n%s", sb.String())
+	}
+}
+
+func TestCompareUnjudgedMetric(t *testing.T) {
+	// A non-rate custom metric may move arbitrarily without failing.
+	oldPct := `{"benchmarks":[{"name":"BenchmarkTable2","iterations":1,"ns_per_op":100,"metrics":{"%apps<=3MB":40}}]}`
+	newPct := `{"benchmarks":[{"name":"BenchmarkTable2","iterations":1,"ns_per_op":100,"metrics":{"%apps<=3MB":80}}]}`
+	var sb strings.Builder
+	code, err := runCompare([]string{
+		writeDoc(t, "old.json", oldPct), writeDoc(t, "new.json", newPct),
+	}, &sb)
+	if err != nil || code != 0 {
+		t.Fatalf("unjudged metric failed the gate: code %d err %v\n%s", code, err, sb.String())
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := runCompare([]string{"only-one.json"}, &sb); err == nil {
+		t.Error("one file accepted")
+	}
+	if _, err := runCompare([]string{"a.json", "b.json", "-threshold", "0"}, &sb); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}

@@ -8,6 +8,18 @@
 // stripped), iteration count, ns/op, and any custom metrics
 // (`b.ReportMetric` values like sim-instr/s). Non-benchmark lines are
 // ignored, so the tool is safe on full `go test` output.
+//
+// The compare subcommand diffs two such documents and gates on
+// regressions, so CI can hold the committed baseline:
+//
+//	benchjson compare old.json new.json -threshold 0.15
+//
+// It prints a per-benchmark delta table and exits 1 when any judged
+// metric regressed past the threshold (fractional: 0.15 = 15%).
+// ns/op regresses upward; rate metrics (units ending in "/s") regress
+// downward; other custom metrics are shown but not judged — they are
+// experiment aggregates, not speeds. A benchmark present in the old
+// document but missing from the new one is a regression.
 package main
 
 import (
@@ -36,6 +48,14 @@ type Doc struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -34,7 +34,8 @@ func cmdFleet(args []string) error {
 }
 
 var fleetValueFlags = map[string]bool{
-	"scale": true, "parallel": true, "policy": true, "partition": true, "machines": true,
+	"scale": true, "parallel": true, "policy": true, "partition": true,
+	"machines": true, "cache-dir": true,
 }
 
 // applyFleetOverrides applies the -policy/-partition/-machines flags
@@ -63,6 +64,7 @@ func fleetRun(args []string) error {
 	policy := fs.String("policy", "", "comma-separated consolidation policies to evaluate (override the file)")
 	part := fs.String("partition", "", "override the co-location partition mode (shared|biased|dynamic)")
 	machines := fs.Int("machines", 0, "override the pool size")
+	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -70,13 +72,16 @@ func fleetRun(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("fleet run: no scenario files given")
 	}
+	if err := validateCacheDir(*cacheDir); err != nil {
+		return err
+	}
 	effScale := *scale
 	if effScale == 0 && *quick {
 		effScale = quickScale
 	}
 	// One runner across files: fleets sharing applications (or pairs
 	// another driver already simulated) deduplicate in the memo cache.
-	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel})
+	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel, CacheDir: *cacheDir})
 
 	ran := 0
 	for _, path := range files {
@@ -99,18 +104,11 @@ func fleetRun(args []string) error {
 		}
 		ran++
 		wall := time.Since(t0).Seconds()
-		st := r.Stats()
-		speedup := 0.0
-		if wall > 0 {
-			speedup = (st.BusySeconds - before.BusySeconds) / wall
-		}
 		if s.Description != "" {
 			fmt.Println(s.Description)
 		}
 		fmt.Print(rep.String())
-		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
-			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
-			speedup, st.Parallelism)
+		fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
 	}
 	if ran == 0 {
 		return fmt.Errorf("fleet run: no fleet scenarios among the given files")

@@ -32,8 +32,35 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
+
+// engineFooter renders the per-run engine stats line from a counter
+// delta. Disk hits are reported only when a persistent store is active
+// (-cache-dir), so footers stay byte-stable for runs without one.
+func engineFooter(wall float64, before, after sched.Stats, diskEnabled bool) string {
+	speedup := 0.0
+	if wall > 0 {
+		speedup = (after.BusySeconds - before.BusySeconds) / wall
+	}
+	disk := ""
+	if diskEnabled {
+		disk = fmt.Sprintf(", %d disk hits", after.DiskHits-before.DiskHits)
+	}
+	return fmt.Sprintf("(host time %.1fs; %d sims, %d memo hits%s; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
+		wall, after.Simulations-before.Simulations, after.MemoHits-before.MemoHits,
+		disk, speedup, after.Parallelism)
+}
+
+// validateCacheDir surfaces an unusable -cache-dir as a normal CLI
+// error before any runner is built (sched.New panics on one).
+func validateCacheDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return sched.ValidateCacheDir(dir)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -69,12 +96,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cachepart list
-  cachepart run  -app NAME [-threads N] [-ways W] [-scale S]
-  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S] [-parallel N]
-  cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N]
-  cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] FILE.json...
+  cachepart run  -app NAME [-threads N] [-ways W] [-scale S] [-cache-dir DIR]
+  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S] [-parallel N] [-cache-dir DIR]
+  cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N] [-cache-dir DIR]
+  cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] [-cache-dir DIR] FILE.json...
   cachepart scenario check [-policy P] FILE.json...
-  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M] [-machines N] FILE.json...
+  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M] [-machines N] [-cache-dir DIR] FILE.json...
   cachepart fleet check [-policy P,P] [-partition M] [-machines N] FILE.json...
 
 scenario runs declarative JSON scenario files (N-job mixes with roles,
@@ -87,7 +114,12 @@ pack-partition, util-target) with p50/p95/p99 request slowdown,
 machines used, utilization, and energy per policy.
 
 -parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
-byte-identical at any setting.`)
+byte-identical at any setting.
+
+-cache-dir persists simulation results to DIR (content-addressed by
+memo key and engine version): repeated invocations — across processes —
+skip simulations they have already run and print identical reports. The
+footer then also reports disk hits.`)
 }
 
 func cmdList() error {
@@ -110,13 +142,17 @@ func cmdRun(args []string) error {
 	threads := fs.Int("threads", 4, "software threads (capped by the app)")
 	ways := fs.Int("ways", core.AllWays, "LLC ways allocated (0 = all 12)")
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
+	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *app == "" {
 		return fmt.Errorf("run: -app is required")
 	}
-	sys := core.NewSystem(core.Options{Scale: *scale})
+	if err := validateCacheDir(*cacheDir); err != nil {
+		return err
+	}
+	sys := core.NewSystem(core.Options{Scale: *scale, CacheDir: *cacheDir})
 	t0 := time.Now()
 	rep, err := sys.RunAlone(*app, *threads, *ways)
 	if err != nil {
@@ -127,8 +163,21 @@ func cmdRun(args []string) error {
 	fmt.Printf("  IPC        %.2f (aggregate)\n", rep.IPC)
 	fmt.Printf("  LLC MPKI   %.2f   LLC APKI %.2f\n", rep.LLCMPKI, rep.LLCAPKI)
 	fmt.Printf("  energy     %.2f J socket, %.2f J wall\n", rep.SocketJoules, rep.WallJoules)
+	printEngineLine(sys, *cacheDir)
 	fmt.Printf("  (host time %.2fs)\n", time.Since(t0).Seconds())
 	return nil
+}
+
+// printEngineLine reports cache activity for the single-run commands
+// when a persistent store is active (run/pair have no batch footer, but
+// -cache-dir users still need to see their disk hits).
+func printEngineLine(sys *core.System, cacheDir string) {
+	if cacheDir == "" {
+		return
+	}
+	st := sys.Runner().Stats()
+	fmt.Printf("  engine     %d sims, %d memo hits, %d disk hits\n",
+		st.Simulations, st.MemoHits, st.DiskHits)
 }
 
 func cmdPair(args []string) error {
@@ -138,13 +187,17 @@ func cmdPair(args []string) error {
 	policy := fs.String("policy", "dynamic", "shared|fair|biased|dynamic")
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *fg == "" || *bg == "" {
 		return fmt.Errorf("pair: -fg and -bg are required")
 	}
-	sys := core.NewSystem(core.Options{Scale: *scale, Parallelism: *parallel})
+	if err := validateCacheDir(*cacheDir); err != nil {
+		return err
+	}
+	sys := core.NewSystem(core.Options{Scale: *scale, Parallelism: *parallel, CacheDir: *cacheDir})
 	t0 := time.Now()
 	rep, err := sys.Consolidate(*fg, *bg, core.Policy(*policy))
 	if err != nil {
@@ -163,6 +216,7 @@ func cmdPair(args []string) error {
 	if rep.Policy == core.PolicyDynamic {
 		fmt.Printf("  reallocations %d\n", rep.Reallocations)
 	}
+	printEngineLine(sys, *cacheDir)
 	fmt.Printf("  (host time %.2fs)\n", time.Since(t0).Seconds())
 	return nil
 }
@@ -173,17 +227,22 @@ func cmdExp(args []string) error {
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
 	quick := fs.Bool("quick", false, "representatives-only scope (fast)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *id == "" {
 		return fmt.Errorf("exp: -id is required")
 	}
+	if err := validateCacheDir(*cacheDir); err != nil {
+		return err
+	}
+	opt := sched.Options{Scale: *scale, Parallelism: *parallel, CacheDir: *cacheDir}
 	var ctx *experiments.Context
 	if *quick {
-		ctx = experiments.NewQuickContextParallel(*scale, *parallel)
+		ctx = experiments.NewQuickContextWith(opt)
 	} else {
-		ctx = experiments.NewContextParallel(*scale, *parallel)
+		ctx = experiments.NewContextWith(opt)
 	}
 	// The footer reports engine deltas per experiment: simulations run,
 	// memoized results reused, and the effective speedup (summed
@@ -199,15 +258,8 @@ func cmdExp(args []string) error {
 			return err
 		}
 		wall := time.Since(t0).Seconds()
-		st := ctx.R.Stats()
-		speedup := 0.0
-		if wall > 0 {
-			speedup = (st.BusySeconds - before.BusySeconds) / wall
-		}
 		fmt.Print(out)
-		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
-			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
-			speedup, st.Parallelism)
+		fmt.Print(engineFooter(wall, before, ctx.R.Stats(), *cacheDir != ""))
 		return nil
 	}
 	if *id == "all" {

@@ -56,7 +56,9 @@ func splitFlags(args []string, valueFlags map[string]bool) (flags, files []strin
 	return flags, files
 }
 
-var scenarioValueFlags = map[string]bool{"scale": true, "parallel": true, "policy": true}
+var scenarioValueFlags = map[string]bool{
+	"scale": true, "parallel": true, "policy": true, "cache-dir": true,
+}
 
 func scenarioRun(args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
@@ -64,6 +66,7 @@ func scenarioRun(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
 	policy := fs.String("policy", "", "override the scenario's partition policy (shared|fair|biased|dynamic)")
+	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	flagArgs, files := splitFlags(args, scenarioValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -71,13 +74,16 @@ func scenarioRun(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("scenario run: no scenario files given")
 	}
+	if err := validateCacheDir(*cacheDir); err != nil {
+		return err
+	}
 	effScale := *scale
 	if effScale == 0 && *quick {
 		effScale = quickScale
 	}
 	// One runner for every file: scenarios sharing configurations (or
 	// baselines) deduplicate through the engine's memo cache.
-	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel})
+	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel, CacheDir: *cacheDir})
 
 	ran := 0
 	for _, path := range files {
@@ -100,15 +106,8 @@ func scenarioRun(args []string) error {
 			return err
 		}
 		wall := time.Since(t0).Seconds()
-		st := r.Stats()
-		speedup := 0.0
-		if wall > 0 {
-			speedup = (st.BusySeconds - before.BusySeconds) / wall
-		}
 		fmt.Print(rep.String())
-		fmt.Printf("(host time %.1fs; %d sims, %d memo hits; %.1fx speedup (sim-busy/wall) at parallelism %d)\n\n",
-			wall, st.Simulations-before.Simulations, st.MemoHits-before.MemoHits,
-			speedup, st.Parallelism)
+		fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
 	}
 	if ran == 0 {
 		return fmt.Errorf("scenario run: no single-machine scenarios among the given files")

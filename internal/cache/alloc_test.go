@@ -1,0 +1,47 @@
+package cache
+
+import "testing"
+
+// The per-reference hot path must not allocate: every simulated memory
+// access walks Access/Lookup/Fill, so a single allocation per call would
+// dominate the engine's profile. These tests pin the invariant.
+
+func TestAccessZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "alloc", SizeBytes: 64 << 10, Assoc: 8, LineBytes: 64})
+	mask := FullMask(8)
+	var addr uint64
+	allocs := testing.AllocsPerRun(2000, func() {
+		c.Access(addr&0xffff, addr&1 == 0, mask)
+		addr = addr*2862933555777941757 + 3037000493
+	})
+	if allocs != 0 {
+		t.Fatalf("Cache.Access allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestLookupFillZeroAllocs(t *testing.T) {
+	c := New(Config{Name: "alloc2", SizeBytes: 64 << 10, Assoc: 8, LineBytes: 64, HashIndex: true})
+	mask := FullMask(8)
+	var addr uint64
+	allocs := testing.AllocsPerRun(2000, func() {
+		if !c.Lookup(addr&0xffff, false).Hit {
+			c.Fill(addr&0xffff, mask, addr&2 == 0, addr&4 == 0)
+		}
+		addr = addr*2862933555777941757 + 3037000493
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup+Fill allocate %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestHierarchyAccessZeroAllocs(t *testing.T) {
+	h := NewHierarchy(SandyBridgeHierarchy(2))
+	var addr uint64
+	allocs := testing.AllocsPerRun(2000, func() {
+		h.Access(int(addr&1), addr&0xfffff, addr&2 == 0, false)
+		addr = addr*2862933555777941757 + 3037000493
+	})
+	if allocs != 0 {
+		t.Fatalf("Hierarchy.Access allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -5,7 +5,10 @@
 // back-invalidates private caches on eviction.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Replacement selects the victim-choice policy of a cache array.
 type Replacement int
@@ -72,26 +75,34 @@ type Result struct {
 	Evicted       Eviction // Valid=false when the fill used an empty way
 }
 
-type line struct {
-	addr       uint64 // full line address (addr >> lineShift); valid only if valid
-	valid      bool
-	dirty      bool
-	mru        bool   // bit-PLRU reference bit
-	stamp      uint64 // last-touch counter (true-LRU policy)
-	prefetched bool   // inserted by a prefetcher and not yet demand-hit
-}
-
 // Cache is one cache array. It is not safe for concurrent use; the
 // simulator is single-threaded by design (determinism).
+//
+// Line state is stored structure-of-arrays: a packed tag array scanned
+// contiguously on lookup, and per-set metadata bitmasks (one uint32 per
+// set for each of valid/dirty/mru/prefetched) so replacement-state
+// updates and victim picks are single mask operations instead of
+// O(assoc) struct scans. True-LRU stamps live in their own array,
+// allocated and touched only under ReplaceLRU — every other policy pays
+// nothing for them.
 type Cache struct {
 	cfg       Config
 	numSets   int
+	assoc     int
 	setMask   uint64
 	lineShift uint
-	lines     []line // numSets * assoc, set-major
-	stats     Stats
-	clock     uint64 // touch counter for true LRU
-	rndState  uint64 // splitmix state for random replacement
+	fullSet   uint32 // mask of all assoc ways: (1<<assoc)-1
+
+	tags       []uint64 // numSets*assoc, set-major; meaningful only where valid
+	valid      []uint32 // per-set valid-way bitmask
+	dirty      []uint32 // per-set dirty-way bitmask
+	mru        []uint32 // per-set bit-PLRU reference bits
+	prefetched []uint32 // per-set prefetched-not-yet-hit bitmask
+	stamps     []uint64 // numSets*assoc last-touch counters; nil unless ReplaceLRU
+
+	stats    Stats
+	clock    uint64 // touch counter for true LRU
+	rndState uint64 // splitmix state for random replacement
 }
 
 // New builds a cache from the configuration. It panics on a geometry that
@@ -116,14 +127,24 @@ func New(cfg Config) *Cache {
 	for 1<<shift < cfg.LineBytes {
 		shift++
 	}
-	return &Cache{
-		cfg:       cfg,
-		numSets:   numSets,
-		setMask:   uint64(numSets - 1),
-		lineShift: shift,
-		lines:     make([]line, linesTotal),
-		rndState:  hashName(cfg.Name),
+	c := &Cache{
+		cfg:        cfg,
+		numSets:    numSets,
+		assoc:      cfg.Assoc,
+		setMask:    uint64(numSets - 1),
+		lineShift:  shift,
+		fullSet:    uint32(1)<<uint(cfg.Assoc) - 1,
+		tags:       make([]uint64, linesTotal),
+		valid:      make([]uint32, numSets),
+		dirty:      make([]uint32, numSets),
+		mru:        make([]uint32, numSets),
+		prefetched: make([]uint32, numSets),
+		rndState:   hashName(cfg.Name),
 	}
+	if cfg.Replacement == ReplaceLRU {
+		c.stamps = make([]uint64, linesTotal)
+	}
+	return c
 }
 
 // hashName seeds the random-replacement stream deterministically.
@@ -170,31 +191,39 @@ func (c *Cache) setIndex(lineAddr uint64) int {
 	return int(lineAddr & c.setMask)
 }
 
-func (c *Cache) set(idx int) []line {
-	base := idx * c.cfg.Assoc
-	return c.lines[base : base+c.cfg.Assoc]
+// touch updates replacement state after a reference to way w of set si.
+// Bit-PLRU is two mask operations: set the reference bit; if every way's
+// bit is now set, clear all but the most recent toucher's. True LRU
+// stamps the way instead (stamps are non-nil only under that policy;
+// the mru bits it skips are never read by the LRU victim pick).
+func (c *Cache) touch(si, w int) {
+	if c.stamps != nil {
+		c.clock++
+		c.stamps[si*c.assoc+w] = c.clock
+		return
+	}
+	m := c.mru[si] | 1<<uint(w)
+	if m == c.fullSet {
+		m = 1 << uint(w)
+	}
+	c.mru[si] = m
 }
 
-// touch updates replacement state after a reference to way w.
-func (c *Cache) touch(set []line, w int) {
-	c.clock++
-	set[w].stamp = c.clock
-	set[w].mru = true
-	for i := range set {
-		if !set[i].mru {
-			return
+// lookup returns the way of set si holding lineAddr, or -1. The tag scan
+// is a contiguous walk of assoc uint64s; validity is a single bit test.
+func (c *Cache) lookup(base int, vmask uint32, lineAddr uint64) int {
+	tags := c.tags[base : base+c.assoc]
+	if vmask == c.fullSet {
+		// Steady state: every way valid, the scan is pure tag compares.
+		for w := range tags {
+			if tags[w] == lineAddr {
+				return w
+			}
 		}
+		return -1
 	}
-	// All reference bits set: clear everyone but the most recent toucher.
-	for i := range set {
-		set[i].mru = i == w
-	}
-}
-
-// lookup returns the way holding lineAddr, or -1.
-func (c *Cache) lookup(set []line, lineAddr uint64) int {
-	for w := range set {
-		if set[w].valid && set[w].addr == lineAddr {
+	for w := range tags {
+		if tags[w] == lineAddr && vmask&(1<<uint(w)) != 0 {
 			return w
 		}
 	}
@@ -204,53 +233,47 @@ func (c *Cache) lookup(set []line, lineAddr uint64) int {
 // victim picks a fill victim within mask under the configured
 // replacement policy, always preferring an invalid masked way. It
 // panics on an empty mask (a policy bug).
-func (c *Cache) victim(set []line, mask WayMask) int {
+func (c *Cache) victim(si int, mask WayMask) int {
 	if mask == 0 {
 		panic(fmt.Sprintf("cache %s: fill with empty way mask", c.cfg.Name))
 	}
-	first := -1
-	for w := range set {
-		if !mask.Has(w) {
-			continue
-		}
-		if first < 0 {
-			first = w
-		}
-		if !set[w].valid {
-			return w
-		}
+	m := uint32(mask) & c.fullSet
+	if m == 0 {
+		panic(fmt.Sprintf("cache %s: mask %s selects no way of %d", c.cfg.Name, mask, c.assoc))
 	}
-	if first < 0 {
-		panic(fmt.Sprintf("cache %s: mask %s selects no way of %d", c.cfg.Name, mask, len(set)))
+	if inv := m &^ c.valid[si]; inv != 0 {
+		return bits.TrailingZeros32(inv)
 	}
 	switch c.cfg.Replacement {
 	case ReplaceLRU:
-		best := first
-		for w := range set {
-			if mask.Has(w) && set[w].stamp < set[best].stamp {
-				best = w
+		base := si * c.assoc
+		best := bits.TrailingZeros32(m)
+		bestStamp := c.stamps[base+best]
+		for rem := m &^ (1 << uint(best)); rem != 0; rem &= rem - 1 {
+			w := bits.TrailingZeros32(rem)
+			if s := c.stamps[base+w]; s < bestStamp {
+				best, bestStamp = w, s
 			}
 		}
 		return best
 	case ReplaceRandom:
-		n := mask.Count()
-		pick := int(c.nextRand() % uint64(n))
-		for w := range set {
-			if mask.Has(w) {
-				if pick == 0 {
-					return w
-				}
-				pick--
-			}
+		// The pick is drawn modulo the full mask's population (including
+		// any bits at or above assoc) to preserve the historical random
+		// stream; picks past the last in-set way fall back to the first.
+		pick := int(c.nextRand() % uint64(mask.Count()))
+		if pick >= bits.OnesCount32(m) {
+			return bits.TrailingZeros32(m)
 		}
-		return first
+		rem := m
+		for ; pick > 0; pick-- {
+			rem &= rem - 1
+		}
+		return bits.TrailingZeros32(rem)
 	default: // bit-PLRU: first masked way with a clear reference bit.
-		for w := range set {
-			if mask.Has(w) && !set[w].mru {
-				return w
-			}
+		if cand := m &^ c.mru[si]; cand != 0 {
+			return bits.TrailingZeros32(cand)
 		}
-		return first
+		return bits.TrailingZeros32(m)
 	}
 }
 
@@ -261,22 +284,24 @@ func (c *Cache) victim(set []line, mask WayMask) int {
 // invalidations.
 func (c *Cache) Access(lineAddr uint64, write bool, mask WayMask) Result {
 	c.stats.Accesses++
-	set := c.set(c.setIndex(lineAddr))
-	if w := c.lookup(set, lineAddr); w >= 0 {
+	si := c.setIndex(lineAddr)
+	base := si * c.assoc
+	if w := c.lookup(base, c.valid[si], lineAddr); w >= 0 {
 		c.stats.Hits++
-		wasPrefetched := set[w].prefetched
+		bit := uint32(1) << uint(w)
+		wasPrefetched := c.prefetched[si]&bit != 0
 		if wasPrefetched {
 			c.stats.PrefetchHits++
-			set[w].prefetched = false
+			c.prefetched[si] &^= bit
 		}
 		if write {
-			set[w].dirty = true
+			c.dirty[si] |= bit
 		}
-		c.touch(set, w)
+		c.touch(si, w)
 		return Result{Hit: true, WasPrefetched: wasPrefetched}
 	}
 	c.stats.Misses++
-	ev := c.fill(set, lineAddr, mask, write, false)
+	ev := c.fill(si, lineAddr, mask, write, false)
 	return Result{Hit: false, Evicted: ev}
 }
 
@@ -288,18 +313,20 @@ func (c *Cache) Access(lineAddr uint64, write bool, mask WayMask) Result {
 // silently drop the victim's writeback.
 func (c *Cache) Lookup(lineAddr uint64, write bool) Result {
 	c.stats.Accesses++
-	set := c.set(c.setIndex(lineAddr))
-	if w := c.lookup(set, lineAddr); w >= 0 {
+	si := c.setIndex(lineAddr)
+	base := si * c.assoc
+	if w := c.lookup(base, c.valid[si], lineAddr); w >= 0 {
 		c.stats.Hits++
-		wasPrefetched := set[w].prefetched
+		bit := uint32(1) << uint(w)
+		wasPrefetched := c.prefetched[si]&bit != 0
 		if wasPrefetched {
 			c.stats.PrefetchHits++
-			set[w].prefetched = false
+			c.prefetched[si] &^= bit
 		}
 		if write {
-			set[w].dirty = true
+			c.dirty[si] |= bit
 		}
-		c.touch(set, w)
+		c.touch(si, w)
 		return Result{Hit: true, WasPrefetched: wasPrefetched}
 	}
 	c.stats.Misses++
@@ -309,51 +336,72 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) Result {
 // Probe reports whether lineAddr is present, without disturbing
 // replacement state or statistics.
 func (c *Cache) Probe(lineAddr uint64) bool {
-	set := c.set(c.setIndex(lineAddr))
-	return c.lookup(set, lineAddr) >= 0
+	si := c.setIndex(lineAddr)
+	return c.lookup(si*c.assoc, c.valid[si], lineAddr) >= 0
 }
 
 // Fill inserts lineAddr (e.g. on behalf of a prefetcher or an upper-level
 // fill path) without counting a demand access. prefetch tags the line for
 // prefetch-hit accounting.
 func (c *Cache) Fill(lineAddr uint64, mask WayMask, dirty, prefetch bool) Result {
-	set := c.set(c.setIndex(lineAddr))
-	if w := c.lookup(set, lineAddr); w >= 0 {
+	si := c.setIndex(lineAddr)
+	if w := c.lookup(si*c.assoc, c.valid[si], lineAddr); w >= 0 {
 		// Already present (races with demand path); just refresh.
 		if dirty {
-			set[w].dirty = true
+			c.dirty[si] |= 1 << uint(w)
 		}
-		c.touch(set, w)
+		c.touch(si, w)
 		return Result{Hit: true}
 	}
-	ev := c.fill(set, lineAddr, mask, dirty, prefetch)
+	ev := c.fill(si, lineAddr, mask, dirty, prefetch)
 	return Result{Hit: false, Evicted: ev}
 }
 
-func (c *Cache) fill(set []line, lineAddr uint64, mask WayMask, dirty, prefetch bool) Eviction {
-	w := c.victim(set, mask)
+// FillMiss is Fill for callers that know lineAddr is absent — the
+// demand-miss refill path, where the line just missed this cache and
+// nothing since could have inserted it (LLC back-invalidation only
+// removes lines). Skipping the presence scan saves a full set walk per
+// private-level miss.
+func (c *Cache) FillMiss(lineAddr uint64, mask WayMask, dirty, prefetch bool) Result {
+	ev := c.fill(c.setIndex(lineAddr), lineAddr, mask, dirty, prefetch)
+	return Result{Hit: false, Evicted: ev}
+}
+
+func (c *Cache) fill(si int, lineAddr uint64, mask WayMask, dirty, prefetch bool) Eviction {
+	w := c.victim(si, mask)
+	bit := uint32(1) << uint(w)
 	var ev Eviction
-	if set[w].valid {
-		ev = Eviction{LineAddr: set[w].addr, Dirty: set[w].dirty, Valid: true}
+	if c.valid[si]&bit != 0 {
+		wasDirty := c.dirty[si]&bit != 0
+		ev = Eviction{LineAddr: c.tags[si*c.assoc+w], Dirty: wasDirty, Valid: true}
 		c.stats.Evictions++
-		if set[w].dirty {
+		if wasDirty {
 			c.stats.Writebacks++
 		}
 	}
-	set[w] = line{addr: lineAddr, valid: true, dirty: dirty, prefetched: prefetch}
-	if prefetch {
-		c.stats.PrefetchIns++
+	c.tags[si*c.assoc+w] = lineAddr
+	c.valid[si] |= bit
+	if dirty {
+		c.dirty[si] |= bit
+	} else {
+		c.dirty[si] &^= bit
 	}
-	c.touch(set, w)
+	if prefetch {
+		c.prefetched[si] |= bit
+		c.stats.PrefetchIns++
+	} else {
+		c.prefetched[si] &^= bit
+	}
+	c.touch(si, w)
 	return ev
 }
 
 // MarkDirty sets the dirty bit of lineAddr if present, returning whether
 // it was found. Used to sink writebacks from an upper level.
 func (c *Cache) MarkDirty(lineAddr uint64) bool {
-	set := c.set(c.setIndex(lineAddr))
-	if w := c.lookup(set, lineAddr); w >= 0 {
-		set[w].dirty = true
+	si := c.setIndex(lineAddr)
+	if w := c.lookup(si*c.assoc, c.valid[si], lineAddr); w >= 0 {
+		c.dirty[si] |= 1 << uint(w)
 		return true
 	}
 	return false
@@ -362,10 +410,17 @@ func (c *Cache) MarkDirty(lineAddr uint64) bool {
 // Invalidate removes lineAddr if present, reporting presence and
 // dirtiness. Used for inclusive-LLC back-invalidation.
 func (c *Cache) Invalidate(lineAddr uint64) (found, dirty bool) {
-	set := c.set(c.setIndex(lineAddr))
-	if w := c.lookup(set, lineAddr); w >= 0 {
-		dirty = set[w].dirty
-		set[w] = line{}
+	si := c.setIndex(lineAddr)
+	if w := c.lookup(si*c.assoc, c.valid[si], lineAddr); w >= 0 {
+		bit := uint32(1) << uint(w)
+		dirty = c.dirty[si]&bit != 0
+		c.valid[si] &^= bit
+		c.dirty[si] &^= bit
+		c.mru[si] &^= bit
+		c.prefetched[si] &^= bit
+		if c.stamps != nil {
+			c.stamps[si*c.assoc+w] = 0
+		}
 		c.stats.Invalidates++
 		return true, dirty
 	}
@@ -376,13 +431,10 @@ func (c *Cache) Invalidate(lineAddr uint64) (found, dirty bool) {
 // currently resident in that way across all sets. Experiments use this to
 // visualize partition occupancy.
 func (c *Cache) OccupancyByWay() []int {
-	occ := make([]int, c.cfg.Assoc)
-	for s := 0; s < c.numSets; s++ {
-		set := c.set(s)
-		for w := range set {
-			if set[w].valid {
-				occ[w]++
-			}
+	occ := make([]int, c.assoc)
+	for si := 0; si < c.numSets; si++ {
+		for vm := c.valid[si]; vm != 0; vm &= vm - 1 {
+			occ[bits.TrailingZeros32(vm)]++
 		}
 	}
 	return occ
@@ -391,10 +443,8 @@ func (c *Cache) OccupancyByWay() []int {
 // ValidLines returns the total number of valid lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			n++
-		}
+	for _, vm := range c.valid {
+		n += bits.OnesCount32(vm)
 	}
 	return n
 }
@@ -402,7 +452,12 @@ func (c *Cache) ValidLines() int {
 // FlushAll invalidates every line (used between independent experiment
 // runs; the partitioning mechanism itself never flushes).
 func (c *Cache) FlushAll() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.mru)
+	clear(c.prefetched)
+	clear(c.tags)
+	if c.stamps != nil {
+		clear(c.stamps)
 	}
 }

@@ -1,0 +1,366 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// This file retains the pre-optimization array-of-structs cache as a
+// reference model and replays randomized access streams through both
+// implementations, asserting identical hit/miss/eviction sequences and
+// statistics. The data-oriented layout (packed tags, per-set metadata
+// bitmasks, policy-gated LRU stamps) must be observationally equivalent
+// for every replacement policy and every way mask — the goldens catch
+// aggregate drift, this catches it per access.
+
+// refLine and refCache are the original implementation, kept verbatim
+// (modulo renaming) as the executable specification.
+type refLine struct {
+	addr       uint64
+	valid      bool
+	dirty      bool
+	mru        bool
+	stamp      uint64
+	prefetched bool
+}
+
+type refCache struct {
+	cfg       Config
+	numSets   int
+	setMask   uint64
+	lineShift uint
+	lines     []refLine
+	stats     Stats
+	clock     uint64
+	rndState  uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	linesTotal := cfg.SizeBytes / cfg.LineBytes
+	numSets := linesTotal / cfg.Assoc
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &refCache{
+		cfg:       cfg,
+		numSets:   numSets,
+		setMask:   uint64(numSets - 1),
+		lineShift: shift,
+		lines:     make([]refLine, linesTotal),
+		rndState:  hashName(cfg.Name),
+	}
+}
+
+func (c *refCache) nextRand() uint64 {
+	c.rndState += 0x9e3779b97f4a7c15
+	z := c.rndState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (c *refCache) setIndex(lineAddr uint64) int {
+	if c.cfg.HashIndex {
+		return int(((lineAddr * 0x9e3779b97f4a7c15) >> 21) & c.setMask)
+	}
+	return int(lineAddr & c.setMask)
+}
+
+func (c *refCache) set(idx int) []refLine {
+	base := idx * c.cfg.Assoc
+	return c.lines[base : base+c.cfg.Assoc]
+}
+
+func (c *refCache) touch(set []refLine, w int) {
+	c.clock++
+	set[w].stamp = c.clock
+	set[w].mru = true
+	for i := range set {
+		if !set[i].mru {
+			return
+		}
+	}
+	for i := range set {
+		set[i].mru = i == w
+	}
+}
+
+func (c *refCache) lookup(set []refLine, lineAddr uint64) int {
+	for w := range set {
+		if set[w].valid && set[w].addr == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+func (c *refCache) victim(set []refLine, mask WayMask) int {
+	first := -1
+	for w := range set {
+		if !mask.Has(w) {
+			continue
+		}
+		if first < 0 {
+			first = w
+		}
+		if !set[w].valid {
+			return w
+		}
+	}
+	switch c.cfg.Replacement {
+	case ReplaceLRU:
+		best := first
+		for w := range set {
+			if mask.Has(w) && set[w].stamp < set[best].stamp {
+				best = w
+			}
+		}
+		return best
+	case ReplaceRandom:
+		n := mask.Count()
+		pick := int(c.nextRand() % uint64(n))
+		for w := range set {
+			if mask.Has(w) {
+				if pick == 0 {
+					return w
+				}
+				pick--
+			}
+		}
+		return first
+	default:
+		for w := range set {
+			if mask.Has(w) && !set[w].mru {
+				return w
+			}
+		}
+		return first
+	}
+}
+
+func (c *refCache) Access(lineAddr uint64, write bool, mask WayMask) Result {
+	c.stats.Accesses++
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		c.stats.Hits++
+		wasPrefetched := set[w].prefetched
+		if wasPrefetched {
+			c.stats.PrefetchHits++
+			set[w].prefetched = false
+		}
+		if write {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true, WasPrefetched: wasPrefetched}
+	}
+	c.stats.Misses++
+	ev := c.fill(set, lineAddr, mask, write, false)
+	return Result{Hit: false, Evicted: ev}
+}
+
+func (c *refCache) Lookup(lineAddr uint64, write bool) Result {
+	c.stats.Accesses++
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		c.stats.Hits++
+		wasPrefetched := set[w].prefetched
+		if wasPrefetched {
+			c.stats.PrefetchHits++
+			set[w].prefetched = false
+		}
+		if write {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true, WasPrefetched: wasPrefetched}
+	}
+	c.stats.Misses++
+	return Result{Hit: false}
+}
+
+func (c *refCache) Probe(lineAddr uint64) bool {
+	set := c.set(c.setIndex(lineAddr))
+	return c.lookup(set, lineAddr) >= 0
+}
+
+func (c *refCache) Fill(lineAddr uint64, mask WayMask, dirty, prefetch bool) Result {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		if dirty {
+			set[w].dirty = true
+		}
+		c.touch(set, w)
+		return Result{Hit: true}
+	}
+	ev := c.fill(set, lineAddr, mask, dirty, prefetch)
+	return Result{Hit: false, Evicted: ev}
+}
+
+func (c *refCache) fill(set []refLine, lineAddr uint64, mask WayMask, dirty, prefetch bool) Eviction {
+	w := c.victim(set, mask)
+	var ev Eviction
+	if set[w].valid {
+		ev = Eviction{LineAddr: set[w].addr, Dirty: set[w].dirty, Valid: true}
+		c.stats.Evictions++
+		if set[w].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[w] = refLine{addr: lineAddr, valid: true, dirty: dirty, prefetched: prefetch}
+	if prefetch {
+		c.stats.PrefetchIns++
+	}
+	c.touch(set, w)
+	return ev
+}
+
+func (c *refCache) MarkDirty(lineAddr uint64) bool {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		set[w].dirty = true
+		return true
+	}
+	return false
+}
+
+func (c *refCache) Invalidate(lineAddr uint64) (found, dirty bool) {
+	set := c.set(c.setIndex(lineAddr))
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		dirty = set[w].dirty
+		set[w] = refLine{}
+		c.stats.Invalidates++
+		return true, dirty
+	}
+	return false, false
+}
+
+func (c *refCache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *refCache) OccupancyByWay() []int {
+	occ := make([]int, c.cfg.Assoc)
+	for s := 0; s < c.numSets; s++ {
+		set := c.set(s)
+		for w := range set {
+			if set[w].valid {
+				occ[w]++
+			}
+		}
+	}
+	return occ
+}
+
+// TestDifferentialVsReference drives both implementations with the same
+// randomized operation stream for every replacement policy and a range
+// of way masks (full, partitions, sparse, and mid-stream switches),
+// asserting op-by-op identical results.
+func TestDifferentialVsReference(t *testing.T) {
+	const assoc = 8
+	masks := []WayMask{
+		FullMask(assoc),
+		MaskRange(0, 4),
+		MaskRange(4, 8),
+		MaskRange(2, 7),
+		WayMask(0b10101010),
+		WayMask(0b00000001),
+	}
+	for _, pol := range []Replacement{ReplacePLRU, ReplaceLRU, ReplaceRandom} {
+		for mi, mask := range masks {
+			t.Run(fmt.Sprintf("%s/mask%d", pol, mi), func(t *testing.T) {
+				cfg := Config{
+					Name:        fmt.Sprintf("diff-%s-%d", pol, mi),
+					SizeBytes:   16 << 10, // 32 sets × 8 ways: collisions happen fast
+					Assoc:       assoc,
+					LineBytes:   64,
+					HashIndex:   mi%2 == 1, // alternate plain/hashed indexing
+					Replacement: pol,
+				}
+				runDifferential(t, cfg, mask, masks)
+			})
+		}
+	}
+}
+
+func runDifferential(t *testing.T, cfg Config, mask WayMask, switchPool []WayMask) {
+	t.Helper()
+	got := New(cfg)
+	want := newRefCache(cfg)
+	r := rng.NewNamed("diff/" + cfg.Name)
+
+	const ops = 60000
+	const addrSpace = 1 << 12 // ~16 lines per set: heavy conflict traffic
+	for i := 0; i < ops; i++ {
+		addr := r.Uint64n(addrSpace)
+		write := r.Bool(0.3)
+		if r.Bool(0.001) { // occasionally repartition mid-stream
+			mask = switchPool[r.Intn(len(switchPool))]
+		}
+		switch op := r.Intn(100); {
+		case op < 55: // demand access
+			g, w := got.Access(addr, write, mask), want.Access(addr, write, mask)
+			if g != w {
+				t.Fatalf("op %d Access(%#x,%v,%s): got %+v want %+v", i, addr, write, mask, g, w)
+			}
+		case op < 75: // lookup without allocation
+			g, w := got.Lookup(addr, write), want.Lookup(addr, write)
+			if g != w {
+				t.Fatalf("op %d Lookup(%#x,%v): got %+v want %+v", i, addr, write, g, w)
+			}
+		case op < 88: // prefetch/upper-level fill
+			pf := r.Bool(0.5)
+			if op < 82 && !want.Probe(addr) {
+				// The absent-line fast path: FillMiss must equal Fill
+				// whenever its precondition holds (the reference model
+				// has no fast path — Fill on an absent line IS its
+				// specification).
+				g, w := got.FillMiss(addr, mask, write, pf), want.Fill(addr, mask, write, pf)
+				if g != w {
+					t.Fatalf("op %d FillMiss(%#x,%v,%v,%s): got %+v want %+v", i, addr, write, pf, mask, g, w)
+				}
+				continue
+			}
+			g, w := got.Fill(addr, mask, write, pf), want.Fill(addr, mask, write, pf)
+			if g != w {
+				t.Fatalf("op %d Fill(%#x,%v,%v,%s): got %+v want %+v", i, addr, write, pf, mask, g, w)
+			}
+		case op < 94: // back-invalidation
+			gf, gd := got.Invalidate(addr)
+			wf, wd := want.Invalidate(addr)
+			if gf != wf || gd != wd {
+				t.Fatalf("op %d Invalidate(%#x): got %v,%v want %v,%v", i, addr, gf, gd, wf, wd)
+			}
+		case op < 97: // writeback sink
+			if g, w := got.MarkDirty(addr), want.MarkDirty(addr); g != w {
+				t.Fatalf("op %d MarkDirty(%#x): got %v want %v", i, addr, g, w)
+			}
+		default: // non-destructive probe
+			if g, w := got.Probe(addr), want.Probe(addr); g != w {
+				t.Fatalf("op %d Probe(%#x): got %v want %v", i, addr, g, w)
+			}
+		}
+	}
+
+	if g, w := got.Stats(), want.stats; g != w {
+		t.Fatalf("final stats diverged: got %+v want %+v", g, w)
+	}
+	if g, w := got.ValidLines(), want.ValidLines(); g != w {
+		t.Fatalf("valid lines diverged: got %d want %d", g, w)
+	}
+	gOcc, wOcc := got.OccupancyByWay(), want.OccupancyByWay()
+	for w := range gOcc {
+		if gOcc[w] != wOcc[w] {
+			t.Fatalf("occupancy of way %d diverged: got %d want %d", w, gOcc[w], wOcc[w])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Level identifies where in the hierarchy a demand access was satisfied.
 type Level int
@@ -96,6 +99,8 @@ type Hierarchy struct {
 	llc   *Cache
 	masks []WayMask // per-core LLC replacement masks ("MSR" block)
 	stats []CoreStats
+
+	l1Full, l2Full WayMask // precomputed full masks for the private fills
 }
 
 // NewHierarchy builds the hierarchy with every core granted the full LLC
@@ -105,10 +110,12 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		panic("cache: hierarchy needs at least one core")
 	}
 	h := &Hierarchy{
-		cfg:   cfg,
-		llc:   New(cfg.LLC),
-		masks: make([]WayMask, cfg.Cores),
-		stats: make([]CoreStats, cfg.Cores),
+		cfg:    cfg,
+		llc:    New(cfg.LLC),
+		masks:  make([]WayMask, cfg.Cores),
+		stats:  make([]CoreStats, cfg.Cores),
+		l1Full: FullMask(cfg.L1D.Assoc),
+		l2Full: FullMask(cfg.L2.Assoc),
 	}
 	full := FullMask(cfg.LLC.Assoc)
 	for c := 0; c < cfg.Cores; c++ {
@@ -224,21 +231,21 @@ func (h *Hierarchy) Access(c int, lineAddr uint64, write, instr bool) AccessOutc
 }
 
 // fillL2 inserts lineAddr into core c's L2, cascading a dirty victim into
-// the LLC (or DRAM if the LLC no longer holds it).
+// the LLC (or DRAM if the LLC no longer holds it). Only the demand-miss
+// path calls it, after l2.Lookup missed and nothing could have inserted
+// the line since, so the scan-free FillMiss applies.
 func (h *Hierarchy) fillL2(c int, lineAddr uint64, out *AccessOutcome, st *CoreStats) {
-	r := h.l2[c].Fill(lineAddr, FullMask(h.cfg.L2.Assoc), false, false)
+	r := h.l2[c].FillMiss(lineAddr, h.l2Full, false, false)
 	if r.Evicted.Valid && r.Evicted.Dirty {
 		h.sinkWriteback(r.Evicted.LineAddr, out, st)
 	}
 }
 
 // fillL1 inserts lineAddr into the chosen L1, cascading a dirty victim
-// into L2 (non-inclusive: it may be absent), then LLC, then DRAM.
+// into L2 (non-inclusive: it may be absent), then LLC, then DRAM. Like
+// fillL2 it runs only after the L1 lookup missed, so FillMiss applies.
 func (h *Hierarchy) fillL1(c int, l1 *Cache, lineAddr uint64, write bool, out *AccessOutcome) {
-	r := l1.Fill(lineAddr, FullMask(h.cfg.L1D.Assoc), write, false)
-	if write && r.Hit {
-		l1.MarkDirty(lineAddr)
-	}
+	r := l1.FillMiss(lineAddr, h.l1Full, write, false)
 	if r.Evicted.Valid && r.Evicted.Dirty {
 		st := &h.stats[c]
 		if h.l2[c].MarkDirty(r.Evicted.LineAddr) {
@@ -315,12 +322,12 @@ func (h *Hierarchy) PrefetchFill(c int, lineAddr uint64, intoL1 bool) AccessOutc
 		st.LLCPrefetchFills++
 		h.handleLLCEviction(r.Evicted, &out, st)
 	}
-	r := h.l2[c].Fill(lineAddr, FullMask(h.cfg.L2.Assoc), false, true)
+	r := h.l2[c].Fill(lineAddr, h.l2Full, false, true)
 	if r.Evicted.Valid && r.Evicted.Dirty {
 		h.sinkWriteback(r.Evicted.LineAddr, &out, st)
 	}
 	if intoL1 {
-		r := h.l1d[c].Fill(lineAddr, FullMask(h.cfg.L1D.Assoc), false, true)
+		r := h.l1d[c].Fill(lineAddr, h.l1Full, false, true)
 		if r.Evicted.Valid && r.Evicted.Dirty {
 			if !h.l2[c].MarkDirty(r.Evicted.LineAddr) {
 				h.sinkWriteback(r.Evicted.LineAddr, &out, st)
@@ -341,11 +348,13 @@ func (h *Hierarchy) CheckInclusion() error {
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
 		for _, pc := range []*Cache{h.l1i[c], h.l1d[c], h.l2[c]} {
-			for i := range pc.lines {
-				ln := &pc.lines[i]
-				if ln.valid && !h.llc.Probe(ln.addr) {
-					return fmt.Errorf("inclusion violated: %s holds line %#x absent from LLC",
-						pc.cfg.Name, ln.addr)
+			for si := 0; si < pc.numSets; si++ {
+				for vm := pc.valid[si]; vm != 0; vm &= vm - 1 {
+					addr := pc.tags[si*pc.assoc+bits.TrailingZeros32(vm)]
+					if !h.llc.Probe(addr) {
+						return fmt.Errorf("inclusion violated: %s holds line %#x absent from LLC",
+							pc.cfg.Name, addr)
+					}
 				}
 			}
 		}

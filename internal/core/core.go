@@ -55,6 +55,10 @@ type Options struct {
 	// searches, sweeps) fan across (0 = GOMAXPROCS, 1 = serial).
 	// Results are identical at any setting; only host time changes.
 	Parallelism int
+	// CacheDir, when non-empty, persists simulation results to disk so
+	// repeated invocations — including other processes — skip
+	// simulations they have already run (see sched.Options.CacheDir).
+	CacheDir string
 }
 
 // System is a simulated platform plus a memoized run cache. It is safe
@@ -68,7 +72,11 @@ type System struct {
 // Sandy Bridge client, 6 MB 12-way inclusive LLC with way partitioning,
 // four hardware prefetchers, ring interconnect, dual-channel DDR3.
 func NewSystem(opt Options) *System {
-	return &System{r: sched.New(sched.Options{Scale: opt.Scale, Parallelism: opt.Parallelism})}
+	return &System{r: sched.New(sched.Options{
+		Scale:       opt.Scale,
+		Parallelism: opt.Parallelism,
+		CacheDir:    opt.CacheDir,
+	})}
 }
 
 // Runner exposes the underlying scheduler for advanced scenarios

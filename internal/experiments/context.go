@@ -42,8 +42,14 @@ func NewContext(scale float64) *Context {
 // (0 = GOMAXPROCS, 1 = serial). Parallel and serial contexts render
 // byte-identical tables; only host time differs.
 func NewContextParallel(scale float64, parallelism int) *Context {
+	return NewContextWith(sched.Options{Scale: scale, Parallelism: parallelism})
+}
+
+// NewContextWith builds a full-scope context over a runner with the
+// given engine options (scale, parallelism, persistent cache dir, ...).
+func NewContextWith(opt sched.Options) *Context {
 	return &Context{
-		R:            sched.New(sched.Options{Scale: scale, Parallelism: parallelism}),
+		R:            sched.New(opt),
 		Apps:         workload.All(),
 		Reps:         workload.Representatives(),
 		ThreadPoints: []int{1, 2, 3, 4, 5, 6, 7, 8},
@@ -60,7 +66,12 @@ func NewQuickContext(scale float64) *Context {
 // NewQuickContextParallel is NewQuickContext with an explicit worker
 // count (0 = GOMAXPROCS, 1 = serial).
 func NewQuickContextParallel(scale float64, parallelism int) *Context {
-	c := NewContextParallel(scale, parallelism)
+	return NewQuickContextWith(sched.Options{Scale: scale, Parallelism: parallelism})
+}
+
+// NewQuickContextWith is NewContextWith at reduced scope.
+func NewQuickContextWith(opt sched.Options) *Context {
+	c := NewContextWith(opt)
 	c.Apps = c.Reps
 	c.ThreadPoints = []int{1, 2, 4, 8}
 	c.WayPoints = []int{1, 2, 4, 6, 8, 10, 12}

@@ -11,6 +11,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -141,6 +142,19 @@ type thread struct {
 	gen      *trace.Generator
 	codeGen  *trace.CodeGenerator
 	rnd      *rng.Stream
+
+	// refBuf is the reusable reference batch one epoch consumes: the
+	// generators fill it in one FillBatch call (identical stream to
+	// per-reference Next calls) and the access loop walks it.
+	refBuf []trace.Ref
+}
+
+// refBatch returns the thread's scratch buffer resized to n references.
+func (t *thread) refBatch(n int) []trace.Ref {
+	if cap(t.refBuf) < n {
+		t.refBuf = make([]trace.Ref, n)
+	}
+	return t.refBuf[:n]
 }
 
 type ticker struct {
@@ -403,8 +417,9 @@ func (m *Machine) runEpoch(t *thread) {
 	var dramBytes, llcBytes float64
 
 	nData := probRound(n*ph.APKI/1000, t.rnd)
-	for i := 0; i < nData; i++ {
-		ref := t.gen.Next()
+	dataRefs := t.refBatch(nData)
+	t.gen.FillBatch(dataRefs)
+	for _, ref := range dataRefs {
 		if ref.Streaming {
 			streamAcc++
 			dramBytes += 64
@@ -430,8 +445,9 @@ func (m *Machine) runEpoch(t *thread) {
 	}
 
 	nCode := probRound(n*prof.CodeRefPKI/1000, t.rnd)
-	for i := 0; i < nCode; i++ {
-		ref := t.codeGen.Next()
+	codeRefs := t.refBatch(nCode)
+	t.codeGen.FillBatch(codeRefs)
+	for _, ref := range codeRefs {
 		out := m.hier.Access(t.core, ref.LineAddr, false, true)
 		switch out.Level {
 		case cache.LevelL2:
@@ -645,4 +661,4 @@ func (m *Machine) fireTickers(nowCycles float64) {
 	}
 }
 
-func itoa(n int) string { return fmt.Sprintf("%d", n) }
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -152,6 +152,11 @@ type Stats struct {
 	// MemoHits counts requests satisfied without a new simulation
 	// (cached results and singleflight joins on in-flight runs).
 	MemoHits uint64
+	// DiskHits counts results loaded from the persistent store
+	// (Options.CacheDir) instead of simulated. Disk hits are not also
+	// memo hits: the first request for a key that lands on disk counts
+	// here, later in-process requests for it count as memo hits.
+	DiskHits uint64
 	// BusySeconds is summed host time spent inside simulations; with
 	// Simulations it sizes the work the memo cache and worker pool
 	// saved. BusySeconds / elapsed wall time is the effective parallel
@@ -167,6 +172,7 @@ func (r *Runner) Stats() Stats {
 		Parallelism: r.opt.parallelism(),
 		Simulations: r.ctr.sims.Load(),
 		MemoHits:    r.ctr.hits.Load(),
+		DiskHits:    r.ctr.diskHits.Load(),
 		BusySeconds: time.Duration(r.ctr.busyNanos.Load()).Seconds(),
 	}
 }

@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/machine"
@@ -60,31 +60,55 @@ type MixSpec struct {
 // on — platform, scale, prefetchers, and each job's identity, capped
 // threads, placement, role, seed, and way range. Specs that reduce to
 // the same mix therefore share one cache entry.
+//
+// Keys are built with strconv appends rather than fmt: RunBatch and
+// Warm render one per submitted spec before any simulation runs, so key
+// construction sits on the engine's warm path. The rendered text is
+// unchanged from the fmt version (floats use the same shortest
+// round-trip form as %g, bools the same true/false as %v); only the
+// uncommon Machine-override branch still pays for reflection.
 func (s MixSpec) memoKey(r *Runner) string {
 	if s.Setup != nil {
 		return ""
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "mix|s%g|pf%v|m", r.opt.scale(), pfKey(s.Prefetch))
+	buf := make([]byte, 0, 192)
+	buf = append(buf, "mix|s"...)
+	buf = strconv.AppendFloat(buf, r.opt.scale(), 'g', -1, 64)
+	buf = append(buf, "|pf"...)
+	buf = append(buf, pfKey(s.Prefetch)...)
+	buf = append(buf, "|m"...)
 	if s.Machine != nil {
-		fmt.Fprintf(&sb, "%+v", *s.Machine)
+		buf = fmt.Appendf(buf, "%+v", *s.Machine)
 	} else {
-		sb.WriteString("def")
+		buf = append(buf, "def"...)
 	}
 	for _, j := range s.Jobs {
-		fmt.Fprintf(&sb, "|%s|t%d|sl", j.App.Name, CapThreads(j.App, j.Threads))
+		buf = append(buf, '|')
+		buf = append(buf, j.App.Name...)
+		buf = append(buf, "|t"...)
+		buf = strconv.AppendInt(buf, int64(CapThreads(j.App, j.Threads)), 10)
+		buf = append(buf, "|sl"...)
 		for k, slot := range j.Slots {
 			if k > 0 {
-				sb.WriteByte('.')
+				buf = append(buf, '.')
 			}
-			fmt.Fprintf(&sb, "%d", slot)
+			buf = strconv.AppendInt(buf, int64(slot), 10)
 		}
 		// The seed is the one free-form field; length-prefix it so a
 		// seed containing the key grammar cannot forge another mix's
 		// key and poison the singleflight cache.
-		fmt.Fprintf(&sb, "|bg%v|sd%d:%s|w%d-%d", j.Background, len(j.Seed), j.Seed, j.WayFirst, j.WayLim)
+		buf = append(buf, "|bg"...)
+		buf = strconv.AppendBool(buf, j.Background)
+		buf = append(buf, "|sd"...)
+		buf = strconv.AppendInt(buf, int64(len(j.Seed)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, j.Seed...)
+		buf = append(buf, "|w"...)
+		buf = strconv.AppendInt(buf, int64(j.WayFirst), 10)
+		buf = append(buf, '-')
+		buf = strconv.AppendInt(buf, int64(j.WayLim), 10)
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // config returns the platform this mix runs on.

@@ -22,6 +22,8 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,8 +51,16 @@ type Options struct {
 	Machine *machine.Config
 	// Scale multiplies nominal instruction counts (0 = DefaultScale).
 	Scale float64
-	// DisableCache bypasses the memoized run cache.
+	// DisableCache bypasses the memoized run cache (in-memory and disk).
 	DisableCache bool
+	// CacheDir, when non-empty, layers a persistent content-addressed
+	// result store under the in-memory memo cache: results are written
+	// as JSON records keyed by memo key + EngineVersion, and later
+	// runners — including other processes — pointing at the same
+	// directory skip those simulations entirely. The directory is
+	// created if needed; an unusable directory panics at New (callers
+	// pass user input through ValidateCacheDir for a graceful error).
+	CacheDir string
 	// Parallelism is the worker count RunBatch and Sweep fan
 	// simulations across (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
@@ -112,26 +122,45 @@ type flight struct {
 type Counters struct {
 	sims      atomic.Uint64 // simulations actually executed
 	hits      atomic.Uint64 // memo lookups satisfied without a new run
+	diskHits  atomic.Uint64 // results loaded from the persistent store
 	busyNanos atomic.Int64  // summed host time inside simulations
 }
 
 // Runner executes scenarios. The zero value is not usable; call New.
 // All methods are safe for concurrent use.
 type Runner struct {
-	opt Options
-	ctr *Counters
+	opt   Options
+	ctr   *Counters
+	store *diskStore // nil without Options.CacheDir
 
 	mu    sync.Mutex
 	cache map[string]*flight
 }
 
-// New builds a runner.
+// New builds a runner. An Options.CacheDir that cannot be created
+// panics — validate user-supplied paths with ValidateCacheDir first.
 func New(opt Options) *Runner {
 	ctr := opt.Counters
 	if ctr == nil {
 		ctr = &Counters{}
 	}
-	return &Runner{opt: opt, ctr: ctr, cache: make(map[string]*flight)}
+	r := &Runner{opt: opt, ctr: ctr, cache: make(map[string]*flight)}
+	if opt.CacheDir != "" && !opt.DisableCache {
+		store, err := newDiskStore(opt.CacheDir)
+		if err != nil {
+			panic(err.Error())
+		}
+		r.store = store
+	}
+	return r
+}
+
+// ValidateCacheDir checks that dir can serve as a persistent result
+// store (creating it if needed), returning a descriptive error for CLI
+// front ends to surface before they build a runner.
+func ValidateCacheDir(dir string) error {
+	_, err := newDiskStore(dir)
+	return err
 }
 
 // Scale returns the effective instruction scale.
@@ -186,6 +215,11 @@ func (r *Runner) Run(s Spec) *machine.Result {
 // the poisoned entry is evicted before waiters are released, so later
 // requests for the key re-execute and panic too instead of
 // deadlocking on a never-closed flight.
+//
+// The persistent store sits exactly here — under the in-memory map,
+// inside the flight — so each key is consulted and written at most once
+// per process, and concurrent requests for a key share one disk read
+// the same way they share one simulation.
 func (r *Runner) runFlight(key string, f *flight, s Spec) *machine.Result {
 	defer func() {
 		if f.res == nil {
@@ -195,7 +229,17 @@ func (r *Runner) runFlight(key string, f *flight, s Spec) *machine.Result {
 		}
 		close(f.done)
 	}()
+	if r.store != nil {
+		if res, ok := r.store.load(key); ok {
+			r.ctr.diskHits.Add(1)
+			f.res = res
+			return f.res
+		}
+	}
 	f.res = r.measure(s)
+	if r.store != nil {
+		r.store.save(key, f.res)
+	}
 	return f.res
 }
 
@@ -369,9 +413,18 @@ func CapThreads(p *workload.Profile, want int) int {
 	return want
 }
 
+// pfKey renders a prefetch override for memo keys. It is called per
+// submitted spec (RunBatch dedup, Warm), so it avoids fmt: the output is
+// the same "truefalse..." concatenation Sprintf("%v...") produced.
 func pfKey(p *prefetch.Config) string {
 	if p == nil {
 		return "def"
 	}
-	return fmt.Sprintf("%v%v%v%v", p.DCUIP, p.DCUStreamer, p.MLCSpatial, p.MLCStreamer)
+	var sb strings.Builder
+	sb.Grow(20)
+	sb.WriteString(strconv.FormatBool(p.DCUIP))
+	sb.WriteString(strconv.FormatBool(p.DCUStreamer))
+	sb.WriteString(strconv.FormatBool(p.MLCSpatial))
+	sb.WriteString(strconv.FormatBool(p.MLCStreamer))
+	return sb.String()
 }

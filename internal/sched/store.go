@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/machine"
+)
+
+// EngineVersion names the simulation semantics the persistent result
+// store records were produced under. Every record is keyed by the hash
+// of this string plus the spec's memo key, so bumping it (REQUIRED for
+// any change that alters simulation output: timing model, cache
+// behavior, workload catalog, rng naming, result shape) orphans all
+// prior records rather than serving stale results. Records from other
+// versions are ignored on load and left on disk, so several engine
+// versions can share one cache directory during a migration.
+const EngineVersion = "cachepart-engine-v4"
+
+// diskStore is the persistent layer under the in-memory singleflight
+// memo cache: content-addressed JSON records, one per simulated spec,
+// shared by every process pointing Options.CacheDir at the same
+// directory. Reads and writes of one key only ever happen inside that
+// key's singleflight flight, so in-process races are impossible;
+// cross-process writers are safe because records land via a temp file
+// and an atomic rename, and any torn/foreign file fails decoding and is
+// simply re-simulated.
+type diskStore struct {
+	dir string
+}
+
+// diskRecord is the stored document. Version and Key are verified on
+// load — the filename hash already encodes both, but storing them makes
+// records self-describing and collision-proof.
+type diskRecord struct {
+	Version string          `json:"version"`
+	Key     string          `json:"key"`
+	Result  *machine.Result `json:"result"`
+}
+
+// newDiskStore opens (creating if needed) a result store rooted at dir.
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sched: result store: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+// path maps a memo key to its record file: the hex SHA-256 of the
+// engine version and the key. Keys contain workload names and free-form
+// seeds, so hashing (rather than escaping) keeps filenames fixed-length
+// and filesystem-safe.
+func (s *diskStore) path(key string) string {
+	sum := sha256.Sum256([]byte(EngineVersion + "\x00" + key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// load returns the stored result for key, or ok=false when absent,
+// unreadable, or written by a different engine version. Load failures
+// are never fatal: the caller just simulates.
+func (s *diskStore) load(key string) (*machine.Result, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var rec diskRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	if rec.Version != EngineVersion || rec.Key != key || rec.Result == nil {
+		return nil, false
+	}
+	return rec.Result, true
+}
+
+// save persists a result, best-effort: a full disk or unwritable
+// directory costs the cache, not the run. The temp-file + rename dance
+// guarantees readers never observe a partial record.
+func (s *diskStore) save(key string, res *machine.Result) {
+	data, err := json.Marshal(diskRecord{Version: EngineVersion, Key: key, Result: res})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "rec-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func storeSpec() Spec {
+	return SingleSpec{App: workload.MustByName("429.mcf"), Threads: 2, Ways: 4}
+}
+
+// A fresh runner pointed at a warm cache directory must serve the run
+// from disk — zero simulations — and return a result deeply equal to
+// the simulated one (the CLI's cross-process replay guarantee).
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	r1 := New(Options{Scale: QuickScale, CacheDir: dir})
+	want := r1.Run(storeSpec())
+	if st := r1.Stats(); st.Simulations != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold run: %d sims, %d disk hits; want 1, 0", st.Simulations, st.DiskHits)
+	}
+
+	r2 := New(Options{Scale: QuickScale, CacheDir: dir})
+	got := r2.Run(storeSpec())
+	if st := r2.Stats(); st.Simulations != 0 || st.DiskHits != 1 {
+		t.Fatalf("warm run: %d sims, %d disk hits; want 0, 1", st.Simulations, st.DiskHits)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disk result differs from simulated result:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Within one process the in-memory layer answers first: a repeat on
+	// r2 is a memo hit, not a second disk read.
+	r2.Run(storeSpec())
+	if st := r2.Stats(); st.MemoHits != 1 || st.DiskHits != 1 {
+		t.Fatalf("repeat: %d memo hits, %d disk hits; want 1, 1", st.MemoHits, st.DiskHits)
+	}
+}
+
+// Records from a different engine version must be ignored: the run
+// re-simulates and overwrites rather than serving stale results.
+func TestDiskStoreVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	r1 := New(Options{Scale: QuickScale, CacheDir: dir})
+	r1.Run(storeSpec())
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one record, got %v (err %v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec["version"] = "some-older-engine"
+	tampered, _ := json.Marshal(rec)
+	if err := os.WriteFile(files[0], tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := New(Options{Scale: QuickScale, CacheDir: dir})
+	r2.Run(storeSpec())
+	if st := r2.Stats(); st.Simulations != 1 || st.DiskHits != 0 {
+		t.Fatalf("stale-version record served: %d sims, %d disk hits; want 1, 0", st.Simulations, st.DiskHits)
+	}
+}
+
+// A corrupt record (torn write, foreign file) must be survivable.
+func TestDiskStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	r1 := New(Options{Scale: QuickScale, CacheDir: dir})
+	r1.Run(storeSpec())
+
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want one record, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := New(Options{Scale: QuickScale, CacheDir: dir})
+	r2.Run(storeSpec())
+	if st := r2.Stats(); st.Simulations != 1 || st.DiskHits != 0 {
+		t.Fatalf("corrupt record not re-simulated: %+v", st)
+	}
+}
+
+// DisableCache must bypass the disk layer entirely (no reads, no
+// writes), like it bypasses the in-memory layer.
+func TestDiskStoreDisabled(t *testing.T) {
+	dir := t.TempDir()
+	r := New(Options{Scale: QuickScale, CacheDir: dir, DisableCache: true})
+	r.Run(storeSpec())
+	files, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(files) != 0 {
+		t.Fatalf("DisableCache wrote records: %v", files)
+	}
+}
+
+// Scale participates in the memo key, so two scales must produce two
+// distinct records in one directory.
+func TestDiskStoreKeyedByScale(t *testing.T) {
+	dir := t.TempDir()
+	New(Options{Scale: QuickScale, CacheDir: dir}).Run(storeSpec())
+	New(Options{Scale: 2 * QuickScale, CacheDir: dir}).Run(storeSpec())
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("want 2 records for 2 scales, got %d", len(files))
+	}
+}
+
+// A batch against a warm directory must be all disk hits regardless of
+// parallelism, and return results identical to the cold batch.
+func TestDiskStoreBatchParallel(t *testing.T) {
+	dir := t.TempDir()
+	app := workload.MustByName("429.mcf")
+	bg := workload.MustByName("ferret")
+	var specs []Spec
+	for w := 2; w <= 10; w += 2 {
+		specs = append(specs, PairSpec{Fg: app, Bg: bg, FgWays: w, BgWays: 12 - w})
+	}
+	cold := New(Options{Scale: QuickScale, CacheDir: dir, Parallelism: 4}).RunBatch(specs)
+	warmRunner := New(Options{Scale: QuickScale, CacheDir: dir, Parallelism: 4})
+	warm := warmRunner.RunBatch(specs)
+	if st := warmRunner.Stats(); st.Simulations != 0 || st.DiskHits != uint64(len(specs)) {
+		t.Fatalf("warm batch: %d sims, %d disk hits; want 0, %d", st.Simulations, st.DiskHits, len(specs))
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm batch results differ from cold batch")
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Reference generation feeds every simulated instruction; it must not
+// allocate once the batch buffer exists.
+
+func TestFillBatchZeroAllocs(t *testing.T) {
+	g := NewGenerator(Config{
+		DataBase:     1 << 40,
+		PrivateBytes: 1 << 20,
+		SharedBase:   1 << 41,
+		SharedBytes:  1 << 18,
+		SharedFrac:   0.2,
+		Mix:          PatternMix{Seq: 0.3, Stride: 0.2, Random: 0.5},
+		WriteFrac:    0.3,
+		StreamFrac:   0.05,
+		HotFrac:      0.6,
+		RepeatFrac:   0.1,
+	}, rng.NewNamed("alloc"))
+	buf := make([]Ref, 256)
+	allocs := testing.AllocsPerRun(200, func() { g.FillBatch(buf) })
+	if allocs != 0 {
+		t.Fatalf("Generator.FillBatch allocates %.3f objects per batch, want 0", allocs)
+	}
+}
+
+func TestCodeFillBatchZeroAllocs(t *testing.T) {
+	cg := NewCodeGenerator(1<<40, 1<<20, 64, rng.NewNamed("alloc.code"))
+	buf := make([]Ref, 256)
+	allocs := testing.AllocsPerRun(200, func() { cg.FillBatch(buf) })
+	if allocs != 0 {
+		t.Fatalf("CodeGenerator.FillBatch allocates %.3f objects per batch, want 0", allocs)
+	}
+}
+
+// FillBatch must be exactly the stream Next produces, reference by
+// reference — batched and unbatched consumers are interchangeable.
+func TestFillBatchMatchesNext(t *testing.T) {
+	cfg := Config{
+		DataBase:     1 << 40,
+		PrivateBytes: 1 << 20,
+		SharedBase:   1 << 41,
+		SharedBytes:  1 << 18,
+		SharedFrac:   0.25,
+		Mix:          PatternMix{Seq: 0.4, Stride: 0.2, Random: 0.4},
+		WriteFrac:    0.3,
+		StreamFrac:   0.1,
+		HotFrac:      0.5,
+		RepeatFrac:   0.15,
+		HotStride:    3,
+	}
+	a := NewGenerator(cfg, rng.NewNamed("match"))
+	b := NewGenerator(cfg, rng.NewNamed("match"))
+	buf := make([]Ref, 37) // odd size: batches straddle pattern switches
+	for round := 0; round < 50; round++ {
+		a.FillBatch(buf)
+		for i, got := range buf {
+			if want := b.Next(); got != want {
+				t.Fatalf("round %d ref %d: FillBatch %+v != Next %+v", round, i, got, want)
+			}
+		}
+	}
+}

@@ -124,7 +124,23 @@ func NewGenerator(cfg Config, r *rng.Stream) *Generator {
 }
 
 // Next produces the next reference.
-func (g *Generator) Next() Ref {
+func (g *Generator) Next() Ref { return g.next() }
+
+// FillBatch fills dst with the next len(dst) references — the exact
+// stream len(dst) Next calls would produce, through the same generation
+// path, so batched and one-at-a-time consumers are byte-identical. The
+// execution hot path (machine.runEpoch) calls this once per epoch with a
+// reusable per-thread buffer, amortizing call overhead and keeping the
+// generator's cursors and rng state hot across the whole batch.
+func (g *Generator) FillBatch(dst []Ref) {
+	for i := range dst {
+		dst[i] = g.next()
+	}
+}
+
+// next generates one reference (the single implementation behind Next
+// and FillBatch).
+func (g *Generator) next() Ref {
 	c := &g.cfg
 	if c.RepeatFrac > 0 && g.haveLast && g.rng.Bool(c.RepeatFrac) {
 		return Ref{
@@ -245,7 +261,17 @@ func NewCodeGenerator(base uint64, footprintBytes, lineBytes int, r *rng.Stream)
 }
 
 // Next returns the next instruction-line fetch.
-func (cg *CodeGenerator) Next() Ref {
+func (cg *CodeGenerator) Next() Ref { return cg.next() }
+
+// FillBatch fills dst with the next len(dst) fetches, identical to
+// repeated Next calls (see Generator.FillBatch).
+func (cg *CodeGenerator) FillBatch(dst []Ref) {
+	for i := range dst {
+		dst[i] = cg.next()
+	}
+}
+
+func (cg *CodeGenerator) next() Ref {
 	// 70% fall-through to the next line, 30% branch to a random line.
 	if cg.rng.Bool(0.3) {
 		cg.cursor = cg.rng.Uint64n(cg.lines)
