@@ -51,5 +51,10 @@ lint:
 		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
 
 ci: build lint race bench

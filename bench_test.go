@@ -13,7 +13,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
-	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -143,8 +142,8 @@ func BenchmarkFig9Policies(b *testing.B) {
 		ctx := quickCtx()
 		ctx.Reps = ctx.Reps[:3]
 		res := ctx.Fig9StaticPolicies()
-		shared = res.Avg[partition.Shared]
-		biased = res.Avg[partition.Biased]
+		shared = res.Avg["shared"]
+		biased = res.Avg["biased"]
 	}
 	b.ReportMetric((shared-1)*100, "shared-avg-%")
 	b.ReportMetric((biased-1)*100, "biased-avg-%")
@@ -158,7 +157,7 @@ func BenchmarkFig10Energy(b *testing.B) {
 		_, _, outcomes := ctx.Fig10and11Consolidation()
 		var xs []float64
 		for _, o := range outcomes {
-			if o.Policy == partition.Biased {
+			if o.Policy == "biased" {
 				xs = append(xs, o.RelSocketEnergy)
 			}
 		}
@@ -175,7 +174,7 @@ func BenchmarkFig11WeightedSpeedup(b *testing.B) {
 		_, _, outcomes := ctx.Fig10and11Consolidation()
 		var xs []float64
 		for _, o := range outcomes {
-			if o.Policy == partition.Biased {
+			if o.Policy == "biased" {
 				xs = append(xs, o.WeightedSpeedup)
 			}
 		}
@@ -247,7 +246,7 @@ func BenchmarkScenarioMix(b *testing.B) {
 	}
 	// The shipped file declares the biased search; the hot path under
 	// measurement is one mix execution, so pin a static fair split.
-	s.Partition.Policy = scenario.PartitionFair
+	s.Partition.Policy = scenario.PolicyRef{Name: scenario.PartitionFair}
 	r := sched.New(sched.Options{Scale: benchScale, DisableCache: true})
 	mix, err := s.Compile(r.MachineConfig())
 	if err != nil {

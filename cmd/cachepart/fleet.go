@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -49,6 +50,9 @@ func applyFleetOverrides(s *scenario.Scenario, policy, part string, machines int
 	}
 	if part != "" {
 		s.Fleet.Partition = fleet.PartitionMode(part)
+		// The file's params belong to the file's policy; feeding them
+		// to an override mode would misconfigure (or just confuse) it.
+		s.Fleet.PartitionParams = nil
 	}
 	if machines != 0 {
 		s.Fleet.Machines = machines
@@ -62,7 +66,7 @@ func fleetRun(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
 	policy := fs.String("policy", "", "comma-separated consolidation policies to evaluate (override the file)")
-	part := fs.String("partition", "", "override the co-location partition mode (shared|biased|dynamic)")
+	part := fs.String("partition", "", "comma-separated partition policies to run the fleet under (override the file)")
 	machines := fs.Int("machines", 0, "override the pool size")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
@@ -79,36 +83,51 @@ func fleetRun(args []string) error {
 	if effScale == 0 && *quick {
 		effScale = quickScale
 	}
-	// One runner across files: fleets sharing applications (or pairs
-	// another driver already simulated) deduplicate in the memo cache.
+	// One runner across files AND partition modes: fleets sharing
+	// applications — or modes sharing baselines — deduplicate in the
+	// memo cache, and each persistent-store key is read from disk at
+	// most once per invocation, so footer disk hits count unique keys
+	// rather than per-mode requests.
 	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel, CacheDir: *cacheDir})
 
+	partitions := []string{""}
+	if *part != "" {
+		partitions = strings.Split(*part, ",")
+		for i := range partitions {
+			partitions[i] = strings.TrimSpace(partitions[i])
+			if partitions[i] == "" {
+				return fmt.Errorf("fleet run: empty partition mode in -partition %q", *part)
+			}
+		}
+	}
 	ran := 0
 	for _, path := range files {
-		s, err := scenario.ParseFile(path)
-		if err != nil {
-			return err
+		for _, mode := range partitions {
+			s, err := scenario.ParseFile(path)
+			if err != nil {
+				return err
+			}
+			if !s.IsFleet() {
+				fmt.Fprintf(os.Stderr, "%s: not a fleet scenario, skipped (use 'cachepart scenario run')\n", path)
+				break
+			}
+			if err := applyFleetOverrides(s, *policy, mode, *machines); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			before := r.Stats()
+			t0 := time.Now()
+			rep, err := fleet.Run(r, s.Name, s.Fleet)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			ran++
+			wall := time.Since(t0).Seconds()
+			if s.Description != "" {
+				fmt.Println(s.Description)
+			}
+			fmt.Print(rep.String())
+			fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
 		}
-		if !s.IsFleet() {
-			fmt.Printf("%s: not a fleet scenario, skipped (use 'cachepart scenario run')\n", path)
-			continue
-		}
-		if err := applyFleetOverrides(s, *policy, *part, *machines); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		before := r.Stats()
-		t0 := time.Now()
-		rep, err := fleet.Run(r, s.Name, s.Fleet)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		ran++
-		wall := time.Since(t0).Seconds()
-		if s.Description != "" {
-			fmt.Println(s.Description)
-		}
-		fmt.Print(rep.String())
-		fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
 	}
 	if ran == 0 {
 		return fmt.Errorf("fleet run: no fleet scenarios among the given files")
@@ -134,7 +153,7 @@ func fleetCheck(args []string) error {
 			return err
 		}
 		if !s.IsFleet() {
-			fmt.Printf("%s: not a fleet scenario, skipped\n", path)
+			fmt.Fprintf(os.Stderr, "%s: not a fleet scenario, skipped\n", path)
 			continue
 		}
 		if err := applyFleetOverrides(s, *policy, *part, *machines); err != nil {

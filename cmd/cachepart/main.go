@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cachepart list
+//	cachepart policies [-names]
 //	cachepart run  -app 429.mcf [-threads 4] [-ways 0] [-scale 0.002]
 //	cachepart pair -fg 429.mcf -bg ferret [-policy dynamic] [-scale 0.002] [-parallel N]
 //	cachepart exp  -id fig9 [-scale 0.002] [-quick] [-parallel N]
@@ -13,7 +14,12 @@
 //	cachepart scenario run examples/scenarios/latency-3batch.json [-quick] [-policy dynamic]
 //	cachepart scenario check examples/scenarios/*.json
 //	cachepart fleet run examples/scenarios/fleet-consolidation-50.json [-quick]
+//	cachepart fleet run examples/scenarios/fleet-utility-50.json [-quick] [-partition shared,utility]
 //	cachepart fleet check examples/scenarios/*.json
+//
+// Partition policies (-policy, -partition, scenario "partition"
+// blocks) come from the pluggable registry in internal/partition;
+// `cachepart policies` lists them.
 //
 // Experiment ids: fig1..fig13, table1, table2, table3, headline, the
 // abl-* ablation studies, and all.
@@ -32,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -71,6 +78,8 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
+	case "policies":
+		err = cmdPolicies(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "pair":
@@ -96,22 +105,31 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cachepart list
+  cachepart policies [-names]
   cachepart run  -app NAME [-threads N] [-ways W] [-scale S] [-cache-dir DIR]
-  cachepart pair -fg NAME -bg NAME [-policy shared|fair|biased|dynamic] [-scale S] [-parallel N] [-cache-dir DIR]
+  cachepart pair -fg NAME -bg NAME [-policy P] [-scale S] [-parallel N] [-cache-dir DIR]
   cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N] [-cache-dir DIR]
   cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] [-cache-dir DIR] FILE.json...
   cachepart scenario check [-policy P] FILE.json...
-  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M] [-machines N] [-cache-dir DIR] FILE.json...
+  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-cache-dir DIR] FILE.json...
   cachepart fleet check [-policy P,P] [-partition M] [-machines N] FILE.json...
+
+partition policies are pluggable: 'cachepart policies' lists the
+registry (shared, fair, biased, explicit, dynamic, utility, ...), and
+every -policy/-partition flag accepts any registered name. Scenario
+files parameterize them with "policy": {"name": N, "params": {...}}.
 
 scenario runs declarative JSON scenario files (N-job mixes with roles,
 placement, and a partition policy; see examples/scenarios/ and
-DESIGN.md). -policy overrides the file's partition policy.
+DESIGN.md). -policy overrides the file's partition policy. Skip
+notices for mixed globs go to stderr, so piped output stays clean.
 
 fleet runs scenario files with a fleet block: N machines under
 open-loop load, compared across consolidation policies (spread-idle,
 pack-partition, util-target) with p50/p95/p99 request slowdown,
-machines used, utilization, and energy per policy.
+machines used, utilization, and energy per policy. -partition accepts
+a comma list to replay the same fleet under several partition policies
+in one invocation (one engine: shared baselines simulate once).
 
 -parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
 byte-identical at any setting.
@@ -120,6 +138,25 @@ byte-identical at any setting.
 memo key and engine version): repeated invocations — across processes —
 skip simulations they have already run and print identical reports. The
 footer then also reports disk hits.`)
+}
+
+// cmdPolicies lists the partition-policy registry. -names prints bare
+// names only (one per line), the machine-readable form CI's
+// policy-matrix smoke iterates.
+func cmdPolicies(args []string) error {
+	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	names := fs.Bool("names", false, "print bare policy names only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range partition.Names() {
+		if *names {
+			fmt.Println(name)
+			continue
+		}
+		fmt.Printf("%-10s %s\n", name, partition.About(name))
+	}
+	return nil
 }
 
 func cmdList() error {
@@ -184,7 +221,7 @@ func cmdPair(args []string) error {
 	fs := flag.NewFlagSet("pair", flag.ExitOnError)
 	fg := fs.String("fg", "", "foreground application")
 	bg := fs.String("bg", "", "background application")
-	policy := fs.String("policy", "dynamic", "shared|fair|biased|dynamic")
+	policy := fs.String("policy", "dynamic", "any registered partition policy (see 'cachepart policies')")
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
@@ -213,7 +250,7 @@ func cmdPair(args []string) error {
 		rep.FgSeconds, (rep.FgSlowdown-1)*100)
 	fmt.Printf("  bg throughput %.2f iterations during the fg run\n", rep.BgThroughput)
 	fmt.Printf("  energy        %.2f J socket, %.2f J wall\n", rep.SocketJoules, rep.WallJoules)
-	if rep.Policy == core.PolicyDynamic {
+	if rep.Reallocations > 0 { // online policies (dynamic, utility, ...)
 		fmt.Printf("  reallocations %d\n", rep.Reallocations)
 	}
 	printEngineLine(sys, *cacheDir)

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -65,7 +66,7 @@ func scenarioRun(args []string) error {
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS, 1 = serial)")
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
-	policy := fs.String("policy", "", "override the scenario's partition policy (shared|fair|biased|dynamic)")
+	policy := fs.String("policy", "", "override the scenario's partition policy (any registered policy; see 'cachepart policies')")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	flagArgs, files := splitFlags(args, scenarioValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
@@ -92,12 +93,14 @@ func scenarioRun(args []string) error {
 			return err
 		}
 		if s.IsFleet() {
-			fmt.Printf("%s: fleet scenario, skipped (use 'cachepart fleet run')\n\n", path)
+			// The notice goes to stderr: piped report output must stay
+			// parseable when a glob mixes fleet and plain scenarios.
+			fmt.Fprintf(os.Stderr, "%s: fleet scenario, skipped (use 'cachepart fleet run')\n\n", path)
 			continue
 		}
 		ran++
 		if *policy != "" {
-			s.Partition.Policy = scenario.PartitionPolicy(*policy)
+			s.Partition.Policy = scenario.PolicyRef{Name: *policy}
 		}
 		before := r.Stats()
 		t0 := time.Now()
@@ -131,22 +134,18 @@ func scenarioCheck(args []string) error {
 			return err
 		}
 		if s.IsFleet() {
-			fmt.Printf("%s: fleet scenario, skipped (use 'cachepart fleet check')\n", path)
+			fmt.Fprintf(os.Stderr, "%s: fleet scenario, skipped (use 'cachepart fleet check')\n", path)
 			continue
 		}
 		if *policy != "" {
-			s.Partition.Policy = scenario.PartitionPolicy(*policy)
+			s.Partition.Policy = scenario.PolicyRef{Name: *policy}
 		}
 		p, err := s.Plan(machine.Default())
 		if err != nil {
 			return err
 		}
-		pol := s.Partition.Policy
-		if pol == "" {
-			pol = scenario.PartitionShared
-		}
 		fmt.Printf("%s: ok — %q, %d jobs on %d cores, policy %s\n",
-			path, s.Name, len(p.Instances), p.Config.Cores, pol)
+			path, s.Name, len(p.Instances), p.Config.Cores, s.PartitionName())
 		for _, inst := range p.Instances {
 			fmt.Printf("  %-8s %-8s %-18s threads=%d slots=%v ways=%s\n",
 				inst.Seed, inst.Role, inst.App.Name, inst.Threads, inst.Slots, inst.WaysLabel())

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// captureStreams runs fn with stdout and stderr redirected and returns
+// what each received.
+func captureStreams(t *testing.T, fn func() error) (stdout, stderr string, err error) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, e := os.Pipe()
+	if e != nil {
+		t.Fatal(e)
+	}
+	re, we, e := os.Pipe()
+	if e != nil {
+		t.Fatal(e)
+	}
+	os.Stdout, os.Stderr = wo, we
+	outC := make(chan string)
+	errC := make(chan string)
+	go func() { b, _ := io.ReadAll(ro); outC <- string(b) }()
+	go func() { b, _ := io.ReadAll(re); errC <- string(b) }()
+	err = fn()
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	return <-outC, <-errC, err
+}
+
+// TestSkipNoticesGoToStderr pins the piped-output contract: when a
+// glob mixes fleet and single-machine scenarios, the skip notices land
+// on stderr and the report stream on stdout stays clean.
+func TestSkipNoticesGoToStderr(t *testing.T) {
+	fleetFile := writeScenario(t, "f.json",
+		`{"name":"f","fleet":{"machines":1,"duration":0.01,"arrivals":[{"app":"xalan","rate":100}]}}`)
+	plainFile := writeScenario(t, "p.json",
+		`{"name":"p","jobs":[{"app":"ferret","role":"latency","threads":2}]}`)
+
+	stdout, stderr, err := captureStreams(t, func() error {
+		return scenarioRun([]string{plainFile, fleetFile, "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout, "skipped") {
+		t.Errorf("scenario run skip notice polluted stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "fleet scenario, skipped") {
+		t.Errorf("scenario run skip notice missing from stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "== scenario: p ") {
+		t.Errorf("report missing from stdout:\n%s", stdout)
+	}
+
+	stdout, stderr, err = captureStreams(t, func() error {
+		return scenarioCheck([]string{plainFile, fleetFile})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout, "skipped") || !strings.Contains(stderr, "skipped") {
+		t.Errorf("scenario check notice on wrong stream\nstdout:\n%s\nstderr:\n%s", stdout, stderr)
+	}
+
+	stdout, stderr, err = captureStreams(t, func() error {
+		return fleetCheck([]string{plainFile, fleetFile})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout, "skipped") || !strings.Contains(stderr, "skipped") {
+		t.Errorf("fleet check notice on wrong stream\nstdout:\n%s\nstderr:\n%s", stdout, stderr)
+	}
+}
+
+var diskHitsRe = regexp.MustCompile(`(\d+) disk hits`)
+
+func sumDiskHits(t *testing.T, out string) int {
+	t.Helper()
+	total := 0
+	for _, m := range diskHitsRe.FindAllStringSubmatch(out, -1) {
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	return total
+}
+
+// TestFleetDiskHitsCountUniqueKeys is the regression test for the
+// footer's persistent-store accounting: replaying one fleet under
+// several partition policies in one invocation shares the alone
+// baselines across policies, and those shared memo keys must be
+// counted (and read) once — total disk hits equal the unique records
+// on disk, not the per-policy requests.
+func TestFleetDiskHitsCountUniqueKeys(t *testing.T) {
+	fleetFile := writeScenario(t, "f.json", `{
+  "name": "disk-hits",
+  "fleet": {
+    "machines": 2, "duration": 0.02, "seed": "dh",
+    "partition": "shared",
+    "arrivals": [{"app": "xalan", "rate": 150}],
+    "backlog": [{"app": "ferret", "count": 2, "iterations": 10}]
+  }
+}`)
+	cacheDir := filepath.Join(t.TempDir(), "store")
+
+	// Cold pass under both partition policies: everything simulates
+	// and lands in the store; no disk hits yet.
+	stdout, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{fleetFile, "-quick", "-partition", "shared,fair", "-cache-dir", cacheDir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumDiskHits(t, stdout); got != 0 {
+		t.Fatalf("cold run reported %d disk hits", got)
+	}
+	records, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	// Warm pass, fresh process state (fleetRun builds a new runner):
+	// every needed key loads from disk exactly once, even though the
+	// alone baselines are requested by both policies' oracles.
+	warmOut, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{fleetFile, "-quick", "-partition", "shared,fair", "-cache-dir", cacheDir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sumDiskHits(t, warmOut); got != len(records) {
+		t.Errorf("warm run reported %d disk hits for %d unique records — shared keys double-counted",
+			got, len(records))
+	}
+	if strings.Contains(warmOut, " 1 sims") || strings.Contains(warmOut, " 2 sims") {
+		t.Errorf("warm run re-simulated:\n%s", warmOut)
+	}
+
+	// The reports themselves are byte-identical cold vs warm.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "host time") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(stdout) != strip(warmOut) {
+		t.Errorf("cold and warm reports differ\n--- cold ---\n%s\n--- warm ---\n%s", stdout, warmOut)
+	}
+}
+
+// TestFleetPartitionOverrideHygiene: a -partition override clears the
+// file's partition_params (they belong to the file's policy), and
+// empty entries in the comma list are rejected rather than silently
+// replaying the file's own mode.
+func TestFleetPartitionOverrideHygiene(t *testing.T) {
+	fleetFile := writeScenario(t, "f.json", `{
+  "name": "override",
+  "fleet": {
+    "machines": 2, "duration": 0.02, "seed": "ov",
+    "partition": "utility", "partition_params": {"min_ways": 2, "sample_shift": 4},
+    "arrivals": [{"app": "xalan", "rate": 150}],
+    "backlog": [{"app": "ferret", "count": 1, "iterations": 10}]
+  }
+}`)
+	// The utility params must not leak into the shared override.
+	_, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{fleetFile, "-quick", "-partition", "shared"})
+	})
+	if err != nil {
+		t.Fatalf("-partition shared over a utility file with params: %v", err)
+	}
+	if err := fleetRun([]string{fleetFile, "-quick", "-partition", "shared,"}); err == nil ||
+		!strings.Contains(err.Error(), "empty partition mode") {
+		t.Fatalf("trailing comma in -partition: err %v", err)
+	}
+}

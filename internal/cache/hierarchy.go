@@ -99,6 +99,7 @@ type Hierarchy struct {
 	llc   *Cache
 	masks []WayMask // per-core LLC replacement masks ("MSR" block)
 	stats []CoreStats
+	umons []*UMON // per-core shadow utility monitors (nil until attached)
 
 	l1Full, l2Full WayMask // precomputed full masks for the private fills
 }
@@ -167,6 +168,18 @@ func (h *Hierarchy) WayMaskOf(c int) WayMask { return h.masks[c] }
 // CoreStats returns a copy of core c's counters.
 func (h *Hierarchy) CoreStats(c int) CoreStats { return h.stats[c] }
 
+// AttachUMON installs a shadow utility monitor on core c's demand LLC
+// accesses. Monitors only observe — cache state and statistics are
+// unaffected — so attaching one never changes simulation results. A
+// job spanning several cores attaches the same monitor to each, giving
+// one aggregated curve per job.
+func (h *Hierarchy) AttachUMON(c int, u *UMON) {
+	if h.umons == nil {
+		h.umons = make([]*UMON, h.cfg.Cores)
+	}
+	h.umons[c] = u
+}
+
 // ResetCoreStats zeroes per-core counters (cache contents are preserved,
 // mirroring how performance counters are reprogrammed on live hardware).
 func (h *Hierarchy) ResetCoreStats() {
@@ -212,6 +225,11 @@ func (h *Hierarchy) Access(c int, lineAddr uint64, write, instr bool) AccessOutc
 	st.L2Misses++
 
 	st.LLCAccesses++
+	if h.umons != nil {
+		if u := h.umons[c]; u != nil {
+			u.Access(lineAddr)
+		}
+	}
 	llcRes := h.llc.Access(lineAddr, false, h.masks[c])
 	if llcRes.Hit {
 		out.Level = LevelLLC

@@ -1,0 +1,125 @@
+package cache
+
+// UMON is a utility monitor in the UCP (utility-based cache
+// partitioning) style: a shadow tag array covering a sampled subset of
+// the LLC's sets, maintained with true LRU and *no* partitioning mask,
+// counting demand hits per LRU stack position. Because stack position p
+// only hits when at least p+1 ways are available, the cumulative hit
+// counts estimate how many hits the monitored job would obtain at each
+// possible way allocation — the marginal-utility curve the utility
+// partition policy allocates from.
+//
+// A UMON is shadow-only: it observes the access stream and never
+// touches the real cache arrays, so attaching one cannot change
+// simulation results. Like the LLC itself (PR 4), tags are stored as a
+// packed per-set []uint64 window scanned contiguously; at LLC geometry
+// the window is small (assoc entries), so the MRU move is a short
+// copy rather than pointer chasing.
+type UMON struct {
+	assoc     int
+	setMask   uint64
+	hashIndex bool
+	sampleLow uint64 // set is sampled when si&sampleLow == 0
+	shift     uint   // sampled set index = si >> shift
+
+	tags  []uint64 // sampledSets*assoc, MRU-first within each set window
+	size  []uint8  // valid entries per sampled set
+	hits  []uint64 // demand hits per LRU stack position [0, assoc)
+	acc   uint64   // sampled demand accesses
+	short uint64   // sampled demand misses
+}
+
+// NewUMON builds a monitor for a cache with the given geometry,
+// sampling every 2^sampleShift-th set. The monitored cache must have a
+// power-of-two set count (guaranteed by New) at least as large as the
+// sampling stride.
+func NewUMON(cfg Config, sampleShift uint) *UMON {
+	linesTotal := cfg.SizeBytes / cfg.LineBytes
+	numSets := linesTotal / cfg.Assoc
+	sampled := numSets >> sampleShift
+	if sampled < 1 {
+		sampled = 1
+		sampleShift = 0
+	}
+	return &UMON{
+		assoc:     cfg.Assoc,
+		setMask:   uint64(numSets - 1),
+		hashIndex: cfg.HashIndex,
+		sampleLow: uint64(1)<<sampleShift - 1,
+		shift:     sampleShift,
+		tags:      make([]uint64, sampled*cfg.Assoc),
+		size:      make([]uint8, sampled),
+		hits:      make([]uint64, cfg.Assoc),
+	}
+}
+
+// setIndex mirrors Cache.setIndex so the monitor samples the same sets
+// the monitored cache actually uses (including the hashed LLC index).
+func (u *UMON) setIndex(lineAddr uint64) uint64 {
+	if u.hashIndex {
+		return ((lineAddr * 0x9e3779b97f4a7c15) >> 21) & u.setMask
+	}
+	return lineAddr & u.setMask
+}
+
+// Access observes one demand access. Hits record their LRU stack
+// position and move the line to MRU; misses insert at MRU, displacing
+// the LRU shadow entry.
+func (u *UMON) Access(lineAddr uint64) {
+	si := u.setIndex(lineAddr)
+	if si&u.sampleLow != 0 {
+		return
+	}
+	u.acc++
+	base := int(si>>u.shift) * u.assoc
+	n := int(u.size[si>>u.shift])
+	w := u.tags[base : base+n]
+	for p := 0; p < n; p++ {
+		if w[p] == lineAddr {
+			u.hits[p]++
+			copy(w[1:p+1], w[:p])
+			w[0] = lineAddr
+			return
+		}
+	}
+	u.short++
+	if n < u.assoc {
+		u.size[si>>u.shift]++
+		n++
+	}
+	w = u.tags[base : base+n]
+	copy(w[1:], w[:n-1])
+	w[0] = lineAddr
+}
+
+// Hits returns the hit count per LRU stack position (a copy).
+func (u *UMON) Hits() []uint64 {
+	out := make([]uint64, len(u.hits))
+	copy(out, u.hits)
+	return out
+}
+
+// Curve writes the cumulative utility curve into dst (allocating when
+// nil or short) and returns it: dst[w-1] is the estimated demand hits
+// the monitored stream would have achieved with w ways. The counts are
+// from the sampled sets only; callers comparing curves across monitors
+// with equal sampling strides need no rescaling.
+func (u *UMON) Curve(dst []float64) []float64 {
+	if len(dst) < u.assoc {
+		dst = make([]float64, u.assoc)
+	}
+	dst = dst[:u.assoc]
+	sum := 0.0
+	for w, h := range u.hits {
+		sum += float64(h)
+		dst[w] = sum
+	}
+	return dst
+}
+
+// Accesses returns the number of sampled demand accesses observed.
+func (u *UMON) Accesses() uint64 { return u.acc }
+
+// Misses returns the number of sampled demand misses (stack distance
+// beyond the monitored associativity).
+func (u *UMON) Misses() uint64 { return u.short }

@@ -1,0 +1,110 @@
+package cache
+
+import "testing"
+
+// umonCfg is a small monitored geometry: 64 sets x 4 ways, unhashed so
+// tests can target sets directly.
+func umonCfg() Config {
+	return Config{Name: "U", SizeBytes: 64 * 4 * 64, Assoc: 4, LineBytes: 64}
+}
+
+// addr builds a line address landing in the given (unhashed) set with
+// the given tag.
+func addr(set, tag int) uint64 { return uint64(tag)*64 + uint64(set) }
+
+func TestUMONStackDistances(t *testing.T) {
+	u := NewUMON(umonCfg(), 0) // sample every set
+	// Reference stream in set 0: A B A -> A hits at stack distance 1
+	// (position 1: one intervening line).
+	u.Access(addr(0, 1))
+	u.Access(addr(0, 2))
+	u.Access(addr(0, 1))
+	hits := u.Hits()
+	if hits[0] != 0 || hits[1] != 1 {
+		t.Fatalf("hits = %v, want position 1 to hold the reuse", hits)
+	}
+	// Immediate re-reference hits at MRU (position 0).
+	u.Access(addr(0, 1))
+	if hits = u.Hits(); hits[0] != 1 {
+		t.Fatalf("hits = %v after MRU re-reference", hits)
+	}
+	if u.Accesses() != 4 || u.Misses() != 2 {
+		t.Fatalf("acc=%d miss=%d, want 4/2", u.Accesses(), u.Misses())
+	}
+}
+
+// TestUMONCurveMonotonic: the cumulative curve is non-decreasing and
+// ends at the total hit count — the contract the lookahead allocator
+// relies on.
+func TestUMONCurveMonotonic(t *testing.T) {
+	u := NewUMON(umonCfg(), 0)
+	// A cyclic pattern over 3 lines in a 4-way set: hits at varying
+	// stack distances.
+	for i := 0; i < 30; i++ {
+		u.Access(addr(1, i%3+1))
+	}
+	curve := u.Curve(nil)
+	total := 0.0
+	for _, h := range u.Hits() {
+		total += float64(h)
+	}
+	prev := 0.0
+	for w, v := range curve {
+		if v < prev {
+			t.Fatalf("curve not monotonic at way %d: %v", w+1, curve)
+		}
+		prev = v
+	}
+	if curve[len(curve)-1] != total {
+		t.Fatalf("curve tail %v != total hits %v", curve[len(curve)-1], total)
+	}
+}
+
+// TestUMONLRUEviction: a stream wider than the associativity evicts
+// the LRU shadow entry, so far-apart reuses count as misses (capacity
+// beyond the monitored cache cannot be credited to any way count).
+func TestUMONLRUEviction(t *testing.T) {
+	u := NewUMON(umonCfg(), 0)
+	for tag := 1; tag <= 5; tag++ { // 5 distinct lines, 4 ways
+		u.Access(addr(2, tag))
+	}
+	u.Access(addr(2, 1)) // evicted by tag 5: must miss
+	if u.Misses() != 6 {
+		t.Fatalf("misses = %d, want 6 (reuse beyond assoc is a miss)", u.Misses())
+	}
+}
+
+// TestUMONSampling: with a stride of 2^1, odd sets are invisible.
+func TestUMONSampling(t *testing.T) {
+	u := NewUMON(umonCfg(), 1)
+	u.Access(addr(1, 1))
+	u.Access(addr(3, 1))
+	if u.Accesses() != 0 {
+		t.Fatalf("unsampled sets observed %d accesses", u.Accesses())
+	}
+	u.Access(addr(2, 1))
+	u.Access(addr(2, 1))
+	if u.Accesses() != 2 || u.Hits()[0] != 1 {
+		t.Fatalf("sampled set: acc=%d hits=%v", u.Accesses(), u.Hits())
+	}
+}
+
+// TestUMONShadowOnly: attaching a monitor must not change simulated
+// cache behavior — the hierarchy's stats are identical with and
+// without one.
+func TestUMONShadowOnly(t *testing.T) {
+	run := func(attach bool) Stats {
+		h := NewHierarchy(SandyBridgeHierarchy(2))
+		if attach {
+			h.AttachUMON(0, NewUMON(h.LLC().Config(), 3))
+		}
+		for i := 0; i < 5000; i++ {
+			h.Access(0, uint64(i*97%1024), i%3 == 0, false)
+			h.Access(1, uint64(i*131%2048), false, false)
+		}
+		return h.LLC().Stats()
+	}
+	if run(false) != run(true) {
+		t.Fatal("attaching a UMON changed LLC behavior")
+	}
+}

@@ -29,20 +29,23 @@ import (
 // AllWays requests the full 12-way LLC.
 const AllWays = 0
 
-// Policy selects how the LLC is managed for a consolidated pair.
+// Policy selects how the LLC is managed for a consolidated pair: any
+// name in the partition-policy registry.
 type Policy string
 
-// The four §5-§6 policies.
+// The shipped policies.
 const (
 	PolicyShared  Policy = "shared"
 	PolicyFair    Policy = "fair"
 	PolicyBiased  Policy = "biased"
 	PolicyDynamic Policy = "dynamic"
+	PolicyUtility Policy = "utility"
 )
 
-// Policies lists all policies in presentation order.
+// Policies lists the §5-§6 policies plus the utility scheme in
+// presentation order.
 func Policies() []Policy {
-	return []Policy{PolicyShared, PolicyFair, PolicyBiased, PolicyDynamic}
+	return []Policy{PolicyShared, PolicyFair, PolicyBiased, PolicyDynamic, PolicyUtility}
 }
 
 // Options configure a System.
@@ -150,9 +153,11 @@ type ConsolidationReport struct {
 }
 
 // Consolidate co-schedules fg (cores 0-1, 4 hyperthreads) with a
-// continuously-running bg (cores 2-3) under the given policy. The
-// biased policy performs the paper's exhaustive search; the dynamic
-// policy attaches the §6 controller.
+// continuously-running bg (cores 2-3) under the named partition
+// policy, dispatched through the policy registry: search policies
+// (biased) run the paper's exhaustive sweep, online policies (dynamic,
+// utility) attach their decision loop, offline policies apply their
+// static split.
 func (s *System) Consolidate(fg, bg string, policy Policy) (ConsolidationReport, error) {
 	fp, err := workload.ByName(fg)
 	if err != nil {
@@ -162,37 +167,41 @@ func (s *System) Consolidate(fg, bg string, policy Policy) (ConsolidationReport,
 	if err != nil {
 		return ConsolidationReport{}, err
 	}
+	pol, err := partition.New(string(policy), nil)
+	if err != nil {
+		return ConsolidationReport{}, fmt.Errorf("core: unknown policy %q", policy)
+	}
 	alone := s.r.AloneHalf(fp).JobByName(fp.Name).Seconds
+	assoc := s.r.MachineConfig().Hier.LLC.Assoc
 
 	rep := ConsolidationReport{Fg: fp.Name, Bg: bp.Name, Policy: policy}
 	var res *machine.Result
-	switch policy {
-	case PolicyShared:
-		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp, Mode: sched.BackgroundLoop})
-	case PolicyFair:
-		rep.FgWays, rep.BgWays = 6, 6
-		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp, FgWays: 6, BgWays: 6,
-			Mode: sched.BackgroundLoop})
-	case PolicyBiased:
-		ch := partition.BestBiased(s.r, fp, bp)
+	switch searcher, _ := pol.(partition.Searcher); {
+	case searcher != nil:
+		ch := partition.BestSplit(s.r, searcher, fp, bp)
 		rep.FgWays, rep.BgWays = ch.FgWays, ch.BgWays
 		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp,
 			FgWays: ch.FgWays, BgWays: ch.BgWays, Mode: sched.BackgroundLoop})
-	case PolicyDynamic:
-		var ctl *partition.Controller
+	case pol.Online():
+		interval := partition.SamplingInterval(fp, s.r.Scale())
 		res = s.r.RunPair(sched.PairSpec{
 			Fg: fp, Bg: bp, Mode: sched.BackgroundLoop,
 			Setup: func(m *machine.Machine, fgJob, bgJob *machine.Job) {
-				cfg := partition.DefaultControllerConfig()
-				cfg.IntervalSeconds = partition.SamplingInterval(fp, s.r.Scale())
-				ctl = partition.Attach(m, fgJob, bgJob, cfg)
+				partition.AttachLoop(m, []partition.LoopJob{
+					{Job: fgJob, Cores: fgJob.Cores(), App: fp.Name, Latency: true},
+					{Job: bgJob, Cores: bgJob.Cores(), App: bp.Name},
+				}, pol, interval)
 			},
+			PolicyKey: partition.RunKey(pol, interval, []bool{true, false}),
 		})
-		rep.FgWays = ctl.FgWays()
-		rep.BgWays = 12 - ctl.FgWays()
-		rep.Reallocations = ctl.Reallocations()
+		if tr := res.Partition; tr != nil && len(tr.FinalWays) == 2 {
+			rep.FgWays, rep.BgWays = tr.FinalWays[0], tr.FinalWays[1]
+			rep.Reallocations = tr.Reallocations
+		}
 	default:
-		return ConsolidationReport{}, fmt.Errorf("core: unknown policy %q", policy)
+		rep.FgWays, rep.BgWays = partition.PairWays(pol, assoc)
+		res = s.r.RunPair(sched.PairSpec{Fg: fp, Bg: bp,
+			FgWays: rep.FgWays, BgWays: rep.BgWays, Mode: sched.BackgroundLoop})
 	}
 
 	fgJ := res.JobByName(fp.Name)

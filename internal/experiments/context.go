@@ -130,7 +130,7 @@ func pairMix(assoc int, fg, bg *workload.Profile, fgWays, bgWays int, once bool)
 		},
 	}
 	if fgWays > 0 || bgWays > 0 {
-		s.Partition.Policy = scenario.PartitionExplicit
+		s.Partition.Policy = scenario.PolicyRef{Name: scenario.PartitionExplicit}
 		s.Jobs[0].Ways = &[2]int{0, fgWays}
 		s.Jobs[1].Ways = &[2]int{assoc - bgWays, assoc}
 	}

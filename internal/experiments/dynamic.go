@@ -20,16 +20,17 @@ func (c *Context) controllerInterval(fg *workload.Profile) float64 {
 }
 
 // dynamicSpec builds the §6 controller run as a dynamic-policy
-// scenario compiled to a batchable spec. The attached controller is
-// stored through ctl (nil when the caller only needs the run result);
-// because such specs are never memoized, each batched run attaches its
-// own fresh controller, and RunBatch's completion barrier publishes
-// the write to the caller.
-func (c *Context) dynamicSpec(fg, bg *workload.Profile, ctl **partition.Controller) sched.Spec {
+// scenario compiled to a batchable spec. The attached decision loop is
+// stored through lp when the caller needs its MPKI/ways time series;
+// such specs are never memoized, so each batched run attaches its own
+// fresh loop and RunBatch's completion barrier publishes the write to
+// the caller. With lp nil the spec is memoizable under the policy's
+// run key, like any other shape.
+func (c *Context) dynamicSpec(fg, bg *workload.Profile, lp **partition.Loop) sched.Spec {
 	cfg := c.R.MachineConfig()
 	s := pairMix(cfg.Hier.LLC.Assoc, fg, bg, 0, 0, false)
-	s.Partition.Policy = scenario.PartitionDynamic
-	mix, err := s.CompileDynamic(cfg, c.R.Scale(), ctl)
+	s.Partition.Policy = scenario.PolicyRef{Name: scenario.PartitionDynamic}
+	mix, err := s.CompileOnline(cfg, c.R.Scale(), lp)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
@@ -37,11 +38,12 @@ func (c *Context) dynamicSpec(fg, bg *workload.Profile, ctl **partition.Controll
 }
 
 // RunDynamic co-schedules fg and bg with the §6 controller attached and
-// returns the run result plus the controller (for its MPKI/ways trace).
-func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Controller) {
-	var ctl *partition.Controller
-	res := c.R.Run(c.dynamicSpec(fg, bg, &ctl))
-	return res, ctl
+// returns the run result plus the decision loop (for its MPKI/ways
+// trace).
+func (c *Context) RunDynamic(fg, bg *workload.Profile) (*machine.Result, *partition.Loop) {
+	var lp *partition.Loop
+	res := c.R.Run(c.dynamicSpec(fg, bg, &lp))
+	return res, lp
 }
 
 // Fig12Phases reproduces Figure 12: 429.mcf's MPKI over time under each
@@ -72,7 +74,7 @@ func (c *Context) Fig12Phases() *Table {
 	// back in allocation order.
 	allocs := []int{2, 3, 5, 7, 9, 11}
 	samplers := make([]*perfmon.Sampler, len(allocs))
-	var ctl *partition.Controller
+	var ctl *partition.Loop
 	specs := make([]sched.Spec, 0, len(allocs)+1)
 	for i, w := range allocs {
 		specs = append(specs, sched.PairSpec{

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/partition"
 	"repro/internal/workload"
 )
 
@@ -150,11 +149,11 @@ func TestFig9PoliciesOrdering(t *testing.T) {
 	}
 	// Biased is chosen to minimize fg degradation: its average cannot be
 	// meaningfully worse than shared.
-	if res.Avg[partition.Biased] > res.Avg[partition.Shared]+0.02 {
+	if res.Avg["biased"] > res.Avg["shared"]+0.02 {
 		t.Fatalf("biased avg %v worse than shared %v",
-			res.Avg[partition.Biased], res.Avg[partition.Shared])
+			res.Avg["biased"], res.Avg["shared"])
 	}
-	if res.Worst[partition.Biased] > res.Worst[partition.Shared]+0.02 {
+	if res.Worst["biased"] > res.Worst["shared"]+0.02 {
 		t.Fatal("biased worst exceeds shared worst")
 	}
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"repro/internal/partition"
 	"repro/internal/stats"
 )
 
@@ -30,19 +29,19 @@ func (c *Context) Headline() *HeadlineResult {
 	r := &HeadlineResult{}
 
 	fig9 := c.Fig9StaticPolicies()
-	r.AvgSlowdownShared = fig9.Avg[partition.Shared] - 1
-	r.WorstSlowdownShared = fig9.Worst[partition.Shared] - 1
-	r.AvgSlowdownBiased = fig9.Avg[partition.Biased] - 1
-	r.WorstSlowdownBiased = fig9.Worst[partition.Biased] - 1
+	r.AvgSlowdownShared = fig9.Avg["shared"] - 1
+	r.WorstSlowdownShared = fig9.Worst["shared"] - 1
+	r.AvgSlowdownBiased = fig9.Avg["biased"] - 1
+	r.WorstSlowdownBiased = fig9.Worst["biased"] - 1
 
 	_, _, outcomes := c.Fig10and11Consolidation()
 	var eShared, eBiased, wShared, wBiased []float64
 	for _, o := range outcomes {
 		switch o.Policy {
-		case partition.Shared:
+		case "shared":
 			eShared = append(eShared, o.RelSocketEnergy)
 			wShared = append(wShared, o.WeightedSpeedup)
-		case partition.Biased:
+		case "biased":
 			eBiased = append(eBiased, o.RelSocketEnergy)
 			wBiased = append(wBiased, o.WeightedSpeedup)
 		}

@@ -108,7 +108,7 @@ func names(apps []*workload.Profile) []string {
 // PolicyOutcome is one (pair, policy) measurement.
 type PolicyOutcome struct {
 	Fg, Bg       string
-	Policy       partition.Policy
+	Policy       string  // partition policy name
 	FgSlowdown   float64 // vs fg alone on 2 cores
 	BgIterations float64 // background progress during the fg run
 	FgWays       int     // static allocation used (0 = shared)
@@ -123,8 +123,8 @@ var _ = biasedKey{}
 type Fig9Result struct {
 	Table    *Table
 	Outcomes []PolicyOutcome
-	// Avg and worst fg slowdown per policy.
-	Avg, Worst map[partition.Policy]float64
+	// Avg and worst fg slowdown per policy name.
+	Avg, Worst map[string]float64
 	Biased     map[biasedKey]partition.BiasedChoice
 }
 
@@ -133,11 +133,11 @@ type Fig9Result struct {
 // representatives.
 func (c *Context) Fig9StaticPolicies() *Fig9Result {
 	res := &Fig9Result{
-		Avg:    map[partition.Policy]float64{},
-		Worst:  map[partition.Policy]float64{},
+		Avg:    map[string]float64{},
+		Worst:  map[string]float64{},
 		Biased: map[biasedKey]partition.BiasedChoice{},
 	}
-	sums := map[partition.Policy][]float64{}
+	sums := map[string][]float64{}
 
 	t := &Table{Title: "Figure 9: fg slowdown by policy (pairs Ci+Cj of Table 3 representatives)",
 		Columns: []string{"pair", "shared", "fair", "biased", "biased ways"}}
@@ -166,23 +166,23 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 			for _, pol := range partition.StaticPolicies() {
 				var fgW, bgW int
 				var choice partition.BiasedChoice
-				if pol == partition.Biased {
+				if _, ok := pol.(partition.Searcher); ok {
 					choice = partition.BestBiased(c.R, fg, bg)
 					res.Biased[biasedKey{fg.Name, bg.Name}] = choice
 					fgW, bgW = choice.FgWays, choice.BgWays
 					biasedWays = fgW
 				} else {
-					fgW, bgW = partition.StaticWays(pol, assoc, nil)
+					fgW, bgW = partition.PairWays(pol, assoc)
 				}
 				pair := c.R.Run(c.pairRun(fg, bg, fgW, bgW, false))
 				sd := pair.JobByName(fg.Name).Seconds / alone
 				res.Outcomes = append(res.Outcomes, PolicyOutcome{
-					Fg: fg.Name, Bg: bg.Name, Policy: pol,
+					Fg: fg.Name, Bg: bg.Name, Policy: pol.Name(),
 					FgSlowdown:   sd,
 					BgIterations: pair.JobByName(bg.Name).Iterations,
 					FgWays:       fgW,
 				})
-				sums[pol] = append(sums[pol], sd)
+				sums[pol.Name()] = append(sums[pol.Name()], sd)
 				row = append(row, fmt.Sprintf("%.3f", sd))
 			}
 			row = append(row, fmt.Sprintf("%d", biasedWays))
@@ -194,9 +194,9 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 		res.Worst[pol] = stats.Max(xs)
 	}
 	t.Note("avg slowdown: shared %s, fair %s, biased %s (paper: +5.9%%, +6.1%%, +2.3%%)",
-		pct(res.Avg[partition.Shared]), pct(res.Avg[partition.Fair]), pct(res.Avg[partition.Biased]))
+		pct(res.Avg["shared"]), pct(res.Avg["fair"]), pct(res.Avg["biased"]))
 	t.Note("worst: shared %s, fair %s, biased %s (paper: +34.5%%, +16.3%%, +7.4%%)",
-		pct(res.Worst[partition.Shared]), pct(res.Worst[partition.Fair]), pct(res.Worst[partition.Biased]))
+		pct(res.Worst["shared"]), pct(res.Worst["fair"]), pct(res.Worst["biased"]))
 	res.Table = t
 	return res
 }
@@ -205,7 +205,7 @@ func (c *Context) Fig9StaticPolicies() *Fig9Result {
 // for Figures 10 and 11.
 type ConsolidationOutcome struct {
 	A, B            string
-	Policy          partition.Policy
+	Policy          string  // partition policy name
 	RelSocketEnergy float64 // consolidated / sequential
 	WeightedSpeedup float64 // sum of per-app alone(8thr)/together speedups
 }
@@ -219,8 +219,8 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 	w := &Table{Title: "Figure 11: weighted speedup vs sequential execution",
 		Columns: []string{"pair", "shared", "fair", "biased"}}
 	var outcomes []ConsolidationOutcome
-	sumsE := map[partition.Policy][]float64{}
-	sumsW := map[partition.Policy][]float64{}
+	sumsE := map[string][]float64{}
+	sumsW := map[string][]float64{}
 	assoc := 12
 
 	// Stage 1: sequential baselines, biased searches, and the shared and
@@ -263,22 +263,22 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 			rowW := []string{rowE[0]}
 			for _, pol := range partition.StaticPolicies() {
 				var fgW, bgW int
-				if pol == partition.Biased {
+				if _, ok := pol.(partition.Searcher); ok {
 					ch := partition.BestBiased(c.R, a, b)
 					fgW, bgW = ch.FgWays, ch.BgWays
 				} else {
-					fgW, bgW = partition.StaticWays(pol, assoc, nil)
+					fgW, bgW = partition.PairWays(pol, assoc)
 				}
 				pair := c.R.Run(c.pairRun(a, b, fgW, bgW, true))
 				relE := pair.Energy.SocketJoules / seqEnergy
 				ws := aAlone/pair.JobByName(a.Name).Seconds +
 					bAlone/pair.JobByName(b.Name).Seconds
 				outcomes = append(outcomes, ConsolidationOutcome{
-					A: a.Name, B: b.Name, Policy: pol,
+					A: a.Name, B: b.Name, Policy: pol.Name(),
 					RelSocketEnergy: relE, WeightedSpeedup: ws,
 				})
-				sumsE[pol] = append(sumsE[pol], relE)
-				sumsW[pol] = append(sumsW[pol], ws)
+				sumsE[pol.Name()] = append(sumsE[pol.Name()], relE)
+				sumsW[pol.Name()] = append(sumsW[pol.Name()], ws)
 				rowE = append(rowE, fmt.Sprintf("%.3f", relE))
 				rowW = append(rowW, fmt.Sprintf("%.3f", ws))
 			}
@@ -287,8 +287,8 @@ func (c *Context) Fig10and11Consolidation() (*Table, *Table, []ConsolidationOutc
 		}
 	}
 	e.Note("avg relative energy: shared %.3f, fair %.3f, biased %.3f (paper biased: 0.88, i.e. 12%% saving, max 37%%)",
-		stats.Mean(sumsE[partition.Shared]), stats.Mean(sumsE[partition.Fair]), stats.Mean(sumsE[partition.Biased]))
+		stats.Mean(sumsE["shared"]), stats.Mean(sumsE["fair"]), stats.Mean(sumsE["biased"]))
 	w.Note("avg weighted speedup: shared %.2f, fair %.2f, biased %.2f (paper biased: 1.60, i.e. +60%%)",
-		stats.Mean(sumsW[partition.Shared]), stats.Mean(sumsW[partition.Fair]), stats.Mean(sumsW[partition.Biased]))
+		stats.Mean(sumsW["shared"]), stats.Mean(sumsW["fair"]), stats.Mean(sumsW["biased"]))
 	return e, w, outcomes
 }

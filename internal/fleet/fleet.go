@@ -13,9 +13,12 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/loadgen"
+	"repro/internal/partition"
 	"repro/internal/workload"
 )
 
@@ -48,18 +51,26 @@ func Policies() []PolicyName {
 	return []PolicyName{SpreadIdle, PackPartition, UtilTarget}
 }
 
-// PartitionMode selects how a co-located machine manages its LLC.
+// PartitionMode names the partition policy of co-located machines: any
+// policy in the partition registry. The legacy mode constants below
+// remain the common choices; dispatch is entirely through the policy
+// interface, so a newly registered policy (e.g. utility) works in
+// fleet scenarios with no fleet-layer change.
 type PartitionMode string
 
 const (
 	// PartShared leaves co-located machines unpartitioned.
 	PartShared PartitionMode = "shared"
 	// PartBiased gives the request the protective static split found
-	// by the exhaustive way search (the default).
+	// by the exhaustive way search (the default). In the fleet the
+	// biased policy defaults to its foreground-protective rule
+	// (partition.PickForForeground) unless partition_params overrides.
 	PartBiased PartitionMode = "biased"
 	// PartDynamic attaches the §6 online controller to every
 	// co-location episode.
 	PartDynamic PartitionMode = "dynamic"
+	// PartUtility runs UCP-style utility partitioning per episode.
+	PartUtility PartitionMode = "utility"
 )
 
 // Def is the fleet block of a scenario file: the machine pool, the
@@ -79,9 +90,13 @@ type Def struct {
 	// Policies lists the consolidation policies to evaluate on the
 	// identical trace (default: all of them).
 	Policies []PolicyName `json:"policies,omitempty"`
-	// Partition is the LLC mode of co-located machines: biased
-	// (default), shared, or dynamic.
+	// Partition is the LLC policy of co-located machines: any
+	// registered partition policy name (default biased, in its
+	// foreground-protective form).
 	Partition PartitionMode `json:"partition,omitempty"`
+	// PartitionParams optionally parameterizes the partition policy
+	// (the scenario layer's policy params block).
+	PartitionParams json.RawMessage `json:"partition_params,omitempty"`
 	// SlowdownLimit is pack-partition's acceptance threshold: a
 	// co-location is accepted only if the partition-protected request
 	// slowdown stays within it (default 1.15).
@@ -118,6 +133,75 @@ func (d *Def) partition() PartitionMode {
 		return PartBiased
 	}
 	return d.Partition
+}
+
+// policy resolves the fleet's partition mode through the registry. The
+// biased default keeps its historical fleet meaning — the protective
+// Figure 13 rule — unless partition_params picks another.
+func (d *Def) policy() (partition.Policy, error) {
+	params := d.PartitionParams
+	if d.partition() == PartBiased {
+		// The fleet's biased default is the protective Figure 13 rule;
+		// inject it whenever the params block does not pick one itself
+		// (an empty or rule-less block must not silently flip to the
+		// background rule). Malformed params pass through untouched so
+		// the factory reports them.
+		var m map[string]json.RawMessage
+		if len(params) == 0 || json.Unmarshal(params, &m) == nil {
+			if m == nil {
+				m = map[string]json.RawMessage{}
+			}
+			if _, ok := m["rule"]; !ok {
+				m["rule"] = json.RawMessage(`"foreground"`)
+				if enc, err := json.Marshal(m); err == nil {
+					params = enc
+				}
+			}
+		}
+	}
+	name := string(d.partition())
+	p, err := partition.New(name, params)
+	if err != nil {
+		for _, n := range partition.Names() {
+			if n == name { // known policy, bad params
+				return nil, fmt.Errorf("fleet: partition mode %s: %w", name, err)
+			}
+		}
+		return nil, fmt.Errorf("fleet: unknown partition mode %q (registered: %s)",
+			name, strings.Join(partition.Names(), ", "))
+	}
+	// Every co-location episode is the two-job pair shape; reject
+	// policies whose shape rules cannot hold there. Assoc is not known
+	// until the oracle resolves the platform, so assoc-dependent rules
+	// are re-checked there through checkEpisodeShape.
+	if err := p.CheckMix(episodeSnapshot(0)); err != nil {
+		return nil, fmt.Errorf("fleet: partition mode %s: %w", d.partition(), err)
+	}
+	if name == "explicit" {
+		// Explicit takes per-job declared way ranges; fleet episodes
+		// declare none, so the mode would silently run as shared.
+		return nil, fmt.Errorf("fleet: partition mode explicit needs per-job way ranges, which fleet episodes cannot declare (use shared, fair, biased, dynamic, or utility)")
+	}
+	return p, nil
+}
+
+// episodeSnapshot is the co-location episode's shape as the policy
+// layer sees it: a latency request over a batch occupant. assoc 0 =
+// platform not yet known.
+func episodeSnapshot(assoc int) *partition.Snapshot {
+	return &partition.Snapshot{Assoc: assoc, Jobs: []partition.JobView{{Latency: true}, {}}}
+}
+
+// checkEpisodeShape re-validates the partition policy against the real
+// LLC geometry once the oracle has resolved the platform — the fleet
+// analogue of the scenario planner's plan-time CheckMix, turning bad
+// assoc-dependent params (e.g. utility min_ways too large) into a
+// descriptive error instead of a mid-run panic.
+func (d *Def) checkEpisodeShape(p partition.Policy, assoc int) error {
+	if err := p.CheckMix(episodeSnapshot(assoc)); err != nil {
+		return fmt.Errorf("fleet: partition mode %s: %w", d.partition(), err)
+	}
+	return nil
 }
 
 func (d *Def) slowdownLimit() float64 {
@@ -179,10 +263,8 @@ func (d *Def) Validate() error {
 		}
 		seen[p] = true
 	}
-	switch d.partition() {
-	case PartShared, PartBiased, PartDynamic:
-	default:
-		return fmt.Errorf("fleet: unknown partition mode %q (want shared, biased, or dynamic)", d.Partition)
+	if _, err := d.policy(); err != nil {
+		return err
 	}
 	if d.SlowdownLimit < 0 || (d.SlowdownLimit > 0 && d.SlowdownLimit < 1) {
 		return fmt.Errorf("fleet: slowdown_limit must be >= 1, got %v", d.SlowdownLimit)

@@ -227,3 +227,64 @@ func TestSpreadNeverColocatesUnderLoad(t *testing.T) {
 		t.Errorf("saturated pool shows no queueing (p99 %.3f)", pr.P99)
 	}
 }
+
+// TestFleetRejectsExplicitPartition: fleet episodes declare no per-job
+// way ranges, so the explicit policy cannot be expressed — it must be
+// rejected by name rather than silently running as shared.
+func TestFleetRejectsExplicitPartition(t *testing.T) {
+	def := testDef()
+	def.Partition = "explicit"
+	err := def.Validate()
+	if err == nil || !strings.Contains(err.Error(), "explicit needs per-job way ranges") {
+		t.Fatalf("explicit partition mode: err %v", err)
+	}
+}
+
+// TestFleetBadPolicyParamsErrorNotPanic: assoc-dependent param errors
+// (utility min_ways too large for the 12-way LLC) pass name-level
+// validation but must surface as a descriptive Run error once the
+// platform is known — never a mid-run panic after simulation work.
+func TestFleetBadPolicyParamsErrorNotPanic(t *testing.T) {
+	def := testDef()
+	def.Partition = PartUtility
+	def.PartitionParams = []byte(`{"min_ways": 7}`)
+	if err := def.Validate(); err != nil {
+		t.Fatalf("Validate cannot know the geometry yet: %v", err)
+	}
+	r := sched.New(sched.Options{Scale: testScale})
+	_, err := Run(r, "bad-params", def)
+	if err == nil || !strings.Contains(err.Error(), "utility policy cannot give 2 jobs 7 way(s) each of 12") {
+		t.Fatalf("bad params: err %v", err)
+	}
+}
+
+// TestFleetBiasedRuleDefault: the fleet's biased mode keeps its
+// protective foreground rule even when a params block is present but
+// rule-less — only an explicit rule may override it.
+func TestFleetBiasedRuleDefault(t *testing.T) {
+	for _, params := range []string{"", "{}"} {
+		def := testDef()
+		def.Partition = PartBiased
+		if params != "" {
+			def.PartitionParams = []byte(params)
+		}
+		p, err := def.policy()
+		if err != nil {
+			t.Fatalf("params %q: %v", params, err)
+		}
+		if p.KeyParams() != "rule=foreground" {
+			t.Errorf("params %q: biased resolved as %s{%s}, want the protective rule",
+				params, p.Name(), p.KeyParams())
+		}
+	}
+	def := testDef()
+	def.Partition = PartBiased
+	def.PartitionParams = []byte(`{"rule": "background"}`)
+	p, err := def.policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.KeyParams() != "" {
+		t.Errorf("explicit background rule overridden: %s{%s}", p.Name(), p.KeyParams())
+	}
+}

@@ -82,3 +82,63 @@ func TestFleet50Golden(t *testing.T) {
 		t.Errorf("fleet output drifted from golden\n--- want ---\n%s\n--- got ---\n%s", want, got)
 	}
 }
+
+// TestFleetUtility50 pins the shipped utility-partitioning example's
+// acceptance shape: the same trace under the utility policy
+// consolidates onto fewer machines than under a shared LLC — because
+// shared co-locations blow the 10% request-slowdown budget and get
+// rejected, while utility-partitioned ones pass — at a p99 within the
+// declared limit.
+func TestFleetUtility50(t *testing.T) {
+	s, err := scenario.ParseFile(filepath.Join("..", "..", "examples", "scenarios", "fleet-utility-50.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet.Partition != fleet.PartUtility {
+		t.Fatalf("example declares partition %q, want utility", s.Fleet.Partition)
+	}
+	// One runner for both modes: the alone baselines simulate once.
+	r := sched.New(sched.Options{Scale: quickScale})
+	util, err := fleet.Run(r, s.Name, s.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedDef := *s.Fleet
+	sharedDef.Partition = fleet.PartShared
+	shared, err := fleet.Run(r, s.Name+"-shared", &sharedDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pick := func(rep *fleet.Report, pol fleet.PolicyName) fleet.PolicyResult {
+		for _, pr := range rep.Results {
+			if pr.Policy == pol {
+				return pr
+			}
+		}
+		t.Fatalf("%s: no %s result", rep.Name, pol)
+		return fleet.PolicyResult{}
+	}
+	up := pick(util, fleet.PackPartition)
+	sp := pick(shared, fleet.PackPartition)
+
+	if up.MachinesUsed >= sp.MachinesUsed {
+		t.Errorf("utility pack-partition used %d machines, shared %d — utility should consolidate harder",
+			up.MachinesUsed, sp.MachinesUsed)
+	}
+	if limit := s.Fleet.SlowdownLimit; up.P99 > limit {
+		t.Errorf("utility pack-partition p99 %.3f exceeds the declared limit %.2f", up.P99, limit)
+	}
+	if up.Rejects != 0 {
+		t.Errorf("utility co-locations were rejected %d times; the curves should pass the check", up.Rejects)
+	}
+	if sp.Rejects == 0 {
+		t.Error("shared co-locations all passed the check — the example no longer demonstrates the contrast")
+	}
+	if up.Colocated == 0 {
+		t.Error("utility pack-partition never co-located")
+	}
+	if up.Reallocations == 0 {
+		t.Error("utility policy reported no reallocations — is the decision loop attached?")
+	}
+}

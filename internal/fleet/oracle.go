@@ -81,33 +81,56 @@ func (h halfMixes) aloneMix(app *workload.Profile) sched.MixSpec {
 }
 
 // pairMix is the §5 pair on the fleet's platform: the request on the
-// front cores (low ways when split), the batch occupant looping on the
-// back cores (high ways). w == 0 leaves the cache shared. Identical to
-// sched.PairSpec's mix on the default platform.
-func (h halfMixes) pairMix(fg, bg *workload.Profile, w int) sched.MixSpec {
+// front cores, the batch occupant looping on the back cores, each
+// bounded to the given way range ([0,0) = full cache). The w-split
+// convention of the sweep — request in the low ways, occupant in the
+// high ways — is splitRanges. Identical to sched.PairSpec's mix on the
+// default platform.
+func (h halfMixes) pairMix(fg, bg *workload.Profile, fgR, bgR [2]int) sched.MixSpec {
 	half := h.cfg.Cores / 2
-	assoc := h.cfg.Hier.LLC.Assoc
 	frontCores := make([]int, half)
 	backCores := make([]int, half)
 	for i := 0; i < half; i++ {
 		frontCores[i], backCores[i] = i, half+i
 	}
 	htPerHalf := half * h.cfg.ThreadsPerCore
-	var fgLim, bgFirst, bgLim int
-	if w > 0 {
-		fgLim = w
-		bgFirst, bgLim = w, assoc
-	}
 	return sched.MixSpec{
 		Jobs: []sched.MixJob{
 			{App: fg, Threads: sched.CapThreads(fg, htPerHalf),
-				Slots: h.cfg.SlotsForCores(frontCores...), Seed: "fg", WayLim: fgLim},
+				Slots: h.cfg.SlotsForCores(frontCores...), Seed: "fg",
+				WayFirst: fgR[0], WayLim: fgR[1]},
 			{App: bg, Threads: sched.CapThreads(bg, htPerHalf),
 				Slots: h.cfg.SlotsForCores(backCores...), Background: true,
-				Seed: "bg", WayFirst: bgFirst, WayLim: bgLim},
+				Seed: "bg", WayFirst: bgR[0], WayLim: bgR[1]},
 		},
 		Machine: h.machine(),
 	}
+}
+
+// splitRanges is the sweep convention: request ways [0, w), occupant
+// ways [w, assoc); w == 0 leaves the cache fully shared.
+func splitRanges(w, assoc int) (fgR, bgR [2]int) {
+	if w > 0 {
+		fgR = [2]int{0, w}
+		bgR = [2]int{w, assoc}
+	}
+	return fgR, bgR
+}
+
+// onlinePairMix is a co-location episode under an online policy: the
+// shared-cache pair with the policy's decision loop attached, keyed by
+// the policy's RunKey so episodes memoize and disk-cache without
+// aliasing across policies.
+func (h halfMixes) onlinePairMix(fg, bg *workload.Profile, pol partition.Policy, interval float64) sched.MixSpec {
+	mix := h.pairMix(fg, bg, [2]int{}, [2]int{})
+	mix.Setup = func(m *machine.Machine, jobs []*machine.Job) {
+		partition.AttachLoop(m, []partition.LoopJob{
+			{Job: jobs[0], Cores: jobs[0].Cores(), App: fg.Name, Latency: true},
+			{Job: jobs[1], Cores: jobs[1].Cores(), App: bg.Name},
+		}, pol, interval)
+	}
+	mix.PolicyKey = partition.RunKey(pol, interval, []bool{true, false})
+	return mix
 }
 
 // buildOracle plans and executes every simulation the fleet run needs
@@ -155,36 +178,41 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 		specs = append(specs, h.aloneMix(apps[name]))
 	}
 
-	mode := d.partition()
+	// Per (fg, bg) pair, the specs the fleet's partition policy needs:
+	// a Searcher sweeps every uneven split, an online policy runs one
+	// loop-attached episode, and an offline policy runs the single
+	// static split its Decide picks for the pair shape. All dispatch is
+	// through the policy interface — a newly registered policy needs no
+	// fleet change.
+	pol, err := d.policy()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkEpisodeShape(pol, assoc); err != nil {
+		return nil, err
+	}
+	searcher, _ := pol.(partition.Searcher)
 	pairAt := map[string]int{} // first spec index of the pair's runs
-	// Dynamic episodes run concurrently across the batch workers; each
-	// Setup hook publishes its controller into its own slot (distinct
-	// memory, made visible by the batch's completion barrier).
-	ctlSlot := map[string]int{}
-	ctls := make([]*partition.Controller, 0, len(fgs)*len(bgs))
 	for _, fg := range fgs {
 		for _, bg := range bgs {
-			key := pairKey(fg, bg)
-			pairAt[key] = len(specs)
-			switch mode {
-			case PartBiased:
+			pairAt[pairKey(fg, bg)] = len(specs)
+			switch {
+			case searcher != nil:
 				for w := 1; w < assoc; w++ {
-					specs = append(specs, h.pairMix(apps[fg], apps[bg], w))
+					fgR, bgR := splitRanges(w, assoc)
+					specs = append(specs, h.pairMix(apps[fg], apps[bg], fgR, bgR))
 				}
-			case PartShared:
-				specs = append(specs, h.pairMix(apps[fg], apps[bg], 0))
-			case PartDynamic:
-				mix := h.pairMix(apps[fg], apps[bg], 0)
+			case pol.Online():
 				interval := partition.SamplingInterval(apps[fg], r.Scale())
-				ctlSlot[key] = len(ctls)
-				ctls = append(ctls, nil)
-				slot := &ctls[len(ctls)-1]
-				mix.Setup = func(m *machine.Machine, jobs []*machine.Job) {
-					ccfg := partition.DefaultControllerConfig()
-					ccfg.IntervalSeconds = interval
-					*slot = partition.AttachCores(m, jobs[0], jobs[1].Cores(), ccfg)
+				specs = append(specs, h.onlinePairMix(apps[fg], apps[bg], pol, interval))
+			default:
+				fgW, bgW := partition.PairWays(pol, assoc)
+				fgR, bgR := [2]int{}, [2]int{}
+				if fgW > 0 || bgW > 0 {
+					fgR = [2]int{0, fgW}
+					bgR = [2]int{assoc - bgW, assoc}
 				}
-				specs = append(specs, mix)
+				specs = append(specs, h.pairMix(apps[fg], apps[bg], fgR, bgR))
 			}
 		}
 	}
@@ -207,11 +235,12 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 			fgAlone := o.alone[fg].Seconds
 			var res *machine.Result
 			var fgWays, reallocs int
-			switch mode {
-			case PartBiased:
-				// The protective choice: minimum request degradation,
-				// ties toward the larger request share (Figure 13's
-				// best-static-for-the-foreground rule).
+			switch {
+			case searcher != nil:
+				// The policy's selection rule over the measured sweep;
+				// the fleet default is the protective Figure 13 rule
+				// (minimum request degradation, ties toward the larger
+				// request share).
 				cands := make([]partition.Candidate, assoc-1)
 				for w := 1; w < assoc; w++ {
 					sw := results[at+w-1]
@@ -221,13 +250,19 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 						BgThroughput: sw.Jobs[1].Iterations,
 					}
 				}
-				fgWays = cands[partition.PickForForeground(cands)].FgWays
+				fgWays = cands[searcher.Pick(cands)].FgWays
 				res = results[at+fgWays-1]
-			case PartShared:
+			case pol.Online():
 				res = results[at]
-			case PartDynamic:
+				if tr := res.Partition; tr != nil {
+					reallocs = tr.Reallocations
+					if len(tr.FinalWays) > 0 {
+						fgWays = tr.FinalWays[0]
+					}
+				}
+			default:
 				res = results[at]
-				reallocs = ctls[ctlSlot[key]].Reallocations()
+				fgWays, _ = partition.PairWays(pol, assoc)
 			}
 			o.pair[key] = pairPerf{
 				FgSeconds:  res.Jobs[0].Seconds,

@@ -172,10 +172,14 @@ func (r *Report) String() string {
 	tabtext.WriteAligned(&sb, rows)
 	sb.WriteString("(mach = machines powered; socket/ED2 price those machines only;\n" +
 		" p50/p95/p99 = request slowdown vs alone, queueing included)\n")
-	if r.Def.partition() == PartDynamic {
+	if pol, err := r.Def.policy(); err == nil && pol.Online() {
+		label := string(r.Def.partition()) + " policy"
+		if r.Def.partition() == PartDynamic {
+			label = "dynamic controller"
+		}
 		for _, pr := range r.Results {
-			fmt.Fprintf(&sb, "dynamic controller under %s: %d reallocations across %d co-located requests\n",
-				pr.Policy, pr.Reallocations, pr.Colocated)
+			fmt.Fprintf(&sb, "%s under %s: %d reallocations across %d co-located requests\n",
+				label, pr.Policy, pr.Reallocations, pr.Colocated)
 		}
 	}
 	return sb.String()

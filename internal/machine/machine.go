@@ -180,6 +180,10 @@ type Machine struct {
 	// follows it).
 	reservedBy []*Job
 
+	// partSrc, if set, is polled once at result collection for the
+	// online partition policy's activity summary (see PartitionTrace).
+	partSrc func() *PartitionTrace
+
 	epochs uint64
 }
 
@@ -206,6 +210,13 @@ func New(cfg Config) *Machine {
 // Hierarchy exposes the cache system (partition policies set way masks
 // through it; experiments read its statistics).
 func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// SetPartitionSource registers fn to be polled once when the run's
+// Result is collected. The online partition-policy loop reports its
+// activity this way, so policy traces live in the Result — pure data
+// that survives memoization and the persistent store — rather than
+// only in live controller state.
+func (m *Machine) SetPartitionSource(fn func() *PartitionTrace) { m.partSrc = fn }
 
 // Config returns the platform configuration.
 func (m *Machine) Config() Config { return m.cfg }

@@ -71,12 +71,31 @@ type JobResult struct {
 	DRAMBytes    float64
 }
 
+// PartitionTrace summarizes an online partition policy's activity over
+// a run. It lives in the Result (rather than in live controller state)
+// so policy-driven runs stay pure functions of their spec: a memoized
+// or disk-cached result reports the same reallocation count and final
+// allocation as the run that produced it.
+type PartitionTrace struct {
+	// Policy is the registered policy name that drove the run.
+	Policy string `json:"policy"`
+	// Reallocations counts the decision points at which the applied
+	// allocation changed (including the initial grant, if it differed
+	// from the power-on full-cache state).
+	Reallocations int `json:"reallocations"`
+	// FinalWays is each job's way count at run end, in job order.
+	FinalWays []int `json:"final_ways,omitempty"`
+}
+
 // Result is the outcome of one Machine.Run.
 type Result struct {
 	WindowSeconds float64
 	Jobs          []JobResult
 	Usage         energy.Usage
 	Energy        energy.Report
+	// Partition carries the online partition policy's activity summary
+	// (nil when no online policy was attached).
+	Partition *PartitionTrace `json:",omitempty"`
 }
 
 // JobByName returns the result entry for the named job. It panics if the
@@ -129,6 +148,9 @@ func (m *Machine) collect() *Result {
 
 	res.Usage = m.usage(windowCycles)
 	res.Energy = m.cfg.Energy.Price(res.Usage)
+	if m.partSrc != nil {
+		res.Partition = m.partSrc()
+	}
 	return res
 }
 

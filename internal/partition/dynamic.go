@@ -1,18 +1,21 @@
 package partition
 
 import (
+	"encoding/json"
+	"strconv"
+
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/perfmon"
 	"repro/internal/workload"
 )
 
-// SamplingInterval sizes the controller's sampling period the way the
-// paper's 100 ms relates to its multi-minute runs: a fixed number of
-// decision intervals per foreground execution. Every caller that
-// attaches the controller (experiment drivers, the core API, scenario
-// runs) derives the interval from this one rule so their dynamic runs
-// are directly comparable.
+// SamplingInterval sizes the decision loop's sampling period the way
+// the paper's 100 ms relates to its multi-minute runs: a fixed number
+// of decision intervals per foreground execution. Every caller that
+// attaches an online policy (experiment drivers, the core API,
+// scenario runs, fleet episodes) derives the interval from this one
+// rule so their runs are directly comparable.
 func SamplingInterval(fg *workload.Profile, scale float64) float64 {
 	const intervalsPerRun = 500
 	estSeconds := fg.Instructions * scale * 1.5 / 3.4e9
@@ -73,6 +76,84 @@ func DefaultControllerConfig() ControllerConfig {
 	}
 }
 
+// keyParams renders the algorithm parameters canonically for memo keys
+// (the sampling interval is appended separately by RunKey).
+func (c ControllerConfig) keyParams() string {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, "t1="...)
+	buf = strconv.AppendFloat(buf, c.THR1, 'g', -1, 64)
+	buf = append(buf, ",t2="...)
+	buf = strconv.AppendFloat(buf, c.THR2, 'g', -1, 64)
+	buf = append(buf, ",t3="...)
+	buf = strconv.AppendFloat(buf, c.THR3, 'g', -1, 64)
+	buf = append(buf, ",min="...)
+	buf = strconv.AppendInt(buf, int64(c.MinFgWays), 10)
+	buf = append(buf, ",max="...)
+	buf = strconv.AppendInt(buf, int64(c.MaxFgWays), 10)
+	buf = append(buf, ",a="...)
+	buf = strconv.AppendFloat(buf, c.EWMAAlpha, 'g', -1, 64)
+	buf = append(buf, ",cd="...)
+	buf = strconv.AppendInt(buf, int64(c.ShrinkCooldown), 10)
+	return string(buf)
+}
+
+func init() {
+	Register("dynamic", "online §6 controller: phase detection plus gradual reclamation of latency-job ways",
+		func(params json.RawMessage) (Policy, error) {
+			var p struct {
+				THR1     *float64 `json:"thr1"`
+				THR2     *float64 `json:"thr2"`
+				THR3     *float64 `json:"thr3"`
+				MinWays  *int     `json:"min_ways"`
+				MaxWays  *int     `json:"max_ways"`
+				EWMA     *float64 `json:"ewma"`
+				Cooldown *int     `json:"cooldown"`
+			}
+			if err := decodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			cfg := DefaultControllerConfig()
+			setF := func(dst *float64, v *float64) {
+				if v != nil {
+					*dst = *v
+				}
+			}
+			setI := func(dst *int, v *int) {
+				if v != nil {
+					*dst = *v
+				}
+			}
+			setF(&cfg.THR1, p.THR1)
+			setF(&cfg.THR2, p.THR2)
+			setF(&cfg.THR3, p.THR3)
+			setI(&cfg.MinFgWays, p.MinWays)
+			setI(&cfg.MaxFgWays, p.MaxWays)
+			setF(&cfg.EWMAAlpha, p.EWMA)
+			setI(&cfg.ShrinkCooldown, p.Cooldown)
+			return dynamicPolicy{cfg: cfg}, nil
+		})
+}
+
+// dynamicPolicy is the registered §6 policy: an immutable configuration
+// whose Instance spawns the per-run controller state.
+type dynamicPolicy struct {
+	cfg ControllerConfig
+}
+
+func (dynamicPolicy) Name() string        { return "dynamic" }
+func (p dynamicPolicy) KeyParams() string { return p.cfg.keyParams() }
+func (dynamicPolicy) Online() bool        { return true }
+func (p dynamicPolicy) Instance() Policy  { return &dynamicRun{cfg: p.cfg} }
+func (dynamicPolicy) CheckMix(s *Snapshot) error {
+	return needOneLatency("dynamic", s)
+}
+
+// Decide on the shared prototype only ever sees plan-time snapshots
+// (the loop drives a fresh Instance); it reports the initial grant.
+func (p dynamicPolicy) Decide(s *Snapshot) []cache.WayMask {
+	return p.Instance().Decide(s)
+}
+
 // phase-detection states (Algorithm 6.1 return values).
 const (
 	phaseStable   = 0 // steady state, or a phase change just finished
@@ -80,18 +161,15 @@ const (
 	phaseStarted  = 2 // a new phase just started
 )
 
-// Controller implements Algorithms 6.1 and 6.2: it monitors the
-// foreground job's interval MPKI, grants the foreground the maximum
-// allocation when a phase change is detected, then gradually shrinks
-// the allocation until shrinking hurts (MPKI rises), giving the
-// reclaimed ways to the background.
-type Controller struct {
-	cfg     ControllerConfig
-	m       *machine.Machine
-	fgCores []int
-	bgCores []int
-	assoc   int
-	es      *perfmon.EventSet
+// dynamicRun is one run's controller state, implementing Algorithms 6.1
+// and 6.2: it monitors the latency job's interval MPKI, grants it the
+// maximum allocation when a phase change is detected, then gradually
+// shrinks the allocation until shrinking hurts (MPKI rises), giving the
+// reclaimed ways to everyone else.
+type dynamicRun struct {
+	cfg   ControllerConfig
+	assoc int
+	ready bool
 
 	avgMPKI  float64
 	haveAvg  bool
@@ -104,80 +182,51 @@ type Controller struct {
 	havePrev    bool
 	cooldown    int // stable intervals until the next shrink is allowed
 	fgWays      int
-
-	samples  []perfmon.Sample
-	reallocs int
 }
 
-// Attach installs a controller on a machine before Run: it registers
-// the sampling ticker and applies the initial allocation (foreground
-// maximal, background the remainder).
-func Attach(m *machine.Machine, fg, bg *machine.Job, cfg ControllerConfig) *Controller {
-	return AttachCores(m, fg, bg.Cores(), cfg)
+func (*dynamicRun) Name() string        { return "dynamic" }
+func (d *dynamicRun) KeyParams() string { return d.cfg.keyParams() }
+func (*dynamicRun) Online() bool        { return true }
+func (d *dynamicRun) Instance() Policy  { return &dynamicRun{cfg: d.cfg} }
+func (d *dynamicRun) CheckMix(s *Snapshot) error {
+	return needOneLatency("dynamic", s)
 }
 
-// AttachCores is Attach for multiple background peers: all listed cores
-// share the background partition and contend within it, the §6.3
-// multi-peer extension.
-func AttachCores(m *machine.Machine, fg *machine.Job, bgCores []int, cfg ControllerConfig) *Controller {
-	if cfg.IntervalSeconds <= 0 {
-		panic("partition: controller needs a positive sampling interval")
+// Decide returns the current split: plan-time snapshots get the initial
+// maximal grant; live snapshots advance the state machine by one
+// sampling interval first.
+func (d *dynamicRun) Decide(s *Snapshot) []cache.WayMask {
+	fg := s.latencyIndex()
+	if fg < 0 {
+		panic("partition: dynamic policy without a single latency job (CheckMix should have rejected this)")
 	}
-	assoc := m.Config().Hier.LLC.Assoc
-	if cfg.MaxFgWays <= 0 || cfg.MaxFgWays >= assoc {
-		cfg.MaxFgWays = assoc - 1
+	if !d.ready {
+		d.assoc = s.Assoc
+		if d.cfg.MaxFgWays <= 0 || d.cfg.MaxFgWays >= d.assoc {
+			d.cfg.MaxFgWays = d.assoc - 1
+		}
+		if d.cfg.MinFgWays < 1 {
+			d.cfg.MinFgWays = 1
+		}
+		d.fgWays = d.cfg.MaxFgWays
+		d.phaseStarts = true
+		d.ready = true
 	}
-	if cfg.MinFgWays < 1 {
-		cfg.MinFgWays = 1
+	if s.Live {
+		d.step(s.Jobs[fg].MPKI)
 	}
-	c := &Controller{
-		cfg:     cfg,
-		m:       m,
-		fgCores: fg.Cores(),
-		bgCores: bgCores,
-		assoc:   assoc,
-		es:      perfmon.Open(m, fg),
-	}
-	c.setFgWays(cfg.MaxFgWays)
-	c.phaseStarts = true
-	m.RegisterTicker(cfg.IntervalSeconds, c.tick)
-	return c
+	return splitMasks(len(s.Jobs), fg, d.fgWays, d.assoc)
 }
 
-// FgWays returns the current foreground allocation in ways.
-func (c *Controller) FgWays() int { return c.fgWays }
-
-// Reallocations returns how many times the controller changed the
-// allocation (a measure of its overhead).
-func (c *Controller) Reallocations() int { return c.reallocs }
-
-// Samples returns the recorded MPKI/allocation time series (Figure 12's
-// "Dynamic" trace).
-func (c *Controller) Samples() []perfmon.Sample { return c.samples }
-
-// setFgWays applies a new split: foreground cores replace in the low
-// ways, background cores in the remaining high ways. No data is flushed
-// (the mechanism only affects replacement), matching the prototype.
-func (c *Controller) setFgWays(w int) {
+// setFgWays clamps and records a new target allocation.
+func (d *dynamicRun) setFgWays(w int) {
 	if w < 1 {
 		w = 1
 	}
-	if w > c.assoc-1 {
-		w = c.assoc - 1
+	if w > d.assoc-1 {
+		w = d.assoc - 1
 	}
-	if w == c.fgWays {
-		return
-	}
-	c.fgWays = w
-	c.reallocs++
-	fgMask := cache.MaskFirstN(w)
-	bgMask := cache.MaskRange(w, c.assoc)
-	for _, core := range c.fgCores {
-		c.m.Hierarchy().SetWayMask(core, fgMask)
-	}
-	for _, core := range c.bgCores {
-		c.m.Hierarchy().SetWayMask(core, bgMask)
-	}
+	d.fgWays = w
 }
 
 // relDelta returns |a-b| relative to the larger magnitude, with a floor
@@ -200,50 +249,42 @@ func relDelta(a, b float64) float64 {
 }
 
 // phaseDet is Algorithm 6.1.
-func (c *Controller) phaseDet(cur float64) int {
-	if !c.haveAvg {
-		c.avgMPKI = cur
-		c.haveAvg = true
+func (d *dynamicRun) phaseDet(cur float64) int {
+	if !d.haveAvg {
+		d.avgMPKI = cur
+		d.haveAvg = true
 		return phaseStable
 	}
-	if !c.newPhase {
-		if relDelta(c.avgMPKI, cur) > c.cfg.THR1 {
-			c.newPhase = true
-			c.avgMPKI = cur // restart the running average in the new phase
+	if !d.newPhase {
+		if relDelta(d.avgMPKI, cur) > d.cfg.THR1 {
+			d.newPhase = true
+			d.avgMPKI = cur // restart the running average in the new phase
 			return phaseStarted
 		}
-	} else if relDelta(c.avgMPKI, cur) < c.cfg.THR2 {
-		c.newPhase = false // phase change just finished
+	} else if relDelta(d.avgMPKI, cur) < d.cfg.THR2 {
+		d.newPhase = false // phase change just finished
 	}
-	c.avgMPKI = (1-c.cfg.EWMAAlpha)*c.avgMPKI + c.cfg.EWMAAlpha*cur
-	if c.newPhase {
+	d.avgMPKI = (1-d.cfg.EWMAAlpha)*d.avgMPKI + d.cfg.EWMAAlpha*cur
+	if d.newPhase {
 		return phaseChanging
 	}
 	return phaseStable
 }
 
-// tick is Algorithm 6.2, run once per sampling interval.
-func (c *Controller) tick(now float64) {
-	d := c.es.ReadInterval()
-	if d.Instructions <= 0 {
-		return
-	}
-	cur := d.MPKI()
-	c.samples = append(c.samples, perfmon.Sample{
-		Seconds: now, MPKI: cur, Ways: c.fgWays,
-	})
+// step is Algorithm 6.2, run once per sampling interval with the
+// latency job's interval MPKI.
+func (d *dynamicRun) step(cur float64) {
+	flattened := d.havePrev && relDelta(d.prevMPKI, cur) < d.cfg.THR3
+	d.prevMPKI = cur
+	d.havePrev = true
 
-	flattened := c.havePrev && relDelta(c.prevMPKI, cur) < c.cfg.THR3
-	c.prevMPKI = cur
-	c.havePrev = true
-
-	switch det := c.phaseDet(cur); {
+	switch det := d.phaseDet(cur); {
 	case det == phaseStarted:
-		c.phaseStarts = true
-		c.haveBase = false
-		c.havePrev = false
-		c.setFgWays(c.cfg.MaxFgWays)
-	case det == phaseStable && c.phaseStarts:
+		d.phaseStarts = true
+		d.haveBase = false
+		d.havePrev = false
+		d.setFgWays(d.cfg.MaxFgWays)
+	case det == phaseStable && d.phaseStarts:
 		// Track the phase's best (minimum) MPKI: right after a grant
 		// the working set is still warming, so early readings are
 		// inflated; the minimum is the honest yardstick. Paper
@@ -251,11 +292,11 @@ func (c *Controller) tick(now float64) {
 		// reduced scale leftover data in deallocated ways hides shrink
 		// damage for many intervals ("allowing too much shrinkage",
 		// §6.3), so we anchor against this cumulative baseline instead.
-		if !c.haveBase || cur < c.baseMPKI {
-			c.baseMPKI = cur
-			c.haveBase = true
+		if !d.haveBase || cur < d.baseMPKI {
+			d.baseMPKI = cur
+			d.haveBase = true
 		}
-		hurt := cur > c.baseMPKI && relDelta(c.baseMPKI, cur) >= c.cfg.THR3
+		hurt := cur > d.baseMPKI && relDelta(d.baseMPKI, cur) >= d.cfg.THR3
 		// An MPKI this low cannot justify holding capacity: reclaim
 		// without waiting for the series to flatten.
 		trivial := cur < 3.0
@@ -266,29 +307,29 @@ func (c *Controller) tick(now float64) {
 		case hurt:
 			// MPKI rose above the phase floor: give back capacity and
 			// settle.
-			c.setFgWays(minInt(c.fgWays+2, c.cfg.MaxFgWays))
-			c.phaseStarts = false
+			d.setFgWays(minInt(d.fgWays+2, d.cfg.MaxFgWays))
+			d.phaseStarts = false
 		case !flattened:
 			// Still warming (MPKI moving): no shrink decisions yet.
-		case c.cooldown > 0:
-			c.cooldown--
-		case c.fgWays > c.cfg.MinFgWays:
-			c.setFgWays(c.fgWays - 1)
-			c.cooldown = c.cfg.ShrinkCooldown
+		case d.cooldown > 0:
+			d.cooldown--
+		case d.fgWays > d.cfg.MinFgWays:
+			d.setFgWays(d.fgWays - 1)
+			d.cooldown = d.cfg.ShrinkCooldown
 		default:
-			c.phaseStarts = false // hold at the floor
+			d.phaseStarts = false // hold at the floor
 		}
-	case det == phaseStable && !c.phaseStarts && c.haveBase:
+	case det == phaseStable && !d.phaseStarts && d.haveBase:
 		// Settled, but leftover data in deallocated ways may only now
 		// be getting evicted by the co-runner: if MPKI stays elevated
 		// well above the phase baseline, treat it as the phase change
 		// the paper promises ("as soon as another application evicts
 		// the leftover data, a phase change will be detected") and
 		// re-grant the maximum.
-		if cur > c.baseMPKI && relDelta(c.baseMPKI, cur) >= c.cfg.THR1 {
-			c.phaseStarts = true
-			c.haveBase = false
-			c.setFgWays(c.cfg.MaxFgWays)
+		if cur > d.baseMPKI && relDelta(d.baseMPKI, cur) >= d.cfg.THR1 {
+			d.phaseStarts = true
+			d.haveBase = false
+			d.setFgWays(d.cfg.MaxFgWays)
 		}
 	}
 }
@@ -299,3 +340,44 @@ func minInt(a, b int) int {
 	}
 	return b
 }
+
+// Controller is the dynamic policy's legacy handle: Attach/AttachCores
+// install the policy through the shared decision loop and return one,
+// exposing the live allocation, the reallocation count, and the MPKI
+// time series behind Figure 12.
+type Controller struct {
+	loop *Loop
+}
+
+// Attach installs the §6 controller on a machine before Run: it
+// registers the decision loop and applies the initial allocation
+// (foreground maximal, background the remainder).
+func Attach(m *machine.Machine, fg, bg *machine.Job, cfg ControllerConfig) *Controller {
+	return AttachCores(m, fg, bg.Cores(), cfg)
+}
+
+// AttachCores is Attach for multiple background peers: all listed cores
+// share the background partition and contend within it, the §6.3
+// multi-peer extension.
+func AttachCores(m *machine.Machine, fg *machine.Job, bgCores []int, cfg ControllerConfig) *Controller {
+	if cfg.IntervalSeconds <= 0 {
+		panic("partition: controller needs a positive sampling interval")
+	}
+	jobs := []LoopJob{
+		{Job: fg, Cores: fg.Cores(), Latency: true, App: fg.Name()},
+		{Cores: bgCores},
+	}
+	loop := AttachLoop(m, jobs, dynamicPolicy{cfg: cfg}, cfg.IntervalSeconds)
+	return &Controller{loop: loop}
+}
+
+// FgWays returns the current foreground allocation in ways.
+func (c *Controller) FgWays() int { return c.loop.WaysOf(c.loop.Monitored()) }
+
+// Reallocations returns how many times the controller changed the
+// allocation (a measure of its overhead).
+func (c *Controller) Reallocations() int { return c.loop.Reallocations() }
+
+// Samples returns the recorded MPKI/allocation time series (Figure 12's
+// "Dynamic" trace).
+func (c *Controller) Samples() []perfmon.Sample { return c.loop.Samples() }

@@ -1,7 +1,12 @@
-// Package partition implements the paper's LLC management policies:
-// the three static schemes of §5.2 (shared, fair, biased) and the
-// dynamic utility-driven controller of §6 (phase detection, Algorithm
-// 6.1, and way reallocation, Algorithm 6.2).
+// Package partition implements the paper's LLC management policies as
+// a pluggable layer: a Policy interface with a package-level registry
+// (shared, fair, biased, explicit, dynamic, utility ship registered),
+// the shared online decision loop every monitoring policy runs under,
+// the §5.2 exhaustive biased search, and the §6 dynamic controller
+// (phase detection, Algorithm 6.1, and way reallocation, Algorithm
+// 6.2). The scenario, fleet, experiment, and core layers all dispatch
+// through the registry, so adding a policy is one file in this package
+// plus a Register call — no run-layer edits.
 package partition
 
 import (
@@ -11,43 +16,6 @@ import (
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
-
-// Policy names a cache-management scheme.
-type Policy int
-
-// The policies evaluated in §5-§6.
-const (
-	// Shared leaves the LLC unpartitioned: both applications may
-	// replace in all ways.
-	Shared Policy = iota
-	// Fair splits the ways evenly between foreground and background.
-	Fair
-	// Biased gives each side an uneven static split, chosen by
-	// exhaustive search to first minimize foreground degradation and
-	// then maximize background throughput.
-	Biased
-	// Dynamic runs the online controller of §6.
-	Dynamic
-)
-
-// String returns the paper's name for the policy.
-func (p Policy) String() string {
-	switch p {
-	case Shared:
-		return "shared"
-	case Fair:
-		return "fair"
-	case Biased:
-		return "biased"
-	case Dynamic:
-		return "dynamic"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
-	}
-}
-
-// Policies returns the three static policies in presentation order.
-func StaticPolicies() []Policy { return []Policy{Shared, Fair, Biased} }
 
 // BiasedChoice records the outcome of the exhaustive biased search for
 // one application pair.
@@ -175,21 +143,27 @@ func searchCandidates(r *sched.Runner, assoc int, fg *workload.Profile, bgs []*w
 	return cands
 }
 
-// BestBiased exhaustively evaluates every uneven split (foreground gets
+// BestSplit exhaustively evaluates every uneven split (foreground gets
 // w ways, the background peers share the remaining assoc-w, for w in
 // [1, assoc-1]) with the backgrounds running continuously, and returns
-// the best choice. The splits run as one batch across the engine's
-// workers.
-func BestBiased(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
+// the choice the searcher's selection rule picks. The splits run as
+// one batch across the engine's workers.
+func BestSplit(r *sched.Runner, s Searcher, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
 	assoc := llcAssoc(r)
 	cands := searchCandidates(r, assoc, fg, bgs)
-	ch := cands[PickBiased(cands)]
+	ch := cands[s.Pick(cands)]
 	return BiasedChoice{
 		FgWays:       ch.FgWays,
 		BgWays:       assoc - ch.FgWays,
 		FgSlowdown:   ch.FgSlowdown,
 		BgThroughput: ch.BgThroughput,
 	}
+}
+
+// BestBiased is BestSplit under the default biased rule (§5.2: minimum
+// foreground degradation, ties broken by background throughput).
+func BestBiased(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
+	return BestSplit(r, biasedPolicy{}, fg, bgs...)
 }
 
 // BestForForeground returns the static allocation that is best for the
@@ -199,15 +173,7 @@ func BestBiased(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile)
 // foreground application"), distinct from BestBiased's background-aware
 // tie-break used in Figure 9.
 func BestForForeground(r *sched.Runner, fg *workload.Profile, bgs ...*workload.Profile) BiasedChoice {
-	assoc := llcAssoc(r)
-	cands := searchCandidates(r, assoc, fg, bgs)
-	ch := cands[PickForForeground(cands)]
-	return BiasedChoice{
-		FgWays:       ch.FgWays,
-		BgWays:       assoc - ch.FgWays,
-		FgSlowdown:   ch.FgSlowdown,
-		BgThroughput: ch.BgThroughput,
-	}
+	return BestSplit(r, biasedPolicy{protective: true}, fg, bgs...)
 }
 
 // SplitWays divides assoc ways into n contiguous disjoint shares, the
@@ -230,24 +196,6 @@ func SplitWays(assoc, n int) [][2]int {
 		first += w
 	}
 	return out
-}
-
-// StaticWays returns the (fgWays, bgWays) for a static policy; the
-// biased split must be found with BestBiased first and passed in.
-func StaticWays(p Policy, assoc int, biased *BiasedChoice) (int, int) {
-	switch p {
-	case Shared:
-		return 0, 0
-	case Fair:
-		return assoc / 2, assoc - assoc/2
-	case Biased:
-		if biased == nil {
-			panic("partition: Biased policy requires a BestBiased result")
-		}
-		return biased.FgWays, biased.BgWays
-	default:
-		panic("partition: StaticWays on non-static policy " + p.String())
-	}
 }
 
 func llcAssoc(r *sched.Runner) int {

@@ -8,47 +8,29 @@ import (
 )
 
 func TestPolicyNames(t *testing.T) {
-	for p, want := range map[Policy]string{
-		Shared: "shared", Fair: "fair", Biased: "biased", Dynamic: "dynamic",
-	} {
-		if p.String() != want {
-			t.Errorf("%d.String() = %q", p, p.String())
+	for _, want := range []string{"shared", "fair", "biased", "dynamic", "explicit", "utility"} {
+		p, err := New(want, nil)
+		if err != nil {
+			t.Fatalf("New(%q): %v", want, err)
+		}
+		if p.Name() != want {
+			t.Errorf("New(%q).Name() = %q", want, p.Name())
 		}
 	}
 }
 
-func TestStaticWays(t *testing.T) {
-	if f, b := StaticWays(Shared, 12, nil); f != 0 || b != 0 {
+func TestPairWays(t *testing.T) {
+	if f, b := PairWays(MustNew("shared", nil), 12); f != 0 || b != 0 {
 		t.Fatalf("shared ways = %d,%d", f, b)
 	}
-	if f, b := StaticWays(Fair, 12, nil); f != 6 || b != 6 {
+	if f, b := PairWays(MustNew("fair", nil), 12); f != 6 || b != 6 {
 		t.Fatalf("fair ways = %d,%d", f, b)
-	}
-	ch := &BiasedChoice{FgWays: 9, BgWays: 3}
-	if f, b := StaticWays(Biased, 12, ch); f != 9 || b != 3 {
-		t.Fatalf("biased ways = %d,%d", f, b)
-	}
-}
-
-func TestStaticWaysPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { StaticWays(Biased, 12, nil) },
-		func() { StaticWays(Dynamic, 12, nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
 	}
 }
 
 func TestStaticPoliciesOrder(t *testing.T) {
 	ps := StaticPolicies()
-	if len(ps) != 3 || ps[0] != Shared || ps[1] != Fair || ps[2] != Biased {
+	if len(ps) != 3 || ps[0].Name() != "shared" || ps[1].Name() != "fair" || ps[2].Name() != "biased" {
 		t.Fatalf("StaticPolicies() = %v", ps)
 	}
 }

@@ -1,0 +1,183 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// decodeParams unmarshals a params block into dst, rejecting unknown
+// fields so typos in scenario files fail loudly. A nil/empty block
+// leaves dst at its defaults.
+func decodeParams(params json.RawMessage, dst any) error {
+	if len(params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(params))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+func init() {
+	Register("shared", "unpartitioned LLC: every job may replace in all ways (§5.2)",
+		func(params json.RawMessage) (Policy, error) {
+			if err := decodeParams(params, &struct{}{}); err != nil {
+				return nil, err
+			}
+			return sharedPolicy{}, nil
+		})
+	Register("fair", "even static way split across all jobs (§5.2)",
+		func(params json.RawMessage) (Policy, error) {
+			if err := decodeParams(params, &struct{}{}); err != nil {
+				return nil, err
+			}
+			return fairPolicy{}, nil
+		})
+	Register("explicit", "per-job declared way ranges, verbatim",
+		func(params json.RawMessage) (Policy, error) {
+			if err := decodeParams(params, &struct{}{}); err != nil {
+				return nil, err
+			}
+			return explicitPolicy{}, nil
+		})
+	Register("biased", "exhaustive uneven-split search protecting the latency job (§5.2)",
+		func(params json.RawMessage) (Policy, error) {
+			var p struct {
+				Rule string `json:"rule"`
+			}
+			if err := decodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			switch p.Rule {
+			case "", "background":
+				return biasedPolicy{}, nil
+			case "foreground":
+				return biasedPolicy{protective: true}, nil
+			default:
+				return nil, fmt.Errorf("unknown rule %q (want background or foreground)", p.Rule)
+			}
+		})
+}
+
+// sharedPolicy leaves the LLC unpartitioned.
+type sharedPolicy struct{}
+
+func (sharedPolicy) Name() string             { return "shared" }
+func (sharedPolicy) KeyParams() string        { return "" }
+func (sharedPolicy) Online() bool             { return false }
+func (sharedPolicy) CheckMix(*Snapshot) error { return nil }
+func (p sharedPolicy) Instance() Policy       { return p }
+func (sharedPolicy) Decide(s *Snapshot) []cache.WayMask {
+	return make([]cache.WayMask, len(s.Jobs)) // all zero: full cache
+}
+
+// fairPolicy splits the ways evenly across all jobs (earliest jobs
+// absorb the remainder, via SplitWays).
+type fairPolicy struct{}
+
+func (fairPolicy) Name() string       { return "fair" }
+func (fairPolicy) KeyParams() string  { return "" }
+func (fairPolicy) Online() bool       { return false }
+func (p fairPolicy) Instance() Policy { return p }
+
+func (fairPolicy) CheckMix(s *Snapshot) error {
+	if s.Assoc > 0 && len(s.Jobs) > s.Assoc {
+		return fmt.Errorf("fair split of %d ways across %d jobs (at most one way each)",
+			s.Assoc, len(s.Jobs))
+	}
+	return nil
+}
+
+func (fairPolicy) Decide(s *Snapshot) []cache.WayMask {
+	masks := make([]cache.WayMask, len(s.Jobs))
+	for i, r := range SplitWays(s.Assoc, len(s.Jobs)) {
+		masks[i] = cache.MaskRange(r[0], r[1])
+	}
+	return masks
+}
+
+// explicitPolicy applies each job's declared way range verbatim.
+type explicitPolicy struct{}
+
+func (explicitPolicy) Name() string       { return "explicit" }
+func (explicitPolicy) KeyParams() string  { return "" }
+func (explicitPolicy) Online() bool       { return false }
+func (p explicitPolicy) Instance() Policy { return p }
+
+func (explicitPolicy) CheckMix(s *Snapshot) error {
+	for i := range s.Jobs {
+		d := s.Jobs[i].Declared
+		if d == [2]int{} {
+			continue
+		}
+		if d[0] < 0 || d[0] >= d[1] || (s.Assoc > 0 && d[1] > s.Assoc) {
+			return fmt.Errorf("job %s: way range [%d,%d) invalid for a %d-way LLC",
+				s.Jobs[i].App, d[0], d[1], s.Assoc)
+		}
+	}
+	return nil
+}
+
+func (explicitPolicy) Decide(s *Snapshot) []cache.WayMask {
+	masks := make([]cache.WayMask, len(s.Jobs))
+	for i := range s.Jobs {
+		if d := s.Jobs[i].Declared; d != [2]int{} {
+			masks[i] = cache.MaskRange(d[0], d[1])
+		}
+	}
+	return masks
+}
+
+// biasedPolicy is the exhaustive §5.2 search: the latency job gets w
+// ways, every other job shares the remainder, and the run layer sweeps
+// w while the policy picks the winner. The default rule is the Figure 9
+// criterion (minimum latency-job degradation, ties broken by co-runner
+// throughput); protective selects the Figure 13 rule (ties broken
+// toward the larger latency share), the fleet's co-location check.
+type biasedPolicy struct {
+	protective bool
+}
+
+func (biasedPolicy) Name() string { return "biased" }
+func (p biasedPolicy) KeyParams() string {
+	if p.protective {
+		return "rule=foreground"
+	}
+	return ""
+}
+func (biasedPolicy) Online() bool       { return false }
+func (p biasedPolicy) Instance() Policy { return p }
+
+func (biasedPolicy) CheckMix(s *Snapshot) error {
+	return needOneLatency("biased", s)
+}
+
+// Decide at plan time leaves the cache whole: the split is found by the
+// measured sweep and selected through Pick.
+func (biasedPolicy) Decide(s *Snapshot) []cache.WayMask {
+	return make([]cache.WayMask, len(s.Jobs))
+}
+
+// Pick selects the winning sweep candidate under the configured rule.
+func (p biasedPolicy) Pick(cands []Candidate) int {
+	if p.protective {
+		return PickForForeground(cands)
+	}
+	return PickBiased(cands)
+}
+
+// needOneLatency is the shape rule the latency-centric policies share.
+func needOneLatency(name string, s *Snapshot) error {
+	n := 0
+	for i := range s.Jobs {
+		if s.Jobs[i].Latency {
+			n++
+		}
+	}
+	if n != 1 {
+		return fmt.Errorf("the %s policy needs exactly one latency job, got %d", name, n)
+	}
+	return nil
+}

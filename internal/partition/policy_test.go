@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestRegistryUnknownName pins the error text the CLI and scenario
+// layers surface for a typo'd policy name.
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := New("warp", nil)
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown partition policy "warp"`) {
+		t.Errorf("error %q does not name the unknown policy", msg)
+	}
+	for _, name := range []string{"shared", "fair", "biased", "explicit", "dynamic", "utility"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list registered policy %s", msg, name)
+		}
+	}
+}
+
+// TestRegistryDuplicatePanics: two packages claiming one name is a
+// programming error that must fail loudly at init, not resolve by
+// load order.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("shared", "imposter", func(json.RawMessage) (Policy, error) {
+		return sharedPolicy{}, nil
+	})
+}
+
+// TestPolicyParams: params reach the factory, render canonically into
+// KeyParams (so memo keys distinguish parameterizations), and unknown
+// param fields are rejected.
+func TestPolicyParams(t *testing.T) {
+	u, err := New("utility", json.RawMessage(`{"min_ways": 2, "sample_shift": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.KeyParams(); got != "min=2,ss=4,d=0.5" {
+		t.Errorf("utility KeyParams = %q", got)
+	}
+	def := MustNew("utility", nil)
+	if def.KeyParams() == u.KeyParams() {
+		t.Error("default and custom utility params render identical key params")
+	}
+	lat := []bool{true, false}
+	if RunKey(def, 1e-5, lat) == RunKey(u, 1e-5, lat) {
+		t.Error("distinct parameterizations share a run key")
+	}
+	if RunKey(def, 1e-5, lat) == RunKey(def, 2e-5, lat) {
+		t.Error("distinct intervals share a run key")
+	}
+	if RunKey(def, 1e-5, lat) == RunKey(MustNew("dynamic", nil), 1e-5, lat) {
+		t.Error("distinct policies share a run key")
+	}
+	// The latency-role vector is a decision-loop input the mix's own
+	// key fields do not carry: flipping which job is monitored must
+	// change the key, or role-swapped runs would alias in the cache.
+	if RunKey(def, 1e-5, []bool{true, false}) == RunKey(def, 1e-5, []bool{false, true}) {
+		t.Error("role-swapped runs share a run key")
+	}
+
+	if _, err := New("utility", json.RawMessage(`{"min_ways": 0}`)); err == nil {
+		t.Error("min_ways 0 accepted")
+	}
+	if _, err := New("utility", json.RawMessage(`{"min_weighs": 2}`)); err == nil {
+		t.Error("unknown param field accepted")
+	}
+	if _, err := New("biased", json.RawMessage(`{"rule": "sideways"}`)); err == nil {
+		t.Error("unknown biased rule accepted")
+	}
+
+	d, err := New("dynamic", json.RawMessage(`{"thr1": 0.5, "cooldown": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp := d.KeyParams(); !strings.Contains(kp, "t1=0.5") || !strings.Contains(kp, "cd=4") {
+		t.Errorf("dynamic KeyParams %q lost its overrides", kp)
+	}
+}
+
+// TestBiasedRules: the two selection rules pick differently on a
+// candidate set where the minimum-slowdown tie breaks apart.
+func TestBiasedRules(t *testing.T) {
+	cands := []Candidate{
+		{FgWays: 1, FgSlowdown: 1.001, BgThroughput: 9},
+		{FgWays: 6, FgSlowdown: 1.000, BgThroughput: 5},
+		{FgWays: 11, FgSlowdown: 1.001, BgThroughput: 1},
+	}
+	bg := MustNew("biased", nil).(Searcher)
+	fgp := MustNew("biased", json.RawMessage(`{"rule": "foreground"}`)).(Searcher)
+	if got := cands[bg.Pick(cands)].FgWays; got != 1 {
+		t.Errorf("background rule picked %d ways, want 1 (max bg throughput within tie)", got)
+	}
+	if got := cands[fgp.Pick(cands)].FgWays; got != 11 {
+		t.Errorf("foreground rule picked %d ways, want 11 (largest share within tie)", got)
+	}
+}
+
+// TestValidateMasks covers the decision validator both ways.
+func TestValidateMasks(t *testing.T) {
+	if err := ValidateMasks(12, 2, []cache.WayMask{0, cache.MaskRange(0, 6)}); err != nil {
+		t.Errorf("valid masks rejected: %v", err)
+	}
+	if err := ValidateMasks(12, 3, []cache.WayMask{0, 0}); err == nil {
+		t.Error("mask-count mismatch accepted")
+	}
+	if err := ValidateMasks(12, 1, []cache.WayMask{cache.MaskRange(10, 14)}); err == nil {
+		t.Error("mask exceeding the LLC accepted")
+	}
+}
+
+// snapFromFuzz builds a deterministic snapshot from fuzz bytes: job
+// count, latency placement, declared ranges, and (for live snapshots)
+// counter readings all derive from the input.
+func snapFromFuzz(data []byte, assoc int, live bool) *Snapshot {
+	if len(data) == 0 {
+		data = []byte{1}
+	}
+	n := int(data[0])%assoc + 1
+	s := &Snapshot{Assoc: assoc, Live: live, Jobs: make([]JobView, n)}
+	byteAt := func(i int) int {
+		return int(data[i%len(data)])
+	}
+	for i := range s.Jobs {
+		jv := &s.Jobs[i]
+		jv.App = "app"
+		jv.Latency = i == byteAt(i+1)%n
+		lo := byteAt(i+2) % assoc
+		hi := lo + 1 + byteAt(i+3)%(assoc-lo)
+		jv.Declared = [2]int{lo, hi}
+		jv.Ways = assoc
+		if live {
+			jv.MPKI = float64(byteAt(i+4)) / 4
+			jv.Instructions = float64(byteAt(i + 5))
+			jv.Utility = make([]float64, assoc)
+			acc := 0.0
+			for w := range jv.Utility {
+				acc += float64(byteAt(i + 6 + w))
+				jv.Utility[w] = acc
+			}
+		}
+	}
+	return s
+}
+
+// FuzzDecideMasks: for every registered policy, any mix shape that
+// passes CheckMix must yield a Decide result that passes ValidateMasks
+// — the mask-side analogue of placements satisfying
+// machine.ValidateSlots — at plan time and across a run of live
+// intervals.
+func FuzzDecideMasks(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 9, 4})
+	f.Add([]byte{12, 200, 7})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const assoc = 12
+		for _, name := range Names() {
+			pol, err := New(name, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			plan := snapFromFuzz(data, assoc, false)
+			if pol.CheckMix(plan) != nil {
+				continue // shape legitimately rejected
+			}
+			run := pol.Instance()
+			masks := run.Decide(plan)
+			if err := ValidateMasks(assoc, len(plan.Jobs), masks); err != nil {
+				t.Errorf("%s plan decide: %v", name, err)
+			}
+			if !pol.Online() {
+				continue
+			}
+			live := snapFromFuzz(data, assoc, true)
+			for i := range live.Jobs {
+				live.Jobs[i].Ways = masks[i].Count()
+				if masks[i] == 0 {
+					live.Jobs[i].Ways = assoc
+				}
+			}
+			for tick := 0; tick < 5; tick++ {
+				masks = run.Decide(live)
+				if err := ValidateMasks(assoc, len(live.Jobs), masks); err != nil {
+					t.Fatalf("%s live decide tick %d: %v", name, tick, err)
+				}
+				for i := range live.Jobs {
+					live.Jobs[i].Ways = masks[i].Count()
+					if masks[i] == 0 {
+						live.Jobs[i].Ways = assoc
+					}
+				}
+			}
+		}
+	})
+}

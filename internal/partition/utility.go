@@ -1,0 +1,253 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/cache"
+)
+
+// utilityPolicy is utility-based cache partitioning in the UCP style
+// (Qureshi & Patt, MICRO'06 — the line of work the ISCA retrospectives
+// trace forward from this paper): each job's shadow utility monitor
+// estimates the demand hits it would obtain at every possible way
+// count, and at each sampling interval a lookahead greedy allocator
+// hands ways to whichever job currently buys the most additional hits
+// per way. Unlike the §6 dynamic controller it needs no latency job —
+// any mix partitions by measured utility — and unlike the biased
+// search it needs no offline sweep.
+type utilityPolicy struct {
+	// MinWays is the floor every job is granted before utility-driven
+	// assignment of the remainder.
+	MinWays int
+	// SampleShift is log2 of the UMON set-sampling stride.
+	SampleShift uint
+	// Decay ages the utility history each interval (UCP halves its
+	// counters for the same reason): the allocator bids with
+	// aged + fresh-interval hits, so a job whose demand faded stops
+	// out-bidding a job whose demand just arrived.
+	Decay float64
+}
+
+func init() {
+	Register("utility", "online UCP-style lookahead greedy allocation from shadow-monitor utility curves",
+		func(params json.RawMessage) (Policy, error) {
+			var p struct {
+				MinWays     *int     `json:"min_ways"`
+				SampleShift *uint    `json:"sample_shift"`
+				Decay       *float64 `json:"decay"`
+			}
+			if err := decodeParams(params, &p); err != nil {
+				return nil, err
+			}
+			pol := utilityPolicy{MinWays: 1, SampleShift: 5, Decay: 0.5}
+			if p.MinWays != nil {
+				pol.MinWays = *p.MinWays
+			}
+			if p.SampleShift != nil {
+				pol.SampleShift = *p.SampleShift
+			}
+			if p.Decay != nil {
+				pol.Decay = *p.Decay
+			}
+			if pol.MinWays < 1 {
+				return nil, fmt.Errorf("min_ways must be at least 1, got %d", pol.MinWays)
+			}
+			if pol.SampleShift > 12 {
+				return nil, fmt.Errorf("sample_shift %d too coarse (max 12)", pol.SampleShift)
+			}
+			if pol.Decay < 0 || pol.Decay >= 1 {
+				return nil, fmt.Errorf("decay must be in [0,1), got %v", pol.Decay)
+			}
+			return pol, nil
+		})
+}
+
+func (utilityPolicy) Name() string { return "utility" }
+
+func (p utilityPolicy) KeyParams() string {
+	return "min=" + strconv.Itoa(p.MinWays) +
+		",ss=" + strconv.FormatUint(uint64(p.SampleShift), 10) +
+		",d=" + strconv.FormatFloat(p.Decay, 'g', -1, 64)
+}
+
+func (utilityPolicy) Online() bool            { return true }
+func (p utilityPolicy) Instance() Policy      { return &utilityRun{utilityPolicy: p} }
+func (p utilityPolicy) UMONSampleShift() uint { return p.SampleShift }
+
+// utilityRun is one run's allocator state: the last cumulative curve
+// per job (to difference into per-interval hits) and the aged utility
+// each decision bids with.
+type utilityRun struct {
+	utilityPolicy
+	prev [][]float64 // last cumulative UMON curve per job
+	aged [][]float64 // decayed interval-hit history per job
+}
+
+func (r *utilityRun) Instance() Policy { return &utilityRun{utilityPolicy: r.utilityPolicy} }
+
+// Decide on a live snapshot ages the history, folds in this interval's
+// fresh hits, and allocates from the result.
+func (r *utilityRun) Decide(s *Snapshot) []cache.WayMask {
+	if !s.Live {
+		return r.utilityPolicy.Decide(s)
+	}
+	if r.prev == nil {
+		r.prev = make([][]float64, len(s.Jobs))
+		r.aged = make([][]float64, len(s.Jobs))
+	}
+	for i := range s.Jobs {
+		cur := s.Jobs[i].Utility
+		if len(cur) == 0 {
+			continue
+		}
+		if r.prev[i] == nil {
+			r.prev[i] = make([]float64, len(cur))
+			r.aged[i] = make([]float64, len(cur))
+		}
+		for w := range cur {
+			delta := cur[w] - r.prev[i][w]
+			if delta < 0 {
+				delta = 0
+			}
+			r.aged[i][w] = r.aged[i][w]*r.Decay + delta
+			r.prev[i][w] = cur[w]
+		}
+	}
+	return r.allocate(s, r.aged)
+}
+
+func (p utilityPolicy) CheckMix(s *Snapshot) error {
+	if len(s.Jobs) < 1 {
+		return fmt.Errorf("the utility policy needs at least one job")
+	}
+	if s.Assoc > 0 && len(s.Jobs)*p.MinWays > s.Assoc {
+		return fmt.Errorf("utility policy cannot give %d jobs %d way(s) each of %d",
+			len(s.Jobs), p.MinWays, s.Assoc)
+	}
+	return nil
+}
+
+// Decide on the shared prototype only ever sees plan-time snapshots
+// (the loop drives a fresh utilityRun): the initial split is the fair
+// one, refined once monitor data arrives.
+func (p utilityPolicy) Decide(s *Snapshot) []cache.WayMask {
+	if s.Live {
+		return p.Instance().Decide(s)
+	}
+	return fairPolicy{}.Decide(s)
+}
+
+// allocate runs lookahead greedy marginal utility over the given
+// per-job curves: every job starts from the MinWays floor and the
+// remaining ways go, one best block at a time, to the job whose curve
+// yields the highest utility per way. When the curves carry no signal
+// this interval the previous allocation is kept (a decision from
+// silence would only thrash).
+func (p utilityPolicy) allocate(s *Snapshot, curves [][]float64) []cache.WayMask {
+	n := len(s.Jobs)
+	total := 0.0
+	for i := range curves {
+		for _, v := range curves[i] {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return p.keepCurrent(s)
+	}
+
+	alloc := make([]int, n)
+	balance := s.Assoc
+	for i := range alloc {
+		alloc[i] = p.MinWays
+		balance -= p.MinWays
+	}
+	// Lookahead greedy (UCP Algorithm get_max_mu): a job whose curve is
+	// locally flat but rises later can still win by taking a block of k
+	// ways whose average utility beats everyone's single next way.
+	for balance > 0 {
+		best, bestK, bestMU := -1, 0, 0.0
+		for i := range curves {
+			u := curves[i]
+			if len(u) == 0 {
+				continue
+			}
+			base := curveAt(u, alloc[i])
+			maxK := balance
+			if rem := len(u) - alloc[i]; rem < maxK {
+				maxK = rem
+			}
+			for k := 1; k <= maxK; k++ {
+				mu := (curveAt(u, alloc[i]+k) - base) / float64(k)
+				if mu > bestMU {
+					best, bestK, bestMU = i, k, mu
+				}
+			}
+		}
+		if best < 0 {
+			// No job gains anything from more ways: park the surplus on
+			// the job with the most demand so masks still cover the
+			// cache deterministically.
+			best, bestK = busiest(curves), balance
+		}
+		alloc[best] += bestK
+		balance -= bestK
+	}
+
+	masks := make([]cache.WayMask, n)
+	first := 0
+	for i, w := range alloc {
+		masks[i] = cache.MaskRange(first, first+w)
+		first += w
+	}
+	return masks
+}
+
+// keepCurrent re-issues each job's current allocation unchanged,
+// falling back to the fair split if the current masks do not tile the
+// cache (e.g. everything still unrestricted).
+func (p utilityPolicy) keepCurrent(s *Snapshot) []cache.WayMask {
+	sum := 0
+	for i := range s.Jobs {
+		sum += s.Jobs[i].Ways
+	}
+	if sum != s.Assoc {
+		return fairPolicy{}.Decide(s)
+	}
+	masks := make([]cache.WayMask, len(s.Jobs))
+	first := 0
+	for i := range s.Jobs {
+		w := s.Jobs[i].Ways
+		masks[i] = cache.MaskRange(first, first+w)
+		first += w
+	}
+	return masks
+}
+
+// busiest returns the job with the most sampled utility (ties to the
+// lowest index), the deterministic sink for surplus ways.
+func busiest(curves [][]float64) int {
+	best, bestV := 0, -1.0
+	for i := range curves {
+		v := 0.0
+		if u := curves[i]; len(u) > 0 {
+			v = u[len(u)-1]
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// curveAt reads the cumulative curve at w ways (0 ways = 0 hits).
+func curveAt(u []float64, w int) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if w > len(u) {
+		w = len(u)
+	}
+	return u[w-1]
+}

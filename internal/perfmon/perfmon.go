@@ -5,7 +5,10 @@
 // Figure 12.
 package perfmon
 
-import "repro/internal/machine"
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
 
 // EventSet tracks one job's counters and produces interval deltas.
 type EventSet struct {
@@ -34,6 +37,35 @@ func (e *EventSet) ReadInterval() machine.JobCounters {
 func (e *EventSet) ReadTotal() machine.JobCounters {
 	return e.m.ReadCounters(e.job)
 }
+
+// UtilitySet tracks one job's marginal-utility curve: a shadow UMON
+// (cache.UMON) observing the job's demand LLC accesses on every core
+// it runs on. It is the utility policy's analogue of the MPKI event
+// set — perfmon owns the monitor plumbing, the policy layer only sees
+// the curve in its snapshot.
+type UtilitySet struct {
+	u *cache.UMON
+}
+
+// OpenUtility attaches a utility monitor to a job, sampling every
+// 2^sampleShift-th LLC set. Monitors are shadow-only: attaching one
+// never changes simulation results.
+func OpenUtility(m *machine.Machine, job *machine.Job, sampleShift uint) *UtilitySet {
+	h := m.Hierarchy()
+	u := cache.NewUMON(h.LLC().Config(), sampleShift)
+	for _, c := range job.Cores() {
+		h.AttachUMON(c, u)
+	}
+	return &UtilitySet{u: u}
+}
+
+// Curve writes the cumulative utility curve into dst (allocating when
+// nil or short) and returns it: dst[w-1] estimates the demand hits the
+// job would have achieved with w LLC ways.
+func (s *UtilitySet) Curve(dst []float64) []float64 { return s.u.Curve(dst) }
+
+// Accesses returns the sampled demand accesses the monitor observed.
+func (s *UtilitySet) Accesses() uint64 { return s.u.Accesses() }
 
 // Sample is one point of a sampled counter time series.
 type Sample struct {

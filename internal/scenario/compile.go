@@ -22,6 +22,9 @@ type Instance struct {
 	// WayFirst/WayLim is the static LLC range [WayFirst, WayLim);
 	// both zero = full cache.
 	WayFirst, WayLim int
+	// Declared is the job's explicitly declared way range, if any (the
+	// explicit policy's input; 0,0 = none).
+	Declared [2]int
 }
 
 // WaysLabel renders the instance's LLC range for reports: "all" for
@@ -170,35 +173,58 @@ func (s *Scenario) Plan(base machine.Config) (*Plan, error) {
 		insts[i].Threads = t
 	}
 
-	// Static way assignment.
-	assoc := cfg.Hier.LLC.Assoc
-	switch s.partitionPolicy() {
-	case PartitionShared, PartitionBiased, PartitionDynamic:
-		// Full cache at plan time; biased/dynamic splits are assigned
-		// by Run.
-	case PartitionFair:
-		if len(insts) > assoc {
-			return nil, fmt.Errorf("scenario %q: fair split of %d ways across %d jobs (at most one way each)",
-				s.Name, assoc, len(insts))
-		}
-		for i, r := range partition.SplitWays(assoc, len(insts)) {
-			insts[i].WayFirst, insts[i].WayLim = r[0], r[1]
-		}
-	case PartitionExplicit:
-		for i, p := range protos {
-			if p.def.Ways == nil {
-				continue
-			}
-			w := *p.def.Ways
-			if w[0] < 0 || w[0] >= w[1] || w[1] > assoc {
-				return nil, fmt.Errorf("scenario %q job %s: way range [%d,%d) invalid for a %d-way LLC",
-					s.Name, p.def.App, w[0], w[1], assoc)
-			}
-			insts[i].WayFirst, insts[i].WayLim = w[0], w[1]
+	// Record each job's declared way range (the explicit policy's
+	// input) on its instances.
+	for i, p := range protos {
+		if p.def.Ways != nil {
+			insts[i].Declared = *p.def.Ways
 		}
 	}
 
-	return &Plan{Scenario: s, Config: cfg, Overrides: override, Instances: insts}, nil
+	// Partition-policy way assignment. The policy re-validates against
+	// the real geometry, then offline policies decide the static ranges
+	// here; search (biased) and online (dynamic, utility) policies plan
+	// with the full cache and decide at run time.
+	assoc := cfg.Hier.LLC.Assoc
+	ppol, err := s.Policy()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	plan := &Plan{Scenario: s, Config: cfg, Overrides: override, Instances: insts}
+	snap := plan.snapshot()
+	if err := ppol.CheckMix(snap); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if _, search := ppol.(partition.Searcher); !search && !ppol.Online() {
+		masks := ppol.Decide(snap)
+		if err := partition.ValidateMasks(assoc, len(insts), masks); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		for i, m := range masks {
+			first, lim, ok := partition.RangeOfMask(m)
+			if !ok {
+				return nil, fmt.Errorf("scenario %q: policy %s produced non-contiguous mask %s for job %d",
+					s.Name, ppol.Name(), m, i)
+			}
+			insts[i].WayFirst, insts[i].WayLim = first, lim
+		}
+	}
+	return plan, nil
+}
+
+// snapshot renders the planned instances as the policy layer's
+// plan-time snapshot.
+func (p *Plan) snapshot() *partition.Snapshot {
+	snap := &partition.Snapshot{Assoc: p.Config.Hier.LLC.Assoc}
+	snap.Jobs = make([]partition.JobView, len(p.Instances))
+	for i, inst := range p.Instances {
+		snap.Jobs[i] = partition.JobView{
+			App:      inst.App.Name,
+			Latency:  inst.Role == RoleLatency,
+			Declared: inst.Declared,
+		}
+	}
+	return snap
 }
 
 // mix builds the runnable spec from the planned instances, with an
@@ -267,58 +293,96 @@ func (p *Plan) latencyIndex() int {
 	panic("scenario: no latency instance (Validate should have rejected this)")
 }
 
-// Compile builds the runnable, memoizable spec for a static-policy
-// scenario (shared, fair, explicit). Biased and dynamic scenarios need
-// the engine to search or control — run them with Run, or batch a
-// dynamic mix through CompileDynamic.
+// Compile builds the runnable, memoizable spec for an offline-policy
+// scenario (shared, fair, explicit). Search and online policies need
+// the engine to sweep or monitor — run them with Run, or batch an
+// online mix through CompileOnline.
 func (s *Scenario) Compile(base machine.Config) (sched.MixSpec, error) {
 	p, err := s.Plan(base)
 	if err != nil {
 		return sched.MixSpec{}, err
 	}
-	switch s.partitionPolicy() {
-	case PartitionBiased, PartitionDynamic:
+	pol, err := s.Policy()
+	if err != nil {
+		return sched.MixSpec{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if _, search := pol.(partition.Searcher); search || pol.Online() {
 		return sched.MixSpec{}, fmt.Errorf("scenario %q: the %s policy is engine-driven; use scenario.Run",
-			s.Name, s.partitionPolicy())
+			s.Name, pol.Name())
 	}
 	return p.mix(nil, nil), nil
 }
 
-// CompileDynamic builds the non-memoizable spec of a dynamic-policy
-// scenario: the mix plus a setup hook that attaches the §6 controller
-// monitoring the latency job, with every other job's cores sharing the
-// shrinking background partition. ctl, if non-nil, receives the
-// controller when the run starts (each batched execution attaches a
-// fresh one). Drivers use this to batch many dynamic runs in one
-// engine fan-out; scenario.Run uses it internally.
-func (s *Scenario) CompileDynamic(base machine.Config, scale float64, ctl **partition.Controller) (sched.MixSpec, error) {
+// CompileOnline builds the loop-attached spec of an online-policy
+// scenario (dynamic, utility, ...): the mix plus a setup hook that
+// attaches the policy's decision loop at the engine-conventional
+// sampling interval. With lp nil the spec is memoizable, keyed by the
+// policy's RunKey, so identical policy runs dedup and disk-cache like
+// any other shape; passing lp (receiving each attached run's live
+// loop, for its MPKI/allocation time series) keeps the run
+// non-memoized, since a cached result could not carry the series.
+// Drivers use this to batch many online runs in one engine fan-out;
+// scenario.Run uses it internally.
+func (s *Scenario) CompileOnline(base machine.Config, scale float64, lp **partition.Loop) (sched.MixSpec, error) {
 	p, err := s.Plan(base)
 	if err != nil {
 		return sched.MixSpec{}, err
 	}
-	if s.partitionPolicy() != PartitionDynamic {
-		return sched.MixSpec{}, fmt.Errorf("scenario %q: CompileDynamic on policy %s", s.Name, s.partitionPolicy())
+	pol, err := s.Policy()
+	if err != nil {
+		return sched.MixSpec{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	return p.dynamicMix(scale, ctl), nil
+	if !pol.Online() {
+		return sched.MixSpec{}, fmt.Errorf("scenario %q: CompileOnline on offline policy %s", s.Name, pol.Name())
+	}
+	return p.onlineMix(pol, scale, lp), nil
 }
 
-// dynamicMix builds the controller-attached mix of a planned dynamic
+// onlineMix builds the loop-attached mix of a planned online-policy
 // scenario.
-func (p *Plan) dynamicMix(scale float64, ctl **partition.Controller) sched.MixSpec {
-	fg := p.latencyIndex()
-	interval := partition.SamplingInterval(p.Instances[fg].App, scale)
-	return p.mix(nil, func(m *machine.Machine, jobs []*machine.Job) {
-		var bgCores []int
+func (p *Plan) onlineMix(pol partition.Policy, scale float64, lp **partition.Loop) sched.MixSpec {
+	interval := partition.SamplingInterval(p.intervalAnchor(), scale)
+	insts := p.Instances
+	latency := make([]bool, len(insts))
+	for i := range insts {
+		latency[i] = insts[i].Role == RoleLatency
+	}
+	mix := p.mix(nil, func(m *machine.Machine, jobs []*machine.Job) {
+		ljs := make([]partition.LoopJob, len(jobs))
 		for i, j := range jobs {
-			if i != fg {
-				bgCores = append(bgCores, j.Cores()...)
+			ljs[i] = partition.LoopJob{
+				Job: j, Cores: j.Cores(), App: insts[i].App.Name,
+				Latency: insts[i].Role == RoleLatency, Declared: insts[i].Declared,
 			}
 		}
-		cfg := partition.DefaultControllerConfig()
-		cfg.IntervalSeconds = interval
-		attached := partition.AttachCores(m, jobs[fg], bgCores, cfg)
-		if ctl != nil {
-			*ctl = attached
+		loop := partition.AttachLoop(m, ljs, pol, interval)
+		if lp != nil {
+			*lp = loop
 		}
 	})
+	if lp == nil {
+		mix.PolicyKey = partition.RunKey(pol, interval, latency)
+	}
+	return mix
+}
+
+// intervalAnchor picks the profile the sampling interval is derived
+// from: the single latency job when there is one (the §6 convention),
+// else the first terminating job (whose completion ends the window).
+func (p *Plan) intervalAnchor() *workload.Profile {
+	lat, n := -1, 0
+	for i, inst := range p.Instances {
+		if inst.Role == RoleLatency {
+			lat, n = i, n+1
+		}
+	}
+	if n == 1 {
+		return p.Instances[lat].App
+	}
+	for _, inst := range p.Instances {
+		if !inst.Loop {
+			return inst.App
+		}
+	}
+	return p.Instances[0].App
 }

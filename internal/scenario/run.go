@@ -25,7 +25,7 @@ type JobOutcome struct {
 // Report is the outcome of one scenario run.
 type Report struct {
 	Scenario *Scenario
-	Policy   PartitionPolicy
+	Policy   string // partition policy name
 	Cores    int
 	Assoc    int // LLC associativity of the platform run on
 	Jobs     []JobOutcome
@@ -39,9 +39,12 @@ type Report struct {
 
 	// BiasedFgWays is the split the biased search chose.
 	BiasedFgWays int
-	// Reallocations/FinalFgWays summarize the dynamic controller.
+	// Reallocations/FinalFgWays/FinalWays summarize an online policy's
+	// decision loop (FinalFgWays is the latency job's final allocation,
+	// 0 when the mix has no single latency job).
 	Reallocations int
 	FinalFgWays   int
+	FinalWays     []int
 }
 
 // Run executes a scenario on the runner under its declared partition
@@ -71,12 +74,16 @@ func Run(r *sched.Runner, s *Scenario) (*Report, error) {
 		}
 	}
 
-	rep := &Report{Scenario: s, Policy: s.partitionPolicy(), Cores: p.Config.Cores, Assoc: assoc}
+	pol, err := s.Policy()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	rep := &Report{Scenario: s, Policy: pol.Name(), Cores: p.Config.Cores, Assoc: assoc}
 
 	var main *machine.Result
 	var ways [][2]int
-	switch rep.Policy {
-	case PartitionBiased:
+	switch searcher, _ := pol.(partition.Searcher); {
+	case searcher != nil:
 		fg := p.latencyIndex()
 		// The biased policy needs the latency job's alone baseline even
 		// when no normalizing metric was requested.
@@ -112,24 +119,30 @@ func Run(r *sched.Runner, s *Scenario) (*Report, error) {
 				BgThroughput: thru,
 			})
 		}
-		best := cands[partition.PickBiased(cands)]
+		best := cands[searcher.Pick(cands)]
 		rep.BiasedFgWays = best.FgWays
 		ways = p.splitWays(fg, best.FgWays)
 		main = results[sweepAt+best.FgWays-1]
 		assembleJobs(rep, p, ways, main, results, aloneIdx)
 
-	case PartitionDynamic:
-		var ctl *partition.Controller
-		dyn := p.dynamicMix(r.Scale(), &ctl)
+	case pol.Online(): // dynamic, utility, ...
 		mainAt := len(specs)
-		specs = append(specs, dyn)
+		specs = append(specs, p.onlineMix(pol, r.Scale(), nil))
 		results := r.RunBatch(specs)
 		main = results[mainAt]
-		rep.Reallocations = ctl.Reallocations()
-		rep.FinalFgWays = ctl.FgWays()
+		if tr := main.Partition; tr != nil {
+			rep.Reallocations = tr.Reallocations
+			rep.FinalWays = tr.FinalWays
+			for i, inst := range p.Instances {
+				if inst.Role == RoleLatency && i < len(tr.FinalWays) {
+					rep.FinalFgWays = tr.FinalWays[i]
+					break
+				}
+			}
+		}
 		assembleJobs(rep, p, nil, main, results, aloneIdx)
 
-	default: // shared, fair, explicit
+	default: // offline: shared, fair, explicit
 		mainAt := len(specs)
 		specs = append(specs, p.mix(nil, nil))
 		results := r.RunBatch(specs)
@@ -266,13 +279,20 @@ func (r *Report) String() string {
 	if s.wantMetric(MetricED2) {
 		fmt.Fprintf(&sb, "ED2 %.4g J*s^2 (socket)\n", r.ED2)
 	}
-	switch r.Policy {
-	case PartitionBiased:
+	switch {
+	case r.Policy == PartitionBiased:
 		fmt.Fprintf(&sb, "biased search: latency job granted %d of %d ways\n",
 			r.BiasedFgWays, r.Assoc)
-	case PartitionDynamic:
+	case r.Policy == PartitionDynamic:
 		fmt.Fprintf(&sb, "dynamic controller: %d reallocations, final latency allocation %d ways\n",
 			r.Reallocations, r.FinalFgWays)
+	case len(r.FinalWays) > 0: // other online policies (utility, ...)
+		parts := make([]string, len(r.FinalWays))
+		for i, w := range r.FinalWays {
+			parts[i] = fmt.Sprintf("%d", w)
+		}
+		fmt.Fprintf(&sb, "%s policy: %d reallocations, final allocation %s of %d ways\n",
+			r.Policy, r.Reallocations, strings.Join(parts, "/"), r.Assoc)
 	}
 	return sb.String()
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/machine"
+	"repro/internal/partition"
 	"repro/internal/workload"
 )
 
@@ -41,33 +42,54 @@ const (
 	RoleStream Role = "stream"
 )
 
-// PartitionPolicy names a scenario-level LLC management scheme —
-// the paper's four policies generalized from pairs to arbitrary mixes,
-// plus an explicit per-job escape hatch.
-type PartitionPolicy string
-
+// Names of the shipped partition policies, as spelled in scenario
+// files. The authoritative set is the partition package's registry —
+// these constants exist for drivers and tests that construct scenarios
+// in Go.
 const (
-	// PartitionShared leaves the LLC unpartitioned.
-	PartitionShared PartitionPolicy = "shared"
-	// PartitionFair splits the ways evenly across all jobs.
-	PartitionFair PartitionPolicy = "fair"
-	// PartitionBiased runs the exhaustive §5.2 search over the
-	// scenario itself: the latency job gets w ways, every other job
-	// shares the remainder, and w minimizes latency-job slowdown with
-	// ties broken by co-runner throughput.
-	PartitionBiased PartitionPolicy = "biased"
-	// PartitionDynamic attaches the §6 online controller, with the
-	// latency job monitored and all other jobs sharing the shrinking
-	// partition.
-	PartitionDynamic PartitionPolicy = "dynamic"
-	// PartitionExplicit uses the per-job "ways" ranges verbatim.
-	PartitionExplicit PartitionPolicy = "explicit"
+	PartitionShared   = "shared"
+	PartitionFair     = "fair"
+	PartitionBiased   = "biased"
+	PartitionDynamic  = "dynamic"
+	PartitionExplicit = "explicit"
+	PartitionUtility  = "utility"
 )
 
-// PartitionPolicies lists the searchable policies in presentation
-// order.
-func PartitionPolicies() []PartitionPolicy {
-	return []PartitionPolicy{PartitionShared, PartitionFair, PartitionBiased, PartitionDynamic}
+// PartitionPolicies lists the policies every mix can run under, in
+// presentation order (explicit needs per-job ranges, so it is not a
+// drop-in comparison point).
+func PartitionPolicies() []string {
+	return []string{PartitionShared, PartitionFair, PartitionBiased, PartitionDynamic, PartitionUtility}
+}
+
+// PolicyRef selects a registered partition policy, optionally with
+// parameters. In JSON it is either the legacy string alias
+// ("policy": "shared") or the generic object form
+// ("policy": {"name": "utility", "params": {"min_ways": 2}}).
+type PolicyRef struct {
+	Name   string          `json:"name"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// UnmarshalJSON accepts both the string alias and the object form.
+func (p *PolicyRef) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		return json.Unmarshal(data, &p.Name)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	type plain PolicyRef // drop methods to avoid recursion
+	return dec.Decode((*plain)(p))
+}
+
+// MarshalJSON renders parameterless references back to the compact
+// string alias, so legacy files round-trip unchanged.
+func (p PolicyRef) MarshalJSON() ([]byte, error) {
+	if len(p.Params) == 0 {
+		return json.Marshal(p.Name)
+	}
+	type plain PolicyRef
+	return json.Marshal(plain(p))
 }
 
 // JobDef declares one job of the mix (possibly replicated).
@@ -107,8 +129,9 @@ type PlacementDef struct {
 
 // PartitionDef selects the LLC policy.
 type PartitionDef struct {
-	// Policy is shared (default), fair, biased, dynamic, or explicit.
-	Policy PartitionPolicy `json:"policy,omitempty"`
+	// Policy names any registered partition policy (default shared),
+	// either as a plain string or as {"name": ..., "params": {...}}.
+	Policy PolicyRef `json:"policy,omitempty"`
 }
 
 // MachineDef optionally overrides the platform.
@@ -224,7 +247,7 @@ func (s *Scenario) Validate() error {
 		switch {
 		case len(s.Jobs) > 0:
 			return fmt.Errorf("scenario %q: a fleet scenario declares its load in the fleet block, not jobs", s.Name)
-		case s.Placement.Policy != "" || s.Partition.Policy != "":
+		case s.Placement.Policy != "" || s.Partition.Policy.Name != "":
 			return fmt.Errorf("scenario %q: fleet scenarios use the fleet block's policies, not placement/partition", s.Name)
 		case len(s.Metrics) > 0:
 			return fmt.Errorf("scenario %q: fleet reports have a fixed metrics set; drop the metrics block", s.Name)
@@ -239,7 +262,7 @@ func (s *Scenario) Validate() error {
 	if len(s.Jobs) == 0 {
 		return fmt.Errorf("scenario %q: no jobs", s.Name)
 	}
-	latency, terminating := 0, 0
+	terminating := 0
 	for i := range s.Jobs {
 		d := &s.Jobs[i]
 		if _, err := workload.ByName(d.App); err != nil {
@@ -272,8 +295,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q job %d (%s): seed %q may only contain letters, digits, '.', '_', '-'",
 				s.Name, i, d.App, d.Seed)
 		}
-		if d.role() == RoleLatency {
-			latency += d.count()
+		if d.Ways != nil && *d.Ways == [2]int{} {
+			// The zero range is the snapshot's "no declaration"
+			// sentinel, so it must be rejected here or an explicitly
+			// declared [0,0) would silently plan as the full cache.
+			return fmt.Errorf("scenario %q job %d (%s): way range [0,0) invalid", s.Name, i, d.App)
 		}
 		if !d.loops() {
 			terminating += d.count()
@@ -295,18 +321,18 @@ func (s *Scenario) Validate() error {
 			}
 		}
 	}
-	switch p := s.partitionPolicy(); p {
-	case PartitionShared, PartitionFair, PartitionExplicit:
-	case PartitionBiased, PartitionDynamic:
-		if latency != 1 {
-			return fmt.Errorf("scenario %q: the %s policy needs exactly one latency job, got %d",
-				s.Name, p, latency)
-		}
-	default:
-		return fmt.Errorf("scenario %q: unknown partition policy %q (want shared, fair, biased, dynamic, or explicit)",
-			s.Name, p)
+	// Resolve the partition policy through the registry (catching
+	// unknown names and malformed params) and let it validate the mix
+	// shape; the platform is not known yet, so Assoc is 0 here and
+	// assoc-dependent rules re-check at plan time.
+	ppol, err := s.Policy()
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	if s.partitionPolicy() != PartitionExplicit {
+	if err := ppol.CheckMix(s.shapeSnapshot(0)); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.PartitionName() != PartitionExplicit {
 		for i := range s.Jobs {
 			if s.Jobs[i].Ways != nil {
 				return fmt.Errorf("scenario %q job %d (%s): per-job ways require the explicit partition policy",
@@ -341,12 +367,37 @@ func validSeed(seed string) bool {
 	return true
 }
 
-// partitionPolicy returns the effective policy (default shared).
-func (s *Scenario) partitionPolicy() PartitionPolicy {
-	if s.Partition.Policy == "" {
+// PartitionName returns the effective policy name (default shared).
+func (s *Scenario) PartitionName() string {
+	if s.Partition.Policy.Name == "" {
 		return PartitionShared
 	}
-	return s.Partition.Policy
+	return s.Partition.Policy.Name
+}
+
+// Policy resolves the scenario's partition policy through the
+// registry.
+func (s *Scenario) Policy() (partition.Policy, error) {
+	return partition.New(s.PartitionName(), s.Partition.Policy.Params)
+}
+
+// shapeSnapshot renders the declared job shape (replicas expanded) as
+// the policy layer's plan-time snapshot. assoc is 0 when the platform
+// is not yet known (Validate); Plan re-snapshots with the real
+// geometry.
+func (s *Scenario) shapeSnapshot(assoc int) *partition.Snapshot {
+	snap := &partition.Snapshot{Assoc: assoc}
+	for i := range s.Jobs {
+		d := &s.Jobs[i]
+		jv := partition.JobView{App: d.App, Latency: d.role() == RoleLatency}
+		if d.Ways != nil {
+			jv.Declared = *d.Ways
+		}
+		for k := 0; k < d.count(); k++ {
+			snap.Jobs = append(snap.Jobs, jv)
+		}
+	}
+	return snap
 }
 
 // metrics returns the effective metrics block (default: all).

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -37,6 +38,7 @@ func TestParseRejectsBadScenarios(t *testing.T) {
 		{"bad policy", `{"name":"x","partition":{"policy":"magic"},"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown partition policy"},
 		{"biased needs latency", `{"name":"x","partition":{"policy":"biased"},"jobs":[{"app":"ferret","role":"batch","loop":false}]}`, "exactly one latency"},
 		{"ways without explicit", `{"name":"x","jobs":[{"app":"ferret","role":"latency","ways":[0,6]}]}`, "explicit partition policy"},
+		{"zero way range", `{"name":"x","partition":{"policy":"explicit"},"jobs":[{"app":"ferret","role":"latency","ways":[0,0]}]}`, "invalid"},
 		{"bad metric", `{"name":"x","metrics":["vibes"],"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown metric"},
 		{"bad placement", `{"name":"x","placement":{"policy":"teleport"},"jobs":[{"app":"ferret","role":"latency"}]}`, "unknown placement"},
 		{"slots without explicit", `{"name":"x","jobs":[{"app":"ferret","role":"latency","slots":[4,5]}]}`, "explicit placement policy"},
@@ -61,7 +63,7 @@ func TestCompileMatchesPairSpec(t *testing.T) {
 
 	s := &Scenario{
 		Name:      "pair",
-		Partition: PartitionDef{Policy: PartitionExplicit},
+		Partition: PartitionDef{Policy: PolicyRef{Name: PartitionExplicit}},
 		Jobs: []JobDef{
 			{App: fg.Name, Role: RoleLatency, Threads: 4, Ways: &[2]int{0, 8}},
 			{App: bg.Name, Role: RoleBatch, Threads: 4, Ways: &[2]int{8, 12}},
@@ -101,15 +103,15 @@ func TestKeyDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunAllPolicies: the acceptance mix must execute under all four
-// partition policies with sane per-role outcomes.
+// TestRunAllPolicies: the acceptance mix must execute under every
+// drop-in partition policy with sane per-role outcomes.
 func TestRunAllPolicies(t *testing.T) {
 	for _, pol := range PartitionPolicies() {
 		s, err := Parse([]byte(fourJobJSON))
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Partition.Policy = pol
+		s.Partition.Policy = PolicyRef{Name: pol}
 		r := sched.New(sched.Options{Scale: testScale})
 		rep, err := Run(r, s)
 		if err != nil {
@@ -133,22 +135,145 @@ func TestRunAllPolicies(t *testing.T) {
 		if pol == PartitionDynamic && rep.FinalFgWays < 1 {
 			t.Fatalf("dynamic final ways %d", rep.FinalFgWays)
 		}
-		if out := rep.String(); !strings.Contains(out, string(pol)) {
+		if pol == PartitionUtility && len(rep.FinalWays) != 4 {
+			t.Fatalf("utility final ways %v", rep.FinalWays)
+		}
+		if out := rep.String(); !strings.Contains(out, pol) {
 			t.Fatalf("%s: report does not name its policy:\n%s", pol, out)
 		}
 	}
+}
+
+// TestPolicyParamsRoundTrip: a parameterized policy block survives
+// JSON parse → registry resolution → engine memo key → re-marshal,
+// and distinct parameterizations never share a memo key.
+func TestPolicyParamsRoundTrip(t *testing.T) {
+	js := `{
+  "name": "util-params",
+  "partition": {"policy": {"name": "utility", "params": {"min_ways": 2, "sample_shift": 4}}},
+  "jobs": [
+    {"app": "429.mcf", "role": "latency", "threads": 2},
+    {"app": "ferret", "role": "batch", "threads": 2}
+  ]
+}`
+	s, err := Parse([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "utility" || pol.KeyParams() != "min=2,ss=4,d=0.5" {
+		t.Fatalf("resolved policy %s{%s}", pol.Name(), pol.KeyParams())
+	}
+
+	r := sched.New(sched.Options{Scale: testScale})
+	key := func(s *Scenario) string {
+		mix, err := s.CompileOnline(r.MachineConfig(), r.Scale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := mix.Key(r)
+		if k == "" {
+			t.Fatal("online-policy mix not memoizable")
+		}
+		return k
+	}
+	k1 := key(s)
+	if !strings.Contains(k1, "min=2,ss=4,d=0.5") {
+		t.Errorf("memo key %q does not carry the policy params", k1)
+	}
+
+	// Re-marshal and re-parse: the params (and therefore the key) must
+	// survive, so scenario files are the policy's canonical identity.
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse of marshaled scenario: %v\n%s", err, out)
+	}
+	if k2 := key(s2); k2 != k1 {
+		t.Errorf("memo key changed across JSON round trip:\n%s\n%s", k1, k2)
+	}
+
+	// Defaults are a different configuration: different key.
+	s3, err := Parse([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Partition.Policy = PolicyRef{Name: "utility"}
+	if k3 := key(s3); k3 == k1 {
+		t.Error("default and custom utility params share a memo key")
+	}
+
+	// The legacy string alias still parses and re-marshals compactly.
+	var ref PolicyRef
+	if err := json.Unmarshal([]byte(`"dynamic"`), &ref); err != nil || ref.Name != "dynamic" {
+		t.Fatalf("string alias: %v, %+v", err, ref)
+	}
+	if b, _ := json.Marshal(ref); string(b) != `"dynamic"` {
+		t.Errorf("parameterless ref marshals as %s, want the string alias", b)
+	}
+}
+
+// TestOnlineKeyEncodesRoles: two online-policy scenarios identical in
+// every mix field (apps, threads, placement, explicit seeds, loop
+// flags) but with the latency role on different jobs monitor
+// differently, so their memo keys must differ — or a shared runner or
+// cache directory would serve one the other's result.
+func TestOnlineKeyEncodesRoles(t *testing.T) {
+	r := sched.New(sched.Options{Scale: testScale})
+	build := func(latencyFirst bool) string {
+		roleA, roleB := RoleLatency, RoleBatch
+		if !latencyFirst {
+			roleA, roleB = RoleBatch, RoleLatency
+		}
+		noLoop := false
+		s := &Scenario{
+			Name:      "roles",
+			Partition: PartitionDef{Policy: PolicyRef{Name: PartitionDynamic}},
+			Jobs: []JobDef{
+				{App: "429.mcf", Role: roleA, Threads: 2, Seed: "s1", Loop: loopFor(roleA, &noLoop)},
+				{App: "429.mcf", Role: roleB, Threads: 2, Seed: "s2", Loop: loopFor(roleB, &noLoop)},
+			},
+		}
+		mix, err := s.CompileOnline(r.MachineConfig(), r.Scale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := mix.Key(r)
+		if key == "" {
+			t.Fatal("online mix not memoizable")
+		}
+		return key
+	}
+	if k1, k2 := build(true), build(false); k1 == k2 {
+		t.Fatalf("role-swapped scenarios share memo key:\n%s", k1)
+	}
+}
+
+// loopFor gives batch jobs an explicit loop:false so role-swapped
+// variants keep identical Background flags (latency never loops).
+func loopFor(r Role, noLoop *bool) *bool {
+	if r == RoleBatch {
+		return noLoop
+	}
+	return nil
 }
 
 // TestRunByteIdenticalAcrossParallelism extends the engine's
 // determinism guarantee to scenario runs: serial and 8-way rendering
 // must agree byte for byte, for a static and an engine-driven policy.
 func TestRunByteIdenticalAcrossParallelism(t *testing.T) {
-	render := func(parallelism int, pol PartitionPolicy) string {
+	render := func(parallelism int, pol string) string {
 		s, err := Parse([]byte(fourJobJSON))
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Partition.Policy = pol
+		s.Partition.Policy = PolicyRef{Name: pol}
 		r := sched.New(sched.Options{Scale: testScale, Parallelism: parallelism})
 		rep, err := Run(r, s)
 		if err != nil {
@@ -156,7 +281,7 @@ func TestRunByteIdenticalAcrossParallelism(t *testing.T) {
 		}
 		return rep.String()
 	}
-	for _, pol := range []PartitionPolicy{PartitionFair, PartitionBiased, PartitionDynamic} {
+	for _, pol := range []string{PartitionFair, PartitionBiased, PartitionDynamic, PartitionUtility} {
 		serial, parallel := render(1, pol), render(8, pol)
 		if serial != parallel {
 			t.Errorf("%s: parallel run diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",

@@ -51,9 +51,19 @@ type MixSpec struct {
 	// Prefetch overrides the platform prefetcher configuration.
 	Prefetch *prefetch.Config
 	// Setup, if non-nil, runs after jobs are scheduled and before the
-	// run starts (the dynamic partitioning controller hooks in here).
-	// Mixes with a Setup hook are not memoized.
+	// run starts (online partition policies attach their decision loop
+	// here). Mixes with a Setup hook are not memoized unless PolicyKey
+	// is also set.
 	Setup func(m *machine.Machine, jobs []*machine.Job)
+	// PolicyKey names the online partition policy the Setup hook
+	// attaches (partition.RunKey: policy name, canonical params, and
+	// sampling interval). Setting it declares the hook a pure function
+	// of the mix and this key, which makes the run memoizable — and
+	// keys it so cached results can never alias across policies or
+	// parameterizations. Leave empty for hooks that close over external
+	// state (samplers, controller out-params): those runs always
+	// execute.
+	PolicyKey string
 }
 
 // memoKey renders the canonical key: every input the execution depends
@@ -68,7 +78,7 @@ type MixSpec struct {
 // round-trip form as %g, bools the same true/false as %v); only the
 // uncommon Machine-override branch still pays for reflection.
 func (s MixSpec) memoKey(r *Runner) string {
-	if s.Setup != nil {
+	if s.Setup != nil && s.PolicyKey == "" {
 		return ""
 	}
 	buf := make([]byte, 0, 192)
@@ -107,6 +117,14 @@ func (s MixSpec) memoKey(r *Runner) string {
 		buf = strconv.AppendInt(buf, int64(j.WayFirst), 10)
 		buf = append(buf, '-')
 		buf = strconv.AppendInt(buf, int64(j.WayLim), 10)
+	}
+	if s.PolicyKey != "" {
+		// Length-prefixed like seeds: policy params are free-form, and
+		// a forged params string must not be able to alias another key.
+		buf = append(buf, "|pol"...)
+		buf = strconv.AppendInt(buf, int64(len(s.PolicyKey)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, s.PolicyKey...)
 	}
 	return string(buf)
 }

@@ -326,6 +326,10 @@ type PairSpec struct {
 	// gets its own machine, and RunBatch's completion barrier makes the
 	// hook's writes visible to the caller.
 	Setup func(m *machine.Machine, fg, bg *machine.Job)
+	// PolicyKey declares the Setup hook a pure function of the pair and
+	// this online-policy identity, making the run memoizable (see
+	// MixSpec.PolicyKey).
+	PolicyKey string
 	// Prefetch overrides the platform prefetcher configuration.
 	Prefetch *prefetch.Config
 }
@@ -362,6 +366,7 @@ func (s PairSpec) toMix(r *Runner) MixSpec {
 		mix.Setup = func(m *machine.Machine, jobs []*machine.Job) {
 			setup(m, jobs[0], jobs[1])
 		}
+		mix.PolicyKey = s.PolicyKey
 	}
 	return mix
 }

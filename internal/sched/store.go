@@ -19,7 +19,7 @@ import (
 // prior records rather than serving stale results. Records from other
 // versions are ignored on load and left on disk, so several engine
 // versions can share one cache directory during a migration.
-const EngineVersion = "cachepart-engine-v4"
+const EngineVersion = "cachepart-engine-v5"
 
 // diskStore is the persistent layer under the in-memory singleflight
 // memo cache: content-addressed JSON records, one per simulated spec,
