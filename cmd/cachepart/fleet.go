@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/scenario"
-	"repro/internal/sched"
 )
 
 // cmdFleet dispatches the fleet subcommands:
@@ -39,25 +38,17 @@ var fleetValueFlags = map[string]bool{
 	"machines": true, "cache-dir": true,
 }
 
-// applyFleetOverrides applies the -policy/-partition/-machines flags
-// to a parsed fleet definition and revalidates.
-func applyFleetOverrides(s *scenario.Scenario, policy, part string, machines int) error {
-	if policy != "" {
-		s.Fleet.Policies = nil
-		for _, p := range strings.Split(policy, ",") {
-			s.Fleet.Policies = append(s.Fleet.Policies, fleet.PolicyName(strings.TrimSpace(p)))
-		}
+// splitPolicies turns the -policy comma list into the override list
+// core applies to a fleet definition.
+func splitPolicies(policy string) []string {
+	if policy == "" {
+		return nil
 	}
-	if part != "" {
-		s.Fleet.Partition = fleet.PartitionMode(part)
-		// The file's params belong to the file's policy; feeding them
-		// to an override mode would misconfigure (or just confuse) it.
-		s.Fleet.PartitionParams = nil
+	parts := strings.Split(policy, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
 	}
-	if machines != 0 {
-		s.Fleet.Machines = machines
-	}
-	return s.Validate()
+	return parts
 }
 
 func fleetRun(args []string) error {
@@ -69,6 +60,7 @@ func fleetRun(args []string) error {
 	part := fs.String("partition", "", "comma-separated partition policies to run the fleet under (override the file)")
 	machines := fs.Int("machines", 0, "override the pool size")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
+	jsonOut := fs.Bool("json", false, "emit the versioned report envelope as JSON (one object per run)")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -76,19 +68,19 @@ func fleetRun(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("fleet run: no scenario files given")
 	}
-	if err := validateCacheDir(*cacheDir); err != nil {
-		return err
+	cfg := core.RunConfig{
+		Scale: *scale, Quick: *quick, Parallelism: *parallel, CacheDir: *cacheDir,
+		Policies: splitPolicies(*policy), Machines: *machines,
 	}
-	effScale := *scale
-	if effScale == 0 && *quick {
-		effScale = quickScale
-	}
-	// One runner across files AND partition modes: fleets sharing
+	// One session across files AND partition modes: fleets sharing
 	// applications — or modes sharing baselines — deduplicate in the
 	// memo cache, and each persistent-store key is read from disk at
 	// most once per invocation, so footer disk hits count unique keys
 	// rather than per-mode requests.
-	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel, CacheDir: *cacheDir})
+	sess, err := core.NewSession(cfg)
+	if err != nil {
+		return err
+	}
 
 	partitions := []string{""}
 	if *part != "" {
@@ -111,22 +103,14 @@ func fleetRun(args []string) error {
 				fmt.Fprintf(os.Stderr, "%s: not a fleet scenario, skipped (use 'cachepart scenario run')\n", path)
 				break
 			}
-			if err := applyFleetOverrides(s, *policy, mode, *machines); err != nil {
-				return fmt.Errorf("%s: %w", path, err)
-			}
-			before := r.Stats()
-			t0 := time.Now()
-			rep, err := fleet.Run(r, s.Name, s.Fleet)
+			runCfg := cfg
+			runCfg.Partition = mode
+			res, err := sess.RunScenario(s, runCfg)
 			if err != nil {
 				return fmt.Errorf("%s: %w", path, err)
 			}
 			ran++
-			wall := time.Since(t0).Seconds()
-			if s.Description != "" {
-				fmt.Println(s.Description)
-			}
-			fmt.Print(rep.String())
-			fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
+			emitRun(res, *jsonOut, cfg.CacheDir != "")
 		}
 	}
 	if ran == 0 {
@@ -147,6 +131,9 @@ func fleetCheck(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("fleet check: no scenario files given")
 	}
+	cfg := core.RunConfig{
+		Policies: splitPolicies(*policy), Partition: *part, Machines: *machines,
+	}
 	for _, path := range files {
 		s, err := scenario.ParseFile(path)
 		if err != nil {
@@ -156,7 +143,7 @@ func fleetCheck(args []string) error {
 			fmt.Fprintf(os.Stderr, "%s: not a fleet scenario, skipped\n", path)
 			continue
 		}
-		if err := applyFleetOverrides(s, *policy, *part, *machines); err != nil {
+		if err := core.ApplyOverrides(s, cfg); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		out, err := fleet.Describe(s.Name, s.Fleet)

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+const jsonScenario = `{
+  "name": "json-mix",
+  "jobs": [
+    {"app": "429.mcf", "role": "latency", "threads": 2},
+    {"app": "ferret", "role": "batch", "threads": 2}
+  ]
+}`
+
+const jsonFleet = `{
+  "name": "json-fleet",
+  "description": "json fleet fixture",
+  "fleet": {
+    "machines": 2, "duration": 0.02, "seed": "json",
+    "arrivals": [{"app": "xalan", "rate": 150}]
+  }
+}`
+
+// TestScenarioRunJSON pins the -json contract: stdout is exactly one
+// versioned envelope per file, and its report field carries the bytes
+// text mode would print before the engine footer.
+func TestScenarioRunJSON(t *testing.T) {
+	file := writeScenario(t, "mix.json", jsonScenario)
+
+	jsonOut, _, err := captureStreams(t, func() error {
+		return scenarioRun([]string{file, "-quick", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env core.Envelope
+	if err := json.Unmarshal([]byte(jsonOut), &env); err != nil {
+		t.Fatalf("-json output is not one envelope: %v\n%s", err, jsonOut)
+	}
+	if env.SchemaVersion != core.SchemaVersion || env.EngineVersion != sched.EngineVersion {
+		t.Errorf("envelope header: %+v", env)
+	}
+	if env.Kind != core.KindScenario || env.Name != "json-mix" {
+		t.Errorf("envelope identity: %+v", env)
+	}
+	if env.Stats.Simulations == 0 {
+		t.Errorf("cold run envelope reports no simulations: %+v", env.Stats)
+	}
+
+	textOut, _, err := captureStreams(t, func() error {
+		return scenarioRun([]string{file, "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(textOut, env.Report) {
+		t.Errorf("text output does not start with the envelope report\n--- text ---\n%s\n--- report ---\n%s",
+			textOut, env.Report)
+	}
+	footer := strings.TrimPrefix(textOut, env.Report)
+	if !strings.HasPrefix(footer, "(host time ") {
+		t.Errorf("text output after the report is not the engine footer: %q", footer)
+	}
+}
+
+// TestFleetRunJSON: fleet envelopes carry kind "fleet" and lead the
+// report with the description line, matching text-mode print order.
+func TestFleetRunJSON(t *testing.T) {
+	file := writeScenario(t, "fl.json", jsonFleet)
+
+	jsonOut, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{file, "-quick", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env core.Envelope
+	if err := json.Unmarshal([]byte(jsonOut), &env); err != nil {
+		t.Fatalf("-json output is not one envelope: %v\n%s", err, jsonOut)
+	}
+	if env.Kind != core.KindFleet || env.Name != "json-fleet" {
+		t.Errorf("envelope identity: %+v", env)
+	}
+	if !strings.HasPrefix(env.Report, "json fleet fixture\n== fleet: json-fleet ") {
+		t.Errorf("fleet report does not lead with the description:\n%s", env.Report)
+	}
+
+	textOut, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{file, "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(textOut, env.Report) {
+		t.Errorf("text output does not start with the envelope report\n--- text ---\n%s\n--- report ---\n%s",
+			textOut, env.Report)
+	}
+}
+
+// TestScenarioRunJSONMultiFile: one envelope per input file, in
+// argument order, concatenated on stdout.
+func TestScenarioRunJSONMultiFile(t *testing.T) {
+	a := writeScenario(t, "a.json", jsonScenario)
+	b := writeScenario(t, "b.json",
+		`{"name":"json-solo","jobs":[{"app":"ferret","role":"latency","threads":2}]}`)
+
+	out, _, err := captureStreams(t, func() error {
+		return scenarioRun([]string{a, b, "-quick", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var names []string
+	for dec.More() {
+		var env core.Envelope
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("decoding envelope stream: %v\n%s", err, out)
+		}
+		names = append(names, env.Name)
+	}
+	if len(names) != 2 || names[0] != "json-mix" || names[1] != "json-solo" {
+		t.Errorf("envelope stream order: %v", names)
+	}
+}

@@ -90,6 +90,8 @@ func main() {
 		err = cmdScenario(os.Args[2:])
 	case "fleet":
 		err = cmdFleet(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -109,10 +111,11 @@ func usage() {
   cachepart run  -app NAME [-threads N] [-ways W] [-scale S] [-cache-dir DIR]
   cachepart pair -fg NAME -bg NAME [-policy P] [-scale S] [-parallel N] [-cache-dir DIR]
   cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N] [-cache-dir DIR]
-  cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] [-cache-dir DIR] FILE.json...
+  cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] [-cache-dir DIR] [-json] FILE.json...
   cachepart scenario check [-policy P] FILE.json...
-  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-cache-dir DIR] FILE.json...
+  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-cache-dir DIR] [-json] FILE.json...
   cachepart fleet check [-policy P,P] [-partition M] [-machines N] FILE.json...
+  cachepart serve [-addr HOST:PORT] [-scale S] [-quick] [-parallel N] [-cache-dir DIR] [-queue N] [-concurrency N] [-rate R] [-burst N]
 
 partition policies are pluggable: 'cachepart policies' lists the
 registry (shared, fair, biased, explicit, dynamic, utility, ...), and
@@ -137,7 +140,17 @@ byte-identical at any setting.
 -cache-dir persists simulation results to DIR (content-addressed by
 memo key and engine version): repeated invocations — across processes —
 skip simulations they have already run and print identical reports. The
-footer then also reports disk hits.`)
+footer then also reports disk hits.
+
+-json replaces the text report + footer with the versioned report
+envelope (schema_version, engine version, kind, per-run engine stats,
+report body) — the same object 'cachepart serve' returns from
+GET /v1/runs/{id}/report.
+
+serve runs the long-running simulation service: scenario/fleet JSON is
+submitted via POST /v1/runs and executes on one warm engine, so
+concurrent clients share the in-memory memo and the -cache-dir store.
+See README "Serving" for the endpoint table and a curl walkthrough.`)
 }
 
 // cmdPolicies lists the partition-policy registry. -names prints bare

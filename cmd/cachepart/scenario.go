@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -61,6 +61,19 @@ var scenarioValueFlags = map[string]bool{
 	"scale": true, "parallel": true, "policy": true, "cache-dir": true,
 }
 
+// emitRun prints one run outcome: the versioned envelope as JSON, or
+// the plain report followed by the engine footer. Both CLI run
+// subcommands and the server share the envelope, so -json output is
+// byte-identical to the server's report endpoint for the same spec.
+func emitRun(res *core.RunResult, jsonOut, diskEnabled bool) {
+	if jsonOut {
+		os.Stdout.Write(res.Envelope.JSON())
+		return
+	}
+	fmt.Print(res.Envelope.Report)
+	fmt.Print(engineFooter(res.WallSeconds, res.Before, res.After, diskEnabled))
+}
+
 func scenarioRun(args []string) error {
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	scale := fs.Float64("scale", 0, "instruction scale (0 = default)")
@@ -68,6 +81,7 @@ func scenarioRun(args []string) error {
 	quick := fs.Bool("quick", false, "reduced scale for smoke runs")
 	policy := fs.String("policy", "", "override the scenario's partition policy (any registered policy; see 'cachepart policies')")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
+	jsonOut := fs.Bool("json", false, "emit the versioned report envelope as JSON (one object per scenario)")
 	flagArgs, files := splitFlags(args, scenarioValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -75,16 +89,16 @@ func scenarioRun(args []string) error {
 	if len(files) == 0 {
 		return fmt.Errorf("scenario run: no scenario files given")
 	}
-	if err := validateCacheDir(*cacheDir); err != nil {
+	cfg := core.RunConfig{
+		Scale: *scale, Quick: *quick, Parallelism: *parallel,
+		CacheDir: *cacheDir, Policy: *policy,
+	}
+	// One session for every file: scenarios sharing configurations (or
+	// baselines) deduplicate through the engine's memo cache.
+	sess, err := core.NewSession(cfg)
+	if err != nil {
 		return err
 	}
-	effScale := *scale
-	if effScale == 0 && *quick {
-		effScale = quickScale
-	}
-	// One runner for every file: scenarios sharing configurations (or
-	// baselines) deduplicate through the engine's memo cache.
-	r := sched.New(sched.Options{Scale: effScale, Parallelism: *parallel, CacheDir: *cacheDir})
 
 	ran := 0
 	for _, path := range files {
@@ -99,18 +113,11 @@ func scenarioRun(args []string) error {
 			continue
 		}
 		ran++
-		if *policy != "" {
-			s.Partition.Policy = scenario.PolicyRef{Name: *policy}
-		}
-		before := r.Stats()
-		t0 := time.Now()
-		rep, err := scenario.Run(r, s)
+		res, err := sess.RunScenario(s, cfg)
 		if err != nil {
 			return err
 		}
-		wall := time.Since(t0).Seconds()
-		fmt.Print(rep.String())
-		fmt.Print(engineFooter(wall, before, r.Stats(), *cacheDir != ""))
+		emitRun(res, *jsonOut, cfg.CacheDir != "")
 	}
 	if ran == 0 {
 		return fmt.Errorf("scenario run: no single-machine scenarios among the given files")
@@ -137,8 +144,8 @@ func scenarioCheck(args []string) error {
 			fmt.Fprintf(os.Stderr, "%s: fleet scenario, skipped (use 'cachepart fleet check')\n", path)
 			continue
 		}
-		if *policy != "" {
-			s.Partition.Policy = scenario.PolicyRef{Name: *policy}
+		if err := core.ApplyOverrides(s, core.RunConfig{Policy: *policy}); err != nil {
+			return err
 		}
 		p, err := s.Plan(machine.Default())
 		if err != nil {

@@ -164,9 +164,25 @@ type Stats struct {
 	BusySeconds float64
 }
 
+// Delta returns the counter movement from before to s (Parallelism
+// carries over unchanged). CLI footers and the core session report
+// per-run engine activity as deltas around a run.
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		Parallelism: s.Parallelism,
+		Simulations: s.Simulations - before.Simulations,
+		MemoHits:    s.MemoHits - before.MemoHits,
+		DiskHits:    s.DiskHits - before.DiskHits,
+		BusySeconds: s.BusySeconds - before.BusySeconds,
+	}
+}
+
 // Stats returns the runner's counters (shared ones, if Options.Counters
 // linked several runners). Deltas around an experiment give
-// per-experiment speedup: (busy after - busy before) / wall time.
+// per-experiment speedup: (busy after - busy before) / wall time. Every
+// counter is read with an atomic load, so Stats is safe to call from
+// any goroutine while runs are in flight — progress pollers (the serve
+// status endpoint) read it concurrently with the worker pool.
 func (r *Runner) Stats() Stats {
 	return Stats{
 		Parallelism: r.opt.parallelism(),

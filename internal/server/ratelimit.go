@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// maxClients bounds the bucket table; past it, idle buckets (refilled
+// to burst, so forgetting them changes nothing) are pruned on insert.
+const maxClients = 4096
+
+// limiter is a per-client token bucket: each submission spends one
+// token, tokens refill at rate per second up to burst. Clients are
+// keyed by remote IP.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	return &limiter{
+		rate: rate, burst: float64(burst), now: now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for key. When denied, it returns how long
+// until the next token accrues — the 429 Retry-After hint.
+func (l *limiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets that have been idle long enough to refill
+// completely — recreating one later is indistinguishable.
+func (l *limiter) prune(now time.Time) {
+	for k, b := range l.buckets {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey buckets requests by remote IP (the port changes per
+// connection and must not split one client across buckets).
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

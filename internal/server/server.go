@@ -1,0 +1,494 @@
+// Package server exposes a core.Session over HTTP: `cachepart serve`.
+//
+// One long-lived session backs every request, so concurrent clients'
+// runs deduplicate against the same warm in-memory memo and — when the
+// session has a cache directory — the same persistent store. The API:
+//
+//	POST /v1/runs             submit scenario/fleet JSON (or {"spec": ..., "config": ...})
+//	GET  /v1/runs/{id}        status + live progress counters
+//	GET  /v1/runs/{id}/report the versioned report envelope (core.Envelope)
+//	GET  /v1/policies         the partition-policy registry
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             engine + service counters, Prometheus text format
+//
+// Robustness is part of the contract: per-client token-bucket rate
+// limiting (429 + Retry-After), a bounded run queue with backpressure
+// (503 + Retry-After), capped request bodies, panic-isolated run
+// goroutines, and graceful drain — Drain stops admissions, finishes
+// queued and in-flight runs (each persisting through the session's
+// write-through disk store), then returns.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/scenario"
+)
+
+// Options configure the service limits. Zero values select defaults.
+type Options struct {
+	// Queue is the pending-run queue depth (default 16). A full queue
+	// rejects submissions with 503 + Retry-After.
+	Queue int
+	// Concurrency is how many runs execute at once (default 2). Each
+	// run already fans across the engine's worker pool; more than a few
+	// concurrent runs just contend for the same CPUs.
+	Concurrency int
+	// RatePerSec and Burst shape each client's submission token bucket
+	// (defaults 2/s, burst 5).
+	RatePerSec float64
+	Burst      int
+	// MaxBody caps a submission body in bytes (default 1 MiB).
+	MaxBody int64
+	// MaxRuns bounds the run table (default 1024); when full, the
+	// oldest finished run is evicted to admit a new one.
+	MaxRuns int
+	// Now is the clock (default time.Now); tests inject one to step the
+	// rate limiter deterministically.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Queue <= 0 {
+		o.Queue = 16
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 2
+	}
+	if o.RatePerSec <= 0 {
+		o.RatePerSec = 2
+	}
+	if o.Burst <= 0 {
+		o.Burst = 5
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 1024
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Run states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one submitted run.
+type job struct {
+	id        string
+	sc        *scenario.Scenario
+	submitted time.Time
+
+	mu      sync.Mutex
+	state   string
+	started core.EngineStats // engine totals when the run started
+	stats   core.EngineStats // envelope stats, done only
+	env     []byte           // envelope JSON, done only
+	errText string           // failed only
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// Server routes HTTP traffic onto one core.Session.
+type Server struct {
+	sess *core.Session
+	opt  Options
+	mux  *http.ServeMux
+	lim  *limiter
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // submission order, for bounded retention
+	nextID   uint64
+	queue    chan *job
+
+	wg      sync.WaitGroup // run workers
+	running atomic.Int64
+	submitted, completed, failed,
+	rejectedRate, rejectedQueue atomic.Uint64
+}
+
+// New builds a server over a session and starts its run workers. Call
+// Drain before discarding it.
+func New(sess *core.Session, opt Options) *Server {
+	s := &Server{
+		sess: sess,
+		opt:  opt.withDefaults(),
+		jobs: make(map[string]*job),
+	}
+	s.queue = make(chan *job, s.opt.Queue)
+	s.lim = newLimiter(s.opt.RatePerSec, s.opt.Burst, s.opt.Now)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	for i := 0; i < s.opt.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting runs (submissions and healthz answer 503),
+// lets queued and in-flight runs finish, and returns once the engine
+// is idle. Status and report endpoints keep serving, so clients polling
+// an in-flight run still collect its complete report. Idempotent;
+// every caller blocks until the drain completes.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers finish the queued tail, then exit
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker executes queued runs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job, isolating panics (a spec that trips an engine
+// invariant must fail its own run, not the process).
+func (s *Server) run(j *job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	defer func() {
+		if p := recover(); p != nil {
+			s.failed.Add(1)
+			j.mu.Lock()
+			j.state = stateFailed
+			j.errText = fmt.Sprintf("run panicked: %v", p)
+			j.mu.Unlock()
+		}
+	}()
+	st := s.sess.Stats()
+	j.mu.Lock()
+	j.state = stateRunning
+	j.started = core.EngineStats{
+		Parallelism: st.Parallelism, Simulations: st.Simulations,
+		MemoHits: st.MemoHits, DiskHits: st.DiskHits,
+	}
+	j.mu.Unlock()
+
+	// Overrides were applied at submit time; run the spec as-is.
+	res, err := s.sess.RunScenario(j.sc, core.RunConfig{})
+	if err != nil {
+		s.failed.Add(1)
+		j.mu.Lock()
+		j.state = stateFailed
+		j.errText = err.Error()
+		j.mu.Unlock()
+		return
+	}
+	s.completed.Add(1)
+	j.mu.Lock()
+	j.state = stateDone
+	j.stats = res.Envelope.Stats
+	j.env = res.Envelope.JSON()
+	j.mu.Unlock()
+}
+
+// submission is the wrapped POST body form; a bare scenario/fleet JSON
+// object is equally accepted.
+type submission struct {
+	Spec   json.RawMessage `json:"spec"`
+	Config core.RunConfig  `json:"config"`
+}
+
+// decodeSubmission accepts either form. The wrapper is recognized by
+// its spec key; anything else is treated as a bare spec so parse errors
+// carry the same text the CLI prints for a bad file.
+func decodeSubmission(body []byte) (spec []byte, cfg core.RunConfig) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var sub submission
+	if err := dec.Decode(&sub); err == nil && len(sub.Spec) > 0 {
+		return sub.Spec, sub.Config
+	}
+	return body, core.RunConfig{}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "server draining; not accepting new runs")
+		return
+	}
+	if ok, wait := s.lim.allow(clientKey(r.RemoteAddr)); !ok {
+		s.rejectedRate.Add(1)
+		w.Header().Set("Retry-After", retryAfter(wait))
+		writeError(w, http.StatusTooManyRequests, "submission rate limit exceeded")
+		return
+	}
+	body, err := readBody(w, r, s.opt.MaxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, cfg := decodeSubmission(body)
+	if err := cfg.PerRunOnly(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sc, err := scenario.Parse(spec)
+	if err != nil {
+		// The same one-line text the CLI prints for this spec.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := core.ApplyOverrides(sc, cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	j := &job{sc: sc, state: stateQueued, submitted: s.opt.Now()}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server draining; not accepting new runs")
+		return
+	}
+	if len(s.jobs) >= s.opt.MaxRuns && !s.evictLocked() {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "run table full of unfinished runs")
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("run-%06d", s.nextID)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	default:
+		s.mu.Unlock()
+		s.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "run queue full; retry later")
+		return
+	}
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]string{
+		"id":         j.id,
+		"state":      stateQueued,
+		"status_url": "/v1/runs/" + j.id,
+		"report_url": "/v1/runs/" + j.id + "/report",
+	})
+}
+
+// evictLocked drops the oldest finished run to admit a new one; false
+// when every retained run is still queued or executing.
+func (s *Server) evictLocked() bool {
+	for i, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		finished := j.state == stateDone || j.state == stateFailed
+		j.mu.Unlock()
+		if finished {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// status is the GET /v1/runs/{id} shape (also returned by the report
+// endpoint for runs that have not finished).
+type status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Progress counts engine activity since the run started (live
+	// totals while running, the envelope stats once done). On a server
+	// executing runs concurrently the live delta includes overlapping
+	// runs' activity — the engine pool is shared.
+	Progress core.EngineStats `json:"progress"`
+	Error    string           `json:"error,omitempty"`
+}
+
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) statusOf(j *job) status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := status{ID: j.id, State: j.state, Error: j.errText}
+	switch j.state {
+	case stateRunning:
+		now := s.sess.Stats()
+		st.Progress = core.EngineStats{
+			Parallelism: now.Parallelism,
+			Simulations: now.Simulations - j.started.Simulations,
+			MemoHits:    now.MemoHits - j.started.MemoHits,
+			DiskHits:    now.DiskHits - j.started.DiskHits,
+		}
+	case stateDone:
+		st.Progress = j.stats
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown run id")
+		return
+	}
+	writeJSON(w, s.statusOf(j))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown run id")
+		return
+	}
+	j.mu.Lock()
+	state, env, errText := j.state, j.env, j.errText
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(env) // core.Envelope bytes, verbatim
+	case stateFailed:
+		writeError(w, http.StatusInternalServerError, errText)
+	default: // still queued or running: say so, keep polling
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(s.statusOf(j))
+	}
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		About string `json:"about"`
+	}
+	var list []entry
+	for _, name := range partition.Names() {
+		list = append(list, entry{Name: name, About: partition.About(name)})
+	}
+	writeJSON(w, map[string]any{"policies": list})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.sess.Stats()
+	s.mu.Lock()
+	queued := len(s.queue)
+	retained := len(s.jobs)
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "cachepart_engine_parallelism %d\n", st.Parallelism)
+	fmt.Fprintf(w, "cachepart_engine_simulations_total %d\n", st.Simulations)
+	fmt.Fprintf(w, "cachepart_engine_memo_hits_total %d\n", st.MemoHits)
+	fmt.Fprintf(w, "cachepart_engine_disk_hits_total %d\n", st.DiskHits)
+	fmt.Fprintf(w, "cachepart_engine_busy_seconds_total %g\n", st.BusySeconds)
+	fmt.Fprintf(w, "cachepart_runs_submitted_total %d\n", s.submitted.Load())
+	fmt.Fprintf(w, "cachepart_runs_completed_total %d\n", s.completed.Load())
+	fmt.Fprintf(w, "cachepart_runs_failed_total %d\n", s.failed.Load())
+	fmt.Fprintf(w, "cachepart_runs_rejected_total{reason=\"rate_limit\"} %d\n", s.rejectedRate.Load())
+	fmt.Fprintf(w, "cachepart_runs_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedQueue.Load())
+	fmt.Fprintf(w, "cachepart_runs_queued %d\n", queued)
+	fmt.Fprintf(w, "cachepart_runs_running %d\n", s.running.Load())
+	fmt.Fprintf(w, "cachepart_runs_retained %d\n", retained)
+	fmt.Fprintf(w, "cachepart_draining %d\n", draining)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// readBody reads a capped request body; oversize bodies surface as a
+// one-line error instead of a connection reset.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(body); err != nil {
+		return nil, fmt.Errorf("request body over %d bytes", limit)
+	}
+	return buf.Bytes(), nil
+}
+
+func retryAfter(wait time.Duration) string {
+	secs := int(wait / time.Second)
+	if wait%time.Second != 0 || secs == 0 {
+		secs++ // ceil: never tell a client to retry too early
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+const examplePath = "../../examples/scenarios/fleet-utility-50.json"
+
+// newTestServer stands up a warm quick-scale session behind httptest.
+// Every test gets its own session so cold-run expectations hold.
+func newTestServer(t *testing.T, cfg core.RunConfig, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Quick = true
+	sess, err := core.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Drain()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+type submitResp struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	StatusURL string `json:"status_url"`
+	ReportURL string `json:"report_url"`
+}
+
+func submit(t *testing.T, ts *httptest.Server, body []byte) submitResp {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, raw)
+	}
+	var sub submitResp
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatalf("submit response %s: %v", raw, err)
+	}
+	if sub.ID == "" || sub.State != "queued" ||
+		sub.StatusURL != "/v1/runs/"+sub.ID || sub.ReportURL != "/v1/runs/"+sub.ID+"/report" {
+		t.Fatalf("submit response shape: %+v", sub)
+	}
+	return sub
+}
+
+// pollReport polls the report endpoint until the run finishes and
+// returns the envelope bytes verbatim.
+func pollReport(t *testing.T, ts *httptest.Server, reportURL string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + reportURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return raw
+		case http.StatusAccepted: // still queued or running
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("report: status %d, body %s", resp.StatusCode, raw)
+		}
+	}
+	t.Fatal("run did not finish before the deadline")
+	return nil
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEndFleetExample is the acceptance path: submit a shipped
+// example over HTTP, poll to completion, and require the envelope —
+// report bytes included — to match what the CLI's session produces for
+// the same spec cold. Then resubmit warm and require zero simulations
+// with the identical report.
+func TestEndToEndFleetExample(t *testing.T) {
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+
+	sub := submit(t, ts, spec)
+	got := pollReport(t, ts, sub.ReportURL)
+
+	// Reference: a fresh cold session, as `cachepart scenario run -json`
+	// builds. Engine determinism makes cold stats reproducible, so the
+	// whole envelope must match byte for byte.
+	ref, err := core.NewSession(core.RunConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.RunSpec(spec, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Envelope.JSON(); !bytes.Equal(got, want) {
+		t.Errorf("server envelope diverges from CLI session\n--- server ---\n%s\n--- cli ---\n%s", got, want)
+	}
+
+	// Warm resubmission: same spec, same session — all memo hits.
+	sub2 := submit(t, ts, spec)
+	warmRaw := pollReport(t, ts, sub2.ReportURL)
+	var cold, warm core.Envelope
+	if err := json.Unmarshal(got, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warmRaw, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Simulations != 0 || warm.Stats.MemoHits == 0 {
+		t.Errorf("warm resubmission stats: %+v", warm.Stats)
+	}
+	if warm.Report != cold.Report {
+		t.Error("warm report drifted from cold report")
+	}
+
+	// The status endpoint for a finished run reports done + final stats.
+	var st struct {
+		ID       string           `json:"id"`
+		State    string           `json:"state"`
+		Progress core.EngineStats `json:"progress"`
+	}
+	if code := getJSON(t, ts.URL+sub.StatusURL, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.ID != sub.ID || st.State != "done" || st.Progress != cold.Stats {
+		t.Errorf("finished status: %+v (want stats %+v)", st, cold.Stats)
+	}
+
+	// Service metrics reflect the two completed runs.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{
+		"cachepart_runs_submitted_total 2",
+		"cachepart_runs_completed_total 2",
+		"cachepart_runs_failed_total 0",
+		fmt.Sprintf("cachepart_engine_simulations_total %d", cold.Stats.Simulations),
+		fmt.Sprintf("cachepart_engine_memo_hits_total %d", warm.Stats.MemoHits),
+	} {
+		if !strings.Contains(string(metrics), line+"\n") {
+			t.Errorf("metrics missing %q:\n%s", line, metrics)
+		}
+	}
+}
+
+// TestMalformedSpec400 pins the error contract: a bad spec answers 400
+// with exactly the one-line text the CLI prints for the same file.
+func TestMalformedSpec400(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	for _, bad := range []string{
+		`{"name": `,
+		`{"name": "x", "jobs": [{"app": "no-such-app", "role": "batch", "threads": 1}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad spec: status %d", resp.StatusCode)
+		}
+		_, want := scenario.Parse([]byte(bad))
+		if want == nil {
+			t.Fatal("fixture unexpectedly parses")
+		}
+		if body.Error != want.Error() {
+			t.Errorf("server error %q diverges from CLI text %q", body.Error, want)
+		}
+		if strings.ContainsRune(body.Error, '\n') {
+			t.Errorf("error is not one line: %q", body.Error)
+		}
+	}
+}
+
+// TestEngineFieldsRejected: the wrapped form may carry per-run
+// overrides, but engine fields are fixed when the server starts.
+func TestEngineFieldsRejected(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	body := `{"spec": {"name": "x"}, "config": {"scale": 0.5}}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(raw, []byte("fixed when the session starts")) {
+		t.Errorf("engine-field config: status %d, body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestOverrideApplies: a wrapped submission's per-run override changes
+// the run (machines override on a fleet spec shows up in the report).
+func TestOverrideApplies(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := json.Marshal(map[string]any{
+		"spec":   json.RawMessage(spec),
+		"config": map[string]any{"machines": 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := submit(t, ts, wrapped)
+	raw := pollReport(t, ts, sub.ReportURL)
+	var env core.Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(env.Report, "(10 machines") {
+		t.Errorf("machines override not reflected in report:\n%s", env.Report)
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	_, ts := newTestServer(t, core.RunConfig{}, Options{
+		RatePerSec: 0.5, Burst: 1,
+		Now: func() time.Time { return clock },
+	})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(t, ts, spec) // spends the only token
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submission: status %d, body %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte("rate limit")) {
+		t.Errorf("429 body: %s", raw)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 2 {
+		t.Errorf("Retry-After %q (want 1-2s at 0.5 tokens/s)", resp.Header.Get("Retry-After"))
+	}
+
+	// Advancing the injected clock past the refill admits the client again.
+	clock = clock.Add(3 * time.Second)
+	submit(t, ts, spec)
+}
+
+func TestQueueBackpressure503(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{Queue: 1, Concurrency: 1, Burst: 10})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(t, ts, spec) // worker picks this up (cold run, runs a while)
+	submit(t, ts, spec) // parks in the single queue slot
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(raw, []byte("queue full")) {
+		t.Fatalf("third submission: status %d, body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestReportBeforeDone: polling a queued run's report answers 202 with
+// its status, not an empty or partial envelope.
+func TestReportBeforeDone(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{Queue: 4, Concurrency: 1, Burst: 10})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(t, ts, spec)           // occupies the single worker, cold
+	queued := submit(t, ts, spec) // behind it in the queue
+	resp, err := http.Get(ts.URL + queued.ReportURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || (st.State != "queued" && st.State != "running") {
+		t.Errorf("early report: status %d, state %q", resp.StatusCode, st.State)
+	}
+}
+
+func TestUnknownRun404(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	for _, path := range []string{"/v1/runs/run-999999", "/v1/runs/run-999999/report"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Errorf("%s: status %d", path, code)
+		}
+	}
+}
+
+func TestPoliciesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	var body struct {
+		Policies []struct {
+			Name  string `json:"name"`
+			About string `json:"about"`
+		} `json:"policies"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/policies", &body); code != http.StatusOK {
+		t.Fatalf("policies: status %d", code)
+	}
+	names := make(map[string]bool)
+	for _, p := range body.Policies {
+		names[p.Name] = true
+		if p.About == "" {
+			t.Errorf("policy %q has no description", p.Name)
+		}
+	}
+	for _, want := range []string{"shared", "utility"} {
+		if !names[want] {
+			t.Errorf("registry missing %q: %v", want, names)
+		}
+	}
+}
+
+// TestGracefulDrain: Drain stops admissions (healthz and submissions
+// answer 503) but queued and in-flight runs complete and their reports
+// stay fetchable.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts := newTestServer(t, core.RunConfig{}, Options{Queue: 4, Concurrency: 1, Burst: 10})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	running := submit(t, ts, spec)
+	queued := submit(t, ts, spec) // still in the queue when the drain starts
+
+	done := make(chan struct{})
+	go func() { srv.Drain(); close(done) }()
+
+	// Drain flips the health check to 503.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// New submissions are refused while draining.
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(raw, []byte("draining")) {
+		t.Errorf("submission during drain: status %d, body %s", resp.StatusCode, raw)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+
+	// Both the in-flight and the queued run finished with full reports.
+	for _, sub := range []submitResp{running, queued} {
+		var env core.Envelope
+		if code := getJSON(t, ts.URL+sub.ReportURL, &env); code != http.StatusOK {
+			t.Fatalf("%s after drain: status %d", sub.ReportURL, code)
+		}
+		if env.Report == "" || env.SchemaVersion != core.SchemaVersion {
+			t.Errorf("%s after drain: incomplete envelope %+v", sub.ReportURL, env)
+		}
+	}
+}
+
+// TestRunTableEviction: at MaxRuns the oldest finished run is evicted
+// to admit a new submission.
+func TestRunTableEviction(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{MaxRuns: 2, Burst: 20})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := submit(t, ts, spec)
+	pollReport(t, ts, first.ReportURL)
+	second := submit(t, ts, spec)
+	pollReport(t, ts, second.ReportURL)
+
+	third := submit(t, ts, spec) // evicts first (oldest finished)
+	pollReport(t, ts, third.ReportURL)
+	if code := getJSON(t, ts.URL+first.StatusURL, nil); code != http.StatusNotFound {
+		t.Errorf("evicted run still present: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+second.StatusURL, nil); code != http.StatusOK {
+		t.Errorf("retained run missing: status %d", code)
+	}
+}

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of `cachepart serve` over real HTTP.
+#
+# Starts the service against a persistent cache dir, submits one
+# single-machine scenario and one fleet example twice each, and asserts
+# the memoization contract end to end:
+#   * the warm resubmission reports zero new simulations;
+#   * its report bytes are identical to the cold run's;
+#   * the served report matches what the CLI prints for the same spec.
+# The server is then restarted on the same cache dir and fed the same
+# specs again — the disk store must carry the results across processes
+# (zero simulations again, disk hits this time).
+#
+# Usage: scripts/serve_smoke.sh [path-to-cachepart-binary]
+set -euo pipefail
+
+BIN=${1:-./cachepart}
+WORK=$(mktemp -d)
+SCENARIO=examples/scenarios/latency-3batch.json
+FLEET=examples/scenarios/fleet-utility-50.json
+
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$BIN" serve -addr 127.0.0.1:0 -quick -cache-dir "$WORK/store" 2>"$WORK/serve.log" &
+  SERVER_PID=$!
+  BASE=""
+  for _ in $(seq 1 100); do
+    BASE=$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$WORK/serve.log")
+    if [ -n "$BASE" ] && curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+      return
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: server did not come up" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=""
+  grep -q "drained" "$WORK/serve.log" || {
+    echo "FAIL: server did not log a clean drain" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  }
+}
+
+# submit_and_fetch SPEC OUT — POST the spec, poll the run to
+# completion, and write the report envelope to OUT.
+submit_and_fetch() {
+  local spec=$1 out=$2 report_url
+  report_url=$(curl -fsS -X POST --data-binary @"$spec" "$BASE/v1/runs" | jq -r .report_url)
+  for _ in $(seq 1 600); do
+    local code
+    code=$(curl -sS -o "$out" -w '%{http_code}' "$BASE$report_url")
+    case "$code" in
+      200) return ;;
+      202) sleep 0.1 ;;
+      *) echo "FAIL: $report_url answered $code" >&2; cat "$out" >&2; exit 1 ;;
+    esac
+  done
+  echo "FAIL: run never finished: $report_url" >&2
+  exit 1
+}
+
+# check_pair LABEL COLD WARM — warm envelope must report zero new
+# simulations and carry byte-identical report text.
+check_pair() {
+  local label=$1 cold=$2 warm=$3
+  local sims
+  sims=$(jq -r .stats.simulations "$warm")
+  if [ "$sims" != "0" ]; then
+    echo "FAIL: $label warm run reported $sims simulations (want 0)" >&2
+    exit 1
+  fi
+  if ! diff <(jq -r .report "$cold") <(jq -r .report "$warm") >/dev/null; then
+    echo "FAIL: $label warm report diverged from cold report" >&2
+    exit 1
+  fi
+  echo "ok: $label warm run — 0 sims, byte-identical report"
+}
+
+start_server
+
+# Cold + warm submissions through the first server process.
+submit_and_fetch "$SCENARIO" "$WORK/scenario-cold.json"
+submit_and_fetch "$SCENARIO" "$WORK/scenario-warm.json"
+submit_and_fetch "$FLEET"    "$WORK/fleet-cold.json"
+submit_and_fetch "$FLEET"    "$WORK/fleet-warm.json"
+check_pair "scenario (memo)" "$WORK/scenario-cold.json" "$WORK/scenario-warm.json"
+check_pair "fleet (memo)"    "$WORK/fleet-cold.json"    "$WORK/fleet-warm.json"
+
+# The served report must be the CLI's report for the same spec.
+"$BIN" scenario run "$SCENARIO" -quick -json | jq -r .report >"$WORK/scenario-cli.txt"
+"$BIN" fleet    run "$FLEET"    -quick -json | jq -r .report >"$WORK/fleet-cli.txt"
+diff <(jq -r .report "$WORK/scenario-cold.json") "$WORK/scenario-cli.txt" \
+  || { echo "FAIL: served scenario report diverged from CLI" >&2; exit 1; }
+diff <(jq -r .report "$WORK/fleet-cold.json") "$WORK/fleet-cli.txt" \
+  || { echo "FAIL: served fleet report diverged from CLI" >&2; exit 1; }
+echo "ok: served reports match CLI output"
+
+# Restart on the same cache dir: the disk store must serve everything.
+stop_server
+start_server
+submit_and_fetch "$SCENARIO" "$WORK/scenario-disk.json"
+submit_and_fetch "$FLEET"    "$WORK/fleet-disk.json"
+check_pair "scenario (disk)" "$WORK/scenario-cold.json" "$WORK/scenario-disk.json"
+check_pair "fleet (disk)"    "$WORK/fleet-cold.json"    "$WORK/fleet-disk.json"
+for f in "$WORK/scenario-disk.json" "$WORK/fleet-disk.json"; do
+  if [ "$(jq -r .stats.disk_hits "$f")" = "0" ]; then
+    echo "FAIL: restarted server reported no disk hits for $f" >&2
+    exit 1
+  fi
+done
+echo "ok: restarted server served both specs from the disk store"
+
+stop_server
+echo "serve smoke passed"
