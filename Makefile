@@ -20,19 +20,20 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Benchmark trajectory: the hot-path benchmarks future PRs must not
-# regress — the two end-to-end rates (scenario mix, fleet run) plus the
-# two hot-path microbenchmarks (one cache access, batched trace
-# generation) — emitted as committed/diffable JSON (BENCH_fleet.json is
-# the checked-in baseline; CI uploads the current run as an artifact
-# and gates on `benchjson compare`). Two steps (not a pipe) so a
-# failing benchmark fails the target instead of being masked by a
-# partially-parsed stream.
+# regress — the end-to-end rates (scenario mix, fleet run exact and
+# fast) plus the hot-path microbenchmarks (one cache access, batched
+# trace generation, analytic model build) — emitted as committed/
+# diffable JSON (BENCH_fleet.json is the checked-in baseline; CI
+# uploads the current run as an artifact and gates on `benchjson
+# compare`). Two steps (not a pipe) so a failing benchmark fails the
+# target instead of being masked by a partially-parsed stream.
 # The end-to-end rates run one full iteration (a whole scenario/fleet
-# simulation each); the microbenchmarks are per-operation and need a
-# time budget to produce stable ns/op.
+# simulation each; the FleetRun pattern also matches FleetRunFast); the
+# microbenchmarks are per-operation and need a time budget to produce
+# stable ns/op.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioMix|BenchmarkFleetRun' -benchtime=1x . > /tmp/bench-fleet.out
-	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkTraceGen' -benchtime=1s . >> /tmp/bench-fleet.out
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkTraceGen|BenchmarkModelBuild' -benchtime=1s . >> /tmp/bench-fleet.out
 	$(GO) run ./cmd/benchjson < /tmp/bench-fleet.out > BENCH_fleet.json
 	@rm -f /tmp/bench-fleet.out
 	@cat BENCH_fleet.json

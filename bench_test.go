@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
+	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -293,6 +294,85 @@ func BenchmarkFleetRun(b *testing.B) {
 		requests = rep.Requests
 	}
 	b.ReportMetric(float64(requests*3*b.N)/b.Elapsed().Seconds(), "placements/s")
+}
+
+// BenchmarkFleetRunFast is BenchmarkFleetRun under the fast fidelity
+// tier: the same cold fleet, but every co-location is predicted from
+// MRC profiles instead of simulated — the per-application profiling
+// runs are the only simulations left. The placements/s ratio against
+// BenchmarkFleetRun is the speedup the analytic tier buys; the
+// acceptance floor for this PR is 10x.
+func BenchmarkFleetRunFast(b *testing.B) {
+	def := &fleet.Def{
+		Machines: 4,
+		Duration: 0.05,
+		Seed:     "bench",
+		Fidelity: fleet.FidelityFast,
+		Arrivals: []loadgen.RequestClass{{App: "xalan", Rate: 400}},
+		Backlog:  []loadgen.BatchDef{{App: "ferret", Count: 3, Iterations: 20}},
+	}
+	var requests int
+	for i := 0; i < b.N; i++ {
+		r := sched.New(sched.Options{Scale: benchScale})
+		rep, err := fleet.Run(r, "bench", def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != 3 {
+			b.Fatal("missing policy results")
+		}
+		requests = rep.Requests
+	}
+	b.ReportMetric(float64(requests*3*b.N)/b.Elapsed().Seconds(), "placements/s")
+}
+
+// probeMix is the canonical profiling mix BenchmarkModelBuild harvests
+// from (the fleet fast tier's probeAloneMix shape).
+func probeMix(r *sched.Runner, app *workload.Profile) sched.MixSpec {
+	cfg := r.MachineConfig()
+	threads := sched.CapThreads(app, cfg.Cores/2*cfg.ThreadsPerCore)
+	slots := make([]int, threads)
+	for i := range slots {
+		slots[i] = i
+	}
+	return sched.MixSpec{
+		Jobs:     []sched.MixJob{{App: app, Threads: threads, Slots: slots, Seed: "single"}},
+		Setup:    model.ProbeSetup(),
+		ProbeKey: model.ProbeKey(),
+	}
+}
+
+// BenchmarkModelBuild isolates the analytic tier's own arithmetic: with
+// the profiling simulations already run (outside the timer), one
+// iteration harvests both MRC profiles and prices the full candidate
+// sweep of one co-location — the work the fast tier does per pair.
+func BenchmarkModelBuild(b *testing.B) {
+	r := sched.New(sched.Options{Scale: benchScale})
+	fg := workload.MustByName("xalan")
+	bg := workload.MustByName("ferret")
+	fgRes := r.RunMix(probeMix(r, fg))
+	bgRes := r.RunMix(probeMix(r, bg))
+	cfg := r.MachineConfig()
+	var pred model.PairPrediction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := model.NewProfile(fg.Name, fg.MLP, fgRes, 0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pb, err := model.NewProfile(bg.Name, bg.MLP, bgRes, 0, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est := model.NewEstimator(cfg)
+		for w := 1; w < est.Assoc(); w++ {
+			pred = est.PredictPair(pf, pb, float64(w), float64(est.Assoc()-w))
+		}
+	}
+	if pred.FgSlowdown < 1 {
+		b.Fatal("degenerate prediction")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 }
 
 // BenchmarkCacheAccess isolates the innermost simulator operation: one

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFleetFidelityBadValue pins the CLI error contract: an unknown
+// -fidelity value is a one-line error (main prints it and exits 1),
+// from run and check alike.
+func TestFleetFidelityBadValue(t *testing.T) {
+	file := writeScenario(t, "fl.json", jsonFleet)
+	for name, fn := range map[string]func() error{
+		"run":   func() error { return fleetRun([]string{file, "-quick", "-fidelity", "bogus"}) },
+		"check": func() error { return fleetCheck([]string{file, "-fidelity", "bogus"}) },
+	} {
+		_, _, err := captureStreams(t, fn)
+		if err == nil {
+			t.Fatalf("fleet %s accepted -fidelity bogus", name)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `unknown fidelity "bogus"`) {
+			t.Errorf("fleet %s error does not name the bad value: %q", name, msg)
+		}
+		if strings.ContainsRune(msg, '\n') {
+			t.Errorf("fleet %s error is not one line: %q", name, msg)
+		}
+	}
+}
+
+// TestFleetFidelityEnvelope: the -json envelope echoes the effective
+// fleet fidelity — the file's default (exact) and a -fidelity override
+// alike — and the fast report carries the fidelity accounting line.
+func TestFleetFidelityEnvelope(t *testing.T) {
+	file := writeScenario(t, "fl.json", jsonFleet)
+
+	decode := func(args ...string) core.Envelope {
+		t.Helper()
+		out, _, err := captureStreams(t, func() error { return fleetRun(args) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env core.Envelope
+		if err := json.Unmarshal([]byte(out), &env); err != nil {
+			t.Fatalf("-json output is not one envelope: %v\n%s", err, out)
+		}
+		return env
+	}
+
+	exact := decode(file, "-quick", "-json")
+	if exact.Fidelity != "exact" {
+		t.Errorf("default fleet envelope fidelity = %q, want exact", exact.Fidelity)
+	}
+	if strings.Contains(exact.Report, "fidelity:") {
+		t.Errorf("exact report carries a fidelity line:\n%s", exact.Report)
+	}
+
+	fast := decode(file, "-quick", "-json", "-fidelity", "fast")
+	if fast.Fidelity != "fast" {
+		t.Errorf("-fidelity fast envelope fidelity = %q", fast.Fidelity)
+	}
+	if !strings.Contains(fast.Report, "fidelity: fast (model ") {
+		t.Errorf("fast report carries no fidelity line:\n%s", fast.Report)
+	}
+}

@@ -35,7 +35,7 @@ func cmdFleet(args []string) error {
 
 var fleetValueFlags = map[string]bool{
 	"scale": true, "parallel": true, "policy": true, "partition": true,
-	"machines": true, "cache-dir": true,
+	"machines": true, "cache-dir": true, "fidelity": true, "fast-margin": true,
 }
 
 // splitPolicies turns the -policy comma list into the override list
@@ -59,6 +59,8 @@ func fleetRun(args []string) error {
 	policy := fs.String("policy", "", "comma-separated consolidation policies to evaluate (override the file)")
 	part := fs.String("partition", "", "comma-separated partition policies to run the fleet under (override the file)")
 	machines := fs.Int("machines", 0, "override the pool size")
+	fidelity := fs.String("fidelity", "", "oracle tier: exact, fast, or auto (override the file)")
+	fastMargin := fs.Float64("fast-margin", 0, "auto's exact re-simulation band around slowdown_limit (0 = file's, default 0.05)")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	jsonOut := fs.Bool("json", false, "emit the versioned report envelope as JSON (one object per run)")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
@@ -71,6 +73,7 @@ func fleetRun(args []string) error {
 	cfg := core.RunConfig{
 		Scale: *scale, Quick: *quick, Parallelism: *parallel, CacheDir: *cacheDir,
 		Policies: splitPolicies(*policy), Machines: *machines,
+		Fidelity: *fidelity, FastMargin: *fastMargin,
 	}
 	// One session across files AND partition modes: fleets sharing
 	// applications — or modes sharing baselines — deduplicate in the
@@ -124,6 +127,7 @@ func fleetCheck(args []string) error {
 	policy := fs.String("policy", "", "override the policies before checking")
 	part := fs.String("partition", "", "override the partition mode before checking")
 	machines := fs.Int("machines", 0, "override the pool size before checking")
+	fidelity := fs.String("fidelity", "", "override the oracle tier before checking")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -133,6 +137,7 @@ func fleetCheck(args []string) error {
 	}
 	cfg := core.RunConfig{
 		Policies: splitPolicies(*policy), Partition: *part, Machines: *machines,
+		Fidelity: *fidelity,
 	}
 	for _, path := range files {
 		s, err := scenario.ParseFile(path)

@@ -15,6 +15,7 @@
 //	cachepart scenario check examples/scenarios/*.json
 //	cachepart fleet run examples/scenarios/fleet-consolidation-50.json [-quick]
 //	cachepart fleet run examples/scenarios/fleet-utility-50.json [-quick] [-partition shared,utility]
+//	cachepart fleet run examples/scenarios/fleet-mega-10k.json [-quick] [-fidelity auto]
 //	cachepart fleet check examples/scenarios/*.json
 //
 // Partition policies (-policy, -partition, scenario "partition"
@@ -113,8 +114,8 @@ func usage() {
   cachepart exp  -id fig1..fig13|table1|table2|table3|headline|all [-scale S] [-quick] [-parallel N] [-cache-dir DIR]
   cachepart scenario run   [-scale S] [-quick] [-parallel N] [-policy P] [-cache-dir DIR] [-json] FILE.json...
   cachepart scenario check [-policy P] FILE.json...
-  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-cache-dir DIR] [-json] FILE.json...
-  cachepart fleet check [-policy P,P] [-partition M] [-machines N] FILE.json...
+  cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-fidelity F] [-fast-margin M] [-cache-dir DIR] [-json] FILE.json...
+  cachepart fleet check [-policy P,P] [-partition M] [-machines N] [-fidelity F] FILE.json...
   cachepart serve [-addr HOST:PORT] [-scale S] [-quick] [-parallel N] [-cache-dir DIR] [-queue N] [-concurrency N] [-rate R] [-burst N]
 
 partition policies are pluggable: 'cachepart policies' lists the
@@ -133,6 +134,11 @@ pack-partition, util-target) with p50/p95/p99 request slowdown,
 machines used, utilization, and energy per policy. -partition accepts
 a comma list to replay the same fleet under several partition policies
 in one invocation (one engine: shared baselines simulate once).
+-fidelity picks the oracle tier: exact simulates every co-location,
+fast predicts them all analytically (MRC+CPI model) from one profiling
+run per application, and auto screens with fast and re-simulates only
+placements whose predicted slowdown lands within -fast-margin (default
+0.05) of the slowdown limit — the tier for 10k-machine fleets.
 
 -parallel sets the worker count (0 = GOMAXPROCS, 1 = serial); output is
 byte-identical at any setting.

@@ -13,8 +13,8 @@ import (
 
 // SchemaVersion identifies the report-envelope layout. Bump it when
 // Envelope gains, loses, or re-types a field; consumers pin the version
-// they understand.
-const SchemaVersion = 1
+// they understand. Version 2 added the fleet fidelity echo.
+const SchemaVersion = 2
 
 // Spec kinds an envelope can carry.
 const (
@@ -52,6 +52,12 @@ type RunConfig struct {
 	Policies []string `json:"policies,omitempty"`
 	// Machines overrides a fleet scenario's pool size.
 	Machines int `json:"machines,omitempty"`
+	// Fidelity overrides a fleet scenario's oracle tier: exact, fast,
+	// or auto ("" keeps the file's).
+	Fidelity string `json:"fidelity,omitempty"`
+	// FastMargin overrides a fleet scenario's auto screening band
+	// around slowdown_limit (0 keeps the file's).
+	FastMargin float64 `json:"fast_margin,omitempty"`
 }
 
 // Validate checks the config's standalone invariants, including that
@@ -70,6 +76,12 @@ func (c RunConfig) Validate() error {
 		if strings.TrimSpace(p) == "" {
 			return fmt.Errorf("core: empty policy name in policies list")
 		}
+	}
+	if _, err := fleet.ParseFidelity(c.Fidelity); err != nil {
+		return err
+	}
+	if c.FastMargin < 0 {
+		return fmt.Errorf("core: fast_margin %g is negative", c.FastMargin)
 	}
 	if c.CacheDir != "" {
 		return sched.ValidateCacheDir(c.CacheDir)
@@ -155,12 +167,15 @@ type EngineStats struct {
 // exact text a plain CLI run prints (before the engine footer), so
 // HTTP and CLI consumers can compare reports byte for byte.
 type Envelope struct {
-	SchemaVersion int         `json:"schema_version"`
-	EngineVersion string      `json:"engine_version"`
-	Kind          string      `json:"kind"`
-	Name          string      `json:"name"`
-	Stats         EngineStats `json:"stats"`
-	Report        string      `json:"report"`
+	SchemaVersion int    `json:"schema_version"`
+	EngineVersion string `json:"engine_version"`
+	Kind          string `json:"kind"`
+	Name          string `json:"name"`
+	// Fidelity echoes a fleet run's effective oracle tier (exact, fast,
+	// or auto); empty for single-machine scenarios.
+	Fidelity string      `json:"fidelity,omitempty"`
+	Stats    EngineStats `json:"stats"`
+	Report   string      `json:"report"`
 }
 
 // JSON renders the envelope in its canonical wire form: two-space
@@ -207,13 +222,21 @@ func ApplyOverrides(sc *scenario.Scenario, cfg RunConfig) error {
 		if cfg.Machines != 0 {
 			sc.Fleet.Machines = cfg.Machines
 		}
-		if len(cfg.Policies) > 0 || cfg.Partition != "" || cfg.Machines != 0 {
+		if cfg.Fidelity != "" {
+			sc.Fleet.Fidelity = fleet.Fidelity(cfg.Fidelity)
+		}
+		if cfg.FastMargin != 0 {
+			sc.Fleet.FastMargin = cfg.FastMargin
+		}
+		if len(cfg.Policies) > 0 || cfg.Partition != "" || cfg.Machines != 0 ||
+			cfg.Fidelity != "" || cfg.FastMargin != 0 {
 			return sc.Validate()
 		}
 		return nil
 	}
-	if cfg.Partition != "" || len(cfg.Policies) > 0 || cfg.Machines != 0 {
-		return fmt.Errorf("core: partition/policies/machines overrides apply to fleet scenarios")
+	if cfg.Partition != "" || len(cfg.Policies) > 0 || cfg.Machines != 0 ||
+		cfg.Fidelity != "" || cfg.FastMargin != 0 {
+		return fmt.Errorf("core: partition/policies/machines/fidelity overrides apply to fleet scenarios")
 	}
 	if cfg.Policy != "" {
 		sc.Partition.Policy = scenario.PolicyRef{Name: cfg.Policy}
@@ -243,9 +266,10 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 	before := s.r.Stats()
 	t0 := time.Now()
 	kind := KindScenario
-	var report string
+	var report, fidelity string
 	if sc.IsFleet() {
 		kind = KindFleet
+		fidelity = string(sc.Fleet.EffectiveFidelity())
 		rep, err := fleet.Run(s.r, sc.Name, sc.Fleet)
 		if err != nil {
 			return nil, err
@@ -274,6 +298,7 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 			EngineVersion: sched.EngineVersion,
 			Kind:          kind,
 			Name:          sc.Name,
+			Fidelity:      fidelity,
 			Stats: EngineStats{
 				Parallelism: delta.Parallelism,
 				Simulations: delta.Simulations,

@@ -73,6 +73,39 @@ const (
 	PartUtility PartitionMode = "utility"
 )
 
+// Fidelity selects the oracle's simulation tier: how the per-pair
+// co-location numbers the event loop consumes are obtained. The alone
+// baselines are cycle-accurate in every tier.
+type Fidelity string
+
+const (
+	// FidelityExact (the default) simulates every co-location
+	// cycle-accurately — way sweeps, online episodes, static splits.
+	FidelityExact Fidelity = "exact"
+	// FidelityFast predicts every co-location analytically from MRC
+	// profiles (internal/model): one profiling run per application,
+	// no pair simulations.
+	FidelityFast Fidelity = "fast"
+	// FidelityAuto screens every co-location with the fast tier and
+	// re-simulates exactly only the borderline ones, whose predicted
+	// request slowdown lands within fast_margin of slowdown_limit.
+	FidelityAuto Fidelity = "auto"
+)
+
+// ParseFidelity resolves a fidelity name ("" = exact) or returns the
+// one-line error the CLI and server surface for an unknown value.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", FidelityExact:
+		return FidelityExact, nil
+	case FidelityFast:
+		return FidelityFast, nil
+	case FidelityAuto:
+		return FidelityAuto, nil
+	}
+	return "", fmt.Errorf("fleet: unknown fidelity %q (want exact, fast, or auto)", s)
+}
+
 // Def is the fleet block of a scenario file: the machine pool, the
 // open-loop load, and the consolidation policies to compare over it.
 type Def struct {
@@ -108,6 +141,12 @@ type Def struct {
 	// once — the operator's drain-parallelism knob (default:
 	// machines/4, at least 1).
 	BatchWidth int `json:"batch_width,omitempty"`
+	// Fidelity selects the oracle tier: exact (default), fast, or auto.
+	Fidelity Fidelity `json:"fidelity,omitempty"`
+	// FastMargin is auto's screening band around slowdown_limit: a
+	// co-location predicted within it is re-simulated exactly
+	// (default 0.05).
+	FastMargin float64 `json:"fast_margin,omitempty"`
 	// Arrivals declares the open-loop latency request streams.
 	Arrivals []loadgen.RequestClass `json:"arrivals,omitempty"`
 	// Backlog declares the batch-job queue drained across the fleet.
@@ -218,6 +257,25 @@ func (d *Def) utilTarget() float64 {
 	return d.UtilTarget
 }
 
+// fidelity resolves the effective tier, treating an unset field as
+// exact; Validate rejects unknown names before any run reaches here.
+func (d *Def) fidelity() Fidelity {
+	if f, err := ParseFidelity(string(d.Fidelity)); err == nil {
+		return f
+	}
+	return d.Fidelity
+}
+
+// EffectiveFidelity exposes the resolved tier (the envelope echoes it).
+func (d *Def) EffectiveFidelity() Fidelity { return d.fidelity() }
+
+func (d *Def) fastMargin() float64 {
+	if d.FastMargin == 0 {
+		return 0.05
+	}
+	return d.FastMargin
+}
+
 // Validate checks everything that does not depend on the platform:
 // pool shape, known applications, policies, partition mode, and
 // threshold ranges.
@@ -274,6 +332,12 @@ func (d *Def) Validate() error {
 	}
 	if d.BatchWidth < 0 {
 		return fmt.Errorf("fleet: negative batch_width")
+	}
+	if _, err := ParseFidelity(string(d.Fidelity)); err != nil {
+		return err
+	}
+	if d.FastMargin < 0 {
+		return fmt.Errorf("fleet: fast_margin must be >= 0, got %v", d.FastMargin)
 	}
 	return nil
 }

@@ -83,6 +83,51 @@ func TestFleet50Golden(t *testing.T) {
 	}
 }
 
+// TestFleetMega10kGolden pins the shipped 10,000-machine example — the
+// auto fidelity tier's flagship — at quick scale: the full fleet run
+// must complete and its report must stay byte-identical, including the
+// fidelity line accounting for every co-location as predicted or
+// re-simulated. Regenerate with -update-golden.
+func TestFleetMega10kGolden(t *testing.T) {
+	s, err := scenario.ParseFile(filepath.Join("..", "..", "examples", "scenarios", "fleet-mega-10k.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Fleet.EffectiveFidelity(); got != fleet.FidelityAuto {
+		t.Fatalf("example declares fidelity %q, want auto", got)
+	}
+	if s.Fleet.Machines != 10000 {
+		t.Fatalf("example declares %d machines, want 10000", s.Fleet.Machines)
+	}
+	r := sched.New(sched.Options{Scale: quickScale})
+	rep, err := fleet.Run(r, s.Name, s.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fidelity != fleet.FidelityAuto {
+		t.Errorf("report fidelity %q, want auto", rep.Fidelity)
+	}
+	if rep.PairsPredicted+rep.PairsResimulated == 0 {
+		t.Error("auto tier accounted for no co-locations")
+	}
+
+	got := rep.String()
+	path := filepath.Join("testdata", "fleet_mega10k_quick.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fleet output drifted from golden\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
 // TestFleetUtility50 pins the shipped utility-partitioning example's
 // acceptance shape: the same trace under the utility policy
 // consolidates onto fewer machines than under a shared LLC — because

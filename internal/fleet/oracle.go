@@ -47,6 +47,12 @@ type oracle struct {
 
 	alone map[string]alonePerf
 	pair  map[string]pairPerf
+
+	// fid is the tier that built the pair table; predicted/resimmed
+	// count its co-locations per source (both zero under exact).
+	fid       Fidelity
+	predicted int
+	resimmed  int
 }
 
 func pairKey(fg, bg string) string { return fg + "\x00" + bg }
@@ -153,6 +159,7 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 		idleWallW:   cfg.Energy.IdlePowerWall(cfg.Cores),
 		alone:       map[string]alonePerf{},
 		pair:        map[string]pairPerf{},
+		fid:         FidelityExact,
 	}
 
 	fgs, bgs := d.fgApps(), d.bgApps()
@@ -192,28 +199,22 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 		return nil, err
 	}
 	searcher, _ := pol.(partition.Searcher)
+
+	if fid := d.fidelity(); fid != FidelityExact {
+		// The analytic tiers replace the per-pair simulations with MRC
+		// predictions (re-simulating borderline pairs under auto); the
+		// alone baselines stay exact in every tier.
+		if err := o.buildFast(r, d, h, pol, searcher, fgs, bgs, apps, assoc, fid); err != nil {
+			return nil, err
+		}
+		return o, nil
+	}
+
 	pairAt := map[string]int{} // first spec index of the pair's runs
 	for _, fg := range fgs {
 		for _, bg := range bgs {
 			pairAt[pairKey(fg, bg)] = len(specs)
-			switch {
-			case searcher != nil:
-				for w := 1; w < assoc; w++ {
-					fgR, bgR := splitRanges(w, assoc)
-					specs = append(specs, h.pairMix(apps[fg], apps[bg], fgR, bgR))
-				}
-			case pol.Online():
-				interval := partition.SamplingInterval(apps[fg], r.Scale())
-				specs = append(specs, h.onlinePairMix(apps[fg], apps[bg], pol, interval))
-			default:
-				fgW, bgW := partition.PairWays(pol, assoc)
-				fgR, bgR := [2]int{}, [2]int{}
-				if fgW > 0 || bgW > 0 {
-					fgR = [2]int{0, fgW}
-					bgR = [2]int{assoc - bgW, assoc}
-				}
-				specs = append(specs, h.pairMix(apps[fg], apps[bg], fgR, bgR))
-			}
+			specs = append(specs, pairSpecs(r, h, apps[fg], apps[bg], pol, searcher, assoc)...)
 		}
 	}
 
@@ -231,51 +232,84 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 	for _, fg := range fgs {
 		for _, bg := range bgs {
 			key := pairKey(fg, bg)
-			at := pairAt[key]
-			fgAlone := o.alone[fg].Seconds
-			var res *machine.Result
-			var fgWays, reallocs int
-			switch {
-			case searcher != nil:
-				// The policy's selection rule over the measured sweep;
-				// the fleet default is the protective Figure 13 rule
-				// (minimum request degradation, ties toward the larger
-				// request share).
-				cands := make([]partition.Candidate, assoc-1)
-				for w := 1; w < assoc; w++ {
-					sw := results[at+w-1]
-					cands[w-1] = partition.Candidate{
-						FgWays:       w,
-						FgSlowdown:   sw.Jobs[0].Seconds / fgAlone,
-						BgThroughput: sw.Jobs[1].Iterations,
-					}
-				}
-				fgWays = cands[searcher.Pick(cands)].FgWays
-				res = results[at+fgWays-1]
-			case pol.Online():
-				res = results[at]
-				if tr := res.Partition; tr != nil {
-					reallocs = tr.Reallocations
-					if len(tr.FinalWays) > 0 {
-						fgWays = tr.FinalWays[0]
-					}
-				}
-			default:
-				res = results[at]
-				fgWays, _ = partition.PairWays(pol, assoc)
-			}
-			o.pair[key] = pairPerf{
-				FgSeconds:  res.Jobs[0].Seconds,
-				FgSlowdown: res.Jobs[0].Seconds / fgAlone,
-				BgRate:     rate(res.Jobs[1].Iterations, res.WindowSeconds),
-				FgWays:     fgWays,
-				SocketW:    watts(res.Energy.SocketJoules, res.WindowSeconds),
-				WallW:      watts(res.Energy.WallJoules, res.WindowSeconds),
-				Reallocs:   reallocs,
-			}
+			o.pair[key] = harvestPair(results, pairAt[key], pol, searcher, assoc, o.alone[fg].Seconds)
 		}
 	}
 	return o, nil
+}
+
+// pairSpecs returns the simulations one (fg, bg) co-location needs
+// under the partition policy: a Searcher sweeps every uneven split, an
+// online policy runs one loop-attached episode, and an offline policy
+// runs the single static split its Decide picks for the pair shape.
+// All dispatch is through the policy interface — a newly registered
+// policy needs no fleet change.
+func pairSpecs(r *sched.Runner, h halfMixes, fg, bg *workload.Profile, pol partition.Policy, searcher partition.Searcher, assoc int) []sched.Spec {
+	switch {
+	case searcher != nil:
+		out := make([]sched.Spec, 0, assoc-1)
+		for w := 1; w < assoc; w++ {
+			fgR, bgR := splitRanges(w, assoc)
+			out = append(out, h.pairMix(fg, bg, fgR, bgR))
+		}
+		return out
+	case pol.Online():
+		interval := partition.SamplingInterval(fg, r.Scale())
+		return []sched.Spec{h.onlinePairMix(fg, bg, pol, interval)}
+	default:
+		fgW, bgW := partition.PairWays(pol, assoc)
+		fgR, bgR := [2]int{}, [2]int{}
+		if fgW > 0 || bgW > 0 {
+			fgR = [2]int{0, fgW}
+			bgR = [2]int{assoc - bgW, assoc}
+		}
+		return []sched.Spec{h.pairMix(fg, bg, fgR, bgR)}
+	}
+}
+
+// harvestPair reads one pair's pairPerf out of the batch results,
+// starting at the pair's first spec index.
+func harvestPair(results []*machine.Result, at int, pol partition.Policy, searcher partition.Searcher, assoc int, fgAlone float64) pairPerf {
+	var res *machine.Result
+	var fgWays, reallocs int
+	switch {
+	case searcher != nil:
+		// The policy's selection rule over the measured sweep;
+		// the fleet default is the protective Figure 13 rule
+		// (minimum request degradation, ties toward the larger
+		// request share).
+		cands := make([]partition.Candidate, assoc-1)
+		for w := 1; w < assoc; w++ {
+			sw := results[at+w-1]
+			cands[w-1] = partition.Candidate{
+				FgWays:       w,
+				FgSlowdown:   sw.Jobs[0].Seconds / fgAlone,
+				BgThroughput: sw.Jobs[1].Iterations,
+			}
+		}
+		fgWays = cands[searcher.Pick(cands)].FgWays
+		res = results[at+fgWays-1]
+	case pol.Online():
+		res = results[at]
+		if tr := res.Partition; tr != nil {
+			reallocs = tr.Reallocations
+			if len(tr.FinalWays) > 0 {
+				fgWays = tr.FinalWays[0]
+			}
+		}
+	default:
+		res = results[at]
+		fgWays, _ = partition.PairWays(pol, assoc)
+	}
+	return pairPerf{
+		FgSeconds:  res.Jobs[0].Seconds,
+		FgSlowdown: res.Jobs[0].Seconds / fgAlone,
+		BgRate:     rate(res.Jobs[1].Iterations, res.WindowSeconds),
+		FgWays:     fgWays,
+		SocketW:    watts(res.Energy.SocketJoules, res.WindowSeconds),
+		WallW:      watts(res.Energy.WallJoules, res.WindowSeconds),
+		Reallocs:   reallocs,
+	}
 }
 
 // powerState returns the socket/wall power of a machine in the given

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/loadgen"
+	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tabtext"
@@ -44,7 +45,13 @@ type Report struct {
 	ByClass  []int // arrivals per request class
 	Backlog  int
 	Width    int // effective batch width
-	Results  []PolicyResult
+	// Fidelity is the oracle tier the pair numbers came from; under
+	// fast/auto, PairsPredicted/PairsResimulated account for every
+	// co-location (exact keeps both zero).
+	Fidelity         Fidelity
+	PairsPredicted   int
+	PairsResimulated int
+	Results          []PolicyResult
 }
 
 // Run executes a fleet definition on the runner: it generates the
@@ -74,6 +81,7 @@ func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
 		Cores: o.cfg.Cores, Assoc: o.cfg.Hier.LLC.Assoc,
 		Requests: len(arrivals), ByClass: make([]int, len(def.Arrivals)),
 		Backlog: len(backlog), Width: def.batchWidth(),
+		Fidelity: o.fid, PairsPredicted: o.predicted, PairsResimulated: o.resimmed,
 	}
 	for _, a := range arrivals {
 		rep.ByClass[a.Class]++
@@ -150,6 +158,15 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&sb, "); backlog %d items, width %d; partition %s; seed %q\n",
 		r.Backlog, r.Width, r.Def.partition(), r.Def.seed())
+	if r.Fidelity != "" && r.Fidelity != FidelityExact {
+		if r.Fidelity == FidelityAuto {
+			fmt.Fprintf(&sb, "fidelity: auto (model %s, margin %g); co-locations: %d predicted, %d re-simulated\n",
+				model.Version, r.Def.fastMargin(), r.PairsPredicted, r.PairsResimulated)
+		} else {
+			fmt.Fprintf(&sb, "fidelity: fast (model %s); co-locations: %d predicted, %d re-simulated\n",
+				model.Version, r.PairsPredicted, r.PairsResimulated)
+		}
+	}
 
 	rows := [][]string{{"policy", "mach", "coloc", "rej", "p50", "p95", "p99",
 		"util%", "drain(s)", "mksp(s)", "socket(J)", "ED2(Js^2)"}}
@@ -202,6 +219,13 @@ func Describe(name string, def *Def) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s: ok — %d machines, %d requests over %.2f s, backlog %d (width %d), partition %s\n",
 		name, def.Machines, len(arrivals), def.Duration, len(backlog), def.batchWidth(), def.partition())
+	if f := def.fidelity(); f != FidelityExact {
+		if f == FidelityAuto {
+			fmt.Fprintf(&sb, "  fidelity: auto (model %s, margin %g)\n", model.Version, def.fastMargin())
+		} else {
+			fmt.Fprintf(&sb, "  fidelity: fast (model %s)\n", model.Version)
+		}
+	}
 	byClass := make([]int, len(def.Arrivals))
 	for _, a := range arrivals {
 		byClass[a.Class]++

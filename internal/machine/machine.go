@@ -184,6 +184,10 @@ type Machine struct {
 	// online partition policy's activity summary (see PartitionTrace).
 	partSrc func() *PartitionTrace
 
+	// probeSrc, if set, is polled once at result collection for the
+	// shadow-monitor readout (see ProbeTrace).
+	probeSrc func() *ProbeTrace
+
 	epochs uint64
 }
 
@@ -217,6 +221,12 @@ func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
 // that survives memoization and the persistent store — rather than
 // only in live controller state.
 func (m *Machine) SetPartitionSource(fn func() *PartitionTrace) { m.partSrc = fn }
+
+// SetProbeSource registers fn to be polled once when the run's Result
+// is collected. Profiling runs report their shadow-monitor curves this
+// way, so MRC profiles live in the Result — surviving memoization and
+// the persistent store — rather than only in live monitor state.
+func (m *Machine) SetProbeSource(fn func() *ProbeTrace) { m.probeSrc = fn }
 
 // Config returns the platform configuration.
 func (m *Machine) Config() Config { return m.cfg }

@@ -87,6 +87,36 @@ type PartitionTrace struct {
 	FinalWays []int `json:"final_ways,omitempty"`
 }
 
+// ProbeTrace carries shadow-monitor readouts harvested at result
+// collection. Like PartitionTrace it is pure data: a memoized or
+// disk-cached probing run reports the same curves as the run that
+// produced them. Monitors are shadow-only (see cache.UMON), so a run
+// with a probe attached is byte-identical to the same run without one
+// in every other Result field.
+type ProbeTrace struct {
+	// Kind names the monitor family plus its model version (e.g.
+	// "umon/mrc-cpi-v1") — the EngineVersion analogue for probe data.
+	Kind string `json:"kind"`
+	// SampleShift is the set-sampling stride: every 2^SampleShift-th
+	// LLC set is monitored, so scaling sampled counts by 2^SampleShift
+	// estimates whole-cache totals.
+	SampleShift uint `json:"sample_shift"`
+	// Jobs holds one readout per mix job, in job order.
+	Jobs []ProbeJobTrace `json:"jobs"`
+}
+
+// ProbeJobTrace is one job's utility-monitor readout.
+type ProbeJobTrace struct {
+	// Hits is the cumulative demand-hit curve over the sampled sets:
+	// Hits[w-1] estimates the demand hits the job would have achieved
+	// with w LLC ways.
+	Hits []float64 `json:"hits"`
+	// Accesses/Misses are the sampled demand LLC accesses and misses
+	// (stack distance beyond the associativity) the monitor observed.
+	Accesses uint64 `json:"accesses"`
+	Misses   uint64 `json:"misses"`
+}
+
 // Result is the outcome of one Machine.Run.
 type Result struct {
 	WindowSeconds float64
@@ -96,6 +126,9 @@ type Result struct {
 	// Partition carries the online partition policy's activity summary
 	// (nil when no online policy was attached).
 	Partition *PartitionTrace `json:",omitempty"`
+	// Probe carries shadow-monitor curves (nil when no probe was
+	// attached).
+	Probe *ProbeTrace `json:",omitempty"`
 }
 
 // JobByName returns the result entry for the named job. It panics if the
@@ -150,6 +183,9 @@ func (m *Machine) collect() *Result {
 	res.Energy = m.cfg.Energy.Price(res.Usage)
 	if m.partSrc != nil {
 		res.Partition = m.partSrc()
+	}
+	if m.probeSrc != nil {
+		res.Probe = m.probeSrc()
 	}
 	return res
 }

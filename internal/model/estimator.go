@@ -1,0 +1,170 @@
+package model
+
+import (
+	"repro/internal/interconnect"
+	"repro/internal/machine"
+	"repro/internal/memory"
+)
+
+// Estimator prices co-locations analytically: a linear CPI-stack model
+// over the platform's own timing parameters. Each side of a pair pays,
+// on top of its measured alone CPI, (1) a DRAM round trip (minus the
+// LLC hit it loses) for every additional miss the MRC predicts at the
+// reduced allocation, and (2) the extra queueing latency its existing
+// misses see once both workloads share the memory bus — both
+// discounted by the workload's memory-level parallelism, exactly as
+// the cycle-accurate timing model discounts stalls. Contention reuses
+// the simulator's own bus queueing curve (memory.Bus), so the analytic
+// tier and the exact tier disagree only where the linear model cuts
+// corners, not on the physics constants.
+//
+// An Estimator is not safe for concurrent use (it owns a scratch bus).
+type Estimator struct {
+	assoc       int
+	freqHz      float64
+	memLat      float64 // unloaded DRAM load-to-use latency, cycles
+	llcLat      float64 // uncontended effective LLC hit latency, cycles
+	idleSocketW float64
+	idleWallW   float64
+	bus         *memory.Bus // scratch: queue-factor curve of the DRAM bus
+}
+
+// NewEstimator builds an estimator for the given platform.
+func NewEstimator(cfg machine.Config) *Estimator {
+	ring := interconnect.NewRing(cfg.Ring, 1)
+	return &Estimator{
+		assoc:       cfg.Hier.LLC.Assoc,
+		freqHz:      cfg.Timing.FreqHz,
+		memLat:      cfg.DRAM.BaseLatencyCycles,
+		llcLat:      ring.LLCLatency(0),
+		idleSocketW: cfg.Energy.IdlePowerSocket(cfg.Cores),
+		idleWallW:   cfg.Energy.IdlePowerWall(cfg.Cores),
+		bus:         memory.NewBus(cfg.DRAM.Bus, 1),
+	}
+}
+
+// Assoc returns the platform LLC associativity the estimator models.
+func (e *Estimator) Assoc() int { return e.assoc }
+
+// PairPrediction is the estimator's forecast of one co-location: a
+// latency job at fgWays beside a continuously-looping batch job at
+// bgWays, the fleet's episode shape.
+type PairPrediction struct {
+	FgSlowdown float64 // predicted fg seconds / alone seconds
+	BgSlowdown float64
+	FgSeconds  float64 // predicted co-located completion time
+	BgRate     float64 // predicted batch iterations per second
+	SocketW    float64 // socket watts with both halves occupied
+	WallW      float64
+}
+
+// queueFactor evaluates the DRAM bus queueing curve at the given
+// aggregate demand (bytes per cycle).
+func (e *Estimator) queueFactor(bytesPerCycle float64) float64 {
+	e.bus.SetRate(0, bytesPerCycle)
+	return e.bus.QueueFactor()
+}
+
+// side is one pair side's allocation-dependent intermediate state.
+type side struct {
+	dMPKI   float64 // additional misses per kilo-instruction
+	traffic float64 // DRAM bytes/cycle at full speed (slowdown 1)
+	qfAlone float64 // bus queue factor the alone run saw
+}
+
+func (e *Estimator) sideAt(p *Profile, ways float64) side {
+	mpki := p.MPKIAt(ways)
+	s := side{dMPKI: mpki - p.AloneMPKI}
+	s.traffic = p.BytesPerSec / e.freqHz
+	if p.AloneMPKI > 0.01 {
+		// Traffic grows with the predicted miss count; below the
+		// threshold the alone traffic is essentially all writeback/
+		// prefetch noise and scaling it by an MPKI ratio would explode.
+		s.traffic *= mpki / p.AloneMPKI
+	}
+	s.qfAlone = e.queueFactor(p.BytesPerSec / e.freqHz)
+	return s
+}
+
+// slowdown prices one side's CPI delta under the pair's shared bus.
+func (e *Estimator) slowdown(p *Profile, s side, qfPair float64) float64 {
+	memPair := e.memLat * qfPair
+	newMiss := memPair - e.llcLat
+	if newMiss < 0 {
+		newMiss = 0
+	}
+	extra := memPair - e.memLat*s.qfAlone
+	if extra < 0 {
+		extra = 0
+	}
+	dCPI := (s.dMPKI*newMiss + p.AloneMPKI*extra) / 1000 / p.MLP
+	return 1 + dCPI/p.CPIThread()
+}
+
+// PredictPair forecasts the co-location of fg at fgWays beside bg at
+// bgWays (fractional allocations come from SharedWays). The two sides'
+// bus demands feed back into each other's slowdown, so the prediction
+// iterates the coupled pair to a fixed point. The queue factor is
+// damped (averaged with the previous round): near bus saturation the
+// undamped map oscillates — full contention slows both sides enough to
+// drop demand below the knee, which removes the contention — and the
+// damped iteration settles on the equilibrium between the two extremes
+// instead of on whichever phase the last round landed.
+func (e *Estimator) PredictPair(fg, bg *Profile, fgWays, bgWays float64) PairPrediction {
+	fs := e.sideAt(fg, fgWays)
+	bs := e.sideAt(bg, bgWays)
+	sf, sb, qf := 1.0, 1.0, 1.0
+	for i := 0; i < 12; i++ {
+		qf = (qf + e.queueFactor(fs.traffic/sf+bs.traffic/sb)) / 2
+		sf = e.slowdown(fg, fs, qf)
+		sb = e.slowdown(bg, bs, qf)
+	}
+	pred := PairPrediction{
+		FgSlowdown: sf,
+		BgSlowdown: sb,
+		FgSeconds:  fg.AloneSeconds * sf,
+		SocketW:    fg.SocketW + bg.SocketW - e.idleSocketW,
+		WallW:      fg.WallW + bg.WallW - e.idleWallW,
+	}
+	if bg.AloneSeconds > 0 && sb > 0 {
+		pred.BgRate = 1 / (bg.AloneSeconds * sb)
+	}
+	return pred
+}
+
+// SharedWays models LRU competition over an unpartitioned cache: each
+// side's effective occupancy is proportional to its insertion (miss)
+// rate, which itself depends on the occupancy — iterated to a damped
+// fixed point. Deterministic; used for the w=0 "no split" episode and
+// for offline policies that leave the cache shared.
+func (e *Estimator) SharedWays(fg, bg *Profile) (fgWays, bgWays float64) {
+	assoc := float64(e.assoc)
+	w := assoc / 2
+	for i := 0; i < 8; i++ {
+		pf := e.pressure(fg, w)
+		pb := e.pressure(bg, assoc-w)
+		if pf+pb <= 0 {
+			w = assoc / 2
+			break
+		}
+		target := assoc * pf / (pf + pb)
+		if target < 0.5 {
+			target = 0.5
+		}
+		if target > assoc-0.5 {
+			target = assoc - 0.5
+		}
+		w = (w + target) / 2
+	}
+	return w, assoc - w
+}
+
+// pressure is a side's cache insertion rate (misses per second) at the
+// given occupancy, at alone speed — the quantity LRU occupancy tracks.
+func (e *Estimator) pressure(p *Profile, ways float64) float64 {
+	if p.AloneSeconds <= 0 {
+		return 0
+	}
+	ips := p.Instructions / p.AloneSeconds
+	return p.MPKIAt(ways) / 1000 * ips
+}

@@ -1,0 +1,212 @@
+// Package model turns shadow-monitor utility curves into first-class
+// per-workload MRC profiles and predicts co-location slowdowns from
+// them analytically — the fleet layer's fast fidelity tier. A profile
+// is harvested from a one-time profiling run (the canonical alone-half
+// mix with a cache.UMON attached through perfmon.UtilitySet): the
+// monitor's cumulative hit curve gives the miss ratio at every possible
+// way allocation, and the run's own counters give the alone CPI,
+// memory traffic, and power baseline the estimator prices deltas
+// against. Because monitors are shadow-only, the profiling run's
+// timing/energy numbers are byte-identical to the plain alone run —
+// the fast tier's baselines are exact, only its pair numbers are
+// predicted.
+package model
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/machine"
+	"repro/internal/perfmon"
+)
+
+// Version identifies the profile layout and the estimator's CPI model.
+// It is baked into every probing run's memo/disk key (via ProbeKey), so
+// profiles harvested under an older model can never be replayed into a
+// newer estimator — the model analogue of sched.EngineVersion.
+const Version = "mrc-cpi-v1"
+
+// SampleShift is the profiling monitor's set-sampling stride: every
+// 2^SampleShift-th LLC set is shadowed (the utility policy's default).
+const SampleShift = 5
+
+// ProbeKind names the monitor family + model version recorded in a
+// probing run's ProbeTrace.
+const ProbeKind = "umon/" + Version
+
+// ProbeKey returns the sched.MixSpec.ProbeKey for profiling runs: it
+// carries the model version and sampling stride, so probing results
+// occupy memo/disk keys distinct from unprobed runs and from any other
+// model version.
+func ProbeKey() string {
+	return ProbeKind + "/ss" + strconv.Itoa(SampleShift)
+}
+
+// ProbeSetup returns the Setup hook of a profiling mix: it attaches a
+// utility monitor to every job and registers the probe source that
+// writes the curves into the run's Result. The hook is a pure function
+// of the mix and ProbeKey(), so profiling runs are memoizable.
+func ProbeSetup() func(m *machine.Machine, jobs []*machine.Job) {
+	return func(m *machine.Machine, jobs []*machine.Job) {
+		sets := make([]*perfmon.UtilitySet, len(jobs))
+		for i, j := range jobs {
+			sets[i] = perfmon.OpenUtility(m, j, SampleShift)
+		}
+		m.SetProbeSource(func() *machine.ProbeTrace {
+			tr := &machine.ProbeTrace{Kind: ProbeKind, SampleShift: SampleShift}
+			for _, s := range sets {
+				tr.Jobs = append(tr.Jobs, machine.ProbeJobTrace{
+					Hits:     s.Curve(nil),
+					Accesses: s.Accesses(),
+					Misses:   s.Misses(),
+				})
+			}
+			return tr
+		})
+	}
+}
+
+// Profile is one workload's miss-ratio curve plus the alone-run
+// baseline the estimator prices slowdowns against. All fields are
+// plain data harvested from a single probing machine.Result, so
+// profiles survive memoization and the persistent store with the run.
+type Profile struct {
+	App   string
+	Assoc int
+	// Threads is the capped thread count of the profiled alone shape.
+	Threads int
+	// MLP is the workload's memory-level parallelism (>= 1).
+	MLP float64
+
+	// Alone-run baseline (exact — the probe is shadow-only).
+	AloneSeconds float64 // one run to completion
+	AloneIPC     float64 // aggregate instructions/cycle across threads
+	AloneMPKI    float64 // demand LLC misses per kilo-instruction
+	Instructions float64 // retired in the measured window
+	BytesPerSec  float64 // DRAM traffic rate while running alone
+	SocketW      float64 // socket watts while running alone
+	WallW        float64 // wall watts while running alone
+
+	// Sampled monitor readout: Curve[w-1] is the cumulative demand
+	// hits the workload would have achieved with w ways, over every
+	// 2^SampleShift-th set.
+	Curve    []float64
+	Accesses uint64
+	Misses   uint64
+	// DemandAPKI is the monitor-derived demand LLC accesses per
+	// kilo-instruction (whole-cache estimate, prefetch fills excluded —
+	// the rate the miss-ratio curve applies to).
+	DemandAPKI float64
+}
+
+// NewProfile harvests the profile of job `job` from a probing run's
+// result. The result must carry a ProbeTrace of this model version —
+// anything else is a caller wiring bug reported as an error.
+func NewProfile(app string, mlp float64, res *machine.Result, job int, cfg machine.Config) (*Profile, error) {
+	if res.Probe == nil {
+		return nil, fmt.Errorf("model: result of %s carries no probe trace (was the mix built with ProbeSetup?)", app)
+	}
+	if res.Probe.Kind != ProbeKind {
+		return nil, fmt.Errorf("model: probe trace of %s is %q, want %q", app, res.Probe.Kind, ProbeKind)
+	}
+	if job >= len(res.Probe.Jobs) || job >= len(res.Jobs) {
+		return nil, fmt.Errorf("model: result of %s has no job %d", app, job)
+	}
+	jr := res.Jobs[job]
+	pj := res.Probe.Jobs[job]
+	if mlp < 1 {
+		mlp = 1
+	}
+	p := &Profile{
+		App:          app,
+		Assoc:        cfg.Hier.LLC.Assoc,
+		Threads:      jr.Threads,
+		MLP:          mlp,
+		AloneSeconds: jr.Seconds,
+		AloneIPC:     jr.IPC,
+		AloneMPKI:    jr.LLCMPKI,
+		Instructions: jr.Instructions,
+		SocketW:      watts(res.Energy.SocketJoules, res.WindowSeconds),
+		WallW:        watts(res.Energy.WallJoules, res.WindowSeconds),
+		Curve:        pj.Hits,
+		Accesses:     pj.Accesses,
+		Misses:       pj.Misses,
+	}
+	if jr.Seconds > 0 {
+		p.BytesPerSec = jr.DRAMBytes / jr.Seconds
+	}
+	if p.Instructions > 0 {
+		scale := float64(uint64(1) << res.Probe.SampleShift)
+		p.DemandAPKI = float64(pj.Accesses) * scale * 1000 / p.Instructions
+	}
+	return p, nil
+}
+
+// hitsAt interpolates the cumulative hit curve at a (possibly
+// fractional) way allocation; 0 ways hit nothing.
+func (p *Profile) hitsAt(w float64) float64 {
+	if w <= 0 || len(p.Curve) == 0 {
+		return 0
+	}
+	if w >= float64(len(p.Curve)) {
+		return p.Curve[len(p.Curve)-1]
+	}
+	lo := int(w)
+	var base float64
+	if lo >= 1 {
+		base = p.Curve[lo-1]
+	}
+	return base + (w-float64(lo))*(p.Curve[lo]-base)
+}
+
+// MissRatio returns the sampled demand miss ratio the workload would
+// see with w ways of LLC.
+func (p *Profile) MissRatio(w float64) float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	mr := (float64(p.Accesses) - p.hitsAt(w)) / float64(p.Accesses)
+	if mr < 0 {
+		return 0
+	}
+	return mr
+}
+
+// MPKIAt predicts the demand LLC misses per kilo-instruction at w
+// ways: the measured alone MPKI plus the curve's additional misses.
+// Anchoring at the measurement (rather than rescaling the whole curve)
+// makes the prediction exact at the full-cache point.
+func (p *Profile) MPKIAt(w float64) float64 {
+	d := p.MissRatio(w) - p.MissRatio(float64(p.Assoc))
+	if d < 0 {
+		d = 0
+	}
+	return p.AloneMPKI + p.DemandAPKI*d
+}
+
+// HitRatePerSec estimates the workload's demand LLC hits per second at
+// w ways, running at alone speed — the quantity a hit-maximizing
+// (utility-style) allocator trades off between jobs.
+func (p *Profile) HitRatePerSec(w float64) float64 {
+	if p.AloneSeconds <= 0 {
+		return 0
+	}
+	ips := p.Instructions / p.AloneSeconds
+	return (1 - p.MissRatio(w)) * p.DemandAPKI / 1000 * ips
+}
+
+// CPIThread is the measured per-thread cycles per instruction of the
+// alone run (aggregate IPC folded back to one thread).
+func (p *Profile) CPIThread() float64 {
+	if p.AloneIPC <= 0 {
+		return 1
+	}
+	return float64(p.Threads) / p.AloneIPC
+}
+
+func watts(joules, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return joules / seconds
+}

@@ -67,6 +67,10 @@ func (s *UtilitySet) Curve(dst []float64) []float64 { return s.u.Curve(dst) }
 // Accesses returns the sampled demand accesses the monitor observed.
 func (s *UtilitySet) Accesses() uint64 { return s.u.Accesses() }
 
+// Misses returns the sampled demand misses (stack distance beyond the
+// monitored associativity).
+func (s *UtilitySet) Misses() uint64 { return s.u.Misses() }
+
 // Sample is one point of a sampled counter time series.
 type Sample struct {
 	Seconds      float64 // simulated time of the reading

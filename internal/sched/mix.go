@@ -52,8 +52,8 @@ type MixSpec struct {
 	Prefetch *prefetch.Config
 	// Setup, if non-nil, runs after jobs are scheduled and before the
 	// run starts (online partition policies attach their decision loop
-	// here). Mixes with a Setup hook are not memoized unless PolicyKey
-	// is also set.
+	// here; profiling runs attach shadow monitors). Mixes with a Setup
+	// hook are not memoized unless PolicyKey or ProbeKey is also set.
 	Setup func(m *machine.Machine, jobs []*machine.Job)
 	// PolicyKey names the online partition policy the Setup hook
 	// attaches (partition.RunKey: policy name, canonical params, and
@@ -64,6 +64,13 @@ type MixSpec struct {
 	// state (samplers, controller out-params): those runs always
 	// execute.
 	PolicyKey string
+	// ProbeKey names the shadow monitor the Setup hook attaches
+	// (model.ProbeKey: monitor kind, model version, sampling stride).
+	// Like PolicyKey it declares the hook pure and makes the run
+	// memoizable, with a key segment that guarantees probing runs never
+	// alias unprobed runs — or runs probed under a different model
+	// version — in the memo or the persistent store.
+	ProbeKey string
 }
 
 // memoKey renders the canonical key: every input the execution depends
@@ -78,7 +85,7 @@ type MixSpec struct {
 // round-trip form as %g, bools the same true/false as %v); only the
 // uncommon Machine-override branch still pays for reflection.
 func (s MixSpec) memoKey(r *Runner) string {
-	if s.Setup != nil && s.PolicyKey == "" {
+	if s.Setup != nil && s.PolicyKey == "" && s.ProbeKey == "" {
 		return ""
 	}
 	buf := make([]byte, 0, 192)
@@ -125,6 +132,12 @@ func (s MixSpec) memoKey(r *Runner) string {
 		buf = strconv.AppendInt(buf, int64(len(s.PolicyKey)), 10)
 		buf = append(buf, ':')
 		buf = append(buf, s.PolicyKey...)
+	}
+	if s.ProbeKey != "" {
+		buf = append(buf, "|prb"...)
+		buf = strconv.AppendInt(buf, int64(len(s.ProbeKey)), 10)
+		buf = append(buf, ':')
+		buf = append(buf, s.ProbeKey...)
 	}
 	return string(buf)
 }

@@ -186,6 +186,70 @@ func TestEndToEndFleetExample(t *testing.T) {
 	}
 }
 
+// TestFidelityTiersSeparateKeys is the end-to-end aliasing check: an
+// exact run followed by a fast run of the same fleet spec on one warm
+// session with a persistent store. The fast tier's profiling runs carry
+// their own memo/disk keys, so the second run must simulate (not memo-
+// or disk-hit the exact run's records), echo its fidelity in the
+// envelope, and report the analytic accounting line.
+func TestFidelityTiersSeparateKeys(t *testing.T) {
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, core.RunConfig{CacheDir: t.TempDir()}, Options{})
+
+	sub := submit(t, ts, spec)
+	var exact core.Envelope
+	if err := json.Unmarshal(pollReport(t, ts, sub.ReportURL), &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Fidelity != "exact" {
+		t.Fatalf("plain fleet submission ran at fidelity %q, want exact", exact.Fidelity)
+	}
+
+	wrapped, err := json.Marshal(map[string]any{
+		"spec":   json.RawMessage(spec),
+		"config": map[string]any{"fidelity": "fast"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub2 := submit(t, ts, wrapped)
+	var fast core.Envelope
+	if err := json.Unmarshal(pollReport(t, ts, sub2.ReportURL), &fast); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Fidelity != "fast" {
+		t.Errorf("fast submission echoed fidelity %q", fast.Fidelity)
+	}
+	// The profiling runs are new keys: they must execute, not replay the
+	// exact run's memo entries or disk records.
+	if fast.Stats.Simulations == 0 {
+		t.Errorf("fast run simulated nothing — profiling keys aliased the exact run: %+v", fast.Stats)
+	}
+	if fast.Stats.DiskHits != 0 {
+		t.Errorf("fast run read %d disk records written by the exact run — key aliasing", fast.Stats.DiskHits)
+	}
+	if !strings.Contains(fast.Report, "fidelity: fast (model ") {
+		t.Errorf("fast report carries no fidelity line:\n%s", fast.Report)
+	}
+
+	// Warm fast resubmission: now everything replays from this tier's
+	// own keys.
+	sub3 := submit(t, ts, wrapped)
+	var warm core.Envelope
+	if err := json.Unmarshal(pollReport(t, ts, sub3.ReportURL), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Simulations != 0 || warm.Stats.MemoHits == 0 {
+		t.Errorf("warm fast resubmission stats: %+v", warm.Stats)
+	}
+	if warm.Report != fast.Report {
+		t.Error("warm fast report drifted from cold fast report")
+	}
+}
+
 // TestMalformedSpec400 pins the error contract: a bad spec answers 400
 // with exactly the one-line text the CLI prints for the same file.
 func TestMalformedSpec400(t *testing.T) {
