@@ -36,6 +36,7 @@ func cmdFleet(args []string) error {
 var fleetValueFlags = map[string]bool{
 	"scale": true, "parallel": true, "policy": true, "partition": true,
 	"machines": true, "cache-dir": true, "fidelity": true, "fast-margin": true,
+	"trace": true,
 }
 
 // splitPolicies turns the -policy comma list into the override list
@@ -63,6 +64,8 @@ func fleetRun(args []string) error {
 	fastMargin := fs.Float64("fast-margin", 0, "auto's exact re-simulation band around slowdown_limit (0 = file's, default 0.05)")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	jsonOut := fs.Bool("json", false, "emit the versioned report envelope as JSON (one object per run)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the invocation to FILE")
+	traceSummary := fs.Bool("trace-summary", false, "print a per-span wall time breakdown to stderr")
 	flagArgs, files := splitFlags(args, fleetValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -80,7 +83,8 @@ func fleetRun(args []string) error {
 	// memo cache, and each persistent-store key is read from disk at
 	// most once per invocation, so footer disk hits count unique keys
 	// rather than per-mode requests.
-	sess, err := core.NewSession(cfg)
+	tr := newRunTracer(*tracePath, *traceSummary)
+	sess, err := core.NewSessionWith(cfg, tr)
 	if err != nil {
 		return err
 	}
@@ -119,7 +123,7 @@ func fleetRun(args []string) error {
 	if ran == 0 {
 		return fmt.Errorf("fleet run: no fleet scenarios among the given files")
 	}
-	return nil
+	return finishTrace(tr, *tracePath, *traceSummary)
 }
 
 func fleetCheck(args []string) error {

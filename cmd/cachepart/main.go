@@ -93,6 +93,8 @@ func main() {
 		err = cmdFleet(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "version":
+		err = cmdVersion()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -116,7 +118,8 @@ func usage() {
   cachepart scenario check [-policy P] FILE.json...
   cachepart fleet run   [-scale S] [-quick] [-parallel N] [-policy P,P] [-partition M,M] [-machines N] [-fidelity F] [-fast-margin M] [-cache-dir DIR] [-json] FILE.json...
   cachepart fleet check [-policy P,P] [-partition M] [-machines N] [-fidelity F] FILE.json...
-  cachepart serve [-addr HOST:PORT] [-scale S] [-quick] [-parallel N] [-cache-dir DIR] [-queue N] [-concurrency N] [-rate R] [-burst N]
+  cachepart serve [-addr HOST:PORT] [-scale S] [-quick] [-parallel N] [-cache-dir DIR] [-queue N] [-concurrency N] [-rate R] [-burst N] [-pprof]
+  cachepart version
 
 partition policies are pluggable: 'cachepart policies' lists the
 registry (shared, fair, biased, explicit, dynamic, utility, ...), and
@@ -156,7 +159,25 @@ GET /v1/runs/{id}/report.
 serve runs the long-running simulation service: scenario/fleet JSON is
 submitted via POST /v1/runs and executes on one warm engine, so
 concurrent clients share the in-memory memo and the -cache-dir store.
-See README "Serving" for the endpoint table and a curl walkthrough.`)
+See README "Serving" for the endpoint table and a curl walkthrough.
+-pprof additionally exposes Go's profiler under /debug/pprof/.
+
+scenario run and fleet run accept -trace FILE to write a Chrome
+trace_event JSON of the invocation (load it in chrome://tracing or
+https://ui.perfetto.dev) and -trace-summary to print a per-span wall
+time breakdown to stderr. Tracing never changes report bytes.
+
+version prints the engine version (the persistent store's content key
+namespace) and the report envelope's schema version.`)
+}
+
+// cmdVersion prints the two version numbers a deployment cares about:
+// the engine version that namespaces persistent-store keys, and the
+// schema version of the report envelope the CLI and server emit.
+func cmdVersion() error {
+	fmt.Printf("engine_version  %s\n", sched.EngineVersion)
+	fmt.Printf("schema_version  %d\n", core.SchemaVersion)
+	return nil
 }
 
 // cmdPolicies lists the partition-policy registry. -names prints bare

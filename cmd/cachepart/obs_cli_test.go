@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestVersionSubcommand pins the version contract: the engine version
+// that namespaces persistent-store keys and the envelope schema
+// version, both on stdout.
+func TestVersionSubcommand(t *testing.T) {
+	stdout, stderr, err := captureStreams(t, cmdVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stderr != "" {
+		t.Errorf("version wrote to stderr: %q", stderr)
+	}
+	if !strings.Contains(stdout, "engine_version  "+sched.EngineVersion+"\n") {
+		t.Errorf("version output missing engine version:\n%s", stdout)
+	}
+	var schemaLine bool
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "schema_version") && strings.HasSuffix(line, " 3") {
+			schemaLine = true
+		}
+	}
+	if !schemaLine || core.SchemaVersion != 3 {
+		t.Errorf("version output missing schema_version %d:\n%s", core.SchemaVersion, stdout)
+	}
+}
+
+// TestFleetTraceFlags: -trace writes a Chrome trace_event file of the
+// run, -trace-summary prints the span table to stderr, and neither
+// touches the report on stdout.
+func TestFleetTraceFlags(t *testing.T) {
+	fleetFile := writeScenario(t, "f.json", `{
+  "name": "traced",
+  "fleet": {
+    "machines": 2, "duration": 0.02, "seed": "tr",
+    "arrivals": [{"app": "xalan", "rate": 150}],
+    "backlog": [{"app": "ferret", "count": 2, "iterations": 10}]
+  }
+}`)
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+
+	plain, _, err := captureStreams(t, func() error {
+		return fleetRun([]string{fleetFile, "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, err := captureStreams(t, func() error {
+		return fleetRun([]string{fleetFile, "-quick", "-trace", tracePath, "-trace-summary"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing must not change a single report byte (the footer's host
+	// time is the one wall-clock line).
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "host time") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(stdout) != strip(plain) {
+		t.Errorf("tracing changed the report\n--- traced ---\n%s\n--- plain ---\n%s", stdout, plain)
+	}
+	if !strings.Contains(stderr, "trace: ") || !strings.Contains(stderr, "spans") {
+		t.Errorf("-trace-summary wrote no summary to stderr:\n%s", stderr)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace file is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace document shape: %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run", "compile", "oracle", "episode", "simulate"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events: %v", want, names)
+		}
+	}
+}
+
+// TestScenarioTraceFlags: the same flags work on single-machine
+// scenario runs, with the scenario batch label in the spans.
+func TestScenarioTraceFlags(t *testing.T) {
+	plainFile := writeScenario(t, "p.json",
+		`{"name":"p","jobs":[{"app":"ferret","role":"latency","threads":2}]}`)
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	_, stderr, err := captureStreams(t, func() error {
+		return scenarioRun([]string{plainFile, "-quick", "-trace", tracePath, "-trace-summary"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "trace: ") {
+		t.Errorf("-trace-summary wrote no summary:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"scenario-batch"`) {
+		t.Errorf("scenario trace carries no scenario-batch span:\n%.400s", raw)
+	}
+}

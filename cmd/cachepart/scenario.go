@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 )
@@ -59,6 +60,34 @@ func splitFlags(args []string, valueFlags map[string]bool) (flags, files []strin
 
 var scenarioValueFlags = map[string]bool{
 	"scale": true, "parallel": true, "policy": true, "cache-dir": true,
+	"trace": true,
+}
+
+// newRunTracer builds the tracer a run command needs — nil unless
+// -trace or -trace-summary asked for one, so untraced runs pay nothing.
+func newRunTracer(tracePath string, traceSummary bool) *obs.Tracer {
+	if tracePath == "" && !traceSummary {
+		return nil
+	}
+	return obs.New(0)
+}
+
+// finishTrace emits a run command's tracing outputs: the per-span wall
+// time summary to stderr (piped report output stays clean) and the
+// Chrome trace_event JSON to -trace's file.
+func finishTrace(tr *obs.Tracer, tracePath string, traceSummary bool) error {
+	if tr == nil {
+		return nil
+	}
+	if traceSummary {
+		fmt.Fprint(os.Stderr, tr.Summary())
+	}
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, tr.ChromeTrace(), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // emitRun prints one run outcome: the versioned envelope as JSON, or
@@ -82,6 +111,8 @@ func scenarioRun(args []string) error {
 	policy := fs.String("policy", "", "override the scenario's partition policy (any registered policy; see 'cachepart policies')")
 	cacheDir := fs.String("cache-dir", "", "persistent result store directory")
 	jsonOut := fs.Bool("json", false, "emit the versioned report envelope as JSON (one object per scenario)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the invocation to FILE")
+	traceSummary := fs.Bool("trace-summary", false, "print a per-span wall time breakdown to stderr")
 	flagArgs, files := splitFlags(args, scenarioValueFlags)
 	if err := fs.Parse(flagArgs); err != nil {
 		return err
@@ -95,7 +126,8 @@ func scenarioRun(args []string) error {
 	}
 	// One session for every file: scenarios sharing configurations (or
 	// baselines) deduplicate through the engine's memo cache.
-	sess, err := core.NewSession(cfg)
+	tr := newRunTracer(*tracePath, *traceSummary)
+	sess, err := core.NewSessionWith(cfg, tr)
 	if err != nil {
 		return err
 	}
@@ -122,7 +154,7 @@ func scenarioRun(args []string) error {
 	if ran == 0 {
 		return fmt.Errorf("scenario run: no single-machine scenarios among the given files")
 	}
-	return nil
+	return finishTrace(tr, *tracePath, *traceSummary)
 }
 
 func scenarioCheck(args []string) error {

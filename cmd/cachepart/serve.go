@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -31,6 +32,7 @@ func cmdServe(args []string) error {
 	concurrency := fs.Int("concurrency", 2, "runs executed at once")
 	rate := fs.Float64("rate", 2, "per-client run submissions per second (token refill)")
 	burst := fs.Int("burst", 5, "per-client submission burst (token bucket depth)")
+	pprofOn := fs.Bool("pprof", false, "expose Go's profiler under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,15 +40,18 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: unexpected argument %q (scenarios are submitted over HTTP)", fs.Arg(0))
 	}
 
-	sess, err := core.NewSession(core.RunConfig{
+	// The service always traces: GET /v1/runs/{id}/trace serves each
+	// run's span subtree, and the bounded ring caps memory.
+	sess, err := core.NewSessionWith(core.RunConfig{
 		Scale: *scale, Quick: *quick, Parallelism: *parallel, CacheDir: *cacheDir,
-	})
+	}, obs.New(0))
 	if err != nil {
 		return err
 	}
 	srv := server.New(sess, server.Options{
 		Queue: *queue, Concurrency: *concurrency,
 		RatePerSec: *rate, Burst: *burst,
+		Pprof: *pprofOn, AccessLog: os.Stderr,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// runWith executes a spec on a fresh quick session with the given
+// parallelism and tracer, returning the result.
+func runWith(t *testing.T, spec string, parallelism int, tr *obs.Tracer, cfg RunConfig) *RunResult {
+	t.Helper()
+	sess, err := NewSessionWith(RunConfig{Quick: true, Parallelism: parallelism}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunScenario(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTracingByteIdentity is the observability regression gate: the
+// report bytes must be identical with tracing on and off, at
+// parallelism 1 and 8. Timing may flow into spans and phase stats but
+// never into results.
+func TestTracingByteIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name, spec string
+		cfg        RunConfig
+	}{
+		{"scenario", sessScenario, RunConfig{}},
+		{"fleet-exact", sessFleet, RunConfig{}},
+		{"fleet-auto", sessFleet, RunConfig{Fidelity: "auto"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runWith(t, tc.spec, 1, nil, tc.cfg).Envelope.Report
+			if ref == "" {
+				t.Fatal("empty reference report")
+			}
+			for _, par := range []int{1, 8} {
+				for _, traced := range []bool{false, true} {
+					var tr *obs.Tracer
+					if traced {
+						tr = obs.New(0)
+					}
+					got := runWith(t, tc.spec, par, tr, tc.cfg).Envelope.Report
+					if got != ref {
+						t.Errorf("report diverged at parallelism %d traced=%v\n--- got ---\n%s\n--- ref ---\n%s",
+							par, traced, got, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnvelopePhases: the envelope's stats carry the per-phase
+// breakdown, with the phases the run actually exercised and
+// deterministic counts.
+func TestEnvelopePhases(t *testing.T) {
+	phases := func(res *RunResult) map[string]PhaseStat {
+		m := map[string]PhaseStat{}
+		for _, p := range res.Envelope.Stats.Phases {
+			m[p.Name] = p
+		}
+		return m
+	}
+
+	ph := phases(runWith(t, sessScenario, 2, nil, RunConfig{}))
+	if ph["scenario"].Count == 0 || ph["compile"].Count != 1 {
+		t.Errorf("scenario run phases: %+v", ph)
+	}
+	if ph["scenario"].Count != runWith(t, sessScenario, 2, nil, RunConfig{}).Envelope.Stats.Simulations {
+		t.Errorf("scenario phase count should equal the run's simulations: %+v", ph)
+	}
+
+	fph := phases(runWith(t, sessFleet, 2, nil, RunConfig{Fidelity: "fast"}))
+	for _, want := range []string{"compile", "probe", "predict", "episode", "queue-wait"} {
+		if fph[want].Count == 0 {
+			t.Errorf("fast fleet run missing phase %q: %+v", want, fph)
+		}
+	}
+	if fph["oracle"].Count != 0 {
+		t.Errorf("fast fleet run charged the exact oracle phase: %+v", fph)
+	}
+}
+
+// TestTraceTotalsMatchPhases: the wall time the trace attributes to
+// each simulation phase equals the envelope's stats.phases seconds —
+// both views come from the same single measurement per run.
+func TestTraceTotalsMatchPhases(t *testing.T) {
+	tr := obs.New(0)
+	res := runWith(t, sessFleet, 4, tr, RunConfig{Fidelity: "auto"})
+
+	spanTotal := map[string]time.Duration{}
+	for _, rec := range tr.Snapshot() {
+		if rec.Name != "simulate" {
+			continue
+		}
+		for _, a := range rec.Attrs {
+			if a.Key == "phase" {
+				spanTotal[a.Value] += rec.Dur
+			}
+		}
+	}
+	if len(spanTotal) == 0 {
+		t.Fatal("trace holds no simulate spans")
+	}
+	for _, p := range res.Envelope.Stats.Phases {
+		total, ok := spanTotal[p.Name]
+		if !ok {
+			continue // non-simulation phase (compile, episode, waits)
+		}
+		if got := total.Seconds(); got < p.Seconds-1e-9 || got > p.Seconds+1e-9 {
+			t.Errorf("phase %q: trace total %v, stats %v", p.Name, got, p.Seconds)
+		}
+	}
+	for name := range spanTotal {
+		found := false
+		for _, p := range res.Envelope.Stats.Phases {
+			if p.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace phase %q missing from envelope stats", name)
+		}
+	}
+
+	// The run span is the root the server's trace endpoint cuts at.
+	doc := tr.ChromeTraceUnder(res.Span)
+	if len(doc) == 0 {
+		t.Fatal("empty chrome trace for run span")
+	}
+}

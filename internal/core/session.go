@@ -7,14 +7,16 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 )
 
 // SchemaVersion identifies the report-envelope layout. Bump it when
 // Envelope gains, loses, or re-types a field; consumers pin the version
-// they understand. Version 2 added the fleet fidelity echo.
-const SchemaVersion = 2
+// they understand. Version 2 added the fleet fidelity echo; version 3
+// added the stats phases breakdown.
+const SchemaVersion = 3
 
 // Spec kinds an envelope can carry.
 const (
@@ -124,20 +126,33 @@ func (c RunConfig) PerRunOnly() error {
 type Session struct {
 	cfg RunConfig
 	r   *sched.Runner
+	tr  *obs.Tracer // nil = tracing off
 }
 
 // NewSession validates the config and builds the session's engine. An
 // unusable CacheDir is a returned error, not a panic.
 func NewSession(cfg RunConfig) (*Session, error) {
+	return NewSessionWith(cfg, nil)
+}
+
+// NewSessionWith is NewSession with a tracer attached to the engine:
+// every run records a span tree under a root "run" span. A nil tracer
+// is tracing off — zero overhead beyond a nil check, and results are
+// byte-identical either way.
+func NewSessionWith(cfg RunConfig, tr *obs.Tracer) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Session{cfg: cfg, r: sched.New(sched.Options{
+	return &Session{cfg: cfg, tr: tr, r: sched.New(sched.Options{
 		Scale:       cfg.EffectiveScale(),
 		Parallelism: cfg.Parallelism,
 		CacheDir:    cfg.CacheDir,
+		Tracer:      tr,
 	})}, nil
 }
+
+// Tracer returns the session's tracer, nil when tracing is off.
+func (s *Session) Tracer() *obs.Tracer { return s.tr }
 
 // Config returns the session's engine configuration.
 func (s *Session) Config() RunConfig { return s.cfg }
@@ -159,6 +174,19 @@ type EngineStats struct {
 	Simulations uint64 `json:"simulations"`
 	MemoHits    uint64 `json:"memo_hits"`
 	DiskHits    uint64 `json:"disk_hits"`
+	// Phases attributes the run's engine time to named phases (probe,
+	// oracle, resim, compile, episode, queue-wait, ...). Seconds are
+	// wall-clock and therefore not byte-deterministic — consumers that
+	// compare envelopes compare Report (always byte-stable) or strip
+	// the timing first. Counts are deterministic.
+	Phases []PhaseStat `json:"phases,omitempty"`
+}
+
+// PhaseStat is one phase's share of a run's engine activity.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
 }
 
 // Envelope is the versioned report wrapper every front end emits:
@@ -196,6 +224,10 @@ type RunResult struct {
 	Before, After sched.Stats
 	// WallSeconds is host time spent inside the run.
 	WallSeconds float64
+	// Span is the run's root span in the session tracer (0 when
+	// tracing is off); the server's per-run trace endpoint exports the
+	// subtree under it.
+	Span obs.SpanID
 }
 
 // ApplyOverrides rewrites a parsed spec with the config's per-run
@@ -266,12 +298,21 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 	before := s.r.Stats()
 	t0 := time.Now()
 	kind := KindScenario
-	var report, fidelity string
+	var fidelity string
 	if sc.IsFleet() {
 		kind = KindFleet
 		fidelity = string(sc.Fleet.EffectiveFidelity())
-		rep, err := fleet.Run(s.r, sc.Name, sc.Fleet)
+	}
+	attrs := []obs.Attr{obs.String("kind", kind), obs.String("name", sc.Name)}
+	if fidelity != "" {
+		attrs = append(attrs, obs.String("fidelity", fidelity))
+	}
+	span := s.tr.Start("run", 0, attrs...)
+	var report string
+	if sc.IsFleet() {
+		rep, err := fleet.RunSpan(s.r, sc.Name, sc.Fleet, span.ID())
 		if err != nil {
+			span.End(obs.String("error", err.Error()))
 			return nil, err
 		}
 		var sb strings.Builder
@@ -284,14 +325,19 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 		sb.WriteString(rep.String())
 		report = sb.String()
 	} else {
-		rep, err := scenario.Run(s.r, sc)
+		rep, err := scenario.RunSpan(s.r, sc, span.ID())
 		if err != nil {
+			span.End(obs.String("error", err.Error()))
 			return nil, err
 		}
 		report = rep.String()
 	}
 	after := s.r.Stats()
 	delta := after.Delta(before)
+	span.End(
+		obs.Int64("sims", int64(delta.Simulations)),
+		obs.Int64("memo_hits", int64(delta.MemoHits)),
+		obs.Int64("disk_hits", int64(delta.DiskHits)))
 	return &RunResult{
 		Envelope: &Envelope{
 			SchemaVersion: SchemaVersion,
@@ -304,11 +350,25 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 				Simulations: delta.Simulations,
 				MemoHits:    delta.MemoHits,
 				DiskHits:    delta.DiskHits,
+				Phases:      enginePhases(delta.Phases),
 			},
 			Report: report,
 		},
 		Before:      before,
 		After:       after,
 		WallSeconds: time.Since(t0).Seconds(),
+		Span:        span.ID(),
 	}, nil
+}
+
+// enginePhases converts the engine's phase snapshot to envelope form.
+func enginePhases(ph []sched.PhaseStat) []PhaseStat {
+	if len(ph) == 0 {
+		return nil
+	}
+	out := make([]PhaseStat, len(ph))
+	for i, p := range ph {
+		out[i] = PhaseStat{Name: p.Name, Count: p.Count, Seconds: p.Seconds}
+	}
+	return out
 }

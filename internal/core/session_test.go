@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -206,7 +207,7 @@ func TestEnvelopeJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != *res.Envelope {
+	if !reflect.DeepEqual(back, *res.Envelope) {
 		t.Errorf("round trip drifted: %+v vs %+v", back, *res.Envelope)
 	}
 }

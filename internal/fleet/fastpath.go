@@ -1,7 +1,10 @@
 package fleet
 
 import (
+	"time"
+
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -28,7 +31,7 @@ func (h halfMixes) probeAloneMix(app *workload.Profile) sched.MixSpec {
 // error could flip a pack-partition admission decision).
 func (o *oracle) buildFast(r *sched.Runner, d *Def, h halfMixes, pol partition.Policy,
 	searcher partition.Searcher, fgs, bgs []string, apps map[string]*workload.Profile,
-	assoc int, fid Fidelity) error {
+	assoc int, fid Fidelity, span obs.SpanID) error {
 	o.fid = fid
 
 	var specs []sched.Spec
@@ -42,8 +45,12 @@ func (o *oracle) buildFast(r *sched.Runner, d *Def, h halfMixes, pol partition.P
 		order = append(order, name)
 		specs = append(specs, h.probeAloneMix(apps[name]))
 	}
-	results := r.RunBatch(specs)
+	results := r.RunBatchIn(sched.BatchInfo{Span: span, Phase: "probe"}, specs)
 
+	// "predict" covers the analytic work that replaces simulation:
+	// building MRC profiles from the probes and pricing every pair.
+	p0 := time.Now()
+	psp := r.Tracer().Start("predict", span, obs.Int("profiles", len(order)))
 	profiles := map[string]*model.Profile{}
 	for _, name := range order {
 		res := results[probeAt[name]]
@@ -54,6 +61,7 @@ func (o *oracle) buildFast(r *sched.Runner, d *Def, h halfMixes, pol partition.P
 		}
 		p, err := model.NewProfile(name, apps[name].MLP, res, 0, o.cfg)
 		if err != nil {
+			psp.End()
 			return err
 		}
 		profiles[name] = p
@@ -66,6 +74,8 @@ func (o *oracle) buildFast(r *sched.Runner, d *Def, h halfMixes, pol partition.P
 			o.predicted++
 		}
 	}
+	psp.End(obs.Int("pairs", o.predicted))
+	r.AddPhase("predict", time.Since(p0))
 
 	if fid != FidelityAuto {
 		return nil
@@ -93,7 +103,7 @@ func (o *oracle) buildFast(r *sched.Runner, d *Def, h halfMixes, pol partition.P
 	if len(exact) == 0 {
 		return nil
 	}
-	exactRes := r.RunBatch(exact)
+	exactRes := r.RunBatchIn(sched.BatchInfo{Span: span, Phase: "resim"}, exact)
 	for _, fg := range fgs {
 		for _, bg := range bgs {
 			key := pairKey(fg, bg)

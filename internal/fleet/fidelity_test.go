@@ -63,11 +63,11 @@ func TestFastErrorBound(t *testing.T) {
 		def := loadFleetDef(t, file)
 		exactDef, fastDef := *def, *def
 		exactDef.Fidelity, fastDef.Fidelity = FidelityExact, FidelityFast
-		oe, err := buildOracle(r, &exactDef)
+		oe, err := buildOracle(r, &exactDef, 0)
 		if err != nil {
 			t.Fatalf("%s exact: %v", file, err)
 		}
-		of, err := buildOracle(r, &fastDef)
+		of, err := buildOracle(r, &fastDef, 0)
 		if err != nil {
 			t.Fatalf("%s fast: %v", file, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -140,8 +141,16 @@ func (h halfMixes) onlinePairMix(fg, bg *workload.Profile, pol partition.Policy,
 }
 
 // buildOracle plans and executes every simulation the fleet run needs
-// as one engine batch.
-func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
+// as one engine batch. Its work is traced under an "oracle" span below
+// parent, with the exact tier's batch labeled "oracle" and the
+// analytic tiers' probe/predict/resim structure under buildFast.
+func buildOracle(r *sched.Runner, d *Def, parent obs.SpanID) (*oracle, error) {
+	osp := r.Tracer().Start("oracle", parent,
+		obs.String("fidelity", string(d.fidelity())),
+		obs.String("partition", string(d.partition())))
+	// End is idempotent: error paths end the span bare, the success
+	// path ends it with pair-table attrs first.
+	defer osp.End()
 	cfg := r.MachineConfig()
 	override := false
 	if d.Cores > 0 && d.Cores != cfg.Cores {
@@ -204,9 +213,10 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 		// The analytic tiers replace the per-pair simulations with MRC
 		// predictions (re-simulating borderline pairs under auto); the
 		// alone baselines stay exact in every tier.
-		if err := o.buildFast(r, d, h, pol, searcher, fgs, bgs, apps, assoc, fid); err != nil {
+		if err := o.buildFast(r, d, h, pol, searcher, fgs, bgs, apps, assoc, fid, osp.ID()); err != nil {
 			return nil, err
 		}
+		osp.End(obs.Int("alone", len(o.alone)), obs.Int("pairs", len(o.pair)))
 		return o, nil
 	}
 
@@ -218,7 +228,7 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 		}
 	}
 
-	results := r.RunBatch(specs)
+	results := r.RunBatchIn(sched.BatchInfo{Span: osp.ID(), Phase: "oracle"}, specs)
 
 	for name, at := range aloneAt {
 		res := results[at]
@@ -235,6 +245,7 @@ func buildOracle(r *sched.Runner, d *Def) (*oracle, error) {
 			o.pair[key] = harvestPair(results, pairAt[key], pol, searcher, assoc, o.alone[fg].Seconds)
 		}
 	}
+	osp.End(obs.Int("alone", len(o.alone)), obs.Int("pairs", len(o.pair)))
 	return o, nil
 }
 

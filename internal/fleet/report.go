@@ -3,9 +3,11 @@ package fleet
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/loadgen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tabtext"
@@ -60,18 +62,42 @@ type Report struct {
 // consolidation policy. Output is deterministic and byte-identical at
 // any engine parallelism.
 func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
+	return RunSpan(r, name, def, 0)
+}
+
+// RunSpan is Run with the trace span the fleet's spans nest under
+// (0 = root). The span tree a traced fleet run produces is:
+//
+//	compile                 trace generation
+//	oracle                  performance-oracle construction
+//	  oracle-batch            exact tier: one batch of every sim
+//	  probe-batch             fast/auto: reduced probe runs
+//	  predict                 fast/auto: analytic pair prediction
+//	  resim-batch             auto: borderline exact re-simulation
+//	episode (per policy)    trace replay under one policy
+//
+// Tracing changes nothing about the report.
+func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
+	tr := r.Tracer()
+	t0 := time.Now()
+	csp := tr.Start("compile", parent)
 	arrivals, err := loadgen.Arrivals(def.Arrivals, def.Duration, def.seed())
 	if err != nil {
+		csp.End()
 		return nil, err
 	}
 	backlog, err := loadgen.Backlog(def.Backlog)
 	if err != nil {
+		csp.End()
 		return nil, err
 	}
-	o, err := buildOracle(r, def)
+	csp.End(obs.Int("requests", len(arrivals)), obs.Int("backlog", len(backlog)))
+	r.AddPhase("compile", time.Since(t0))
+
+	o, err := buildOracle(r, def, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +114,12 @@ func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
 	}
 
 	for _, pol := range def.policies() {
+		e0 := time.Now()
+		esp := tr.Start("episode", parent, obs.String("policy", string(pol)))
 		s := newSim(def, o, pol, arrivals, backlog)
 		makespan := s.run()
 		if s.nextItem < len(s.backlog) || s.drained != len(s.backlog) {
+			esp.End()
 			return nil, fmt.Errorf("fleet: policy %s stalled with %d of %d backlog items undrained",
 				pol, len(s.backlog)-s.drained, len(s.backlog))
 		}
@@ -102,6 +131,7 @@ func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
 		for i := range s.reqs {
 			rq := &s.reqs[i]
 			if !rq.done {
+				esp.End()
 				return nil, fmt.Errorf("fleet: policy %s left request %d unserved", pol, i)
 			}
 			slow = append(slow, (rq.finish-rq.arr.AtSeconds)/o.alone[rq.arr.App].Seconds)
@@ -131,6 +161,8 @@ func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
 			}
 			pr.ED2 = pr.ActiveSocketJ * makespan * makespan
 		}
+		esp.End(obs.Int("machines", pr.MachinesUsed), obs.Int("coloc", pr.Colocated))
+		r.AddPhase("episode", time.Since(e0))
 		rep.Results = append(rep.Results, pr)
 	}
 	return rep, nil

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// chromeEvent is one Chrome trace_event "complete" event. Timestamps
+// and durations are microseconds, per the trace_event format spec.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object trace container chrome://tracing and
+// Perfetto both load.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func chromeEvents(recs []SpanRecord) []chromeEvent {
+	evs := make([]chromeEvent, 0, len(recs))
+	for _, r := range recs {
+		args := make(map[string]string, len(r.Attrs)+2)
+		args["span"] = strconv.FormatUint(uint64(r.ID), 10)
+		if r.Parent != 0 {
+			args["parent"] = strconv.FormatUint(uint64(r.Parent), 10)
+		}
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Value
+		}
+		evs = append(evs, chromeEvent{
+			Name: r.Name, Cat: "cachepart", Ph: "X",
+			Ts:  float64(r.Start.Nanoseconds()) / 1e3,
+			Dur: float64(r.Dur.Nanoseconds()) / 1e3,
+			PID: 1, TID: r.Lane + 1,
+			Args: args,
+		})
+	}
+	return evs
+}
+
+func chromeJSON(recs []SpanRecord, dropped uint64) []byte {
+	doc := chromeDoc{
+		TraceEvents:     chromeEvents(recs),
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]string{
+			"dropped_spans": strconv.FormatUint(dropped, 10),
+		}
+	}
+	b, err := json.Marshal(doc)
+	if err != nil { // all fields are plain strings/numbers
+		panic("obs: chrome trace marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// ChromeTrace exports every completed span as Chrome trace_event JSON,
+// loadable in chrome://tracing or ui.perfetto.dev. A nil tracer
+// exports an empty (but valid) trace.
+func (t *Tracer) ChromeTrace() []byte {
+	return chromeJSON(t.Snapshot(), t.Dropped())
+}
+
+// ChromeTraceUnder exports the subtree rooted at root — the root's
+// record plus every completed span that reaches it through Parent
+// links. The server's per-run trace endpoint uses it to cut one run
+// out of a long-lived tracer.
+func (t *Tracer) ChromeTraceUnder(root SpanID) []byte {
+	recs := t.Snapshot()
+	if root == 0 {
+		return chromeJSON(recs, t.Dropped())
+	}
+	under := map[SpanID]bool{root: true}
+	// Records are start-ordered, so parents precede children in almost
+	// all cases; sweep until the reachable set stops growing to cover
+	// pre-measured records pushed before their parent ended.
+	for grew := true; grew; {
+		grew = false
+		for _, r := range recs {
+			if !under[r.ID] && under[r.Parent] {
+				under[r.ID] = true
+				grew = true
+			}
+		}
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if under[r.ID] {
+			kept = append(kept, r)
+		}
+	}
+	return chromeJSON(kept, 0)
+}
+
+// Summary renders a one-screen text digest: span counts and total/mean
+// durations per span name, widest totals first. A nil tracer returns
+// an empty-trace line.
+func (t *Tracer) Summary() string {
+	recs := t.Snapshot()
+	type agg struct {
+		name  string
+		count int
+		total float64
+	}
+	byName := map[string]*agg{}
+	var wall float64
+	lanes := map[int]bool{}
+	for _, r := range recs {
+		a := byName[r.Name]
+		if a == nil {
+			a = &agg{name: r.Name}
+			byName[r.Name] = a
+		}
+		a.count++
+		a.total += r.Dur.Seconds()
+		if end := (r.Start + r.Dur).Seconds(); end > wall {
+			wall = end
+		}
+		lanes[r.Lane] = true
+	}
+	var rows []*agg
+	for _, a := range byName {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d spans (%d dropped), %d lanes, wall %.3fs\n",
+		len(recs), t.Dropped(), len(lanes), wall)
+	if len(rows) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-18s %7s %12s %12s\n", "span", "count", "total", "mean")
+	for _, a := range rows {
+		fmt.Fprintf(&sb, "  %-18s %7d %11.4fs %11.4fs\n",
+			a.name, a.count, a.total, a.total/float64(a.count))
+	}
+	return sb.String()
+}
+
+// Structure renders the span tree as names and counts only — no
+// timing — with same-name siblings merged. The result is deterministic
+// for a deterministic engine run (phases of one run start serially, so
+// first-start order of distinct names is stable), which makes it the
+// golden-able view of a trace: tests pin nesting and multiplicity
+// without pinning durations.
+func (t *Tracer) Structure() string {
+	recs := t.Snapshot()
+	byParent := map[SpanID][]SpanRecord{}
+	ids := map[SpanID]bool{}
+	for _, r := range recs {
+		ids[r.ID] = true
+	}
+	var roots []SpanRecord
+	for _, r := range recs {
+		if r.Parent != 0 && ids[r.Parent] {
+			byParent[r.Parent] = append(byParent[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	var sb strings.Builder
+	writeStructure(&sb, roots, byParent, 0)
+	return sb.String()
+}
+
+// writeStructure renders one sibling group: records in first-start
+// order, same-name runs merged with their children pooled.
+func writeStructure(sb *strings.Builder, recs []SpanRecord, byParent map[SpanID][]SpanRecord, depth int) {
+	type group struct {
+		name     string
+		count    int
+		children []SpanRecord
+	}
+	var order []*group
+	byName := map[string]*group{}
+	for _, r := range recs {
+		g := byName[r.Name]
+		if g == nil {
+			g = &group{name: r.Name}
+			byName[r.Name] = g
+			order = append(order, g)
+		}
+		g.count++
+		g.children = append(g.children, byParent[r.ID]...)
+	}
+	for _, g := range order {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(g.name)
+		if g.count > 1 {
+			fmt.Fprintf(sb, " x%d", g.count)
+		}
+		sb.WriteByte('\n')
+		sort.Slice(g.children, func(i, j int) bool {
+			if g.children[i].Start != g.children[j].Start {
+				return g.children[i].Start < g.children[j].Start
+			}
+			return g.children[i].ID < g.children[j].ID
+		})
+		writeStructure(sb, g.children, byParent, depth+1)
+	}
+}

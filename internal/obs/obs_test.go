@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsNoOp pins the nil-receiver contract every layer leans
+// on: a nil tracer hands out zero spans, records nothing, and exports
+// empty-but-valid artifacts.
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("run", 0, String("kind", "fleet"))
+	if sp.ID() != 0 {
+		t.Fatalf("nil tracer span id = %d, want 0", sp.ID())
+	}
+	sp.End(Int("sims", 3))
+	tr.Record("simulate", 0, time.Now(), time.Millisecond)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer accumulated state")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(tr.ChromeTrace(), &doc); err != nil {
+		t.Fatalf("nil ChromeTrace not valid JSON: %v", err)
+	}
+	if tr.Summary() == "" || tr.Structure() != "" {
+		t.Fatalf("nil exports: summary %q, structure %q", tr.Summary(), tr.Structure())
+	}
+}
+
+// TestSpanTree checks nesting, the structure view, and that ended
+// spans carry their start/end attrs.
+func TestSpanTree(t *testing.T) {
+	tr := New(0)
+	root := tr.Start("run", 0, String("kind", "fleet"))
+	c := tr.Start("compile", root.ID())
+	c.End()
+	b := tr.Start("probe-batch", root.ID())
+	for i := 0; i < 3; i++ {
+		tr.Record("simulate", b.ID(), time.Now(), time.Millisecond, String("phase", "probe"))
+	}
+	b.End()
+	ep := tr.Start("episode", root.ID(), String("policy", "spread-idle"))
+	ep.End(Int("machines", 4))
+	root.End(Int("sims", 3))
+
+	if got := tr.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	want := "run\n" +
+		"  compile\n" +
+		"  probe-batch\n" +
+		"    simulate x3\n" +
+		"  episode\n"
+	if got := tr.Structure(); got != want {
+		t.Errorf("structure:\n%s\nwant:\n%s", got, want)
+	}
+	var rootRec *SpanRecord
+	for _, r := range tr.Snapshot() {
+		if r.Name == "run" {
+			rr := r
+			rootRec = &rr
+		}
+	}
+	if rootRec == nil {
+		t.Fatal("no run record")
+	}
+	if len(rootRec.Attrs) != 2 || rootRec.Attrs[0].Key != "kind" || rootRec.Attrs[1].Key != "sims" {
+		t.Errorf("run attrs = %+v, want kind then sims", rootRec.Attrs)
+	}
+	if !strings.Contains(tr.Summary(), "simulate") {
+		t.Errorf("summary missing simulate rows:\n%s", tr.Summary())
+	}
+}
+
+// TestLanes: a child starting under an active parent shares its lane;
+// overlapping siblings spread out.
+func TestLanes(t *testing.T) {
+	tr := New(0)
+	root := tr.Start("run", 0)
+	child := tr.Start("compile", root.ID())
+	sib := tr.Start("other", root.ID()) // compile still open on root's lane
+	sib.End()
+	child.End()
+	root.End()
+	lanes := map[string]int{}
+	for _, r := range tr.Snapshot() {
+		lanes[r.Name] = r.Lane
+	}
+	if lanes["compile"] != lanes["run"] {
+		t.Errorf("nested child lane %d != parent lane %d", lanes["compile"], lanes["run"])
+	}
+	if lanes["other"] == lanes["run"] {
+		t.Errorf("overlapping sibling shares lane %d with open child", lanes["other"])
+	}
+}
+
+// TestRingBound: the ring holds at most limit records and counts the
+// overflow.
+func TestRingBound(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(fmt.Sprintf("s%d", i), 0, time.Now(), time.Microsecond)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	recs := tr.Snapshot()
+	if recs[0].Name != "s6" || recs[3].Name != "s9" {
+		t.Errorf("ring kept %s..%s, want s6..s9", recs[0].Name, recs[3].Name)
+	}
+	var doc struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(tr.ChromeTrace(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["dropped_spans"] != "6" {
+		t.Errorf("dropped_spans = %q, want 6", doc.OtherData["dropped_spans"])
+	}
+}
+
+// TestChromeTrace checks the export is loadable trace_event JSON with
+// the span identity and attrs in args.
+func TestChromeTrace(t *testing.T) {
+	tr := New(0)
+	root := tr.Start("run", 0)
+	tr.Record("simulate", root.ID(), time.Now(), 2*time.Millisecond, String("apps", "mcf"))
+	root.End()
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tr.ChromeTrace(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID < 1 || ev.Args["span"] == "" {
+			t.Errorf("event shape: %+v", ev)
+		}
+		if ev.Name == "simulate" {
+			if ev.Args["apps"] != "mcf" || ev.Args["parent"] == "" {
+				t.Errorf("simulate args = %v", ev.Args)
+			}
+			if ev.Dur < 1900 || ev.Dur > 2500 {
+				t.Errorf("simulate dur = %vµs, want ~2000", ev.Dur)
+			}
+		}
+	}
+}
+
+// TestChromeTraceUnder cuts one root's subtree out of a tracer holding
+// several runs.
+func TestChromeTraceUnder(t *testing.T) {
+	tr := New(0)
+	a := tr.Start("run", 0)
+	tr.Record("simulate", a.ID(), time.Now(), time.Millisecond)
+	a.End()
+	b := tr.Start("run", 0)
+	tr.Record("simulate", b.ID(), time.Now(), time.Millisecond)
+	tr.Record("simulate", b.ID(), time.Now(), time.Millisecond)
+	b.End()
+	var doc struct {
+		TraceEvents []struct {
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.ChromeTraceUnder(b.ID()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("subtree has %d events, want 3 (run b + 2 sims)", len(doc.TraceEvents))
+	}
+	want := fmt.Sprint(b.ID())
+	for _, ev := range doc.TraceEvents {
+		if ev.Args["span"] != want && ev.Args["parent"] != want {
+			t.Errorf("event outside subtree: %v", ev.Args)
+		}
+	}
+}
+
+// TestTracerConcurrent hammers the tracer from many goroutines; run
+// under -race this is the thread-safety proof for ring, lanes, and
+// snapshot reads during recording.
+func TestTracerConcurrent(t *testing.T) {
+	tr := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start("batch", 0)
+				tr.Record("simulate", sp.ID(), time.Now(), time.Microsecond)
+				sp.End()
+				tr.Snapshot()
+				tr.Structure()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len()+int(tr.Dropped()) != 8*50*2 {
+		t.Fatalf("held %d + dropped %d, want %d total", tr.Len(), tr.Dropped(), 800)
+	}
+}
+
+// TestHistogram pins bucket edges (upper-inclusive), the +Inf catch,
+// and the exposition text.
+func TestHistogram(t *testing.T) {
+	// Binary-exact observations so the _sum line is a fixed string.
+	h := NewHistogram(0.25, 0.5, 1)
+	for _, v := range []float64{0.125, 0.25, 0.375, 0.75, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 6.5 {
+		t.Fatalf("Sum = %g, want 6.5", got)
+	}
+	var buf bytes.Buffer
+	h.WriteProm(&buf, "x_seconds", `kind="fleet"`)
+	want := `x_seconds_bucket{kind="fleet",le="0.25"} 2
+x_seconds_bucket{kind="fleet",le="0.5"} 3
+x_seconds_bucket{kind="fleet",le="1"} 4
+x_seconds_bucket{kind="fleet",le="+Inf"} 5
+x_seconds_sum{kind="fleet"} 6.5
+x_seconds_count{kind="fleet"} 5
+`
+	if buf.String() != want {
+		t.Errorf("prom text:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	var unlabeled bytes.Buffer
+	NewHistogram(1).WriteProm(&unlabeled, "y", "")
+	if !strings.Contains(unlabeled.String(), `y_bucket{le="1"} 0`) ||
+		!strings.Contains(unlabeled.String(), "y_count 0") {
+		t.Errorf("unlabeled prom text:\n%s", unlabeled.String())
+	}
+}
+
+// TestHistogramConcurrent: Observe from many goroutines; -race plus
+// exact count/sum equality afterward.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DurationBounds...)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); got != 2000 {
+		t.Fatalf("Sum = %g, want 2000 (0.25 sums exactly in binary)", got)
+	}
+}

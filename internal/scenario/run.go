@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/tabtext"
@@ -54,10 +56,22 @@ type Report struct {
 // assembles a deterministic report. Byte-identical output at any
 // parallelism, like every other driver on the engine.
 func Run(r *sched.Runner, s *Scenario) (*Report, error) {
+	return RunSpan(r, s, 0)
+}
+
+// RunSpan is Run with the trace span the scenario's spans nest under
+// (0 = root). Tracing changes nothing about the report.
+func RunSpan(r *sched.Runner, s *Scenario, parent obs.SpanID) (*Report, error) {
+	tr := r.Tracer()
+	t0 := time.Now()
+	csp := tr.Start("compile", parent)
 	p, err := s.Plan(r.MachineConfig())
+	csp.End()
+	r.AddPhase("compile", time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
+	batch := sched.BatchInfo{Span: parent, Phase: "scenario"}
 	assoc := p.Config.Hier.LLC.Assoc
 
 	// Baselines: one alone run per terminating job when a normalizing
@@ -101,7 +115,7 @@ func Run(r *sched.Runner, s *Scenario) (*Report, error) {
 		for w := 1; w < assoc; w++ {
 			specs = append(specs, p.mix(p.splitWays(fg, w), nil))
 		}
-		results := r.RunBatch(specs)
+		results := r.RunBatchIn(batch, specs)
 
 		fgAlone := results[fgAloneAt].Jobs[0].Seconds
 		var cands []partition.Candidate
@@ -128,7 +142,7 @@ func Run(r *sched.Runner, s *Scenario) (*Report, error) {
 	case pol.Online(): // dynamic, utility, ...
 		mainAt := len(specs)
 		specs = append(specs, p.onlineMix(pol, r.Scale(), nil))
-		results := r.RunBatch(specs)
+		results := r.RunBatchIn(batch, specs)
 		main = results[mainAt]
 		if tr := main.Partition; tr != nil {
 			rep.Reallocations = tr.Reallocations
@@ -145,7 +159,7 @@ func Run(r *sched.Runner, s *Scenario) (*Report, error) {
 	default: // offline: shared, fair, explicit
 		mainAt := len(specs)
 		specs = append(specs, p.mix(nil, nil))
-		results := r.RunBatch(specs)
+		results := r.RunBatchIn(batch, specs)
 		main = results[mainAt]
 		assembleJobs(rep, p, nil, main, results, aloneIdx)
 	}

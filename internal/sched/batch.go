@@ -6,7 +6,18 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
+
+// BatchInfo annotates a batch for observability: Span is the trace
+// span the batch's own span nests under, and Phase labels the
+// simulations it runs (envelope/metrics phase name; "" means the
+// generic "sim" phase). The zero value — what RunBatch passes — keeps
+// the batch anonymous.
+type BatchInfo struct {
+	Span  obs.SpanID
+	Phase string
+}
 
 // RunBatch executes all specs and returns their results in submission
 // order, fanning the work across Options.Parallelism workers. Identical
@@ -19,6 +30,15 @@ import (
 // assembly calls partition.BestBiased, which batches its own sweep)
 // can never deadlock waiting for each other's workers.
 func (r *Runner) RunBatch(specs []Spec) []*machine.Result {
+	return r.RunBatchIn(BatchInfo{}, specs)
+}
+
+// RunBatchIn is RunBatch with observability context: the batch opens a
+// "<phase>-batch" span under info.Span, each executed simulation is
+// recorded under it with info.Phase attribution, and the engine's
+// queue-depth/queue-wait/worker-occupancy accounting brackets the
+// batch. Results are identical to RunBatch's.
+func (r *Runner) RunBatchIn(info BatchInfo, specs []Spec) []*machine.Result {
 	out := make([]*machine.Result, len(specs))
 
 	// Deduplicate memoizable specs by key before fanning out: a worker
@@ -56,14 +76,49 @@ func (r *Runner) RunBatch(specs []Spec) []*machine.Result {
 			out[t] = res
 		}
 	}
+
+	var batchSpan obs.Span
+	if tr := r.opt.Tracer; tr != nil && len(items) > 0 {
+		name := "batch"
+		if info.Phase != "" {
+			name = info.Phase + "-batch"
+		}
+		batchSpan = tr.Start(name, info.Span,
+			obs.Int("specs", len(specs)), obs.Int("items", len(items)))
+	}
+	rc := runCtx{phase: info.Phase, parent: batchSpan.ID()}
+
+	// Queue accounting: every distinct item is "queued" at submission
+	// and leaves the queue when a worker claims it. The deferred
+	// correction drains whatever an aborted (panicking) batch left
+	// behind so the gauge cannot wedge above zero.
+	submitted := time.Now()
+	var claimed atomic.Int64
+	r.ctr.queueDepth.Add(int64(len(items)))
+	defer func() {
+		r.ctr.queueDepth.Add(claimed.Load() - int64(len(items)))
+	}()
+	claim := func() {
+		claimed.Add(1)
+		r.ctr.queueDepth.Add(-1)
+		r.ctr.addPhase(PhaseQueueWait, time.Since(submitted))
+	}
+	runOne := func(it *item) {
+		claim()
+		r.ctr.activeWorkers.Add(1)
+		defer r.ctr.activeWorkers.Add(-1)
+		fill(it, r.run(it.spec, rc))
+	}
+
 	workers := r.opt.parallelism()
 	if workers > len(items) {
 		workers = len(items)
 	}
 	if workers <= 1 {
 		for _, it := range items {
-			fill(it, r.Run(it.spec))
+			runOne(it)
 		}
+		batchSpan.End()
 		return out
 	}
 	// A panicking spec (an experiment-construction bug) must surface on
@@ -91,11 +146,12 @@ func (r *Runner) RunBatch(specs []Spec) []*machine.Result {
 				if i >= len(items) {
 					return
 				}
-				fill(items[i], r.Run(items[i].spec))
+				runOne(items[i])
 			}
 		}()
 	}
 	wg.Wait()
+	batchSpan.End()
 	if panicked != nil {
 		panic(panicked)
 	}
@@ -162,18 +218,56 @@ type Stats struct {
 	// saved. BusySeconds / elapsed wall time is the effective parallel
 	// speedup over a serial engine.
 	BusySeconds float64
+	// Phases breaks engine time down by named phase (sorted by name):
+	// simulation phases labeled by the submitting batch ("probe",
+	// "oracle", "resim", plain "sim"), engine overheads ("memo-wait",
+	// "disk-load", "disk-save", "queue-wait"), and upper-layer work
+	// added through Runner.AddPhase ("compile", "predict", "episode").
+	// Wall-clock attribution only — never an input to any result.
+	Phases []PhaseStat
+	// QueueDepth and ActiveWorkers are instantaneous gauges: batch
+	// items awaiting a worker, and workers inside a simulation, at
+	// snapshot time. Both are zero between batches.
+	QueueDepth    int
+	ActiveWorkers int
 }
 
-// Delta returns the counter movement from before to s (Parallelism
-// carries over unchanged). CLI footers and the core session report
+// PhaseStat is one phase's share of engine activity.
+type PhaseStat struct {
+	Name    string
+	Count   uint64
+	Seconds float64
+}
+
+// Delta returns the counter movement from before to s (Parallelism and
+// the gauges carry over unchanged; phases subtract by name, dropping
+// phases with no movement). CLI footers and the core session report
 // per-run engine activity as deltas around a run.
 func (s Stats) Delta(before Stats) Stats {
+	prev := make(map[string]PhaseStat, len(before.Phases))
+	for _, p := range before.Phases {
+		prev[p.Name] = p
+	}
+	var phases []PhaseStat
+	for _, p := range s.Phases {
+		d := PhaseStat{
+			Name:    p.Name,
+			Count:   p.Count - prev[p.Name].Count,
+			Seconds: p.Seconds - prev[p.Name].Seconds,
+		}
+		if d.Count > 0 || d.Seconds > 0 {
+			phases = append(phases, d)
+		}
+	}
 	return Stats{
-		Parallelism: s.Parallelism,
-		Simulations: s.Simulations - before.Simulations,
-		MemoHits:    s.MemoHits - before.MemoHits,
-		DiskHits:    s.DiskHits - before.DiskHits,
-		BusySeconds: s.BusySeconds - before.BusySeconds,
+		Parallelism:   s.Parallelism,
+		Simulations:   s.Simulations - before.Simulations,
+		MemoHits:      s.MemoHits - before.MemoHits,
+		DiskHits:      s.DiskHits - before.DiskHits,
+		BusySeconds:   s.BusySeconds - before.BusySeconds,
+		Phases:        phases,
+		QueueDepth:    s.QueueDepth,
+		ActiveWorkers: s.ActiveWorkers,
 	}
 }
 
@@ -185,10 +279,13 @@ func (s Stats) Delta(before Stats) Stats {
 // status endpoint) read it concurrently with the worker pool.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Parallelism: r.opt.parallelism(),
-		Simulations: r.ctr.sims.Load(),
-		MemoHits:    r.ctr.hits.Load(),
-		DiskHits:    r.ctr.diskHits.Load(),
-		BusySeconds: time.Duration(r.ctr.busyNanos.Load()).Seconds(),
+		Parallelism:   r.opt.parallelism(),
+		Simulations:   r.ctr.sims.Load(),
+		MemoHits:      r.ctr.hits.Load(),
+		DiskHits:      r.ctr.diskHits.Load(),
+		BusySeconds:   time.Duration(r.ctr.busyNanos.Load()).Seconds(),
+		Phases:        r.ctr.phaseStats(),
+		QueueDepth:    int(r.ctr.queueDepth.Load()),
+		ActiveWorkers: int(r.ctr.activeWorkers.Load()),
 	}
 }

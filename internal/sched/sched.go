@@ -22,6 +22,7 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/workload"
 )
@@ -69,6 +71,11 @@ type Options struct {
 	// several runners (e.g. an ablation's modified platforms) as one
 	// engine. Nil means private counters.
 	Counters *Counters
+	// Tracer, if non-nil, receives a span per executed simulation and
+	// per batch. Nil (the default) is a strict no-op: the hot path pays
+	// one nil check and no timing ever influences results — memo keys,
+	// reports, and goldens are identical with tracing on or off.
+	Tracer *obs.Tracer
 }
 
 func (o Options) machineConfig() machine.Config {
@@ -124,6 +131,71 @@ type Counters struct {
 	hits      atomic.Uint64 // memo lookups satisfied without a new run
 	diskHits  atomic.Uint64 // results loaded from the persistent store
 	busyNanos atomic.Int64  // summed host time inside simulations
+
+	// Per-phase attribution: name -> *phaseAccum. A sync.Map keyed by
+	// the handful of distinct phase names a process uses; steady-state
+	// increments are a lock-free Load plus two atomic adds.
+	phases sync.Map
+
+	// Engine gauges: batch items submitted but not yet claimed, and
+	// workers currently inside a simulation. Progress pollers (serve
+	// /metrics) read them while batches are in flight.
+	queueDepth    atomic.Int64
+	activeWorkers atomic.Int64
+}
+
+// phaseAccum is one phase's counters.
+type phaseAccum struct {
+	count atomic.Uint64
+	nanos atomic.Int64
+}
+
+// Phase names the engine itself accounts. Layers above add their own
+// (scenario/fleet phases like "probe", "oracle", "resim", "compile",
+// "predict", "episode") through Runner.AddPhase and batch labels.
+const (
+	// PhaseSim is unlabeled simulation time (runs outside any batch
+	// phase).
+	PhaseSim = "sim"
+	// PhaseMemoWait is time spent joined on another caller's in-flight
+	// run — the memo-contention signal.
+	PhaseMemoWait = "memo-wait"
+	// PhaseDiskLoad / PhaseDiskSave bound persistent-store I/O.
+	PhaseDiskLoad = "disk-load"
+	PhaseDiskSave = "disk-save"
+	// PhaseQueueWait sums, per executed batch item, the delay between
+	// batch submission and a worker claiming the item.
+	PhaseQueueWait = "queue-wait"
+)
+
+func (c *Counters) phase(name string) *phaseAccum {
+	if p, ok := c.phases.Load(name); ok {
+		return p.(*phaseAccum)
+	}
+	p, _ := c.phases.LoadOrStore(name, &phaseAccum{})
+	return p.(*phaseAccum)
+}
+
+func (c *Counters) addPhase(name string, d time.Duration) {
+	p := c.phase(name)
+	p.count.Add(1)
+	p.nanos.Add(int64(d))
+}
+
+// phaseStats snapshots the per-phase accumulators, sorted by name.
+func (c *Counters) phaseStats() []PhaseStat {
+	var out []PhaseStat
+	c.phases.Range(func(k, v any) bool {
+		p := v.(*phaseAccum)
+		out = append(out, PhaseStat{
+			Name:    k.(string),
+			Count:   p.count.Load(),
+			Seconds: time.Duration(p.nanos.Load()).Seconds(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Runner executes scenarios. The zero value is not usable; call New.
@@ -177,24 +249,52 @@ func (r *Runner) Parallelism() int { return r.opt.parallelism() }
 // Options.Counters.
 func (r *Runner) Counters() *Counters { return r.ctr }
 
+// Tracer returns the runner's tracer — nil when tracing is off, which
+// every obs call site treats as a no-op.
+func (r *Runner) Tracer() *obs.Tracer { return r.opt.Tracer }
+
+// AddPhase attributes an already-measured duration to a named phase in
+// the engine's per-phase accounting. Layers above the engine (scenario
+// compile, fleet prediction, policy episodes) use it so their
+// non-simulation work shows up next to simulation phases in Stats and
+// envelopes. Timing recorded here never feeds back into results.
+func (r *Runner) AddPhase(name string, d time.Duration) {
+	r.ctr.addPhase(name, d)
+}
+
 // Run executes one spec through the singleflight memo cache: the first
 // request for a key runs the simulation, concurrent requests for the
 // same key wait for that one in-flight run, and later requests return
 // the cached result. Non-memoizable specs always execute.
 func (r *Runner) Run(s Spec) *machine.Result {
+	return r.run(s, runCtx{})
+}
+
+// runCtx carries batch-level observability context down to the point
+// a simulation executes: which phase it accounts under and which span
+// its trace record nests in. The zero value (direct Run calls) means
+// the generic "sim" phase and a root-level span.
+type runCtx struct {
+	phase  string
+	parent obs.SpanID
+}
+
+func (r *Runner) run(s Spec, rc runCtx) *machine.Result {
 	key := ""
 	if !r.opt.DisableCache {
 		key = s.memoKey(r)
 	}
 	if key == "" {
-		return r.measure(s)
+		return r.measure(s, rc)
 	}
 	for {
 		r.mu.Lock()
 		if f, ok := r.cache[key]; ok {
 			r.mu.Unlock()
 			r.ctr.hits.Add(1)
+			t0 := time.Now()
 			<-f.done
+			r.ctr.addPhase(PhaseMemoWait, time.Since(t0))
 			if f.res != nil {
 				return f.res
 			}
@@ -206,7 +306,7 @@ func (r *Runner) Run(s Spec) *machine.Result {
 		f := &flight{done: make(chan struct{})}
 		r.cache[key] = f
 		r.mu.Unlock()
-		return r.runFlight(key, f, s)
+		return r.runFlight(key, f, s, rc)
 	}
 }
 
@@ -220,7 +320,7 @@ func (r *Runner) Run(s Spec) *machine.Result {
 // inside the flight — so each key is consulted and written at most once
 // per process, and concurrent requests for a key share one disk read
 // the same way they share one simulation.
-func (r *Runner) runFlight(key string, f *flight, s Spec) *machine.Result {
+func (r *Runner) runFlight(key string, f *flight, s Spec, rc runCtx) *machine.Result {
 	defer func() {
 		if f.res == nil {
 			r.mu.Lock()
@@ -230,26 +330,59 @@ func (r *Runner) runFlight(key string, f *flight, s Spec) *machine.Result {
 		close(f.done)
 	}()
 	if r.store != nil {
-		if res, ok := r.store.load(key); ok {
+		t0 := time.Now()
+		res, ok := r.store.load(key)
+		r.ctr.addPhase(PhaseDiskLoad, time.Since(t0))
+		if ok {
 			r.ctr.diskHits.Add(1)
 			f.res = res
 			return f.res
 		}
 	}
-	f.res = r.measure(s)
+	f.res = r.measure(s, rc)
 	if r.store != nil {
+		t0 := time.Now()
 		r.store.save(key, f.res)
+		r.ctr.addPhase(PhaseDiskSave, time.Since(t0))
 	}
 	return f.res
 }
 
 // measure executes a spec and accounts for it in the runner stats.
-func (r *Runner) measure(s Spec) *machine.Result {
+// The simulation is timed exactly once; the same duration feeds the
+// busy counter, the phase accumulator, and the trace record, so trace
+// totals and Stats.Phases agree to the nanosecond.
+func (r *Runner) measure(s Spec, rc runCtx) *machine.Result {
 	t0 := time.Now()
 	res := s.execute(r)
-	r.ctr.busyNanos.Add(int64(time.Since(t0)))
+	d := time.Since(t0)
+	r.ctr.busyNanos.Add(int64(d))
 	r.ctr.sims.Add(1)
+	phase := rc.phase
+	if phase == "" {
+		phase = PhaseSim
+	}
+	r.ctr.addPhase(phase, d)
+	if tr := r.opt.Tracer; tr != nil {
+		tr.Record("simulate", rc.parent, t0, d,
+			obs.String("phase", phase), obs.String("apps", resultApps(res)))
+	}
 	return res
+}
+
+// resultApps names a result's jobs for span attribution ("mcf+ferret").
+func resultApps(res *machine.Result) string {
+	if res == nil || len(res.Jobs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := range res.Jobs {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(res.Jobs[i].Name)
+	}
+	return sb.String()
 }
 
 // SingleSpec describes an application running alone. It is a thin

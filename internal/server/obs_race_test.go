@@ -1,0 +1,60 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestObservabilityPollDuringRun is the server-side analogue of
+// sched's TestStatsPollDuringRun: while a fleet run is in flight,
+// hammer /metrics, the run's status, and its trace endpoint from
+// concurrent goroutines. Under -race (CI's test job) this fails loudly
+// if any histogram, phase counter, gauge, or tracer read races the
+// engine's writers.
+func TestObservabilityPollDuringRun(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{Burst: 10})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := submit(t, ts, spec)
+
+	get := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return // server shutting down mid-poll is fine
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", sub.StatusURL, sub.StatusURL + "/trace"} {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			for {
+				get(path)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(path)
+	}
+
+	pollReport(t, ts, sub.ReportURL)
+	// Keep polling a little past completion so readers also observe the
+	// finished state (trace switches from 202 to the full document).
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

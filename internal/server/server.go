@@ -7,9 +7,11 @@
 //	POST /v1/runs             submit scenario/fleet JSON (or {"spec": ..., "config": ...})
 //	GET  /v1/runs/{id}        status + live progress counters
 //	GET  /v1/runs/{id}/report the versioned report envelope (core.Envelope)
+//	GET  /v1/runs/{id}/trace  the run's span tree as Chrome trace_event JSON
 //	GET  /v1/policies         the partition-policy registry
 //	GET  /healthz             liveness (503 while draining)
-//	GET  /metrics             engine + service counters, Prometheus text format
+//	GET  /metrics             engine + service counters and histograms, Prometheus text format
+//	GET  /debug/pprof/*       Go profiling endpoints (Options.Pprof only)
 //
 // Robustness is part of the contract: per-client token-bucket rate
 // limiting (429 + Retry-After), a bounded run queue with backpressure
@@ -23,13 +25,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/scenario"
 )
@@ -55,6 +61,15 @@ type Options struct {
 	// Now is the clock (default time.Now); tests inject one to step the
 	// rate limiter deterministically.
 	Now func() time.Time
+	// Pprof exposes Go's /debug/pprof/* profiling endpoints. Off by
+	// default: profiling a shared service is an operator decision
+	// (`cachepart serve -pprof`).
+	Pprof bool
+	// AccessLog, when non-nil, receives one line per request:
+	// timestamp, method, path, status, bytes, duration, and the run id
+	// (`id=run-000001`, `id=-` when the request has none), so client
+	// failures are correlatable with /v1/runs/{id} state.
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +116,7 @@ type job struct {
 	started core.EngineStats // engine totals when the run started
 	stats   core.EngineStats // envelope stats, done only
 	env     []byte           // envelope JSON, done only
+	span    obs.SpanID       // root span in the session tracer, done only
 	errText string           // failed only
 }
 
@@ -128,15 +144,24 @@ type Server struct {
 	running atomic.Int64
 	submitted, completed, failed,
 	rejectedRate, rejectedQueue atomic.Uint64
+
+	// Service histograms (hand-rolled Prometheus text; see obs).
+	queueWaitH *obs.Histogram // submission -> worker pickup
+	rateWaitH  *obs.Histogram // suggested Retry-After of rate-limit drops
+	histMu     sync.Mutex
+	runDur     map[string]*obs.Histogram // run duration by kind/fidelity label
 }
 
 // New builds a server over a session and starts its run workers. Call
 // Drain before discarding it.
 func New(sess *core.Session, opt Options) *Server {
 	s := &Server{
-		sess: sess,
-		opt:  opt.withDefaults(),
-		jobs: make(map[string]*job),
+		sess:       sess,
+		opt:        opt.withDefaults(),
+		jobs:       make(map[string]*job),
+		queueWaitH: obs.NewHistogram(obs.DurationBounds...),
+		rateWaitH:  obs.NewHistogram(obs.DurationBounds...),
+		runDur:     make(map[string]*obs.Histogram),
 	}
 	s.queue = make(chan *job, s.opt.Queue)
 	s.lim = newLimiter(s.opt.RatePerSec, s.opt.Burst, s.opt.Now)
@@ -145,9 +170,17 @@ func New(sess *core.Session, opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	for i := 0; i < s.opt.Concurrency; i++ {
 		s.wg.Add(1)
@@ -156,8 +189,56 @@ func New(sess *core.Session, opt Options) *Server {
 	return s
 }
 
-// Handler returns the routed HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routed HTTP handler, wrapped in the access-log
+// middleware when Options.AccessLog is set.
+func (s *Server) Handler() http.Handler {
+	if s.opt.AccessLog == nil {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		lr := &logRecorder{ResponseWriter: w, runID: "-"}
+		s.mux.ServeHTTP(lr, r)
+		if lr.status == 0 {
+			lr.status = http.StatusOK
+		}
+		fmt.Fprintf(s.opt.AccessLog, "%s %s %s %d %dB %.1fms id=%s\n",
+			s.opt.Now().UTC().Format(time.RFC3339), r.Method, r.URL.Path,
+			lr.status, lr.bytes, float64(time.Since(t0))/float64(time.Millisecond), lr.runID)
+	})
+}
+
+// logRecorder captures the status, byte count, and associated run id
+// of one response for the access log.
+type logRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+	runID  string
+}
+
+func (l *logRecorder) WriteHeader(code int) {
+	l.status = code
+	l.ResponseWriter.WriteHeader(code)
+}
+
+func (l *logRecorder) Write(b []byte) (int, error) {
+	if l.status == 0 {
+		l.status = http.StatusOK
+	}
+	n, err := l.ResponseWriter.Write(b)
+	l.bytes += n
+	return n, err
+}
+
+// setRunID tags the in-flight access-log line with a run id. Handlers
+// call it as soon as they know which run a request concerns — including
+// for unknown ids, so a client's 404 is still correlatable.
+func setRunID(w http.ResponseWriter, id string) {
+	if lr, ok := w.(*logRecorder); ok && id != "" {
+		lr.runID = id
+	}
+}
 
 // Drain stops admitting runs (submissions and healthz answer 503),
 // lets queued and in-flight runs finish, and returns once the engine
@@ -196,6 +277,8 @@ func (s *Server) run(j *job) {
 			j.mu.Unlock()
 		}
 	}()
+	start := s.opt.Now()
+	s.queueWaitH.Observe(start.Sub(j.submitted).Seconds())
 	st := s.sess.Stats()
 	j.mu.Lock()
 	j.state = stateRunning
@@ -215,12 +298,31 @@ func (s *Server) run(j *job) {
 		j.mu.Unlock()
 		return
 	}
+	s.observeRun(res.Envelope.Kind, res.Envelope.Fidelity, s.opt.Now().Sub(start).Seconds())
 	s.completed.Add(1)
 	j.mu.Lock()
 	j.state = stateDone
 	j.stats = res.Envelope.Stats
 	j.env = res.Envelope.JSON()
+	j.span = res.Span
 	j.mu.Unlock()
+}
+
+// observeRun records one completed run's duration in the histogram for
+// its kind/fidelity label set.
+func (s *Server) observeRun(kind, fidelity string, seconds float64) {
+	label := `kind="` + kind + `"`
+	if fidelity != "" {
+		label += `,fidelity="` + fidelity + `"`
+	}
+	s.histMu.Lock()
+	h := s.runDur[label]
+	if h == nil {
+		h = obs.NewHistogram(obs.DurationBounds...)
+		s.runDur[label] = h
+	}
+	s.histMu.Unlock()
+	h.Observe(seconds)
 }
 
 // submission is the wrapped POST body form; a bare scenario/fleet JSON
@@ -250,6 +352,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if ok, wait := s.lim.allow(clientKey(r.RemoteAddr)); !ok {
 		s.rejectedRate.Add(1)
+		s.rateWaitH.Observe(wait.Seconds())
 		w.Header().Set("Retry-After", retryAfter(wait))
 		writeError(w, http.StatusTooManyRequests, "submission rate limit exceeded")
 		return
@@ -306,6 +409,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	s.submitted.Add(1)
+	setRunID(w, j.id)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -375,18 +479,22 @@ func (s *Server) statusOf(j *job) status {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.jobByID(r.PathValue("id"))
+	id := r.PathValue("id")
+	setRunID(w, id)
+	j := s.jobByID(id)
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown run id")
+		writeRunError(w, http.StatusNotFound, "unknown run id", id)
 		return
 	}
 	writeJSON(w, s.statusOf(j))
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	j := s.jobByID(r.PathValue("id"))
+	id := r.PathValue("id")
+	setRunID(w, id)
+	j := s.jobByID(id)
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown run id")
+		writeRunError(w, http.StatusNotFound, "unknown run id", id)
 		return
 	}
 	j.mu.Lock()
@@ -397,7 +505,38 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(env) // core.Envelope bytes, verbatim
 	case stateFailed:
-		writeError(w, http.StatusInternalServerError, errText)
+		writeRunError(w, http.StatusInternalServerError, errText, id)
+	default: // still queued or running: say so, keep polling
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(s.statusOf(j))
+	}
+}
+
+// handleTrace serves a finished run's span subtree as Chrome
+// trace_event JSON cut from the session tracer.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	setRunID(w, id)
+	j := s.jobByID(id)
+	if j == nil {
+		writeRunError(w, http.StatusNotFound, "unknown run id", id)
+		return
+	}
+	tr := s.sess.Tracer()
+	if tr == nil {
+		writeRunError(w, http.StatusNotFound, "tracing is not enabled on this server", id)
+		return
+	}
+	j.mu.Lock()
+	state, span, errText := j.state, j.span, j.errText
+	j.mu.Unlock()
+	switch state {
+	case stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(tr.ChromeTraceUnder(span))
+	case stateFailed:
+		writeRunError(w, http.StatusInternalServerError, errText, id)
 	default: // still queued or running: say so, keep polling
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
@@ -452,6 +591,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "cachepart_runs_running %d\n", s.running.Load())
 	fmt.Fprintf(w, "cachepart_runs_retained %d\n", retained)
 	fmt.Fprintf(w, "cachepart_draining %d\n", draining)
+	fmt.Fprintf(w, "cachepart_engine_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "cachepart_engine_active_workers %d\n", st.ActiveWorkers)
+	for _, p := range st.Phases {
+		fmt.Fprintf(w, "cachepart_engine_phase_seconds_total{phase=%q} %g\n", p.Name, p.Seconds)
+		fmt.Fprintf(w, "cachepart_engine_phase_runs_total{phase=%q} %d\n", p.Name, p.Count)
+	}
+	s.queueWaitH.WriteProm(w, "cachepart_run_queue_wait_seconds", "")
+	s.rateWaitH.WriteProm(w, "cachepart_rate_limit_wait_seconds", "")
+	s.histMu.Lock()
+	labels := make([]string, 0, len(s.runDur))
+	for l := range s.runDur {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		s.runDur[l].WriteProm(w, "cachepart_run_duration_seconds", l)
+	}
+	s.histMu.Unlock()
 }
 
 func (s *Server) isDraining() bool {
@@ -491,4 +648,14 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.Encode(map[string]string{"error": msg})
+}
+
+// writeRunError is writeError with the run id the failure concerns
+// echoed in the body, so clients (and log scrapers) can correlate
+// errors with submissions without parsing the URL.
+func writeRunError(w http.ResponseWriter, code int, msg, id string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]string{"error": msg, "id": id})
 }

@@ -8,23 +8,28 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
 const examplePath = "../../examples/scenarios/fleet-utility-50.json"
 
 // newTestServer stands up a warm quick-scale session behind httptest.
-// Every test gets its own session so cold-run expectations hold.
+// Every test gets its own session so cold-run expectations hold. The
+// session carries a tracer, so every test here doubles as a check
+// that tracing changes nothing about the service's behavior.
 func newTestServer(t *testing.T, cfg core.RunConfig, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg.Quick = true
-	sess, err := core.NewSession(cfg)
+	sess, err := core.NewSessionWith(cfg, obs.New(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,6 +40,15 @@ func newTestServer(t *testing.T, cfg core.RunConfig, opt Options) (*Server, *htt
 		ts.Close()
 	})
 	return srv, ts
+}
+
+// zeroPhaseSeconds blanks the wall-clock phase durations — the only
+// non-deterministic field an envelope carries — so envelopes from two
+// runs of the same spec can be compared exactly.
+func zeroPhaseSeconds(st *core.EngineStats) {
+	for i := range st.Phases {
+		st.Phases[i].Seconds = 0
+	}
 }
 
 type submitResp struct {
@@ -122,8 +136,9 @@ func TestEndToEndFleetExample(t *testing.T) {
 	got := pollReport(t, ts, sub.ReportURL)
 
 	// Reference: a fresh cold session, as `cachepart scenario run -json`
-	// builds. Engine determinism makes cold stats reproducible, so the
-	// whole envelope must match byte for byte.
+	// builds. Engine determinism makes every field reproducible except
+	// the wall-clock phase durations, so the envelopes must match
+	// exactly once those are blanked.
 	ref, err := core.NewSession(core.RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
@@ -132,8 +147,16 @@ func TestEndToEndFleetExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := res.Envelope.JSON(); !bytes.Equal(got, want) {
-		t.Errorf("server envelope diverges from CLI session\n--- server ---\n%s\n--- cli ---\n%s", got, want)
+	var gotEnv core.Envelope
+	if err := json.Unmarshal(got, &gotEnv); err != nil {
+		t.Fatal(err)
+	}
+	wantEnv := *res.Envelope
+	wantEnv.Stats.Phases = append([]core.PhaseStat(nil), wantEnv.Stats.Phases...)
+	zeroPhaseSeconds(&gotEnv.Stats)
+	zeroPhaseSeconds(&wantEnv.Stats)
+	if !reflect.DeepEqual(gotEnv, wantEnv) {
+		t.Errorf("server envelope diverges from CLI session\n--- server ---\n%+v\n--- cli ---\n%+v", gotEnv, wantEnv)
 	}
 
 	// Warm resubmission: same spec, same session — all memo hits.
@@ -162,7 +185,9 @@ func TestEndToEndFleetExample(t *testing.T) {
 	if code := getJSON(t, ts.URL+sub.StatusURL, &st); code != http.StatusOK {
 		t.Fatalf("status: %d", code)
 	}
-	if st.ID != sub.ID || st.State != "done" || st.Progress != cold.Stats {
+	zeroPhaseSeconds(&st.Progress)
+	zeroPhaseSeconds(&cold.Stats)
+	if st.ID != sub.ID || st.State != "done" || !reflect.DeepEqual(st.Progress, cold.Stats) {
 		t.Errorf("finished status: %+v (want stats %+v)", st, cold.Stats)
 	}
 
@@ -182,6 +207,24 @@ func TestEndToEndFleetExample(t *testing.T) {
 	} {
 		if !strings.Contains(string(metrics), line+"\n") {
 			t.Errorf("metrics missing %q:\n%s", line, metrics)
+		}
+	}
+	// The observability families: per-phase engine accounting and the
+	// run-duration / queue-wait histograms.
+	for _, frag := range []string{
+		`cachepart_engine_phase_runs_total{phase="oracle"} `,
+		`cachepart_engine_phase_seconds_total{phase="oracle"} `,
+		`cachepart_engine_phase_runs_total{phase="episode"} `,
+		`cachepart_engine_phase_runs_total{phase="queue-wait"} `,
+		`cachepart_run_duration_seconds_bucket{kind="fleet",fidelity="exact",le="+Inf"} 2`,
+		`cachepart_run_duration_seconds_count{kind="fleet",fidelity="exact"} 2`,
+		`cachepart_run_queue_wait_seconds_count 2`,
+		`cachepart_rate_limit_wait_seconds_count 0`,
+		"cachepart_engine_queue_depth 0",
+		"cachepart_engine_active_workers 0",
+	} {
+		if !strings.Contains(string(metrics), frag) {
+			t.Errorf("metrics missing %q:\n%s", frag, metrics)
 		}
 	}
 }
@@ -526,5 +569,238 @@ func TestRunTableEviction(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+second.StatusURL, nil); code != http.StatusOK {
 		t.Errorf("retained run missing: status %d", code)
+	}
+}
+
+// TestTraceEndpoint: a finished run's trace is Chrome trace_event JSON
+// whose events cover the run's span subtree; unknown runs 404 with the
+// id echoed in the body.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := submit(t, ts, spec)
+	pollReport(t, ts, sub.ReportURL)
+
+	resp, err := http.Get(ts.URL + sub.StatusURL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d, body %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, raw)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		names[ev.Name]++
+	}
+	for _, want := range []string{"run", "compile", "oracle", "episode", "simulate"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q spans: %v", want, names)
+		}
+	}
+
+	// A second run's trace must not leak the first run's spans: every
+	// trace is cut to its own run subtree.
+	sub2 := submit(t, ts, spec)
+	pollReport(t, ts, sub2.ReportURL)
+	resp2, err := http.Get(ts.URL + sub2.StatusURL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var doc2 struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw2, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	runs := 0
+	for _, ev := range doc2.TraceEvents {
+		if ev.Name == "run" {
+			runs++
+		}
+	}
+	if runs != 1 {
+		t.Errorf("second run's trace holds %d run spans, want exactly its own", runs)
+	}
+
+	// Unknown run: 404 with the id echoed.
+	resp3, err := http.Get(ts.URL + "/v1/runs/run-999999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+		ID    string `json:"id"`
+	}
+	err = json.NewDecoder(resp3.Body).Decode(&body)
+	resp3.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusNotFound || body.ID != "run-999999" {
+		t.Errorf("unknown trace: status %d, body %+v", resp3.StatusCode, body)
+	}
+}
+
+// TestTraceDisabled404: a server whose session has no tracer answers
+// trace requests with an explanatory 404, not a panic or empty doc.
+func TestTraceDisabled404(t *testing.T) {
+	sess, err := core.NewSession(core.RunConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sess, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Drain()
+		ts.Close()
+	})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := submit(t, ts, spec)
+	pollReport(t, ts, sub.ReportURL)
+	resp, err := http.Get(ts.URL + sub.StatusURL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !bytes.Contains(raw, []byte("not enabled")) ||
+		!bytes.Contains(raw, []byte(sub.ID)) {
+		t.Errorf("trace without tracer: status %d, body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestErrorBodiesCarryRunID: 404s on the run endpoints echo the
+// requested id so clients can correlate failures with submissions.
+func TestErrorBodiesCarryRunID(t *testing.T) {
+	_, ts := newTestServer(t, core.RunConfig{}, Options{})
+	for _, path := range []string{
+		"/v1/runs/run-424242",
+		"/v1/runs/run-424242/report",
+		"/v1/runs/run-424242/trace",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+			ID    string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound || body.ID != "run-424242" || body.Error == "" {
+			t.Errorf("%s: status %d, body %+v", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// lockedBuffer is a goroutine-safe io.Writer for capturing access logs.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestAccessLog: with AccessLog set, every request emits one line, and
+// run-scoped requests carry their run id.
+func TestAccessLog(t *testing.T) {
+	var logbuf lockedBuffer
+	_, ts := newTestServer(t, core.RunConfig{}, Options{AccessLog: &logbuf})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := submit(t, ts, spec)
+	pollReport(t, ts, sub.ReportURL)
+	getJSON(t, ts.URL+"/v1/runs/run-999999", nil) // 404, still logged
+
+	// The log line lands after the handler returns; the client can see
+	// the response first, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var log string
+	for time.Now().Before(deadline) {
+		log = logbuf.String()
+		if strings.Contains(log, "id=run-999999") {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(log, "POST /v1/runs 202") || !strings.Contains(log, "id="+sub.ID) {
+		t.Errorf("access log missing submission line with run id:\n%s", log)
+	}
+	if !strings.Contains(log, "GET /v1/runs/run-999999 404") || !strings.Contains(log, "id=run-999999") {
+		t.Errorf("access log missing 404 line with run id:\n%s", log)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(log, "\n"), "\n") {
+		if !strings.Contains(line, " id=") {
+			t.Errorf("access log line without id field: %q", line)
+		}
+	}
+}
+
+// TestPprofGated: the pprof endpoints exist only when Options.Pprof is
+// set — a production server does not expose profiling by accident.
+func TestPprofGated(t *testing.T) {
+	_, off := newTestServer(t, core.RunConfig{}, Options{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, core.RunConfig{}, Options{Pprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte("goroutine")) {
+		t.Errorf("pprof index with -pprof: status %d, body %.200s", resp.StatusCode, raw)
 	}
 }

@@ -54,10 +54,13 @@ stop_server() {
 }
 
 # submit_and_fetch SPEC OUT — POST the spec, poll the run to
-# completion, and write the report envelope to OUT.
+# completion, and write the report envelope to OUT. The run's id is
+# left in RUN_ID for follow-up endpoint checks.
 submit_and_fetch() {
-  local spec=$1 out=$2 report_url
-  report_url=$(curl -fsS -X POST --data-binary @"$spec" "$BASE/v1/runs" | jq -r .report_url)
+  local spec=$1 out=$2 report_url submit
+  submit=$(curl -fsS -X POST --data-binary @"$spec" "$BASE/v1/runs")
+  report_url=$(echo "$submit" | jq -r .report_url)
+  RUN_ID=$(echo "$submit" | jq -r .id)
   for _ in $(seq 1 600); do
     local code
     code=$(curl -sS -o "$out" -w '%{http_code}' "$BASE$report_url")
@@ -97,6 +100,45 @@ submit_and_fetch "$FLEET"    "$WORK/fleet-cold.json"
 submit_and_fetch "$FLEET"    "$WORK/fleet-warm.json"
 check_pair "scenario (memo)" "$WORK/scenario-cold.json" "$WORK/scenario-warm.json"
 check_pair "fleet (memo)"    "$WORK/fleet-cold.json"    "$WORK/fleet-warm.json"
+
+# The last submitted run's trace: Chrome trace_event JSON with a
+# non-empty event list rooted at the run span.
+curl -fsS "$BASE/v1/runs/$RUN_ID/trace" >"$WORK/trace.json"
+EVENTS=$(jq '.traceEvents | length' "$WORK/trace.json")
+if [ "$EVENTS" -eq 0 ]; then
+  echo "FAIL: trace for $RUN_ID holds no events" >&2
+  exit 1
+fi
+jq -e '.traceEvents | map(select(.name == "run")) | length == 1' "$WORK/trace.json" >/dev/null \
+  || { echo "FAIL: trace for $RUN_ID is not cut to one run span" >&2; exit 1; }
+echo "ok: trace endpoint served $EVENTS events for $RUN_ID"
+
+# /metrics carries the observability families: per-phase engine
+# accounting and the run-duration/queue-wait histograms.
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt"
+for want in \
+  'cachepart_run_duration_seconds_bucket{' \
+  'cachepart_run_duration_seconds_count{' \
+  'cachepart_run_queue_wait_seconds_bucket{le=' \
+  'cachepart_engine_phase_seconds_total{phase=' \
+  'cachepart_engine_phase_runs_total{phase=' \
+  'cachepart_engine_queue_depth ' \
+  'cachepart_engine_active_workers '; do
+  grep -qF "$want" "$WORK/metrics.txt" || {
+    echo "FAIL: /metrics missing $want" >&2
+    cat "$WORK/metrics.txt" >&2
+    exit 1
+  }
+done
+echo "ok: /metrics exposes histogram and phase families"
+
+# The access log ties every request to a run id (id=- for unscoped).
+grep -qE "POST /v1/runs 202 .* id=run-" "$WORK/serve.log" || {
+  echo "FAIL: access log carries no run id for the submission" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+echo "ok: access log carries run ids"
 
 # The served report must be the CLI's report for the same spec.
 "$BIN" scenario run "$SCENARIO" -quick -json | jq -r .report >"$WORK/scenario-cli.txt"
