@@ -27,11 +27,11 @@ func TestVersionSubcommand(t *testing.T) {
 	}
 	var schemaLine bool
 	for _, line := range strings.Split(stdout, "\n") {
-		if strings.HasPrefix(line, "schema_version") && strings.HasSuffix(line, " 3") {
+		if strings.HasPrefix(line, "schema_version") && strings.HasSuffix(line, " 4") {
 			schemaLine = true
 		}
 	}
-	if !schemaLine || core.SchemaVersion != 3 {
+	if !schemaLine || core.SchemaVersion != 4 {
 		t.Errorf("version output missing schema_version %d:\n%s", core.SchemaVersion, stdout)
 	}
 }

@@ -139,6 +139,69 @@ func TestFleetCommandValidation(t *testing.T) {
 	}
 }
 
+// TestFleetCheckEventTimelines pins the CLI contract for event
+// timelines: `fleet check` surfaces every malformed timeline as a
+// one-line error (which main turns into exit 1) and accepts a valid
+// one.
+func TestFleetCheckEventTimelines(t *testing.T) {
+	base := `{"name":"e","fleet":{"machines":2,"duration":0.01,"arrivals":[{"app":"xalan","rate":100}],"events":`
+	cases := []struct{ name, events, want string }{
+		{"unknown-kind",
+			`[{"at":0.001,"kind":"quantum-leap"}]`,
+			`unknown event kind "quantum-leap"`},
+		{"undeclared-machine",
+			`[{"at":0.001,"kind":"machine-down","machine":7}]`,
+			"machine 7 not in the declared pool of 2"},
+		{"out-of-order",
+			`[{"at":0.005,"kind":"load-scale","factor":2},{"at":0.001,"kind":"load-scale","factor":3}]`,
+			"timeline must be ordered"},
+		{"negative-timestamp",
+			`[{"at":-1,"kind":"load-scale","factor":2}]`,
+			"negative timestamp"},
+		{"double-down",
+			`[{"at":0.001,"kind":"machine-down","machine":0},{"at":0.002,"kind":"machine-down","machine":0}]`,
+			"machine 0 is already down"},
+		{"last-machine-down",
+			`[{"at":0.001,"kind":"machine-down","machine":0},{"at":0.002,"kind":"machine-down","machine":1}]`,
+			"would leave no machine up"},
+		{"up-without-down",
+			`[{"at":0.001,"kind":"machine-up","machine":0}]`,
+			"machine 0 is not down"},
+		{"drain-misuse",
+			`[{"at":0.001,"kind":"machine-up","machine":0,"drain":true}]`,
+			"drain applies only to machine-down"},
+		{"unknown-event-app",
+			`[{"at":0.001,"kind":"batch-arrival","app":"nope"}]`,
+			"unknown application"},
+		{"bad-scale-factor",
+			`[{"at":0.001,"kind":"load-scale","factor":0}]`,
+			"load-scale needs a positive factor"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := writeScenario(t, "e.json", base+c.events+`}}`)
+			err := fleetCheck([]string{path})
+			if err == nil {
+				t.Fatal("fleet check accepted a broken timeline")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %q, want substring %q", err, c.want)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+	ok := writeScenario(t, "ok.json", base+
+		`[{"at":0.002,"kind":"machine-down","machine":1,"drain":true},`+
+		`{"at":0.004,"kind":"machine-up","machine":1},`+
+		`{"at":0.005,"kind":"batch-arrival","app":"ferret"},`+
+		`{"at":0.006,"kind":"load-scale","factor":2}],"hysteresis":0.002}}`)
+	if err := fleetCheck([]string{ok}); err != nil {
+		t.Errorf("fleet check on a valid timeline: %v", err)
+	}
+}
+
 // TestFleetRunSmall runs a tiny fleet end to end through the CLI path.
 func TestFleetRunSmall(t *testing.T) {
 	okFleet := writeScenario(t, "ok.json", `{

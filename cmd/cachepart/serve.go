@@ -32,6 +32,7 @@ func cmdServe(args []string) error {
 	concurrency := fs.Int("concurrency", 2, "runs executed at once")
 	rate := fs.Float64("rate", 2, "per-client run submissions per second (token refill)")
 	burst := fs.Int("burst", 5, "per-client submission burst (token bucket depth)")
+	runTimeout := fs.Duration("run-timeout", 0, "per-run wall-clock deadline (0 = none); exceeded runs report state timeout")
 	pprofOn := fs.Bool("pprof", false, "expose Go's profiler under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,7 +51,7 @@ func cmdServe(args []string) error {
 	}
 	srv := server.New(sess, server.Options{
 		Queue: *queue, Concurrency: *concurrency,
-		RatePerSec: *rate, Burst: *burst,
+		RatePerSec: *rate, Burst: *burst, RunTimeout: *runTimeout,
 		Pprof: *pprofOn, AccessLog: os.Stderr,
 	})
 

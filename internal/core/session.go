@@ -15,8 +15,9 @@ import (
 // SchemaVersion identifies the report-envelope layout. Bump it when
 // Envelope gains, loses, or re-types a field; consumers pin the version
 // they understand. Version 2 added the fleet fidelity echo; version 3
-// added the stats phases breakdown.
-const SchemaVersion = 3
+// added the stats phases breakdown; version 4 added the events stats
+// block for fleet timelines.
+const SchemaVersion = 4
 
 // Spec kinds an envelope can carry.
 const (
@@ -201,9 +202,23 @@ type Envelope struct {
 	Name          string `json:"name"`
 	// Fidelity echoes a fleet run's effective oracle tier (exact, fast,
 	// or auto); empty for single-machine scenarios.
-	Fidelity string      `json:"fidelity,omitempty"`
-	Stats    EngineStats `json:"stats"`
-	Report   string      `json:"report"`
+	Fidelity string `json:"fidelity,omitempty"`
+	// Events tallies a fleet scenario's timeline by kind; nil when the
+	// scenario has none (and always for single-machine scenarios).
+	Events *EventStats `json:"events,omitempty"`
+	Stats  EngineStats `json:"stats"`
+	Report string      `json:"report"`
+}
+
+// EventStats is the envelope's per-kind tally of a fleet timeline.
+type EventStats struct {
+	Total         int `json:"total"`
+	Failures      int `json:"failures,omitempty"`
+	Drains        int `json:"drains,omitempty"`
+	Ups           int `json:"ups,omitempty"`
+	BatchArrivals int `json:"batch_arrivals,omitempty"`
+	BatchCancels  int `json:"batch_cancels,omitempty"`
+	LoadScales    int `json:"load_scales,omitempty"`
 }
 
 // JSON renders the envelope in its canonical wire form: two-space
@@ -299,9 +314,18 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 	t0 := time.Now()
 	kind := KindScenario
 	var fidelity string
+	var events *EventStats
 	if sc.IsFleet() {
 		kind = KindFleet
 		fidelity = string(sc.Fleet.EffectiveFidelity())
+		if len(sc.Fleet.Events) > 0 {
+			c := sc.Fleet.EventCounts()
+			events = &EventStats{
+				Total: c.Total, Failures: c.Failures, Drains: c.Drains, Ups: c.Ups,
+				BatchArrivals: c.BatchArrivals, BatchCancels: c.BatchCancels,
+				LoadScales: c.LoadScales,
+			}
+		}
 	}
 	attrs := []obs.Attr{obs.String("kind", kind), obs.String("name", sc.Name)}
 	if fidelity != "" {
@@ -345,6 +369,7 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 			Kind:          kind,
 			Name:          sc.Name,
 			Fidelity:      fidelity,
+			Events:        events,
 			Stats: EngineStats{
 				Parallelism: delta.Parallelism,
 				Simulations: delta.Simulations,

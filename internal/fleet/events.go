@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+// EventKind names one entry of a fleet definition's events timeline.
+type EventKind string
+
+const (
+	// EvMachineDown takes a machine out of service at the event time.
+	// Without drain it is a failure: the active request and everything
+	// queued behind it are evicted into the re-placement queue and a
+	// resident batch item restarts from its full iteration count. With
+	// drain it is planned maintenance: queued requests and the resident
+	// migrate immediately with their progress kept, the active request
+	// finishes in place, and only then does the machine power down.
+	EvMachineDown EventKind = "machine-down"
+	// EvMachineUp returns a down (or draining) machine to service. The
+	// machine re-enters placement only after the fleet's hysteresis
+	// hold-down expires, so a flapping machine cannot churn placements.
+	EvMachineUp EventKind = "machine-up"
+	// EvBatchArrival appends Count batch items (App x Iterations each)
+	// to the backlog at the event time — a mid-run job arrival.
+	EvBatchArrival EventKind = "batch-arrival"
+	// EvBatchCancel removes up to Count not-yet-placed items of App
+	// from the backlog tail — a mid-run job departure. Items already
+	// resident on a machine keep running.
+	EvBatchCancel EventKind = "batch-cancel"
+	// EvLoadScale multiplies every arrival class's instantaneous rate
+	// by Factor from the event time onward (until the next load-scale).
+	EvLoadScale EventKind = "load-scale"
+)
+
+// Event is one entry of the deterministic fleet timeline. Which fields
+// apply depends on Kind: machine events use Machine (and Drain),
+// batch events use App/Count/Iterations, and load-scale uses Factor.
+type Event struct {
+	// At is the event time in simulated seconds from trace start.
+	At float64 `json:"at"`
+	// Kind is machine-down, machine-up, batch-arrival, batch-cancel,
+	// or load-scale.
+	Kind EventKind `json:"kind"`
+	// Machine indexes the pool for machine-down/machine-up.
+	Machine int `json:"machine,omitempty"`
+	// Drain marks a machine-down as planned maintenance (graceful
+	// migration) rather than a failure.
+	Drain bool `json:"drain,omitempty"`
+	// App names the batch application of batch-arrival/batch-cancel.
+	App string `json:"app,omitempty"`
+	// Count is the number of items arriving or cancelled (default 1).
+	Count int `json:"count,omitempty"`
+	// Iterations sizes each arriving item in application runs
+	// (default 1), exactly like a backlog entry's.
+	Iterations int `json:"iterations,omitempty"`
+	// Factor is load-scale's rate multiplier (must be positive).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// validateEvents checks the timeline: non-negative, non-decreasing
+// timestamps; known kinds; machine indices inside the declared pool; a
+// causally ordered down/up state machine that never leaves the fleet
+// without a live machine; known batch applications; positive scale
+// factors.
+func (d *Def) validateEvents() error {
+	if d.Hysteresis < 0 {
+		return fmt.Errorf("fleet: hysteresis must be >= 0, got %v", d.Hysteresis)
+	}
+	down := make([]bool, d.Machines)
+	nDown := 0
+	prev := 0.0
+	for i, ev := range d.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fleet: event %d: negative timestamp %v", i, ev.At)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("fleet: event %d: timestamp %v before event %d at %v (timeline must be ordered)",
+				i, ev.At, i-1, prev)
+		}
+		prev = ev.At
+		if ev.Drain && ev.Kind != EvMachineDown {
+			return fmt.Errorf("fleet: event %d: drain applies only to machine-down", i)
+		}
+		switch ev.Kind {
+		case EvMachineDown, EvMachineUp:
+			if ev.Machine < 0 || ev.Machine >= d.Machines {
+				return fmt.Errorf("fleet: event %d: machine %d not in the declared pool of %d",
+					i, ev.Machine, d.Machines)
+			}
+			if ev.Kind == EvMachineDown {
+				if down[ev.Machine] {
+					return fmt.Errorf("fleet: event %d: machine %d is already down", i, ev.Machine)
+				}
+				if nDown+1 >= d.Machines {
+					return fmt.Errorf("fleet: event %d: machine-down would leave no machine up", i)
+				}
+				down[ev.Machine] = true
+				nDown++
+			} else {
+				if !down[ev.Machine] {
+					return fmt.Errorf("fleet: event %d: machine %d is not down", i, ev.Machine)
+				}
+				down[ev.Machine] = false
+				nDown--
+			}
+		case EvBatchArrival:
+			if _, err := workload.ByName(ev.App); err != nil {
+				return fmt.Errorf("fleet: event %d: %w", i, err)
+			}
+			if ev.Count < 0 {
+				return fmt.Errorf("fleet: event %d (%s): negative count", i, ev.App)
+			}
+			if ev.Iterations < 0 {
+				return fmt.Errorf("fleet: event %d (%s): negative iterations", i, ev.App)
+			}
+		case EvBatchCancel:
+			if _, err := workload.ByName(ev.App); err != nil {
+				return fmt.Errorf("fleet: event %d: %w", i, err)
+			}
+			if ev.Count < 0 {
+				return fmt.Errorf("fleet: event %d (%s): negative count", i, ev.App)
+			}
+		case EvLoadScale:
+			if ev.Factor <= 0 {
+				return fmt.Errorf("fleet: event %d: load-scale needs a positive factor, got %v", i, ev.Factor)
+			}
+		default:
+			return fmt.Errorf("fleet: event %d: unknown event kind %q (want machine-down, machine-up, batch-arrival, batch-cancel, or load-scale)",
+				i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// scalePoints extracts the load-scale steps the arrival generator
+// thins by; nil when the timeline has none.
+func (d *Def) scalePoints() []loadgen.ScalePoint {
+	var out []loadgen.ScalePoint
+	for _, ev := range d.Events {
+		if ev.Kind == EvLoadScale {
+			out = append(out, loadgen.ScalePoint{At: ev.At, Factor: ev.Factor})
+		}
+	}
+	return out
+}
+
+// eventApps returns the distinct batch-arrival applications of the
+// timeline, in event order — the apps the oracle must price beyond the
+// declared backlog's.
+func (d *Def) eventApps() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, ev := range d.Events {
+		if ev.Kind == EvBatchArrival && !seen[ev.App] {
+			seen[ev.App] = true
+			out = append(out, ev.App)
+		}
+	}
+	return out
+}
+
+// EventCounts is the per-kind tally of a definition's timeline — the
+// envelope's events stats block reads it.
+type EventCounts struct {
+	Total         int
+	Failures      int // machine-down without drain
+	Drains        int // machine-down with drain
+	Ups           int
+	BatchArrivals int
+	BatchCancels  int
+	LoadScales    int
+}
+
+// EventCounts tallies the timeline by kind.
+func (d *Def) EventCounts() EventCounts {
+	var c EventCounts
+	c.Total = len(d.Events)
+	for _, ev := range d.Events {
+		switch ev.Kind {
+		case EvMachineDown:
+			if ev.Drain {
+				c.Drains++
+			} else {
+				c.Failures++
+			}
+		case EvMachineUp:
+			c.Ups++
+		case EvBatchArrival:
+			c.BatchArrivals++
+		case EvBatchCancel:
+			c.BatchCancels++
+		case EvLoadScale:
+			c.LoadScales++
+		}
+	}
+	return c
+}
+
+// eventItems expands one batch-arrival event into backlog items, with
+// Def = -(event index)-1 so item identity never collides with a
+// declared backlog definition's.
+func eventItems(ev Event, evIdx, nextIndex int) []loadgen.BatchItem {
+	n, iters := ev.Count, ev.Iterations
+	if n == 0 {
+		n = 1
+	}
+	if iters == 0 {
+		iters = 1
+	}
+	out := make([]loadgen.BatchItem, n)
+	for k := 0; k < n; k++ {
+		out[k] = loadgen.BatchItem{
+			App: ev.App, Iterations: float64(iters),
+			Def: -evIdx - 1, Seq: k, Index: nextIndex + k,
+		}
+	}
+	return out
+}

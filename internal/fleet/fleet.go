@@ -151,6 +151,16 @@ type Def struct {
 	Arrivals []loadgen.RequestClass `json:"arrivals,omitempty"`
 	// Backlog declares the batch-job queue drained across the fleet.
 	Backlog []loadgen.BatchDef `json:"backlog,omitempty"`
+	// Events is the deterministic timeline the run replays: machine
+	// failures and maintenance drains, recoveries, mid-run batch
+	// arrivals/departures, and load spikes. Empty means the static
+	// always-healthy fleet of an event-free run.
+	Events []Event `json:"events,omitempty"`
+	// Hysteresis is the power-up hold-down in simulated seconds: a
+	// machine returning to service is skipped by placement (except as
+	// a last resort) until the hold expires, so a flapping machine
+	// cannot churn placements (default 0 = immediately eligible).
+	Hysteresis float64 `json:"hysteresis,omitempty"`
 }
 
 func (d *Def) seed() string {
@@ -339,7 +349,7 @@ func (d *Def) Validate() error {
 	if d.FastMargin < 0 {
 		return fmt.Errorf("fleet: fast_margin must be >= 0, got %v", d.FastMargin)
 	}
-	return nil
+	return d.validateEvents()
 }
 
 // fgApps returns the distinct latency applications in class order.

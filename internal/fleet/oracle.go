@@ -172,8 +172,22 @@ func buildOracle(r *sched.Runner, d *Def, parent obs.SpanID) (*oracle, error) {
 	}
 
 	fgs, bgs := d.fgApps(), d.bgApps()
+	// Timeline batch-arrivals can introduce apps the declared backlog
+	// never mentions; the oracle must price them too. The exact tier
+	// plans them as a separate "replace" batch so traces attribute the
+	// recovery work; the analytic tiers just fold them into the pool.
+	inBgs := map[string]bool{}
+	for _, name := range bgs {
+		inBgs[name] = true
+	}
+	var evBgs []string
+	for _, name := range d.eventApps() {
+		if !inBgs[name] {
+			evBgs = append(evBgs, name)
+		}
+	}
 	apps := map[string]*workload.Profile{}
-	for _, name := range append(append([]string{}, fgs...), bgs...) {
+	for _, name := range append(append(append([]string{}, fgs...), bgs...), evBgs...) {
 		apps[name] = workload.MustByName(name)
 	}
 
@@ -213,7 +227,7 @@ func buildOracle(r *sched.Runner, d *Def, parent obs.SpanID) (*oracle, error) {
 		// The analytic tiers replace the per-pair simulations with MRC
 		// predictions (re-simulating borderline pairs under auto); the
 		// alone baselines stay exact in every tier.
-		if err := o.buildFast(r, d, h, pol, searcher, fgs, bgs, apps, assoc, fid, osp.ID()); err != nil {
+		if err := o.buildFast(r, d, h, pol, searcher, fgs, append(append([]string{}, bgs...), evBgs...), apps, assoc, fid, osp.ID()); err != nil {
 			return nil, err
 		}
 		osp.End(obs.Int("alone", len(o.alone)), obs.Int("pairs", len(o.pair)))
@@ -243,6 +257,44 @@ func buildOracle(r *sched.Runner, d *Def, parent obs.SpanID) (*oracle, error) {
 		for _, bg := range bgs {
 			key := pairKey(fg, bg)
 			o.pair[key] = harvestPair(results, pairAt[key], pol, searcher, assoc, o.alone[fg].Seconds)
+		}
+	}
+
+	// Event-only apps get their own "replace" batch: the alone baseline
+	// (unless an arrival class already priced it) plus one pair per
+	// request class, so re-placement after churn dedups against the
+	// initial batch through the same memo keys.
+	if len(evBgs) > 0 {
+		var rspecs []sched.Spec
+		evAloneAt := map[string]int{}
+		for _, name := range evBgs {
+			if _, have := aloneAt[name]; have {
+				continue
+			}
+			evAloneAt[name] = len(rspecs)
+			rspecs = append(rspecs, h.aloneMix(apps[name]))
+		}
+		evPairAt := map[string]int{}
+		for _, fg := range fgs {
+			for _, bg := range evBgs {
+				evPairAt[pairKey(fg, bg)] = len(rspecs)
+				rspecs = append(rspecs, pairSpecs(r, h, apps[fg], apps[bg], pol, searcher, assoc)...)
+			}
+		}
+		rresults := r.RunBatchIn(sched.BatchInfo{Span: osp.ID(), Phase: "replace"}, rspecs)
+		for name, at := range evAloneAt {
+			res := rresults[at]
+			o.alone[name] = alonePerf{
+				Seconds: res.Jobs[0].Seconds,
+				SocketW: watts(res.Energy.SocketJoules, res.WindowSeconds),
+				WallW:   watts(res.Energy.WallJoules, res.WindowSeconds),
+			}
+		}
+		for _, fg := range fgs {
+			for _, bg := range evBgs {
+				key := pairKey(fg, bg)
+				o.pair[key] = harvestPair(rresults, evPairAt[key], pol, searcher, assoc, o.alone[fg].Seconds)
+			}
 		}
 	}
 	osp.End(obs.Int("alone", len(o.alone)), obs.Int("pairs", len(o.pair)))

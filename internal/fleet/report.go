@@ -34,6 +34,17 @@ type PolicyResult struct {
 	FleetSocketJ  float64
 	ED2           float64 // active socket energy x makespan^2
 	Reallocations int     // dynamic-mode controller reallocations, summed
+
+	// Robustness metrics (all zero on an event-free run).
+	Evicted        int     // jobs displaced by machine events
+	Lost           int     // evictions that lost in-progress work
+	Migrated       int     // evictions that kept their progress
+	PeakReplace    int     // peak re-placement backlog
+	RecoverSeconds float64 // worst event -> all-its-evictees-re-placed gap
+	// SLOViolationMin is the summed job-minutes of response time above
+	// the slowdown limit: sum over requests of
+	// max(0, response - limit x alone) / 60.
+	SLOViolationMin float64
 }
 
 // Report is the outcome of one fleet run: the trace, the platform,
@@ -84,7 +95,7 @@ func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report
 	tr := r.Tracer()
 	t0 := time.Now()
 	csp := tr.Start("compile", parent)
-	arrivals, err := loadgen.Arrivals(def.Arrivals, def.Duration, def.seed())
+	arrivals, err := loadgen.ArrivalsScaled(def.Arrivals, def.Duration, def.seed(), def.scalePoints())
 	if err != nil {
 		csp.End()
 		return nil, err
@@ -118,15 +129,18 @@ func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report
 		esp := tr.Start("episode", parent, obs.String("policy", string(pol)))
 		s := newSim(def, o, pol, arrivals, backlog)
 		makespan := s.run()
-		if s.nextItem < len(s.backlog) || s.drained != len(s.backlog) {
+		if s.nextItem < len(s.backlog) || len(s.requeued) > 0 || s.drained != s.totalItems {
 			esp.End()
 			return nil, fmt.Errorf("fleet: policy %s stalled with %d of %d backlog items undrained",
-				pol, len(s.backlog)-s.drained, len(s.backlog))
+				pol, s.totalItems-s.drained, s.totalItems)
 		}
 		pr := PolicyResult{
 			Policy: pol, Rejects: s.rejects, Colocated: s.coloc,
 			DrainSeconds: s.drainT, Makespan: makespan, Reallocations: s.reallocs,
+			Evicted: s.evicted, Lost: s.lostJobs, Migrated: s.migrated,
+			PeakReplace: s.peakRepl, RecoverSeconds: s.recoverMax,
 		}
+		limit := def.slowdownLimit()
 		var slow []float64
 		for i := range s.reqs {
 			rq := &s.reqs[i]
@@ -134,7 +148,12 @@ func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report
 				esp.End()
 				return nil, fmt.Errorf("fleet: policy %s left request %d unserved", pol, i)
 			}
-			slow = append(slow, (rq.finish-rq.arr.AtSeconds)/o.alone[rq.arr.App].Seconds)
+			resp := rq.finish - rq.arr.AtSeconds
+			alone := o.alone[rq.arr.App].Seconds
+			slow = append(slow, resp/alone)
+			if excess := resp - limit*alone; excess > 0 {
+				pr.SLOViolationMin += excess / 60
+			}
 		}
 		if len(slow) > 0 {
 			pr.P50 = stats.Percentile(slow, 50)
@@ -190,6 +209,15 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&sb, "); backlog %d items, width %d; partition %s; seed %q\n",
 		r.Backlog, r.Width, r.Def.partition(), r.Def.seed())
+	if len(r.Def.Events) > 0 {
+		c := r.Def.EventCounts()
+		fmt.Fprintf(&sb, "events: %d (%d failures, %d drains, %d ups, %d batch-arrivals, %d batch-cancels, %d load-scales)",
+			c.Total, c.Failures, c.Drains, c.Ups, c.BatchArrivals, c.BatchCancels, c.LoadScales)
+		if r.Def.Hysteresis > 0 {
+			fmt.Fprintf(&sb, "; hysteresis %gs", r.Def.Hysteresis)
+		}
+		sb.WriteByte('\n')
+	}
 	if r.Fidelity != "" && r.Fidelity != FidelityExact {
 		if r.Fidelity == FidelityAuto {
 			fmt.Fprintf(&sb, "fidelity: auto (model %s, margin %g); co-locations: %d predicted, %d re-simulated\n",
@@ -221,6 +249,23 @@ func (r *Report) String() string {
 	tabtext.WriteAligned(&sb, rows)
 	sb.WriteString("(mach = machines powered; socket/ED2 price those machines only;\n" +
 		" p50/p95/p99 = request slowdown vs alone, queueing included)\n")
+	if len(r.Def.Events) > 0 {
+		rrows := [][]string{{"policy", "evict", "lost", "migr", "peakq", "recover(s)", "slo-viol(min)"}}
+		for _, pr := range r.Results {
+			rrows = append(rrows, []string{
+				string(pr.Policy),
+				fmt.Sprintf("%d", pr.Evicted),
+				fmt.Sprintf("%d", pr.Lost),
+				fmt.Sprintf("%d", pr.Migrated),
+				fmt.Sprintf("%d", pr.PeakReplace),
+				fmt.Sprintf("%.4f", pr.RecoverSeconds),
+				fmt.Sprintf("%.4f", pr.SLOViolationMin),
+			})
+		}
+		tabtext.WriteAligned(&sb, rrows)
+		sb.WriteString("(evict = jobs displaced by machine events; recover = worst event-to-\n" +
+			" all-re-placed gap; slo-viol = job-minutes above the slowdown limit)\n")
+	}
 	if pol, err := r.Def.policy(); err == nil && pol.Online() {
 		label := string(r.Def.partition()) + " policy"
 		if r.Def.partition() == PartDynamic {
@@ -240,7 +285,7 @@ func Describe(name string, def *Def) (string, error) {
 	if err := def.Validate(); err != nil {
 		return "", err
 	}
-	arrivals, err := loadgen.Arrivals(def.Arrivals, def.Duration, def.seed())
+	arrivals, err := loadgen.ArrivalsScaled(def.Arrivals, def.Duration, def.seed(), def.scalePoints())
 	if err != nil {
 		return "", err
 	}
@@ -277,6 +322,38 @@ func Describe(name string, def *Def) (string, error) {
 			n = 1
 		}
 		fmt.Fprintf(&sb, "  backlog %d: %-16s x%d\n", i, b.App, n)
+	}
+	for i, ev := range def.Events {
+		switch ev.Kind {
+		case EvMachineDown:
+			label := "failure"
+			if ev.Drain {
+				label = "drain"
+			}
+			fmt.Fprintf(&sb, "  event %d: t=%-8g machine-down %d (%s)\n", i, ev.At, ev.Machine, label)
+		case EvMachineUp:
+			fmt.Fprintf(&sb, "  event %d: t=%-8g machine-up %d\n", i, ev.At, ev.Machine)
+		case EvBatchArrival:
+			n, iters := ev.Count, ev.Iterations
+			if n == 0 {
+				n = 1
+			}
+			if iters == 0 {
+				iters = 1
+			}
+			fmt.Fprintf(&sb, "  event %d: t=%-8g batch-arrival %s x%d (iterations %d)\n", i, ev.At, ev.App, n, iters)
+		case EvBatchCancel:
+			n := ev.Count
+			if n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  event %d: t=%-8g batch-cancel %s x%d\n", i, ev.At, ev.App, n)
+		case EvLoadScale:
+			fmt.Fprintf(&sb, "  event %d: t=%-8g load-scale x%g\n", i, ev.At, ev.Factor)
+		}
+	}
+	if def.Hysteresis > 0 {
+		fmt.Fprintf(&sb, "  hysteresis: %gs\n", def.Hysteresis)
 	}
 	fmt.Fprintf(&sb, "  policies: ")
 	for i, p := range def.policies() {

@@ -22,13 +22,15 @@ const (
 	evFgDone  = iota // a request completed (machine index)
 	evBgDone         // a batch resident finished its item (machine index)
 	evArrival        // a request arrived (trace index)
+	evFleet          // a timeline event fired (Def.Events index)
+	evWake           // hysteresis hold expired (machine index); placement retry only
 )
 
 type event struct {
 	t    float64
 	kind int
 	idx  int
-	ver  int // bgDone staleness check
+	ver  int // fgDone/bgDone staleness check
 }
 
 type eventHeap []event
@@ -55,12 +57,18 @@ func (s *sim) push(t float64, kind, idx, ver int) { heap.Push(&s.events, event{t
 type machState struct {
 	fgApp string // active request's application ("" = latency slot idle)
 	fgReq int    // active request index
+	fgVer int    // bumps per dispatch/eviction; voids stale fgDone events
 	queue []int  // waiting request indices, FIFO
 
-	bgApp       string  // resident batch item's application ("" = none)
-	bgRemaining float64 // iterations left
-	bgRate      float64 // iterations per second at current occupancy
+	bgApp       string            // resident batch item's application ("" = none)
+	bgItem      loadgen.BatchItem // the resident item (valid while bgApp != "")
+	bgRemaining float64           // iterations left
+	bgRate      float64           // iterations per second at current occupancy
 	bgVer       int
+
+	down      bool    // out of service (failure, or a completed drain)
+	draining  bool    // powering down once the active request completes
+	holdUntil float64 // hysteresis: skipped by placement until then
 
 	used        bool
 	latencyUsed bool
@@ -76,6 +84,20 @@ type reqState struct {
 	arr    loadgen.Arrival
 	finish float64
 	done   bool
+	group  int // recovery group awaiting this request's re-placement (-1 = none)
+}
+
+// requeuedItem is an evicted batch item awaiting re-placement.
+type requeuedItem struct {
+	item  loadgen.BatchItem
+	group int
+}
+
+// recGroup tracks one machine event's evictees: when the last one is
+// re-placed, the group's time-to-recover is the gap since the event.
+type recGroup struct {
+	at          float64
+	outstanding int
 }
 
 // sim is one policy's run over the shared trace.
@@ -93,6 +115,20 @@ type sim struct {
 	maxBatch int // fleet-wide batch-width cap
 	prefixK  int // util-target's static machine prefix
 
+	// Churn state (all zero on an event-free run).
+	timeline    []Event        // def.Events; heap evFleet events index it
+	requeued    []requeuedItem // evicted batch items, re-placed before the backlog
+	pendingReqs []int          // evicted/arrived requests with no live machine (rare)
+	totalItems  int            // backlog items that must drain (arrivals - cancels)
+	itemSeq     int            // next global item index for event arrivals
+	groups      []recGroup
+	evicted     int
+	lostJobs    int
+	migrated    int
+	pendingRepl int
+	peakRepl    int
+	recoverMax  float64
+
 	drained  int
 	drainT   float64
 	lastT    float64
@@ -106,7 +142,9 @@ func newSim(def *Def, o *oracle, policy PolicyName, arrivals []loadgen.Arrival, 
 		def: def, o: o, policy: policy,
 		machines: make([]machState, def.Machines),
 		reqs:     make([]reqState, len(arrivals)),
-		backlog:  backlog,
+		// Each policy's sim owns its backlog: timeline events append to
+		// and cancel from it, and the trace is shared across policies.
+		backlog:  append([]loadgen.BatchItem(nil), backlog...),
 		maxBatch: def.batchWidth(),
 	}
 	for i := range s.machines {
@@ -114,8 +152,18 @@ func newSim(def *Def, o *oracle, policy PolicyName, arrivals []loadgen.Arrival, 
 		s.machines[i].fgReq = -1
 	}
 	for i, a := range arrivals {
-		s.reqs[i] = reqState{arr: a}
+		s.reqs[i] = reqState{arr: a, group: -1}
 		s.push(a.AtSeconds, evArrival, i, 0)
+	}
+	s.timeline = def.Events
+	s.totalItems = len(backlog)
+	s.itemSeq = len(backlog)
+	for i := range s.timeline {
+		// load-scale was consumed by trace generation; machine and
+		// batch events fire inside the loop, after arrivals at equal t.
+		if s.timeline[i].Kind != EvLoadScale {
+			s.push(s.timeline[i].At, evFleet, i, 0)
+		}
 	}
 	// util-target provisions a static machine prefix sized so the
 	// latency load alone fills it to the target: K = ceil(erlangs/U).
@@ -143,6 +191,9 @@ func (s *sim) account(mi int, now float64) {
 		return
 	}
 	sw, ww := s.o.powerState(m.fgApp, m.bgApp)
+	if m.down {
+		sw, ww = 0, 0 // powered off: no idle draw while out of service
+	}
 	m.socketJ += sw * dt
 	m.wallJ += ww * dt
 	if m.fgApp != "" || m.bgApp != "" {
@@ -172,8 +223,15 @@ func (s *sim) setBgRate(mi int, rate, now float64) {
 func (s *sim) dispatch(ri, mi int, now float64) {
 	s.account(mi, now)
 	m := &s.machines[mi]
-	app := s.reqs[ri].arr.App
+	rq := &s.reqs[ri]
+	if rq.group >= 0 {
+		// An evicted request starting service is recovered.
+		s.resolveReplace(rq.group, now)
+		rq.group = -1
+	}
+	app := rq.arr.App
 	m.fgApp, m.fgReq = app, ri
+	m.fgVer++
 	m.used, m.latencyUsed = true, true
 
 	service := s.o.alone[app].Seconds
@@ -184,15 +242,25 @@ func (s *sim) dispatch(ri, mi int, now float64) {
 		s.reallocs += p.Reallocs
 		s.setBgRate(mi, p.BgRate, now)
 	}
-	s.push(now+service, evFgDone, mi, 0)
+	s.push(now+service, evFgDone, mi, m.fgVer)
 }
 
-func (s *sim) onFgDone(mi int, now float64) {
-	s.account(mi, now)
+func (s *sim) onFgDone(mi, ver int, now float64) {
 	m := &s.machines[mi]
+	if ver != m.fgVer || m.fgApp == "" {
+		return // the request was evicted by a failure; this completion is void
+	}
+	s.account(mi, now)
 	r := &s.reqs[m.fgReq]
 	r.finish, r.done = now, true
 	m.fgApp, m.fgReq = "", -1
+	if m.draining {
+		// The deferred maintenance power-down: the queue and resident
+		// were migrated at the drain event, so the machine is empty.
+		m.draining = false
+		m.down = true
+		return
+	}
 	if m.bgApp != "" {
 		s.setBgRate(mi, s.o.aloneRate(m.bgApp), now)
 	} else {
@@ -222,9 +290,21 @@ func (s *sim) onBgDone(mi, ver int, now float64) {
 }
 
 func (s *sim) onArrival(ri int, now float64) {
-	mi, rejected := s.selectMachine(s.reqs[ri].arr.App)
+	s.placeRequest(ri, now)
+}
+
+// placeRequest routes a request — arriving or evicted — through the
+// consolidation policy. With no live machine at all (every machine
+// down or draining, only possible mid-timeline) it pends until the
+// next machine-up.
+func (s *sim) placeRequest(ri int, now float64) {
+	mi, rejected := s.selectMachine(s.reqs[ri].arr.App, now)
 	if rejected {
 		s.rejects++
+	}
+	if mi < 0 {
+		s.pendingReqs = append(s.pendingReqs, ri)
+		return
 	}
 	m := &s.machines[mi]
 	if m.fgApp == "" {
@@ -240,10 +320,27 @@ func (s *sim) fgFree(mi int) bool {
 	return m.fgApp == "" && len(m.queue) == 0
 }
 
+// up reports whether machine mi is in service (not down, not
+// draining). avail additionally requires the hysteresis hold to have
+// expired — the predicate every preferred placement tier uses; up-but-
+// held machines are a last resort only. On an event-free run both are
+// always true, so every tier below behaves exactly as it did without a
+// timeline.
+func (s *sim) up(mi int) bool {
+	m := &s.machines[mi]
+	return !m.down && !m.draining
+}
+
+func (s *sim) avail(mi int, now float64) bool {
+	return s.up(mi) && s.machines[mi].holdUntil <= now
+}
+
 // selectMachine applies the consolidation policy to an arriving
 // request and returns the chosen machine (and, for pack-partition,
 // whether any co-location was rejected by the partition check).
-func (s *sim) selectMachine(app string) (int, bool) {
+// -1 means no machine is in service at all.
+func (s *sim) selectMachine(app string, now float64) (int, bool) {
+	avail := func(mi int) bool { return s.avail(mi, now) }
 	switch s.policy {
 	case SpreadIdle:
 		// Fully idle machine, least-recently-used first; then the
@@ -252,16 +349,19 @@ func (s *sim) selectMachine(app string) (int, bool) {
 		// never-co-locate baseline — unless every machine has one
 		// (batch_width >= machines, an operator choice).
 		if mi := s.pickLRU(func(mi int) bool {
-			return s.fgFree(mi) && s.machines[mi].bgApp == ""
+			return avail(mi) && s.fgFree(mi) && s.machines[mi].bgApp == ""
 		}); mi >= 0 {
 			return mi, false
 		}
 		if mi := s.shortestQueueOK(func(mi int) bool {
-			return s.machines[mi].bgApp == ""
+			return avail(mi) && s.machines[mi].bgApp == ""
 		}); mi >= 0 {
 			return mi, false
 		}
-		return s.shortestQueueOK(nil), false
+		if mi := s.shortestQueueOK(avail); mi >= 0 {
+			return mi, false
+		}
+		return s.shortestQueueOK(s.up), false
 
 	case PackPartition:
 		// Prefer co-locating with a resident that passes the partition
@@ -281,7 +381,7 @@ func (s *sim) selectMachine(app string) (int, bool) {
 		}
 		for mi := range s.machines {
 			m := &s.machines[mi]
-			if !s.fgFree(mi) || m.bgApp == "" {
+			if !avail(mi) || !s.fgFree(mi) || m.bgApp == "" {
 				continue
 			}
 			if s.o.pair[pairKey(app, m.bgApp)].FgSlowdown <= limit {
@@ -291,35 +391,49 @@ func (s *sim) selectMachine(app string) (int, bool) {
 		}
 		rejected := sawFailing
 		if mi := s.pickIndex(func(mi int) bool {
-			return s.fgFree(mi) && s.machines[mi].bgApp == "" && s.machines[mi].used
+			return avail(mi) && s.fgFree(mi) && s.machines[mi].bgApp == "" && s.machines[mi].used
 		}); mi >= 0 {
 			return mi, rejected
 		}
 		if mi := s.pickIndex(func(mi int) bool {
-			return s.fgFree(mi) && s.machines[mi].bgApp == ""
+			return avail(mi) && s.fgFree(mi) && s.machines[mi].bgApp == ""
 		}); mi >= 0 {
 			return mi, rejected
 		}
-		if mi := s.shortestQueueOK(compatible); mi >= 0 {
+		if mi := s.shortestQueueOK(func(mi int) bool {
+			return avail(mi) && compatible(mi)
+		}); mi >= 0 {
 			return mi, rejected
 		}
-		return s.shortestQueueOK(nil), rejected
+		if mi := s.shortestQueueOK(avail); mi >= 0 {
+			return mi, rejected
+		}
+		return s.shortestQueueOK(s.up), rejected
 
 	default: // UtilTarget
 		// Everything lands inside the statically provisioned prefix,
 		// fullest machines first, with no partition check — the
-		// strawman whose tail the check exists to protect.
+		// strawman whose tail the check exists to protect. A fully
+		// down prefix spills outside it rather than stalling.
 		if mi := s.pickIndex(func(mi int) bool {
-			return mi < s.prefixK && s.fgFree(mi) && s.machines[mi].bgApp != ""
+			return mi < s.prefixK && avail(mi) && s.fgFree(mi) && s.machines[mi].bgApp != ""
 		}); mi >= 0 {
 			return mi, false
 		}
 		if mi := s.pickIndex(func(mi int) bool {
-			return mi < s.prefixK && s.fgFree(mi)
+			return mi < s.prefixK && avail(mi) && s.fgFree(mi)
 		}); mi >= 0 {
 			return mi, false
 		}
-		return s.shortestQueueOK(func(mi int) bool { return mi < s.prefixK }), false
+		if mi := s.shortestQueueOK(func(mi int) bool {
+			return mi < s.prefixK && avail(mi)
+		}); mi >= 0 {
+			return mi, false
+		}
+		if mi := s.shortestQueueOK(avail); mi >= 0 {
+			return mi, false
+		}
+		return s.shortestQueueOK(s.up), false
 	}
 }
 
@@ -370,10 +484,10 @@ func (s *sim) shortestQueueOK(ok func(int) bool) int {
 // fixed at dispatch, so a resident never appears under a running
 // request.
 func (s *sim) placeBatch(now float64) {
-	for s.nextItem < len(s.backlog) && s.resident < s.maxBatch {
+	for (len(s.requeued) > 0 || s.nextItem < len(s.backlog)) && s.resident < s.maxBatch {
 		eligible := func(mi int) bool {
 			m := &s.machines[mi]
-			return m.bgApp == "" && m.fgApp == "" && len(m.queue) == 0
+			return s.avail(mi, now) && m.bgApp == "" && m.fgApp == "" && len(m.queue) == 0
 		}
 		var mi int
 		switch s.policy {
@@ -398,14 +512,27 @@ func (s *sim) placeBatch(now float64) {
 		if mi < 0 {
 			return
 		}
-		item := s.backlog[s.nextItem]
-		s.nextItem++
+		// Evicted items re-place ahead of the untouched backlog — they
+		// were already in progress when their machine went away.
+		var item loadgen.BatchItem
+		group := -1
+		if len(s.requeued) > 0 {
+			item, group = s.requeued[0].item, s.requeued[0].group
+			s.requeued = s.requeued[1:]
+		} else {
+			item = s.backlog[s.nextItem]
+			s.nextItem++
+		}
 		s.resident++
 		s.account(mi, now)
 		m := &s.machines[mi]
 		m.bgApp = item.App
+		m.bgItem = item
 		m.bgRemaining = item.Iterations
 		m.used = true
+		if group >= 0 {
+			s.resolveReplace(group, now)
+		}
 		s.setBgRate(mi, s.o.aloneRate(item.App), now)
 	}
 }
@@ -416,18 +543,199 @@ func (s *sim) run() float64 {
 	s.placeBatch(0)
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(event)
-		s.lastT = e.t
+		if e.kind != evWake {
+			// Synthetic hysteresis wake-ups retry placement but are not
+			// part of the run's observable timeline.
+			s.lastT = e.t
+		}
 		switch e.kind {
 		case evFgDone:
-			s.onFgDone(e.idx, e.t)
+			s.onFgDone(e.idx, e.ver, e.t)
 		case evBgDone:
 			s.onBgDone(e.idx, e.ver, e.t)
 		case evArrival:
 			s.onArrival(e.idx, e.t)
+		case evFleet:
+			s.onFleetEvent(e.idx, e.t)
 		}
 		s.placeBatch(e.t)
 	}
 	return s.lastT
+}
+
+// addPending enrolls one evicted job in a recovery group and tracks
+// the re-placement backlog's peak.
+func (s *sim) addPending(g int) {
+	s.groups[g].outstanding++
+	s.pendingRepl++
+	if s.pendingRepl > s.peakRepl {
+		s.peakRepl = s.pendingRepl
+	}
+}
+
+// resolveReplace marks one evicted job re-placed; when it was its
+// group's last, the group's time-to-recover is final.
+func (s *sim) resolveReplace(g int, now float64) {
+	s.pendingRepl--
+	gr := &s.groups[g]
+	gr.outstanding--
+	if gr.outstanding == 0 {
+		if d := now - gr.at; d > s.recoverMax {
+			s.recoverMax = d
+		}
+	}
+}
+
+// tagReq enrolls a request in a recovery group. A request evicted a
+// second time moves to the newer event's group, settling its previous
+// group's ledger at the re-eviction time.
+func (s *sim) tagReq(ri, g int, now float64) {
+	rq := &s.reqs[ri]
+	if rq.group >= 0 {
+		s.resolveReplace(rq.group, now)
+	}
+	rq.group = g
+	s.addPending(g)
+}
+
+// onFleetEvent applies one timeline entry.
+func (s *sim) onFleetEvent(i int, now float64) {
+	ev := s.timeline[i]
+	switch ev.Kind {
+	case EvMachineDown:
+		s.onMachineDown(ev, now)
+	case EvMachineUp:
+		s.onMachineUp(ev, now)
+	case EvBatchArrival:
+		items := eventItems(ev, i, s.itemSeq)
+		s.itemSeq += len(items)
+		s.backlog = append(s.backlog, items...)
+		s.totalItems += len(items)
+	case EvBatchCancel:
+		n := ev.Count
+		if n == 0 {
+			n = 1
+		}
+		s.cancelItems(ev.App, n, now)
+	}
+}
+
+// onMachineDown takes a machine out of service. A failure (no drain)
+// loses in-progress work: the active request restarts elsewhere and a
+// resident batch item restarts from its full iteration count. A drain
+// migrates the queue and resident with progress kept, lets the active
+// request finish in place, and powers down afterwards.
+func (s *sim) onMachineDown(ev Event, now float64) {
+	mi := ev.Machine
+	s.account(mi, now)
+	m := &s.machines[mi]
+	g := -1
+	group := func() int {
+		if g < 0 {
+			s.groups = append(s.groups, recGroup{at: now})
+			g = len(s.groups) - 1
+		}
+		return g
+	}
+	if m.bgApp != "" {
+		item := m.bgItem
+		if ev.Drain {
+			item.Iterations = m.bgRemaining
+			s.migrated++
+		} else {
+			s.lostJobs++
+		}
+		s.evicted++
+		s.requeued = append(s.requeued, requeuedItem{item: item, group: group()})
+		s.addPending(group())
+		m.bgApp, m.bgRemaining = "", 0
+		m.bgVer++
+		s.resident--
+	}
+	// Queued requests never started; they migrate without losing work
+	// under failure and drain alike.
+	moved := m.queue
+	m.queue = nil
+	for _, ri := range moved {
+		s.evicted++
+		s.migrated++
+		s.tagReq(ri, group(), now)
+	}
+	act := -1
+	if m.fgApp != "" {
+		if ev.Drain {
+			m.draining = true
+		} else {
+			act = m.fgReq
+			m.fgVer++ // the scheduled completion is void
+			m.fgApp, m.fgReq = "", -1
+			s.evicted++
+			s.lostJobs++
+			s.tagReq(act, group(), now)
+		}
+	}
+	if !m.draining {
+		m.down = true
+	}
+	// Re-place through the active policy: the interrupted request
+	// first, then the queue in FIFO order; placeBatch (called after
+	// every event) re-places the requeued item.
+	if act >= 0 {
+		s.placeRequest(act, now)
+	}
+	for _, ri := range moved {
+		s.placeRequest(ri, now)
+	}
+}
+
+// onMachineUp returns a machine to service; the hysteresis hold keeps
+// it out of preferred placement until the hold expires.
+func (s *sim) onMachineUp(ev Event, now float64) {
+	mi := ev.Machine
+	s.account(mi, now)
+	m := &s.machines[mi]
+	if m.draining {
+		m.draining = false // the drain had not completed; cancel the power-down
+	} else {
+		m.down = false
+		if h := s.def.Hysteresis; h > 0 {
+			m.holdUntil = now + h
+			s.push(m.holdUntil, evWake, mi, 0)
+		}
+		m.lastFree = now
+	}
+	if len(s.pendingReqs) > 0 {
+		pend := s.pendingReqs
+		s.pendingReqs = nil
+		for _, ri := range pend {
+			s.placeRequest(ri, now)
+		}
+	}
+}
+
+// cancelItems removes up to n not-yet-placed items of app, newest
+// first — the untouched backlog tail, then requeued evictees. Resident
+// items keep running.
+func (s *sim) cancelItems(app string, n int, now float64) {
+	removed := 0
+	for i := len(s.backlog) - 1; i >= s.nextItem && removed < n; i-- {
+		if s.backlog[i].App != app {
+			continue
+		}
+		s.backlog = append(s.backlog[:i], s.backlog[i+1:]...)
+		removed++
+	}
+	for i := len(s.requeued) - 1; i >= 0 && removed < n; i-- {
+		if s.requeued[i].item.App != app {
+			continue
+		}
+		if g := s.requeued[i].group; g >= 0 {
+			s.resolveReplace(g, now)
+		}
+		s.requeued = append(s.requeued[:i], s.requeued[i+1:]...)
+		removed++
+	}
+	s.totalItems -= removed
 }
 
 // aloneRate is the resident's iteration rate with the latency slot

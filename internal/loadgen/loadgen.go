@@ -248,6 +248,188 @@ func diurnalTimes(r *rng.Stream, c *RequestClass, duration float64) []float64 {
 	return times
 }
 
+// ScalePoint steps the fleet-wide arrival-rate multiplier: from At
+// seconds onward every class's instantaneous rate is multiplied by
+// Factor, until the next point takes over. The multiplier before the
+// first point is 1 — an empty point list is the unscaled trace.
+type ScalePoint struct {
+	At     float64
+	Factor float64
+}
+
+// validateScales checks a scale timeline: ordered, non-negative times,
+// positive factors.
+func validateScales(scales []ScalePoint) error {
+	prev := 0.0
+	for i, s := range scales {
+		if s.At < 0 {
+			return fmt.Errorf("loadgen: scale point %d: negative time %v", i, s.At)
+		}
+		if s.At < prev {
+			return fmt.Errorf("loadgen: scale point %d: time %v before %v (points must be ordered)", i, s.At, prev)
+		}
+		if s.Factor <= 0 {
+			return fmt.Errorf("loadgen: scale point %d: factor must be positive, got %v", i, s.Factor)
+		}
+		prev = s.At
+	}
+	return nil
+}
+
+// factorAt is the piecewise-constant multiplier at time t.
+func factorAt(scales []ScalePoint, t float64) float64 {
+	f := 1.0
+	for _, s := range scales {
+		if t < s.At {
+			break
+		}
+		f = s.Factor
+	}
+	return f
+}
+
+func maxScale(scales []ScalePoint) float64 {
+	m := 1.0
+	for _, s := range scales {
+		if s.Factor > m {
+			m = s.Factor
+		}
+	}
+	return m
+}
+
+// ArrivalsScaled is Arrivals under a load-scale timeline: every class's
+// instantaneous rate is multiplied by the piecewise-constant factor.
+// Each process generates candidates at its maximum scaled rate and
+// thins them by the instantaneous factor (Lewis-Shedler), so the trace
+// stays a pure function of spec, seed, and scale timeline. An empty
+// timeline delegates to Arrivals and is byte-identical to it.
+func ArrivalsScaled(classes []RequestClass, duration float64, seed string, scales []ScalePoint) ([]Arrival, error) {
+	if len(scales) == 0 {
+		return Arrivals(classes, duration, seed)
+	}
+	if err := validateScales(scales); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("loadgen: trace duration must be positive, got %v", duration)
+	}
+	var out []Arrival
+	for i := range classes {
+		c := &classes[i]
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		name := c.Seed
+		if name == "" {
+			name = fmt.Sprintf("class%d", i)
+		}
+		r := rng.NewNamed("loadgen/" + seed + "/" + name)
+		var times []float64
+		switch c.process() {
+		case ProcPoisson:
+			times = poissonTimesScaled(r, c.Rate, duration, scales)
+		case ProcBursty:
+			times = burstyTimesScaled(r, c, duration, scales)
+		case ProcDiurnal:
+			times = diurnalTimesScaled(r, c, duration, scales)
+		}
+		for seq, t := range times {
+			out = append(out, Arrival{AtSeconds: t, App: c.App, Class: i, Seq: seq})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].AtSeconds != out[b].AtSeconds {
+			return out[a].AtSeconds < out[b].AtSeconds
+		}
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out, nil
+}
+
+func poissonTimesScaled(r *rng.Stream, rate, duration float64, scales []ScalePoint) []float64 {
+	maxF := maxScale(scales)
+	var times []float64
+	for t := expGap(r, rate*maxF); t < duration; t += expGap(r, rate*maxF) {
+		if r.Float64()*maxF < factorAt(scales, t) {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+// burstyTimesScaled keeps burstyTimes' quiet/burst state machine intact
+// (state durations are unscaled wall time) and thins a maxF-inflated
+// candidate stream within each state.
+func burstyTimesScaled(r *rng.Stream, c *RequestClass, duration float64, scales []ScalePoint) []float64 {
+	factor := c.BurstFactor
+	if factor == 0 {
+		factor = 6
+	}
+	frac := c.BurstFrac
+	if frac == 0 {
+		frac = 0.15
+	}
+	burstLen := c.BurstSeconds
+	if burstLen == 0 {
+		burstLen = duration / 20
+	}
+	quietLen := burstLen * (1 - frac) / frac
+	quietRate := c.Rate / (1 + frac*(factor-1))
+	burstRate := quietRate * factor
+	maxF := maxScale(scales)
+
+	var times []float64
+	t, bursting := 0.0, false
+	stateEnd := expGap(r, 1/quietLen)
+	for t < duration {
+		rate := quietRate
+		if bursting {
+			rate = burstRate
+		}
+		t += expGap(r, rate*maxF)
+		for t >= stateEnd {
+			bursting = !bursting
+			mean := quietLen
+			if bursting {
+				mean = burstLen
+			}
+			stateEnd += expGap(r, 1/mean)
+		}
+		if t < duration && r.Float64()*maxF < factorAt(scales, t) {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+// diurnalTimesScaled folds the scale factor into the sinusoid's
+// thinning test: candidates run at the maximum scaled peak rate and
+// accept with probability rate(t)*factor(t) / peak.
+func diurnalTimesScaled(r *rng.Stream, c *RequestClass, duration float64, scales []ScalePoint) []float64 {
+	amp := c.Amplitude
+	if amp == 0 {
+		amp = 0.8
+	}
+	period := c.PeriodSeconds
+	if period == 0 {
+		period = duration
+	}
+	maxF := maxScale(scales)
+	maxRate := c.Rate * (1 + amp) * maxF
+	var times []float64
+	for t := expGap(r, maxRate); t < duration; t += expGap(r, maxRate) {
+		rate := c.Rate * (1 + amp*math.Sin(2*math.Pi*t/period)) * factorAt(scales, t)
+		if r.Float64()*maxRate < rate {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
 // Backlog expands batch definitions into the deterministic item order
 // the fleet drains them in: definitions in declaration order, each
 // replicated Count times. Seq numbers replicas within a definition

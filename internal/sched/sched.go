@@ -21,6 +21,8 @@ package sched
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -76,6 +78,11 @@ type Options struct {
 	// one nil check and no timing ever influences results — memo keys,
 	// reports, and goldens are identical with tracing on or off.
 	Tracer *obs.Tracer
+	// WarnLog receives non-fatal operational warnings — today only the
+	// once-per-runner notice that persistent-store writes are failing
+	// (full disk, revoked permissions). Nil means os.Stderr. Warnings
+	// never influence results.
+	WarnLog io.Writer
 }
 
 func (o Options) machineConfig() machine.Config {
@@ -205,8 +212,24 @@ type Runner struct {
 	ctr   *Counters
 	store *diskStore // nil without Options.CacheDir
 
+	warnOnce sync.Once // gates the store-write warning to one line per runner
+
 	mu    sync.Mutex
 	cache map[string]*flight
+}
+
+// warnStoreWrite reports a failed persistent-store write, once per
+// runner: the first failure explains the situation, repeats of what is
+// almost certainly the same full disk or permission problem stay
+// quiet, and the run itself continues unaffected.
+func (r *Runner) warnStoreWrite(err error) {
+	r.warnOnce.Do(func() {
+		w := r.opt.WarnLog
+		if w == nil {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, "warning: sched: result store write failed (run continues, results not persisted): %v\n", err)
+	})
 }
 
 // New builds a runner. An Options.CacheDir that cannot be created
@@ -342,7 +365,9 @@ func (r *Runner) runFlight(key string, f *flight, s Spec, rc runCtx) *machine.Re
 	f.res = r.measure(s, rc)
 	if r.store != nil {
 		t0 := time.Now()
-		r.store.save(key, f.res)
+		if err := r.store.save(key, f.res); err != nil {
+			r.warnStoreWrite(err)
+		}
 		r.ctr.addPhase(PhaseDiskSave, time.Since(t0))
 	}
 	return f.res

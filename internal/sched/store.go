@@ -78,24 +78,30 @@ func (s *diskStore) load(key string) (*machine.Result, bool) {
 }
 
 // save persists a result, best-effort: a full disk or unwritable
-// directory costs the cache, not the run. The temp-file + rename dance
-// guarantees readers never observe a partial record.
-func (s *diskStore) save(key string, res *machine.Result) {
+// directory costs the cache, not the run — the returned error exists
+// so the runner can warn once, never to fail anything. The temp-file +
+// rename dance guarantees readers never observe a partial record.
+func (s *diskStore) save(key string, res *machine.Result) error {
 	data, err := json.Marshal(diskRecord{Version: EngineVersion, Key: key, Result: res})
 	if err != nil {
-		return
+		return fmt.Errorf("encode record: %w", err)
 	}
 	tmp, err := os.CreateTemp(s.dir, "rec-*.tmp")
 	if err != nil {
-		return
+		return err
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
 }

@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
@@ -40,6 +42,48 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	r2.Run(storeSpec())
 	if st := r2.Stats(); st.MemoHits != 1 || st.DiskHits != 1 {
 		t.Fatalf("repeat: %d memo hits, %d disk hits; want 1, 1", st.MemoHits, st.DiskHits)
+	}
+}
+
+// A cache directory that becomes unwritable mid-session must cost the
+// cache, not the run: results stay correct, the runner warns exactly
+// once on WarnLog, and no records land. (The directory is replaced
+// with a plain file rather than chmod'd — tests may run as root, where
+// permission bits do not bind.)
+func TestDiskStoreWriteFailureWarnsAndContinues(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var warn bytes.Buffer
+	r := New(Options{Scale: QuickScale, CacheDir: dir, WarnLog: &warn})
+
+	// Sabotage every subsequent record write: the store's directory is
+	// now a plain file, so CreateTemp inside it fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := New(Options{Scale: QuickScale}).Run(storeSpec())
+	got := r.Run(storeSpec())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("run with a failing store differs from a plain run:\ngot  %+v\nwant %+v", got, want)
+	}
+	if st := r.Stats(); st.Simulations != 1 {
+		t.Fatalf("failing store: %d simulations, want 1", st.Simulations)
+	}
+	first := warn.String()
+	if !strings.Contains(first, "result store write failed") {
+		t.Fatalf("missing store-write warning, got %q", first)
+	}
+	if n := strings.Count(first, "\n"); n != 1 {
+		t.Fatalf("warning is %d lines, want exactly 1: %q", n, first)
+	}
+
+	// A second failing write stays quiet: the warning is once per runner.
+	r.Run(SingleSpec{App: workload.MustByName("ferret"), Threads: 2, Ways: 4})
+	if warn.String() != first {
+		t.Fatalf("second failure warned again:\n%q", warn.String())
 	}
 }
 

@@ -61,6 +61,16 @@ type Options struct {
 	// Now is the clock (default time.Now); tests inject one to step the
 	// rate limiter deterministically.
 	Now func() time.Time
+	// RunTimeout, when positive, bounds one run's wall clock: a run
+	// exceeding it reports state "timeout" (504 on the report endpoint)
+	// and its worker slot is reclaimed immediately. The engine has no
+	// mid-simulation cancellation point, so the abandoned run finishes
+	// in the background and its result is discarded. Zero (the
+	// default) means no deadline (`cachepart serve -run-timeout`).
+	RunTimeout time.Duration
+	// After is the deadline timer (default time.After); tests inject
+	// one to trip RunTimeout deterministically.
+	After func(time.Duration) <-chan time.Time
 	// Pprof exposes Go's /debug/pprof/* profiling endpoints. Off by
 	// default: profiling a shared service is an operator decision
 	// (`cachepart serve -pprof`).
@@ -94,6 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.After == nil {
+		o.After = time.After
+	}
 	return o
 }
 
@@ -103,6 +116,7 @@ const (
 	stateRunning = "running"
 	stateDone    = "done"
 	stateFailed  = "failed"
+	stateTimeout = "timeout" // exceeded Options.RunTimeout
 )
 
 // job is one submitted run.
@@ -142,7 +156,7 @@ type Server struct {
 
 	wg      sync.WaitGroup // run workers
 	running atomic.Int64
-	submitted, completed, failed,
+	submitted, completed, failed, timedOut,
 	rejectedRate, rejectedQueue atomic.Uint64
 
 	// Service histograms (hand-rolled Prometheus text; see obs).
@@ -264,19 +278,12 @@ func (s *Server) worker() {
 }
 
 // run executes one job, isolating panics (a spec that trips an engine
-// invariant must fail its own run, not the process).
+// invariant must fail its own run, not the process). With a RunTimeout
+// configured, the scenario executes on a detached goroutine so the
+// worker can abandon it at the deadline and reclaim its slot.
 func (s *Server) run(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	defer func() {
-		if p := recover(); p != nil {
-			s.failed.Add(1)
-			j.mu.Lock()
-			j.state = stateFailed
-			j.errText = fmt.Sprintf("run panicked: %v", p)
-			j.mu.Unlock()
-		}
-	}()
 	start := s.opt.Now()
 	s.queueWaitH.Observe(start.Sub(j.submitted).Seconds())
 	st := s.sess.Stats()
@@ -289,23 +296,69 @@ func (s *Server) run(j *job) {
 	j.mu.Unlock()
 
 	// Overrides were applied at submit time; run the spec as-is.
-	res, err := s.sess.RunScenario(j.sc, core.RunConfig{})
-	if err != nil {
-		s.failed.Add(1)
+	exec := func() (res *core.RunResult, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				res, err = nil, fmt.Errorf("run panicked: %v", p)
+			}
+		}()
+		return s.sess.RunScenario(j.sc, core.RunConfig{})
+	}
+	if s.opt.RunTimeout <= 0 {
+		res, err := exec()
+		s.finish(j, res, err, start)
+		return
+	}
+	type outcome struct {
+		res *core.RunResult
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: an abandoned run must not leak its goroutine
+	go func() {
+		res, err := exec()
+		ch <- outcome{res, err}
+	}()
+	select {
+	case out := <-ch:
+		s.finish(j, out.res, out.err, start)
+	case <-s.opt.After(s.opt.RunTimeout):
+		s.timedOut.Add(1)
 		j.mu.Lock()
-		j.state = stateFailed
-		j.errText = err.Error()
+		j.state = stateTimeout
+		j.errText = fmt.Sprintf("run exceeded the %s deadline", s.opt.RunTimeout)
+		j.mu.Unlock()
+		// The detached goroutine finishes in the background; finish's
+		// state guard discards its result.
+		go func() {
+			out := <-ch
+			s.finish(j, out.res, out.err, start)
+		}()
+	}
+}
+
+// finish records one run's outcome. The state guard keeps a timed-out
+// job's verdict final: when the abandoned goroutine eventually
+// completes, its result (or failure) is discarded.
+func (s *Server) finish(j *job, res *core.RunResult, err error, start time.Time) {
+	j.mu.Lock()
+	if j.state != stateRunning {
 		j.mu.Unlock()
 		return
 	}
-	s.observeRun(res.Envelope.Kind, res.Envelope.Fidelity, s.opt.Now().Sub(start).Seconds())
-	s.completed.Add(1)
-	j.mu.Lock()
+	if err != nil {
+		j.state = stateFailed
+		j.errText = err.Error()
+		j.mu.Unlock()
+		s.failed.Add(1)
+		return
+	}
 	j.state = stateDone
 	j.stats = res.Envelope.Stats
 	j.env = res.Envelope.JSON()
 	j.span = res.Span
 	j.mu.Unlock()
+	s.observeRun(res.Envelope.Kind, res.Envelope.Fidelity, s.opt.Now().Sub(start).Seconds())
+	s.completed.Add(1)
 }
 
 // observeRun records one completed run's duration in the histogram for
@@ -429,7 +482,7 @@ func (s *Server) evictLocked() bool {
 	for i, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
-		finished := j.state == stateDone || j.state == stateFailed
+		finished := j.state == stateDone || j.state == stateFailed || j.state == stateTimeout
 		j.mu.Unlock()
 		if finished {
 			delete(s.jobs, id)
@@ -506,6 +559,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		w.Write(env) // core.Envelope bytes, verbatim
 	case stateFailed:
 		writeRunError(w, http.StatusInternalServerError, errText, id)
+	case stateTimeout:
+		writeRunError(w, http.StatusGatewayTimeout, errText, id)
 	default: // still queued or running: say so, keep polling
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
@@ -537,6 +592,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Write(tr.ChromeTraceUnder(span))
 	case stateFailed:
 		writeRunError(w, http.StatusInternalServerError, errText, id)
+	case stateTimeout:
+		writeRunError(w, http.StatusGatewayTimeout, errText, id)
 	default: // still queued or running: say so, keep polling
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
@@ -585,6 +642,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "cachepart_runs_submitted_total %d\n", s.submitted.Load())
 	fmt.Fprintf(w, "cachepart_runs_completed_total %d\n", s.completed.Load())
 	fmt.Fprintf(w, "cachepart_runs_failed_total %d\n", s.failed.Load())
+	fmt.Fprintf(w, "cachepart_runs_timeout_total %d\n", s.timedOut.Load())
 	fmt.Fprintf(w, "cachepart_runs_rejected_total{reason=\"rate_limit\"} %d\n", s.rejectedRate.Load())
 	fmt.Fprintf(w, "cachepart_runs_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedQueue.Load())
 	fmt.Fprintf(w, "cachepart_runs_queued %d\n", queued)

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -776,6 +777,116 @@ func TestAccessLog(t *testing.T) {
 	for _, line := range strings.Split(strings.TrimSuffix(log, "\n"), "\n") {
 		if !strings.Contains(line, " id=") {
 			t.Errorf("access log line without id field: %q", line)
+		}
+	}
+}
+
+// TestRunTimeout: with RunTimeout set and an injected deadline timer
+// that trips instantly, a run reports state "timeout" (504 on report
+// and trace), its worker slot is reclaimed for the next run, the
+// abandoned run's late result is discarded, and the timeout counter
+// lands in /metrics.
+func TestRunTimeout(t *testing.T) {
+	// The first run's deadline fires immediately (closed channel); later
+	// runs get a nil channel, which never fires.
+	var fired atomic.Bool
+	tripped := make(chan time.Time)
+	close(tripped)
+	after := func(time.Duration) <-chan time.Time {
+		if fired.CompareAndSwap(false, true) {
+			return tripped
+		}
+		return nil
+	}
+	_, ts := newTestServer(t, core.RunConfig{}, Options{
+		Concurrency: 1, Burst: 10,
+		RunTimeout: time.Minute, After: after,
+	})
+	spec, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	timedOut := submit(t, ts, spec)
+	deadline := time.Now().Add(60 * time.Second)
+	var code int
+	var body struct {
+		Error string `json:"error"`
+		ID    string `json:"id"`
+	}
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + timedOut.ReportURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != http.StatusAccepted { // left queued/running
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code != http.StatusGatewayTimeout || body.ID != timedOut.ID ||
+		!strings.Contains(body.Error, "exceeded the 1m0s deadline") {
+		t.Fatalf("timed-out report: status %d, body %+v", code, body)
+	}
+	var st struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+timedOut.StatusURL, &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if st.State != "timeout" || !strings.Contains(st.Error, "deadline") {
+		t.Errorf("timed-out status: %+v", st)
+	}
+	resp, err := http.Get(ts.URL + timedOut.StatusURL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timed-out trace: status %d, want 504", resp.StatusCode)
+	}
+
+	// The worker slot was reclaimed: a second run on the single worker
+	// completes normally (its deadline timer never fires).
+	second := submit(t, ts, spec)
+	var env core.Envelope
+	if err := json.Unmarshal(pollReport(t, ts, second.ReportURL), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Report == "" || env.SchemaVersion != core.SchemaVersion {
+		t.Errorf("run after a timeout produced an incomplete envelope: %+v", env)
+	}
+
+	// The abandoned first run finishes in the background eventually; its
+	// verdict must stay "timeout" — the state guard discards the late
+	// result. (Both runs share the engine memo, so by the time the
+	// second run's report is complete the first's specs are finished or
+	// deduplicated; a short re-check keeps this race-free enough without
+	// stalling the suite.)
+	time.Sleep(50 * time.Millisecond)
+	if code := getJSON(t, ts.URL+timedOut.StatusURL, &st); code != http.StatusOK || st.State != "timeout" {
+		t.Errorf("late result overwrote the timeout verdict: status %d, state %q", code, st.State)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, line := range []string{
+		"cachepart_runs_timeout_total 1",
+		"cachepart_runs_failed_total 0",
+	} {
+		if !strings.Contains(string(metrics), line+"\n") {
+			t.Errorf("metrics missing %q:\n%s", line, metrics)
 		}
 	}
 }
