@@ -33,7 +33,7 @@ bench:
 # stable ns/op.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioMix|BenchmarkFleetRun' -benchtime=1x . > /tmp/bench-fleet.out
-	$(GO) test -run '^$$' -bench 'BenchmarkCacheAccess|BenchmarkTraceGen|BenchmarkModelBuild' -benchtime=1s . >> /tmp/bench-fleet.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetMultiPolicy|BenchmarkFleetChurn|BenchmarkCacheAccess|BenchmarkTraceGen|BenchmarkModelBuild' -benchtime=1s . >> /tmp/bench-fleet.out
 	$(GO) run ./cmd/benchjson < /tmp/bench-fleet.out > BENCH_fleet.json
 	@rm -f /tmp/bench-fleet.out
 	@cat BENCH_fleet.json

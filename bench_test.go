@@ -326,6 +326,65 @@ func BenchmarkFleetRunFast(b *testing.B) {
 	b.ReportMetric(float64(requests*3*b.N)/b.Elapsed().Seconds(), "placements/s")
 }
 
+// warmFleet parses a shipped fleet scenario and runs it once on a fresh
+// quick-scale runner, so the memo holds every oracle simulation the
+// definition needs. Timed iterations over the returned runner then
+// measure the fleet layer itself — trace generation, oracle pricing
+// from the memo, and the per-policy event loops — not engine sims.
+func warmFleet(b *testing.B, path string) (*sched.Runner, *fleet.Def, string) {
+	b.Helper()
+	s, err := scenario.ParseFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := sched.New(sched.Options{Scale: sched.QuickScale})
+	if _, err := fleet.Run(r, s.Name, s.Fleet); err != nil {
+		b.Fatal(err)
+	}
+	return r, s.Fleet, s.Name
+}
+
+// BenchmarkFleetMultiPolicy replays the shipped 50-machine
+// consolidation fleet across every registered policy over a warm memo:
+// the work left is exactly the per-policy discrete-event episodes,
+// which RunWith spreads over min(policies, GOMAXPROCS) goroutines.
+// Compare -cpu=1 vs -cpu=4 to see the episode-level scaling the
+// policy-parallel path buys.
+func BenchmarkFleetMultiPolicy(b *testing.B) {
+	r, def, name := warmFleet(b, "examples/scenarios/fleet-consolidation-50.json")
+	npol := len(fleet.Policies())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(r, name, def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != npol {
+			b.Fatal("missing policy results")
+		}
+	}
+	b.ReportMetric(float64(npol*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
+
+// BenchmarkFleetChurn replays the churn fleet — failure, drain, load
+// spike, recovery — over a warm memo, pinning the cost of the event
+// loop's re-placement machinery (eviction, the requeued FIFO, pending
+// drains) that the allocation-free loop keeps off the heap.
+func BenchmarkFleetChurn(b *testing.B) {
+	r, def, name := warmFleet(b, "examples/scenarios/fleet-churn-50.json")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fleet.Run(r, name, def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) == 0 {
+			b.Fatal("missing policy results")
+		}
+	}
+	b.ReportMetric(float64(len(fleet.Policies())*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
+
 // probeMix is the canonical profiling mix BenchmarkModelBuild harvests
 // from (the fleet fast tier's probeAloneMix shape).
 func probeMix(r *sched.Runner, app *workload.Profile) sched.MixSpec {

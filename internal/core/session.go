@@ -29,7 +29,7 @@ const (
 // flags (scenario run, fleet run, serve) and server request bodies all
 // produce a RunConfig, so a submission means the same thing everywhere.
 //
-// The first four fields configure the engine and are fixed when a
+// The first five fields configure the engine and are fixed when a
 // Session is built; the rest override a spec per run and may differ per
 // submission on a shared session.
 type RunConfig struct {
@@ -44,6 +44,12 @@ type RunConfig struct {
 	// CacheDir, when non-empty, layers the persistent content-addressed
 	// result store under the in-memory memo (see sched.Options.CacheDir).
 	CacheDir string `json:"cache_dir,omitempty"`
+	// PolicyParallel caps how many fleet policy episodes replay
+	// concurrently within one run (0 = min(policies, GOMAXPROCS),
+	// 1 = serial). Episodes share only the read-only oracle, so reports
+	// are byte-identical at any setting. Engine-level: fixed when the
+	// session starts, like Parallelism.
+	PolicyParallel int `json:"policy_parallel,omitempty"`
 
 	// Policy overrides a single-machine scenario's partition policy
 	// (any registered name; see `cachepart policies`).
@@ -72,6 +78,8 @@ func (c RunConfig) Validate() error {
 		return fmt.Errorf("core: scale %g is negative", c.Scale)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: parallelism %d is negative", c.Parallelism)
+	case c.PolicyParallel < 0:
+		return fmt.Errorf("core: policy_parallel %d is negative", c.PolicyParallel)
 	case c.Machines < 0:
 		return fmt.Errorf("core: machines %d is negative", c.Machines)
 	}
@@ -113,6 +121,8 @@ func (c RunConfig) PerRunOnly() error {
 		return fmt.Errorf("core: quick is fixed when the session starts")
 	case c.Parallelism != 0:
 		return fmt.Errorf("core: parallelism is fixed when the session starts")
+	case c.PolicyParallel != 0:
+		return fmt.Errorf("core: policy_parallel is fixed when the session starts")
 	case c.CacheDir != "":
 		return fmt.Errorf("core: cache_dir is fixed when the session starts")
 	}
@@ -334,7 +344,9 @@ func (s *Session) RunScenario(sc *scenario.Scenario, cfg RunConfig) (*RunResult,
 	span := s.tr.Start("run", 0, attrs...)
 	var report string
 	if sc.IsFleet() {
-		rep, err := fleet.RunSpan(s.r, sc.Name, sc.Fleet, span.ID())
+		rep, err := fleet.RunWith(s.r, sc.Name, sc.Fleet, fleet.RunOpts{
+			Parent: span.ID(), PolicyParallel: s.cfg.PolicyParallel,
+		})
 		if err != nil {
 			span.End(obs.String("error", err.Error()))
 			return nil, err

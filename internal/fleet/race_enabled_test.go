@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled mirrors the -race build flag for tests whose assertions
+// (allocation counts) are only stable without the detector.
+const raceEnabled = true

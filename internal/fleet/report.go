@@ -2,7 +2,10 @@ package fleet
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/loadgen"
@@ -67,17 +70,47 @@ type Report struct {
 	Results          []PolicyResult
 }
 
+// RunOpts configures how a fleet run executes; the zero value is the
+// default everywhere.
+type RunOpts struct {
+	// Parent is the trace span the fleet's spans nest under (0 = root).
+	Parent obs.SpanID
+	// PolicyParallel caps how many policy episodes replay concurrently
+	// (0 = min(policies, GOMAXPROCS), 1 = serial). Episodes share only
+	// the read-only oracle, so the report is byte-identical at any
+	// setting.
+	PolicyParallel int
+}
+
+// policyWorkers resolves the episode worker count for n policies.
+func (o RunOpts) policyWorkers(n int) int {
+	w := o.PolicyParallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // Run executes a fleet definition on the runner: it generates the
 // trace, fans every needed single-machine simulation through the
 // engine as one batch, then replays the identical trace under each
 // consolidation policy. Output is deterministic and byte-identical at
 // any engine parallelism.
 func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
-	return RunSpan(r, name, def, 0)
+	return RunWith(r, name, def, RunOpts{})
 }
 
 // RunSpan is Run with the trace span the fleet's spans nest under
-// (0 = root). The span tree a traced fleet run produces is:
+// (0 = root).
+func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report, error) {
+	return RunWith(r, name, def, RunOpts{Parent: parent})
+}
+
+// RunWith is Run with explicit options. The span tree a traced fleet
+// run produces is:
 //
 //	compile                 trace generation
 //	oracle                  performance-oracle construction
@@ -87,11 +120,15 @@ func Run(r *sched.Runner, name string, def *Def) (*Report, error) {
 //	  resim-batch             auto: borderline exact re-simulation
 //	episode (per policy)    trace replay under one policy
 //
-// Tracing changes nothing about the report.
-func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report, error) {
+// Episodes run concurrently up to RunOpts.PolicyParallel; each opens
+// its own span under Parent, and Report.Results keeps presentation
+// order regardless of completion order. Tracing changes nothing about
+// the report.
+func RunWith(r *sched.Runner, name string, def *Def, opts RunOpts) (*Report, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
+	parent := opts.Parent
 	tr := r.Tracer()
 	t0 := time.Now()
 	csp := tr.Start("compile", parent)
@@ -124,67 +161,132 @@ func RunSpan(r *sched.Runner, name string, def *Def, parent obs.SpanID) (*Report
 		rep.ByClass[a.Class]++
 	}
 
-	for _, pol := range def.policies() {
-		e0 := time.Now()
-		esp := tr.Start("episode", parent, obs.String("policy", string(pol)))
-		s := newSim(def, o, pol, arrivals, backlog)
-		makespan := s.run()
-		if s.nextItem < len(s.backlog) || len(s.requeued) > 0 || s.drained != s.totalItems {
-			esp.End()
-			return nil, fmt.Errorf("fleet: policy %s stalled with %d of %d backlog items undrained",
-				pol, s.totalItems-s.drained, s.totalItems)
-		}
-		pr := PolicyResult{
-			Policy: pol, Rejects: s.rejects, Colocated: s.coloc,
-			DrainSeconds: s.drainT, Makespan: makespan, Reallocations: s.reallocs,
-			Evicted: s.evicted, Lost: s.lostJobs, Migrated: s.migrated,
-			PeakReplace: s.peakRepl, RecoverSeconds: s.recoverMax,
-		}
-		limit := def.slowdownLimit()
-		var slow []float64
-		for i := range s.reqs {
-			rq := &s.reqs[i]
-			if !rq.done {
-				esp.End()
-				return nil, fmt.Errorf("fleet: policy %s left request %d unserved", pol, i)
-			}
-			resp := rq.finish - rq.arr.AtSeconds
-			alone := o.alone[rq.arr.App].Seconds
-			slow = append(slow, resp/alone)
-			if excess := resp - limit*alone; excess > 0 {
-				pr.SLOViolationMin += excess / 60
-			}
-		}
-		if len(slow) > 0 {
-			pr.P50 = stats.Percentile(slow, 50)
-			pr.P95 = stats.Percentile(slow, 95)
-			pr.P99 = stats.Percentile(slow, 99)
-			pr.MeanSlowdown = stats.Mean(slow)
-		}
-		if makespan > 0 {
-			var busy float64
-			for mi := range s.machines {
-				s.account(mi, makespan)
-				m := &s.machines[mi]
-				busy += m.busySec
-				if m.used {
-					pr.MachinesUsed++
-					pr.ActiveSocketJ += m.socketJ
-					pr.ActiveWallJ += m.wallJ
-				}
-			}
-			pr.FleetSocketJ = pr.ActiveSocketJ +
-				o.idleSocketW*makespan*float64(def.Machines-pr.MachinesUsed)
-			if pr.MachinesUsed > 0 {
-				pr.Utilization = busy / (float64(pr.MachinesUsed) * makespan)
-			}
-			pr.ED2 = pr.ActiveSocketJ * makespan * makespan
-		}
-		esp.End(obs.Int("machines", pr.MachinesUsed), obs.Int("coloc", pr.Colocated))
-		r.AddPhase("episode", time.Since(e0))
-		rep.Results = append(rep.Results, pr)
+	pols := def.policies()
+	results := make([]PolicyResult, len(pols))
+	errs := make([]error, len(pols))
+	runOne := func(i int) {
+		results[i], errs[i] = runEpisode(r, def, o, pols[i], arrivals, backlog, parent)
 	}
+	if workers := opts.policyWorkers(len(pols)); workers <= 1 {
+		for i := range pols {
+			runOne(i)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		// Episodes share only def/o/arrivals/backlog, all read-only past
+		// this point, so each is an independent serial replay. A panic in
+		// an episode (a sim bug) must surface on the calling goroutine as
+		// it would serially, so workers capture the first one and the
+		// caller re-raises it after the barrier — the same discipline as
+		// the engine's batch workers.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var aborted atomic.Bool
+		var panicOnce sync.Once
+		var panicked any
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						panicOnce.Do(func() { panicked = p })
+						aborted.Store(true)
+					}
+				}()
+				for !aborted.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= len(pols) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+		// Report the failure of the earliest policy in presentation
+		// order — the same error a serial sweep would have stopped on.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	rep.Results = results
 	return rep, nil
+}
+
+// runEpisode replays the shared trace under one consolidation policy
+// and aggregates its PolicyResult. Everything it reads — the
+// definition, the oracle, the compiled arrivals and backlog — is
+// immutable for the duration of the run, so concurrent episodes never
+// share mutable state; the tracer and phase accounting are themselves
+// concurrency-safe.
+func runEpisode(r *sched.Runner, def *Def, o *oracle, pol PolicyName,
+	arrivals []loadgen.Arrival, backlog []loadgen.BatchItem, parent obs.SpanID) (PolicyResult, error) {
+	e0 := time.Now()
+	esp := r.Tracer().Start("episode", parent, obs.String("policy", string(pol)))
+	s := newSim(def, o, pol, arrivals, backlog)
+	makespan := s.run()
+	if s.nextItem < len(s.backlog) || s.requeuedLen() > 0 || s.drained != s.totalItems {
+		esp.End()
+		return PolicyResult{}, fmt.Errorf("fleet: policy %s stalled with %d of %d backlog items undrained",
+			pol, s.totalItems-s.drained, s.totalItems)
+	}
+	pr := PolicyResult{
+		Policy: pol, Rejects: s.rejects, Colocated: s.coloc,
+		DrainSeconds: s.drainT, Makespan: makespan, Reallocations: s.reallocs,
+		Evicted: s.evicted, Lost: s.lostJobs, Migrated: s.migrated,
+		PeakReplace: s.peakRepl, RecoverSeconds: s.recoverMax,
+	}
+	limit := def.slowdownLimit()
+	slow := make([]float64, 0, len(s.reqs))
+	for i := range s.reqs {
+		rq := &s.reqs[i]
+		if !rq.done {
+			esp.End()
+			return PolicyResult{}, fmt.Errorf("fleet: policy %s left request %d unserved", pol, i)
+		}
+		resp := rq.finish - rq.arr.AtSeconds
+		alone := o.alone[rq.arr.App].Seconds
+		slow = append(slow, resp/alone)
+		if excess := resp - limit*alone; excess > 0 {
+			pr.SLOViolationMin += excess / 60
+		}
+	}
+	if len(slow) > 0 {
+		pr.P50 = stats.Percentile(slow, 50)
+		pr.P95 = stats.Percentile(slow, 95)
+		pr.P99 = stats.Percentile(slow, 99)
+		pr.MeanSlowdown = stats.Mean(slow)
+	}
+	if makespan > 0 {
+		var busy float64
+		for mi := range s.machines {
+			s.account(mi, makespan)
+			m := &s.machines[mi]
+			busy += m.busySec
+			if m.used {
+				pr.MachinesUsed++
+				pr.ActiveSocketJ += m.socketJ
+				pr.ActiveWallJ += m.wallJ
+			}
+		}
+		pr.FleetSocketJ = pr.ActiveSocketJ +
+			o.idleSocketW*makespan*float64(def.Machines-pr.MachinesUsed)
+		if pr.MachinesUsed > 0 {
+			pr.Utilization = busy / (float64(pr.MachinesUsed) * makespan)
+		}
+		pr.ED2 = pr.ActiveSocketJ * makespan * makespan
+	}
+	esp.End(obs.Int("machines", pr.MachinesUsed), obs.Int("coloc", pr.Colocated))
+	r.AddPhase("episode", time.Since(e0))
+	return pr, nil
 }
 
 // String renders the report as aligned text; byte-identical across

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/loadgen"
@@ -33,25 +32,72 @@ type event struct {
 	ver  int // fgDone/bgDone staleness check
 }
 
+// eventHeap is a hand-rolled binary min-heap of events. container/heap
+// would box every Push/Pop operand in an interface — one heap
+// allocation per event on the loop's hottest edge — so the sift
+// routines are typed and the loop runs allocation-free (pinned by
+// TestSimRunAllocationFree). Determinism does not depend on the heap's
+// internal arrangement: eventLess is a strict total order (no two live
+// events compare equal — arrival/timeline indices are distinct, and
+// completion versions bump per schedule), so every pop returns the
+// unique minimum whichever implementation manages the array.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].t != h[b].t {
-		return h[a].t < h[b].t
+// eventLess orders events by time, then kind, then index, then
+// version — the deterministic tie-break every golden depends on.
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	if h[a].kind != h[b].kind {
-		return h[a].kind < h[b].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	if h[a].idx != h[b].idx {
-		return h[a].idx < h[b].idx
+	if a.idx != b.idx {
+		return a.idx < b.idx
 	}
-	return h[a].ver < h[b].ver
+	return a.ver < b.ver
 }
-func (h eventHeap) Swap(a, b int)                 { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x any)                   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any                     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (s *sim) push(t float64, kind, idx, ver int) { heap.Push(&s.events, event{t, kind, idx, ver}) }
+
+func (h *eventHeap) push(e event) {
+	a := append(*h, e)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(a[i], a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*h = a
+}
+
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(a[r], a[c]) {
+			c = r
+		}
+		if !eventLess(a[c], a[i]) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	*h = a
+	return top
+}
+
+func (s *sim) push(t float64, kind, idx, ver int) { s.events.push(event{t, kind, idx, ver}) }
 
 // machState is one machine of the pool.
 type machState struct {
@@ -116,11 +162,16 @@ type sim struct {
 	prefixK  int // util-target's static machine prefix
 
 	// Churn state (all zero on an event-free run).
-	timeline    []Event        // def.Events; heap evFleet events index it
-	requeued    []requeuedItem // evicted batch items, re-placed before the backlog
-	pendingReqs []int          // evicted/arrived requests with no live machine (rare)
-	totalItems  int            // backlog items that must drain (arrivals - cancels)
-	itemSeq     int            // next global item index for event arrivals
+	timeline []Event // def.Events; heap evFleet events index it
+	// requeued is the FIFO of evicted batch items awaiting re-placement,
+	// consumed from reqHead instead of re-slicing so one buffer serves
+	// the whole run; the slice resets to its start whenever it drains.
+	requeued    []requeuedItem
+	reqHead     int
+	pendingReqs []int // evicted/arrived requests with no live machine (rare)
+	pendScratch []int // swap buffer so draining pendingReqs never re-allocates
+	totalItems  int   // backlog items that must drain (arrivals - cancels)
+	itemSeq     int   // next global item index for event arrivals
 	groups      []recGroup
 	evicted     int
 	lostJobs    int
@@ -138,9 +189,15 @@ type sim struct {
 }
 
 func newSim(def *Def, o *oracle, policy PolicyName, arrivals []loadgen.Arrival, backlog []loadgen.BatchItem) *sim {
+	// Size the heap for its worst concurrent population: every arrival
+	// is pushed up front, plus the timeline, plus scheduled completions
+	// and stale versions per machine. The slack keeps steady-state runs
+	// from ever growing the array; a pathological run just grows it.
+	heapCap := len(arrivals) + len(def.Events) + 4*def.Machines + 16
 	s := &sim{
 		def: def, o: o, policy: policy,
 		machines: make([]machState, def.Machines),
+		events:   make(eventHeap, 0, heapCap),
 		reqs:     make([]reqState, len(arrivals)),
 		// Each policy's sim owns its backlog: timeline events append to
 		// and cancel from it, and the trace is shared across policies.
@@ -483,8 +540,12 @@ func (s *sim) shortestQueueOK(ok func(int) bool) int {
 // accepts work while the latency slot is idle — service times are
 // fixed at dispatch, so a resident never appears under a running
 // request.
+// requeuedLen is the number of evicted items still awaiting
+// re-placement (the live window of the requeued buffer).
+func (s *sim) requeuedLen() int { return len(s.requeued) - s.reqHead }
+
 func (s *sim) placeBatch(now float64) {
-	for (len(s.requeued) > 0 || s.nextItem < len(s.backlog)) && s.resident < s.maxBatch {
+	for (s.requeuedLen() > 0 || s.nextItem < len(s.backlog)) && s.resident < s.maxBatch {
 		eligible := func(mi int) bool {
 			m := &s.machines[mi]
 			return s.avail(mi, now) && m.bgApp == "" && m.fgApp == "" && len(m.queue) == 0
@@ -516,9 +577,13 @@ func (s *sim) placeBatch(now float64) {
 		// were already in progress when their machine went away.
 		var item loadgen.BatchItem
 		group := -1
-		if len(s.requeued) > 0 {
-			item, group = s.requeued[0].item, s.requeued[0].group
-			s.requeued = s.requeued[1:]
+		if s.requeuedLen() > 0 {
+			item, group = s.requeued[s.reqHead].item, s.requeued[s.reqHead].group
+			s.reqHead++
+			if s.reqHead == len(s.requeued) {
+				s.requeued = s.requeued[:0]
+				s.reqHead = 0
+			}
 		} else {
 			item = s.backlog[s.nextItem]
 			s.nextItem++
@@ -541,8 +606,8 @@ func (s *sim) placeBatch(now float64) {
 // event time.
 func (s *sim) run() float64 {
 	s.placeBatch(0)
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.events.pop()
 		if e.kind != evWake {
 			// Synthetic hysteresis wake-ups retry placement but are not
 			// part of the run's observable timeline.
@@ -705,11 +770,15 @@ func (s *sim) onMachineUp(ev Event, now float64) {
 		m.lastFree = now
 	}
 	if len(s.pendingReqs) > 0 {
+		// Swap in the scratch buffer rather than nil: placeRequest may
+		// re-pend a request mid-drain, and it must land in a buffer that
+		// does not alias the one being iterated.
 		pend := s.pendingReqs
-		s.pendingReqs = nil
+		s.pendingReqs = s.pendScratch[:0]
 		for _, ri := range pend {
 			s.placeRequest(ri, now)
 		}
+		s.pendScratch = pend[:0]
 	}
 }
 
@@ -725,7 +794,7 @@ func (s *sim) cancelItems(app string, n int, now float64) {
 		s.backlog = append(s.backlog[:i], s.backlog[i+1:]...)
 		removed++
 	}
-	for i := len(s.requeued) - 1; i >= 0 && removed < n; i-- {
+	for i := len(s.requeued) - 1; i >= s.reqHead && removed < n; i-- {
 		if s.requeued[i].item.App != app {
 			continue
 		}

@@ -184,19 +184,37 @@ func (r *Runner) Warm(specs []Spec) {
 	}
 	var pending []Spec
 	seen := map[string]bool{}
-	r.mu.Lock()
 	for _, s := range specs {
 		key := s.memoKey(r)
 		if key == "" || seen[key] {
 			continue
 		}
-		if _, ok := r.cache[key]; !ok {
+		sh := &r.shards[shardFor(key)]
+		sh.mu.Lock()
+		_, cached := sh.cache[key]
+		sh.mu.Unlock()
+		if !cached {
 			seen[key] = true
 			pending = append(pending, s)
 		}
 	}
-	r.mu.Unlock()
 	r.RunBatch(pending)
+}
+
+// MemoShardSizes returns the entry count of each singleflight memo
+// shard (length MemoShards). A roughly even spread is the health
+// signal striping depends on; the serve /metrics endpoint exports it
+// per shard. Safe to call while runs are in flight — each shard is
+// read under its own lock, so the snapshot is per-shard consistent.
+func (r *Runner) MemoShardSizes() []int {
+	out := make([]int, MemoShards)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.cache)
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Stats is a snapshot of the engine's execution counters.

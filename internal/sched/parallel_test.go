@@ -32,13 +32,17 @@ func sweepSpecs() []Spec {
 	return append(specs, PairSpec{Fg: canneal, Bg: ferret, Mode: BothOnce})
 }
 
-// memoKeys returns the sorted keys of a runner's memo cache.
+// memoKeys returns the sorted keys of a runner's memo cache, across
+// all shards.
 func memoKeys(r *Runner) []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	keys := make([]string, 0, len(r.cache))
-	for k := range r.cache {
-		keys = append(keys, k)
+	var keys []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for k := range sh.cache {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(keys)
 	return keys

@@ -205,6 +205,35 @@ func (c *Counters) phaseStats() []PhaseStat {
 	return out
 }
 
+// MemoShards is the number of lock stripes the in-memory singleflight
+// cache is split across. One global mutex serializes every memo lookup
+// once fleet oracles, policy episodes, and server runs overlap; keyed
+// striping keeps lookups for distinct keys on distinct locks, so the
+// memo-wait phase measures genuine singleflight joins rather than lock
+// convoy. 32 comfortably exceeds any worker count the engine runs.
+const MemoShards = 32
+
+// memoShard is one stripe of the singleflight cache.
+type memoShard struct {
+	mu    sync.Mutex
+	cache map[string]*flight
+}
+
+// shardFor maps a memo key to its stripe (inlined FNV-1a: memo keys
+// are long and this runs on every cached lookup).
+func shardFor(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h % MemoShards
+}
+
 // Runner executes scenarios. The zero value is not usable; call New.
 // All methods are safe for concurrent use.
 type Runner struct {
@@ -214,8 +243,7 @@ type Runner struct {
 
 	warnOnce sync.Once // gates the store-write warning to one line per runner
 
-	mu    sync.Mutex
-	cache map[string]*flight
+	shards [MemoShards]memoShard
 }
 
 // warnStoreWrite reports a failed persistent-store write, once per
@@ -239,7 +267,10 @@ func New(opt Options) *Runner {
 	if ctr == nil {
 		ctr = &Counters{}
 	}
-	r := &Runner{opt: opt, ctr: ctr, cache: make(map[string]*flight)}
+	r := &Runner{opt: opt, ctr: ctr}
+	for i := range r.shards {
+		r.shards[i].cache = make(map[string]*flight)
+	}
 	if opt.CacheDir != "" && !opt.DisableCache {
 		store, err := newDiskStore(opt.CacheDir)
 		if err != nil {
@@ -310,10 +341,11 @@ func (r *Runner) run(s Spec, rc runCtx) *machine.Result {
 	if key == "" {
 		return r.measure(s, rc)
 	}
+	sh := &r.shards[shardFor(key)]
 	for {
-		r.mu.Lock()
-		if f, ok := r.cache[key]; ok {
-			r.mu.Unlock()
+		sh.mu.Lock()
+		if f, ok := sh.cache[key]; ok {
+			sh.mu.Unlock()
 			r.ctr.hits.Add(1)
 			t0 := time.Now()
 			<-f.done
@@ -327,9 +359,9 @@ func (r *Runner) run(s Spec, rc runCtx) *machine.Result {
 			continue
 		}
 		f := &flight{done: make(chan struct{})}
-		r.cache[key] = f
-		r.mu.Unlock()
-		return r.runFlight(key, f, s, rc)
+		sh.cache[key] = f
+		sh.mu.Unlock()
+		return r.runFlight(sh, key, f, s, rc)
 	}
 }
 
@@ -343,12 +375,12 @@ func (r *Runner) run(s Spec, rc runCtx) *machine.Result {
 // inside the flight — so each key is consulted and written at most once
 // per process, and concurrent requests for a key share one disk read
 // the same way they share one simulation.
-func (r *Runner) runFlight(key string, f *flight, s Spec, rc runCtx) *machine.Result {
+func (r *Runner) runFlight(sh *memoShard, key string, f *flight, s Spec, rc runCtx) *machine.Result {
 	defer func() {
 		if f.res == nil {
-			r.mu.Lock()
-			delete(r.cache, key)
-			r.mu.Unlock()
+			sh.mu.Lock()
+			delete(sh.cache, key)
+			sh.mu.Unlock()
 		}
 		close(f.done)
 	}()

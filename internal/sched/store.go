@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/machine"
 )
@@ -29,8 +30,54 @@ const EngineVersion = "cachepart-engine-v5"
 // cross-process writers are safe because records land via a temp file
 // and an atomic rename, and any torn/foreign file fails decoding and is
 // simply re-simulated.
+//
+// A striped in-memory index of record filenames — seeded by one
+// ReadDir at open, extended on every save — lets load answer known
+// misses without a filesystem call, so a cold fleet run against a
+// fresh cache directory is not one failed stat per simulation. The
+// index deliberately never learns about records another process
+// writes after this store opened: such a key indexes as absent and is
+// re-simulated, which by engine purity produces the identical result
+// (and re-saves it). Correctness never depends on the index, only the
+// syscall count does.
 type diskStore struct {
-	dir string
+	dir     string
+	stripes [storeStripes]storeStripe
+}
+
+// storeStripes splits the present-key index the same way the memo map
+// is striped, so concurrent flights touching the store do not convoy
+// on one index lock.
+const storeStripes = 16
+
+type storeStripe struct {
+	mu      sync.Mutex
+	present map[string]bool // record filename -> exists on disk
+}
+
+// stripeFor maps a record filename (hex SHA-256) to its index stripe.
+func (s *diskStore) stripeFor(name string) *storeStripe {
+	// The name is a uniform hash; its first byte is stripe-quality
+	// entropy on its own.
+	return &s.stripes[name[0]%storeStripes]
+}
+
+// indexed reports whether the index saw the record at open or saved it
+// since.
+func (s *diskStore) indexed(name string) bool {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	ok := st.present[name]
+	st.mu.Unlock()
+	return ok
+}
+
+// remember marks a record present after a successful save.
+func (s *diskStore) remember(name string) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	st.present[name] = true
+	st.mu.Unlock()
 }
 
 // diskRecord is the stored document. Version and Key are verified on
@@ -42,28 +89,47 @@ type diskRecord struct {
 	Result  *machine.Result `json:"result"`
 }
 
-// newDiskStore opens (creating if needed) a result store rooted at dir.
+// newDiskStore opens (creating if needed) a result store rooted at
+// dir and seeds the present-key index from one directory listing.
 func newDiskStore(dir string) (*diskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sched: result store: %w", err)
 	}
-	return &diskStore{dir: dir}, nil
+	s := &diskStore{dir: dir}
+	for i := range s.stripes {
+		s.stripes[i].present = make(map[string]bool)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sched: result store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && filepath.Ext(name) == ".json" {
+			s.stripeFor(name).present[name] = true
+		}
+	}
+	return s, nil
 }
 
-// path maps a memo key to its record file: the hex SHA-256 of the
-// engine version and the key. Keys contain workload names and free-form
-// seeds, so hashing (rather than escaping) keeps filenames fixed-length
-// and filesystem-safe.
-func (s *diskStore) path(key string) string {
+// recordName maps a memo key to its record filename: the hex SHA-256
+// of the engine version and the key. Keys contain workload names and
+// free-form seeds, so hashing (rather than escaping) keeps filenames
+// fixed-length and filesystem-safe.
+func recordName(key string) string {
 	sum := sha256.Sum256([]byte(EngineVersion + "\x00" + key))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+	return hex.EncodeToString(sum[:]) + ".json"
 }
 
 // load returns the stored result for key, or ok=false when absent,
 // unreadable, or written by a different engine version. Load failures
 // are never fatal: the caller just simulates.
 func (s *diskStore) load(key string) (*machine.Result, bool) {
-	data, err := os.ReadFile(s.path(key))
+	name := recordName(key)
+	if !s.indexed(name) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, false
 	}
@@ -99,9 +165,11 @@ func (s *diskStore) save(key string, res *machine.Result) error {
 		}
 		return cerr
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+	name := recordName(key)
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
+	s.remember(name)
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 )
 
 // Options configure the service limits. Zero values select defaults.
@@ -651,9 +652,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "cachepart_draining %d\n", draining)
 	fmt.Fprintf(w, "cachepart_engine_queue_depth %d\n", st.QueueDepth)
 	fmt.Fprintf(w, "cachepart_engine_active_workers %d\n", st.ActiveWorkers)
+	// Memo contention roll-up: the memo-wait phase counts genuine
+	// singleflight joins, re-published as a Prometheus summary so a
+	// dashboard can alert on join time without parsing phase labels.
+	var memoWaitSec float64
+	var memoWaitN uint64
 	for _, p := range st.Phases {
 		fmt.Fprintf(w, "cachepart_engine_phase_seconds_total{phase=%q} %g\n", p.Name, p.Seconds)
 		fmt.Fprintf(w, "cachepart_engine_phase_runs_total{phase=%q} %d\n", p.Name, p.Count)
+		if p.Name == sched.PhaseMemoWait {
+			memoWaitSec, memoWaitN = p.Seconds, p.Count
+		}
+	}
+	fmt.Fprintf(w, "cachepart_memo_wait_seconds_sum %g\n", memoWaitSec)
+	fmt.Fprintf(w, "cachepart_memo_wait_seconds_count %d\n", memoWaitN)
+	for i, n := range s.sess.Runner().MemoShardSizes() {
+		fmt.Fprintf(w, "cachepart_memo_shard_entries{shard=\"%d\"} %d\n", i, n)
 	}
 	s.queueWaitH.WriteProm(w, "cachepart_run_queue_wait_seconds", "")
 	s.rateWaitH.WriteProm(w, "cachepart_rate_limit_wait_seconds", "")
